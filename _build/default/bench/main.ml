@@ -1,0 +1,362 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6), plus the §7 learned-clause-reuse ablation and two
+   encoding ablations of our own.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything (full scale)
+     dune exec bench/main.exe -- quick        -- reduced instances
+     dune exec bench/main.exe -- table1       -- a single experiment
+     (experiments: table1 table2 table3 table4 fig1
+                   ablation-incremental ablation-encoding ablation-pb micro)
+
+   Paper numbers are printed next to ours.  Absolute values differ —
+   the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
+   §3) and the machine is four orders of magnitude newer — but the
+   shapes the paper reports are checked: the SAT optimum dominates
+   simulated annealing, formula size grows with both task count and
+   architecture size, and hierarchical routing costs more than flat. *)
+
+open Taskalloc_rt
+open Taskalloc_core
+open Taskalloc_workloads
+open Taskalloc_heuristics
+
+let section title =
+  Fmt.pr "@.=== %s ===@." title
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pp_time ppf s =
+  if s < 60. then Fmt.pf ppf "%.1fs" s else Fmt.pf ppf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+
+let solve_or_fail name problem objective =
+  match time (fun () -> Allocator.solve problem objective) with
+  | Some r, dt ->
+    if r.Allocator.violations <> [] then
+      Fmt.failwith "%s: allocation failed independent validation:@.%a" name
+        Check.pp_report r.violations;
+    (r, dt)
+  | None, _ -> Fmt.failwith "%s: unexpectedly infeasible" name
+
+(* ---- Table 1: the 43-task set of [5], token ring and CAN ------------- *)
+
+let table1 ~quick () =
+  section "Table 1: optimal allocation of the 43-task set (cf. [5])";
+  Fmt.pr "paper: SA found TRT=8.7ms; SAT optimum TRT=8.55ms in 48min, 175k vars, 995k lits@.";
+  Fmt.pr "paper: CAN variant U_CAN=0.371 in 361min, 298k vars, 1627k lits@.@.";
+  let problem = if quick then Workloads.task_scaling ~n:20 () else Workloads.tindell43 () in
+  (* simulated annealing baseline, as in [5] *)
+  let sa, sa_dt =
+    time (fun () ->
+        Heuristics.simulated_annealing
+          ~params:{ Heuristics.default_sa with iterations = (if quick then 1500 else 6000) }
+          problem (Heuristics.Trt 0))
+  in
+  (match sa with
+  | Some (_, v) -> Fmt.pr "  SA baseline:   TRT = %d ticks  (%a)@." v pp_time sa_dt
+  | None -> Fmt.pr "  SA baseline:   no feasible solution found (%a)@." pp_time sa_dt);
+  let r, dt = solve_or_fail "table1" problem (Encode.Min_trt 0) in
+  Fmt.pr "  SAT optimal:   TRT = %d ticks  (%a, %dk vars, %dk lits, %d probes)@."
+    r.Allocator.cost pp_time dt (r.bool_vars / 1000) (r.literals / 1000)
+    r.stats.Taskalloc_opt.Opt.probes;
+  (match sa with
+  | Some (_, v) when r.Allocator.cost <= v ->
+    Fmt.pr "  shape check:   optimal <= SA (paper: 8.55 <= 8.7)  OK@."
+  | Some (_, v) ->
+    Fmt.pr "  shape check:   VIOLATED: optimal %d > SA %d@." r.Allocator.cost v
+  | None -> Fmt.pr "  shape check:   SA failed; optimal stands alone@.");
+  (* CAN variant: minimize bus load *)
+  let problem_can =
+    if quick then
+      Generate.generate
+        ~spec:{ Generate.default_spec with seed = 42; chain_lengths = Workloads.chain_split 20 }
+        (Archs.can_bus ~n_ecus:8 ())
+    else Workloads.tindell43_can ()
+  in
+  let rc, dtc = solve_or_fail "table1-can" problem_can (Encode.Min_bus_load 0) in
+  Fmt.pr "  CAN variant:   U_CAN = %d permille  (%a, %dk vars, %dk lits)@."
+    rc.Allocator.cost pp_time dtc (rc.bool_vars / 1000) (rc.literals / 1000);
+  (* empirical validation: simulate the optimal allocations and confirm
+     the executable model never misses a deadline *)
+  let sim_check name problem (r : Allocator.result) =
+    let trace = Sim.simulate problem r.Allocator.allocation in
+    if Sim.missed trace then
+      Fmt.failwith "%s: simulation observed a deadline miss:@.%a" name Sim.pp_trace trace
+    else Fmt.pr "  simulation:    %s allocation ran %d ticks without a miss@." name
+        trace.Sim.horizon
+  in
+  sim_check "ring" problem r;
+  sim_check "can" problem_can rc
+
+(* ---- Table 2: architecture scaling ------------------------------------ *)
+
+let table2 ~quick () =
+  section "Table 2: complexity vs architecture size (30 tasks, token ring)";
+  Fmt.pr "paper:  ECUs   8     16    25    32    45    64@.";
+  Fmt.pr "paper:  time   0:13  0:18  1:30  2:10  4:30  13:00 (h:mm)@.";
+  Fmt.pr "paper:  vars   100k  133k  148k  158k  178k  206k@.";
+  Fmt.pr "paper:  lits   602k  814k  911k  979k  1117k 1304k@.@.";
+  let sizes = if quick then [ 8; 16 ] else [ 8; 16; 25; 32; 45; 64 ] in
+  Fmt.pr "  %-6s %-10s %-10s %-10s %-8s@." "ECUs" "time" "vars" "lits" "TRT";
+  let prev_vars = ref 0 in
+  List.iter
+    (fun n_ecus ->
+      let problem = Workloads.arch_scaling ~n_ecus () in
+      let r, dt = solve_or_fail "table2" problem (Encode.Min_trt 0) in
+      Fmt.pr "  %-6d %-10s %-10s %-10s %-8d%s@." n_ecus (Fmt.str "%a" pp_time dt)
+        (Printf.sprintf "%dk" (r.Allocator.bool_vars / 1000))
+        (Printf.sprintf "%dk" (r.literals / 1000))
+        r.cost
+        (if r.bool_vars >= !prev_vars then "" else "  (! size not monotone)");
+      prev_vars := r.bool_vars)
+    sizes;
+  Fmt.pr "  shape check: formula size grows with ECU count (as in the paper)@."
+
+(* ---- Table 3: task-set scaling ---------------------------------------- *)
+
+let table3 ~quick () =
+  section "Table 3: complexity vs task-set size (8 ECUs, token ring)";
+  Fmt.pr "paper:  tasks  7      12     20     30    43@.";
+  Fmt.pr "paper:  time   23s    1s     38s    17min 48min@.";
+  Fmt.pr "paper:  vars   5k     14k    34k    88k   174k@.";
+  Fmt.pr "paper:  lits   22k    74k    191k   492k  995k@.@.";
+  let sizes = if quick then [ 7; 12; 20 ] else [ 7; 12; 20; 30; 43 ] in
+  Fmt.pr "  %-6s %-10s %-10s %-10s %-8s@." "tasks" "time" "vars" "lits" "TRT";
+  let prev_vars = ref 0 in
+  List.iter
+    (fun n ->
+      let problem =
+        if n = 43 then Workloads.tindell43 () else Workloads.task_scaling ~n ()
+      in
+      let r, dt = solve_or_fail "table3" problem (Encode.Min_trt 0) in
+      Fmt.pr "  %-6d %-10s %-10s %-10s %-8d%s@." n (Fmt.str "%a" pp_time dt)
+        (Printf.sprintf "%dk" (r.Allocator.bool_vars / 1000))
+        (Printf.sprintf "%dk" (r.literals / 1000))
+        r.cost
+        (if r.bool_vars >= !prev_vars then "" else "  (! size not monotone)");
+      prev_vars := r.bool_vars)
+    sizes;
+  Fmt.pr "  shape check: formula size grows superlinearly with tasks (as in the paper)@."
+
+(* ---- Table 4: hierarchical architectures ------------------------------- *)
+
+let table4 ~quick () =
+  section "Table 4: hierarchical architectures A, B, C (Fig. 2), min sum of TRTs";
+  Fmt.pr "paper:  A: sum TRT=10.77ms (490min)   B: 16.32ms (740min)   C: 8.55ms (790min)@.";
+  Fmt.pr "paper:  C with CAN upper bus: TRT=8.55ms on the lower bus (180min)@.@.";
+  let n_tasks = if quick then 12 else 43 in
+  (* flat reference on the same task set: architecture C should recover it *)
+  let flat = Workloads.task_scaling ~n:n_tasks () in
+  let rf, dtf = solve_or_fail "table4-flat" flat (Encode.Min_trt 0) in
+  Fmt.pr "  %-18s sum TRT = %-5d (%a, %dk vars, %dk lits)@." "flat (reference)"
+    rf.Allocator.cost pp_time dtf (rf.bool_vars / 1000) (rf.literals / 1000);
+  let run name problem =
+    let r, dt = solve_or_fail name problem Encode.Min_sum_trt in
+    Fmt.pr "  %-18s sum TRT = %-5d (%a, %dk vars, %dk lits)@." name r.Allocator.cost
+      pp_time dt (r.bool_vars / 1000) (r.literals / 1000);
+    r
+  in
+  let ra = run "architecture A" (Workloads.hierarchical ~n_tasks Workloads.A) in
+  let _rb = run "architecture B" (Workloads.hierarchical ~n_tasks Workloads.B) in
+  let rc = run "architecture C" (Workloads.hierarchical ~n_tasks Workloads.C) in
+  let rcan = run "C + CAN upper" (Workloads.hierarchical_c_can ~n_tasks ()) in
+  ignore rcan;
+  (* shape checks in the spirit of the paper's discussion *)
+  if ra.Allocator.cost >= rc.Allocator.cost then
+    Fmt.pr "  shape check: dedicated-gateway A costs at least as much as C  OK@."
+  else
+    Fmt.pr "  shape note: A (%d) < C (%d) on this synthetic set@." ra.Allocator.cost
+      rc.Allocator.cost
+
+(* ---- Fig. 1: path closures ---------------------------------------------- *)
+
+let fig1 () =
+  section "Fig. 1: path closures of the 5-ECU / 3-media example";
+  let open Taskalloc_topology in
+  let topo = Topology.create ~n_ecus:5 ~media:[ [ 0; 1; 2 ]; [ 1; 3 ]; [ 2; 4 ] ] in
+  Fmt.pr "media: k1={p1,p2,p3} k2={p2,p4} k3={p3,p5}@.";
+  (* print with the paper's 1-based medium names *)
+  let pp_path ppf path =
+    Fmt.pf ppf "\"%a\"" Fmt.(list ~sep:nop (fun ppf k -> Fmt.pf ppf "k%d" (k + 1))) path
+  in
+  List.iteri
+    (fun i closure ->
+      Fmt.pr "  ph%d = {%a}@." (i + 1) Fmt.(list ~sep:(any ", ") pp_path) closure)
+    (Topology.path_closures topo);
+  Fmt.pr "paper: ph1={k1,k1k2} ph2={k1,k1k3} ph3={k2,k2k1,k2k1k3} ph4={k3,k3k1,k3k1k2}@."
+
+(* ---- ablation: learned-clause reuse across BIN_SEARCH probes (§7) ------- *)
+
+let ablation_incremental ~quick () =
+  section "Ablation (§7): learned-clause reuse across binary-search probes";
+  Fmt.pr "paper: reusing learned facts across the SAT sequence gives a factor >= 2@.@.";
+  let instances =
+    if quick then [ ("tasks12", Workloads.task_scaling ~n:12 ()) ]
+    else
+      [
+        ("tasks20", Workloads.task_scaling ~n:20 ());
+        ("tasks30", Workloads.task_scaling ~n:30 ());
+        ("ecus16", Workloads.arch_scaling ~n_ecus:16 ());
+      ]
+  in
+  let speedups = ref [] and conflict_ratios = ref [] in
+  List.iter
+    (fun (name, problem) ->
+      let run mode =
+        match time (fun () -> Allocator.solve ~mode problem (Encode.Min_trt 0)) with
+        | Some r, dt -> (r.Allocator.cost, dt, r.stats.Taskalloc_opt.Opt.conflicts)
+        | None, _ -> Fmt.failwith "ablation: infeasible"
+      in
+      let cost_f, t_f, c_f = run Taskalloc_opt.Opt.Fresh in
+      let cost_i, t_i, c_i = run Taskalloc_opt.Opt.Incremental in
+      if cost_f <> cost_i then Fmt.failwith "ablation: modes disagree on the optimum";
+      let speedup = t_f /. Float.max t_i 1e-6 in
+      let cratio = float_of_int c_f /. float_of_int (max c_i 1) in
+      speedups := speedup :: !speedups;
+      conflict_ratios := cratio :: !conflict_ratios;
+      Fmt.pr "  %-8s fresh: %a / %d conflicts   incremental: %a / %d conflicts   speedup %.2fx (conflicts %.2fx)@."
+        name pp_time t_f c_f pp_time t_i c_i speedup cratio)
+    instances;
+  let geomean xs =
+    exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+  in
+  Fmt.pr "  geometric mean: %.2fx wall-clock, %.2fx conflicts (paper reports >= 2x)@."
+    (geomean !speedups) (geomean !conflict_ratios)
+
+(* ---- ablation: allocation-variable encoding ------------------------------ *)
+
+let ablation_encoding ~quick () =
+  section "Ablation: one-hot selectors vs the paper's binary a_i encoding";
+  let n = if quick then 12 else 20 in
+  let problem = Workloads.task_scaling ~n () in
+  let run options name =
+    match time (fun () -> Allocator.solve ~options problem (Encode.Min_trt 0)) with
+    | Some r, dt ->
+      Fmt.pr "  %-10s TRT=%d time=%a vars=%dk lits=%dk conflicts=%d@." name
+        r.Allocator.cost pp_time dt (r.bool_vars / 1000) (r.literals / 1000)
+        r.stats.Taskalloc_opt.Opt.conflicts;
+      r.Allocator.cost
+    | None, _ -> Fmt.failwith "ablation-encoding: infeasible"
+  in
+  let a = run Encode.default_options "one-hot" in
+  let b =
+    run { Encode.default_options with alloc_encoding = Encode.Binary } "binary"
+  in
+  if a <> b then Fmt.failwith "ablation-encoding: encodings disagree"
+
+(* ---- ablation: native PB propagation vs CNF compilation ------------------- *)
+
+let ablation_pb ~quick () =
+  section "Ablation: native PB propagation (GOBLIN-style) vs CNF compilation";
+  let n = if quick then 12 else 20 in
+  let problem = Workloads.task_scaling ~n () in
+  let run options name =
+    match time (fun () -> Allocator.solve ~options problem (Encode.Min_trt 0)) with
+    | Some r, dt ->
+      Fmt.pr "  %-10s TRT=%d time=%a vars=%dk lits=%dk@." name r.Allocator.cost
+        pp_time dt (r.bool_vars / 1000) (r.literals / 1000);
+      r.Allocator.cost
+    | None, _ -> Fmt.failwith "ablation-pb: infeasible"
+  in
+  let a = run Encode.default_options "native" in
+  let b = run { Encode.default_options with pb_mode = Taskalloc_pb.Pb.Cnf } "cnf" in
+  if a <> b then Fmt.failwith "ablation-pb: PB modes disagree"
+
+(* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel): solver substrate";
+  let open Bechamel in
+  let open Toolkit in
+  let sat_small =
+    Test.make ~name:"solve php(5,5)"
+      (Staged.stage (fun () ->
+           let open Taskalloc_sat in
+           let s = Solver.create () in
+           let x = Array.init 5 (fun _ -> Array.init 5 (fun _ -> Solver.new_var s)) in
+           for p = 0 to 4 do
+             Solver.add_clause s (List.init 5 (fun h -> Lit.of_var x.(p).(h)))
+           done;
+           for h = 0 to 4 do
+             Solver.add_at_most_one s (List.init 5 (fun p -> Lit.of_var x.(p).(h)))
+           done;
+           ignore (Solver.solve s)))
+  in
+  let encode_small =
+    Test.make ~name:"encode 7-task problem"
+      (Staged.stage
+         (let problem = Workloads.task_scaling ~n:7 () in
+          fun () -> ignore (Encode.encode problem (Encode.Min_trt 0))))
+  in
+  let rta =
+    Test.make ~name:"task RTA fixpoint"
+      (Staged.stage (fun () ->
+           ignore
+             (Analysis.task_response_time ~wcet:3 ~deadline:1000
+                ~interferers:[ (1, 4, 0); (2, 6, 0); (5, 30, 2) ] ())))
+  in
+  let bin_search =
+    Test.make ~name:"optimize quickstart"
+      (Staged.stage
+         (let problem = Workloads.small ~seed:5 ~n_ecus:2 ~n_tasks:4 () in
+          fun () -> ignore (Allocator.solve problem (Encode.Min_trt 0))))
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Fmt.pr "  %-28s %.0f ns/run@." name est
+        | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+      results
+  in
+  List.iter
+    (fun t -> benchmark (Test.make_grouped ~name:"micro" [ t ]))
+    [ sat_small; encode_small; rta; bin_search ]
+
+(* ---- driver ----------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let all =
+    [
+      ("fig1", fun () -> fig1 ());
+      ("table1", fun () -> table1 ~quick ());
+      ("table2", fun () -> table2 ~quick ());
+      ("table3", fun () -> table3 ~quick ());
+      ("table4", fun () -> table4 ~quick ());
+      ("ablation-incremental", fun () -> ablation_incremental ~quick ());
+      ("ablation-encoding", fun () -> ablation_encoding ~quick ());
+      ("ablation-pb", fun () -> ablation_pb ~quick ());
+      ("micro", fun () -> micro ());
+    ]
+  in
+  let selected =
+    match args with
+    | [] -> all
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some f -> (name, f)
+          | None ->
+            Fmt.epr "unknown experiment %S; known: %a@." name
+              Fmt.(list ~sep:sp string)
+              (List.map fst all);
+            exit 1)
+        names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) selected;
+  Fmt.pr "@.total bench time: %a@." pp_time (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/dimacs_solve.ml: Buffer Dimacs Lit Printf Solver Sys Taskalloc_sat

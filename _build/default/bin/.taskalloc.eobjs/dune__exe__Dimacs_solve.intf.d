@@ -1,0 +1,1 @@
+bin/dimacs_solve.mli:

@@ -1,0 +1,1 @@
+bin/pbsolve.ml: Hashtbl List Lit Opb Printf Solver Sys Taskalloc_pb Taskalloc_sat

@@ -1,0 +1,37 @@
+(* Standalone DIMACS CNF solver built on the taskalloc CDCL engine.
+
+   Usage:  dimacs_solve FILE.cnf
+   Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
+   in the conventional SAT-competition output format. *)
+
+open Taskalloc_sat
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+    let cnf = Dimacs.parse_file path in
+    let solver = Dimacs.load cnf in
+    (match Solver.solve solver with
+    | Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v";
+      for v = 0 to cnf.Dimacs.num_vars - 1 do
+        let value = Solver.model_value solver (Lit.of_var v) in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
+      done;
+      Buffer.add_string buf " 0";
+      print_endline (Buffer.contents buf);
+      Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
+        (Solver.n_conflicts solver) (Solver.n_decisions solver)
+        (Solver.n_propagations solver)
+    | Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+    | Solver.Unknown ->
+      print_endline "s UNKNOWN";
+      exit 30)
+  | _ ->
+    prerr_endline "usage: dimacs_solve FILE.cnf";
+    exit 2

@@ -1,0 +1,43 @@
+(* Pseudo-Boolean solver CLI for the OPB-like format accepted by
+   {!Taskalloc_pb.Opb}:
+
+     * comment
+     +2 x1 +3 x2 -1 x3 >= 2 ;
+     +1 x1 +1 x4 = 1 ;
+
+   Usage:  pbsolve FILE.opb *)
+
+open Taskalloc_sat
+open Taskalloc_pb
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    let solver, vars =
+      try Opb.parse_file path
+      with Opb.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 2
+    in
+    match Solver.solve solver with
+    | Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      let entries =
+        Hashtbl.fold (fun name v acc -> (name, v) :: acc) vars []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "v %s%s\n"
+            (if Solver.model_value solver (Lit.of_var v) then "" else "-")
+            name)
+        entries
+    | Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+    | Solver.Unknown ->
+      print_endline "s UNKNOWN";
+      exit 30)
+  | _ ->
+    prerr_endline "usage: pbsolve FILE.opb";
+    exit 2

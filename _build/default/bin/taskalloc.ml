@@ -1,0 +1,271 @@
+(* Command-line front end for the optimal task allocator.
+
+   Subcommands:
+     solve    -- allocate a named workload optimally and print the result
+     check    -- analyze a workload under a greedy heuristic placement
+     compare  -- optimal allocator vs the heuristic baselines
+     closures -- print the path closures of a named architecture
+
+   Example:
+     taskalloc solve --workload tindell43 --objective trt
+     taskalloc solve --workload arch-a --objective sum-trt --mode fresh *)
+
+open Cmdliner
+open Taskalloc_rt
+open Taskalloc_core
+open Taskalloc_workloads
+open Taskalloc_heuristics
+
+let named_workloads =
+  [
+    ("tindell43", fun seed -> Workloads.tindell43 ~seed ());
+    ("tindell43-can", fun seed -> Workloads.tindell43_can ~seed ());
+    ("small", fun seed -> Workloads.small ~seed ());
+    ("small-can", fun seed -> Workloads.small_can ~seed ());
+    ("tasks7", fun seed -> Workloads.task_scaling ~seed ~n:7 ());
+    ("tasks12", fun seed -> Workloads.task_scaling ~seed ~n:12 ());
+    ("tasks20", fun seed -> Workloads.task_scaling ~seed ~n:20 ());
+    ("tasks30", fun seed -> Workloads.task_scaling ~seed ~n:30 ());
+    ("ecus16", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:16 ());
+    ("ecus32", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:32 ());
+    ("ecus64", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:64 ());
+    ("arch-a", fun seed -> Workloads.hierarchical ~seed Workloads.A);
+    ("arch-b", fun seed -> Workloads.hierarchical ~seed Workloads.B);
+    ("arch-c", fun seed -> Workloads.hierarchical ~seed Workloads.C);
+    ("arch-c-can", fun seed -> Workloads.hierarchical_c_can ~seed ());
+  ]
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Problem file (see lib/rt/problem_file.mli for the format); overrides --workload.")
+
+let workload_arg =
+  let doc =
+    Fmt.str "Workload name; one of: %s."
+      (String.concat ", " (List.map fst named_workloads))
+  in
+  Arg.(value & opt string "small" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let objective_arg =
+  let objectives =
+    [ ("trt", `Trt); ("sum-trt", `Sum_trt); ("bus-load", `Bus_load); ("max-util", `Max_util); ("feasible", `Feasible) ]
+  in
+  Arg.(
+    value
+    & opt (enum objectives) `Trt
+    & info [ "o"; "objective" ] ~docv:"OBJ"
+        ~doc:"Objective: trt, sum-trt, bus-load, max-util or feasible.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("incremental", Taskalloc_opt.Opt.Incremental); ("fresh", Taskalloc_opt.Opt.Fresh) ])
+        Taskalloc_opt.Opt.Incremental
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Binary-search mode: incremental (learned-clause reuse) or fresh.")
+
+let lookup_workload ?file name seed =
+  match file with
+  | Some path -> (
+    try Problem_file.parse_file path with
+    | Problem_file.Parse_error { line; message } ->
+      Fmt.epr "%s:%d: %s@." path line message;
+      exit 2
+    | Model.Invalid_model m ->
+      Fmt.epr "%s: invalid model: %s@." path m;
+      exit 2)
+  | None -> (
+    match List.assoc_opt name named_workloads with
+    | Some f -> f seed
+    | None ->
+      Fmt.epr "unknown workload %S@." name;
+      exit 2)
+
+let to_objective problem = function
+  | `Trt -> Encode.Min_trt 0
+  | `Sum_trt -> Encode.Min_sum_trt
+  | `Bus_load -> Encode.Min_bus_load 0
+  | `Max_util -> Encode.Min_max_util
+  | `Feasible ->
+    ignore problem;
+    Encode.Feasible
+
+let heuristic_objective = function
+  | `Trt | `Feasible -> Heuristics.Trt 0
+  | `Sum_trt -> Heuristics.Sum_trt
+  | `Bus_load -> Heuristics.Bus_load 0
+  | `Max_util -> Heuristics.Max_util
+
+let solve_cmd =
+  let run file workload seed objective mode =
+    let problem = lookup_workload ?file workload seed in
+    let label = match file with Some f -> f | None -> workload in
+    Fmt.pr "workload %s: %d tasks, %d ECUs, %d messages, %d media@." label
+      (Array.length problem.Model.tasks)
+      problem.Model.arch.Model.n_ecus
+      (Array.length (Model.all_messages problem))
+      (List.length problem.Model.arch.Model.media);
+    match Allocator.solve ~mode problem (to_objective problem objective) with
+    | None ->
+      Fmt.pr "INFEASIBLE; probing constraint classes...@.";
+      List.iter
+        (fun (relaxation, feasible) ->
+          Fmt.pr "  %-32s %s@."
+            (Fmt.str "%a" Allocator.pp_relaxation relaxation)
+            (if feasible then "FEASIBLE (binding constraint class)" else "still infeasible"))
+        (Allocator.diagnose problem);
+      exit 1
+    | Some r ->
+      Fmt.pr "optimal cost = %d@." r.Allocator.cost;
+      Fmt.pr "%a" Report.pp (Report.make problem r.allocation);
+      Fmt.pr "stats: %a@." Taskalloc_opt.Opt.pp_stats r.stats;
+      Fmt.pr "validation: %a@." Check.pp_report r.violations;
+      if r.violations <> [] then exit 3
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
+    Term.(const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg)
+
+let check_cmd =
+  let run workload seed =
+    let problem = lookup_workload workload seed in
+    match Heuristics.greedy problem (Heuristics.Trt 0) with
+    | None ->
+      Fmt.pr "greedy heuristic found no feasible placement@.";
+      exit 1
+    | Some (alloc, cost) ->
+      Fmt.pr "greedy TRT = %d@." cost;
+      let responses = Analysis.all_task_response_times problem alloc in
+      Array.iteri
+        (fun i r ->
+          Fmt.pr "  %-8s r=%a d=%d@." problem.Model.tasks.(i).Model.task_name
+            Fmt.(option ~none:(any "miss") int)
+            r problem.Model.tasks.(i).Model.deadline)
+        responses;
+      Fmt.pr "checker: %a@." Check.pp_report (Check.check problem alloc)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Analyze a workload under the greedy heuristic")
+    Term.(const run $ workload_arg $ seed_arg)
+
+let compare_cmd =
+  let run workload seed objective =
+    let problem = lookup_workload workload seed in
+    let hobj = heuristic_objective objective in
+    let report name = function
+      | Some (_, v) -> Fmt.pr "  %-16s %d@." name v
+      | None -> Fmt.pr "  %-16s (none found)@." name
+    in
+    report "greedy" (Heuristics.greedy problem hobj);
+    report "random-search" (Heuristics.random_search problem hobj);
+    report "sim-annealing" (Heuristics.simulated_annealing problem hobj);
+    (match Allocator.solve problem (to_objective problem objective) with
+    | Some r -> Fmt.pr "  %-16s %d  (optimal)@." "sat" r.Allocator.cost
+    | None -> Fmt.pr "  %-16s infeasible@." "sat")
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare heuristics against the optimal allocator")
+    Term.(const run $ workload_arg $ seed_arg $ objective_arg)
+
+let closures_cmd =
+  let run workload seed =
+    let problem = lookup_workload workload seed in
+    let topo = problem.Model.topology in
+    List.iteri
+      (fun i closure ->
+        Fmt.pr "ph%d = %a@." (i + 1) Taskalloc_topology.Topology.pp_closure closure)
+      (Taskalloc_topology.Topology.path_closures topo)
+  in
+  Cmd.v (Cmd.info "closures" ~doc:"Print the path closures of a workload's architecture")
+    Term.(const run $ workload_arg $ seed_arg)
+
+let simulate_cmd =
+  let run file workload seed objective horizon =
+    let problem = lookup_workload ?file workload seed in
+    match Allocator.solve problem (to_objective problem objective) with
+    | None ->
+      Fmt.pr "INFEASIBLE@.";
+      exit 1
+    | Some r ->
+      Fmt.pr "optimal cost = %d; simulating...@." r.Allocator.cost;
+      let trace = Sim.simulate ?horizon problem r.allocation in
+      Fmt.pr "simulated %d ticks: %s@." trace.Sim.horizon
+        (if Sim.missed trace then "DEADLINE MISSES" else "no misses");
+      let responses = Analysis.all_task_response_times problem r.allocation in
+      Array.iteri
+        (fun i task ->
+          Fmt.pr "  %-8s observed r=%d  analytical r=%a  d=%d@."
+            task.Model.task_name
+            trace.Sim.task_max_response.(i)
+            Fmt.(option ~none:(any "-") int)
+            responses.(i) task.Model.deadline)
+        problem.Model.tasks;
+      Array.iter
+        (fun (m : Model.message) ->
+          let bound =
+            match Analysis.message_end_to_end problem r.allocation m with
+            | Some (_, b) -> string_of_int b
+            | None -> "-"
+          in
+          Fmt.pr "  msg %-4d observed latency=%d  analytical=%s  deadline=%d  (%d deliveries)@."
+            m.Model.msg_id
+            trace.Sim.msg_max_latency.(m.Model.msg_id)
+            bound m.Model.msg_deadline
+            trace.Sim.msg_deliveries.(m.Model.msg_id))
+        (Model.all_messages problem);
+      if Sim.missed trace then begin
+        Fmt.pr "%a@." Sim.pp_trace trace;
+        exit 3
+      end
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"TICKS" ~doc:"Simulation horizon in ticks.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Optimally allocate, then validate by discrete-event simulation")
+    Term.(const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ horizon_arg)
+
+let export_cmd =
+  let run file workload seed objective out =
+    let problem = lookup_workload ?file workload seed in
+    let enc = Encode.encode problem (to_objective problem objective) in
+    let solver = Taskalloc_bv.Bv.solver (Encode.context enc) in
+    (match out with
+    | Some path ->
+      Taskalloc_pb.Opb.export_file path solver;
+      Fmt.pr "wrote %s: %d vars, %d clauses, %d PB constraints@." path
+        (Taskalloc_sat.Solver.n_vars solver)
+        (Taskalloc_sat.Solver.n_clauses solver)
+        (Taskalloc_sat.Solver.n_pbs solver)
+    | None -> Taskalloc_pb.Opb.export Fmt.stdout solver)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output" ] ~docv:"FILE" ~doc:"Write the OPB dump to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Encode a workload and dump the PB constraint system in OPB format")
+    Term.(const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ out_arg)
+
+let dump_cmd =
+  let run workload seed =
+    let problem = lookup_workload workload seed in
+    Problem_file.print Fmt.stdout problem
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a named workload in the problem-file format")
+    Term.(const run $ workload_arg $ seed_arg)
+
+let () =
+  let doc = "optimal task and message allocation for hierarchical architectures" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/automotive.ml: Allocator Analysis Array Check Encode Fmt List Model Taskalloc_core Taskalloc_rt

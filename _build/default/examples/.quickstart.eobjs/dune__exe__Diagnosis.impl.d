@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Allocator Encode Fmt List Model Printf Report Taskalloc_core Taskalloc_rt

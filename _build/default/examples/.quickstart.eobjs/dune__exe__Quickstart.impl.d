@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocator Array Check Encode Fmt Hashtbl Model Taskalloc_core Taskalloc_opt Taskalloc_rt

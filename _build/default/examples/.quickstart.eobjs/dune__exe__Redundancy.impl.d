@@ -1,0 +1,1 @@
+examples/redundancy.ml: Allocator Array Check Encode Fmt Model Taskalloc_core Taskalloc_rt

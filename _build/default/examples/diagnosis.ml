@@ -1,0 +1,70 @@
+(* Infeasibility diagnosis: when no allocation exists, targeted
+   relaxations identify which constraint class is binding.
+
+   The system below over-commits ECU memory: four 8-unit controllers
+   must share two 12-unit ECUs.  Placement, deadlines and the bus are
+   all fine — only the memory budget is impossible — and the diagnosis
+   reports exactly that.
+
+   Run with:  dune exec examples/diagnosis.exe *)
+
+open Taskalloc_rt
+open Taskalloc_core
+
+let () =
+  let arch =
+    {
+      Model.n_ecus = 2;
+      media =
+        [
+          {
+            Model.med_id = 0;
+            med_name = "bus";
+            kind = Model.Tdma;
+            ecus = [ 0; 1 ];
+            byte_time = 1;
+            frame_overhead = 2;
+          };
+        ];
+      mem_capacity = [| 12; 12 |];
+      gateway_service = 0;
+      barred = [];
+    }
+  in
+  let controller id =
+    {
+      Model.task_id = id;
+      task_name = Printf.sprintf "ctrl%d" id;
+      period = 100;
+      wcets = [ (0, 6); (1, 6) ];
+      deadline = 80;
+      memory = 8;
+      separation = [];
+      messages = [];
+      jitter = 0;
+      blocking = 0;
+    }
+  in
+  let problem = Model.make_problem ~arch ~tasks:(List.init 4 controller) in
+  Fmt.pr "4 tasks x 8 memory units onto 2 ECUs x 12 units...@.";
+  match Allocator.solve problem Encode.Feasible with
+  | Some _ -> Fmt.pr "unexpectedly feasible?!@."
+  | None ->
+    Fmt.pr "infeasible, as expected.  probing constraint classes:@.";
+    List.iter
+      (fun (relaxation, feasible) ->
+        Fmt.pr "  %-32s %s@."
+          (Fmt.str "%a" Allocator.pp_relaxation relaxation)
+          (if feasible then "FEASIBLE  <- the binding constraint class"
+           else "still infeasible"))
+      (Allocator.diagnose problem);
+    (* act on the diagnosis: double the memory and try again *)
+    let fixed =
+      Allocator.apply_relaxation problem Allocator.Drop_memory
+    in
+    (match Allocator.solve fixed Encode.Min_max_util with
+    | Some r ->
+      Fmt.pr "@.with the memory budget lifted, the optimum balances to %d permille:@."
+        r.Allocator.cost;
+      Fmt.pr "%a" Report.pp (Report.make fixed r.allocation)
+    | None -> Fmt.pr "still infeasible?!@.")

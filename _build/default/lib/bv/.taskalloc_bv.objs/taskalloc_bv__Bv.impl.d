@@ -1,0 +1,1 @@
+lib/bv/bv.ml: Array Circuits List Option Pb Solver Taskalloc_pb Taskalloc_sat

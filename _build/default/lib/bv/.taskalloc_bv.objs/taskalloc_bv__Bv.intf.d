@@ -1,0 +1,1 @@
+lib/bv/bv.mli: Circuits Pb Taskalloc_pb Taskalloc_sat

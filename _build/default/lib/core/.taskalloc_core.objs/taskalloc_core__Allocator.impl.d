@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Array Check Encode Fmt List Model Opt Taskalloc_opt Taskalloc_rt

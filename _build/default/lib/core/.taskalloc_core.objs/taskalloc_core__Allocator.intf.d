@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Check Encode Format Model Taskalloc_opt Taskalloc_rt

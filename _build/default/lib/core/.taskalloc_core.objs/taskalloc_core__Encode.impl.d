@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Bv Circuits Fun Hashtbl Int List Lit Model Pb Solver Taskalloc_bv Taskalloc_pb Taskalloc_rt Taskalloc_sat Taskalloc_topology Topology

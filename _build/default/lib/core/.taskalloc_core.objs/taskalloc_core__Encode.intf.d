@@ -1,0 +1,1 @@
+lib/core/encode.mli: Model Taskalloc_bv Taskalloc_pb Taskalloc_rt

@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Array Fmt List Model Taskalloc_rt

@@ -1,0 +1,159 @@
+(* Top-level optimal allocator: encode the problem, minimize the
+   objective with BIN_SEARCH, extract the allocation from the optimal
+   model, and validate it with the independent fixed-point checker of
+   [taskalloc_rt].  The validation step is not part of the paper's
+   pipeline — it is our guard against encoder/checker divergence, and
+   it runs on every result. *)
+
+open Taskalloc_rt
+open Taskalloc_opt
+
+type result = {
+  allocation : Model.allocation;
+  cost : int;
+  stats : Opt.stats;
+  violations : Check.violation list; (* empty unless the encoder disagrees
+                                        with the analytical checker *)
+  bool_vars : int; (* formula size of the final encoding *)
+  literals : int;
+}
+
+let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
+    ?(max_conflicts = max_int) ?(validate = true) (problem : Model.problem)
+    (objective : Encode.objective) : result option =
+  let last_size = ref (0, 0) in
+  (* thread the encoding through on_sat so extraction sees the matching
+     selector handles even in Fresh mode, where every probe re-encodes *)
+  let current_enc = ref None in
+  let build () =
+    let enc = Encode.encode ~options problem objective in
+    last_size := (Encode.n_bool_vars enc, Encode.n_literals enc);
+    current_enc := Some enc;
+    (Encode.context enc, Encode.cost_term enc)
+  in
+  let result, stats =
+    Opt.minimize ~mode ~max_conflicts ~build
+      ~on_sat:(fun _ctx _cost ->
+        match !current_enc with
+        | Some enc -> Encode.extract enc
+        | None -> assert false)
+      ()
+  in
+  match result with
+  | None -> None
+  | Some (cost, allocation) ->
+    let violations = if validate then Check.check problem allocation else [] in
+    let bool_vars, literals = !last_size in
+    Some { allocation; cost; stats; violations; bool_vars; literals }
+
+(* Feasibility without optimization. *)
+let find_feasible ?(options = Encode.default_options) ?(max_conflicts = max_int)
+    ?(validate = true) (problem : Model.problem) : result option =
+  solve ~options ~mode:Opt.Incremental ~max_conflicts ~validate problem
+    Encode.Feasible
+
+(* -- incremental integration (§6) -------------------------------------- *)
+
+(* The paper notes that industrial systems are integrated incrementally:
+   "typically only parts of the complete system (so called functions or
+   features) are integrated at a time".  [solve_incremental] supports
+   this workflow: tasks already integrated keep their ECU (their
+   admissible set is narrowed to the existing placement) and only the
+   new tasks are free.  Routes and slots are re-optimized globally so
+   the new traffic is accommodated. *)
+let solve_incremental ?options ?mode ?max_conflicts ?validate
+    ~(existing : Model.allocation) (problem : Model.problem)
+    (objective : Encode.objective) : result option =
+  let n_existing = Array.length existing.Model.task_ecu in
+  let tasks =
+    Array.to_list problem.Model.tasks
+    |> List.map (fun task ->
+           if task.Model.task_id < n_existing then begin
+             let e = existing.Model.task_ecu.(task.Model.task_id) in
+             match List.assoc_opt e task.Model.wcets with
+             | Some c -> { task with Model.wcets = [ (e, c) ] }
+             | None ->
+               Model.invalid
+                 "existing placement puts task %d on ECU %d it cannot run on"
+                 task.Model.task_id e
+           end
+           else task)
+  in
+  let pinned = Model.make_problem ~arch:problem.Model.arch ~tasks in
+  solve ?options ?mode ?max_conflicts ?validate pinned objective
+
+(* -- infeasibility diagnosis ------------------------------------------- *)
+
+(* When a problem is infeasible, re-solve under targeted relaxations to
+   identify the binding constraint class.  Each relaxation weakens one
+   aspect; a relaxation that restores feasibility names a culprit. *)
+type relaxation =
+  | Drop_separation (* ignore all replica-separation sets *)
+  | Drop_memory (* lift every ECU memory capacity *)
+  | Scale_deadlines of int (* multiply task/message deadlines by this factor *)
+  | Drop_messages (* remove all messages (bus constraints vanish) *)
+
+let pp_relaxation ppf = function
+  | Drop_separation -> Fmt.string ppf "without separation constraints"
+  | Drop_memory -> Fmt.string ppf "without memory capacities"
+  | Scale_deadlines f -> Fmt.pf ppf "with deadlines scaled x%d" f
+  | Drop_messages -> Fmt.string ppf "without messages"
+
+let apply_relaxation (problem : Model.problem) = function
+  | Drop_separation ->
+    let tasks =
+      Array.to_list problem.Model.tasks
+      |> List.map (fun t -> { t with Model.separation = [] })
+    in
+    Model.make_problem ~arch:problem.Model.arch ~tasks
+  | Drop_memory ->
+    let arch =
+      {
+        problem.Model.arch with
+        Model.mem_capacity = Array.make problem.Model.arch.Model.n_ecus max_int;
+      }
+    in
+    Model.make_problem ~arch ~tasks:(Array.to_list problem.Model.tasks)
+  | Scale_deadlines f ->
+    let tasks =
+      Array.to_list problem.Model.tasks
+      |> List.map (fun t ->
+             {
+               t with
+               Model.deadline = min t.Model.period (t.Model.deadline * f);
+               messages =
+                 List.map
+                   (fun m -> { m with Model.msg_deadline = m.Model.msg_deadline * f })
+                   t.Model.messages;
+             })
+    in
+    Model.make_problem ~arch:problem.Model.arch ~tasks
+  | Drop_messages ->
+    let tasks =
+      Array.to_list problem.Model.tasks
+      |> List.map (fun t -> { t with Model.messages = [] })
+    in
+    Model.make_problem ~arch:problem.Model.arch ~tasks
+
+let default_relaxations =
+  [ Drop_separation; Drop_memory; Scale_deadlines 2; Drop_messages ]
+
+(* For each relaxation, is the weakened problem feasible?  Only
+   meaningful when the original is infeasible. *)
+let diagnose ?(options = Encode.default_options)
+    ?(relaxations = default_relaxations) ?(max_conflicts = max_int)
+    (problem : Model.problem) : (relaxation * bool) list =
+  List.map
+    (fun relaxation ->
+      let feasible =
+        match apply_relaxation problem relaxation with
+        | relaxed ->
+          find_feasible ~options ~max_conflicts ~validate:false relaxed <> None
+        | exception Model.Invalid_model _ -> false
+      in
+      (relaxation, feasible))
+    relaxations
+
+let pp_result ppf { cost; stats; violations; bool_vars; literals; _ } =
+  Fmt.pf ppf "cost=%d %a vars=%d lits=%d%s" cost Opt.pp_stats stats bool_vars literals
+    (if violations = [] then "" else " INVALID")

@@ -1,0 +1,77 @@
+(** Top-level optimal allocator: encode, minimize with BIN_SEARCH,
+    extract, and validate with the independent analytical checker. *)
+
+open Taskalloc_rt
+
+type result = {
+  allocation : Model.allocation;
+  cost : int;  (** optimal objective value *)
+  stats : Taskalloc_opt.Opt.stats;
+  violations : Check.violation list;
+      (** independent validation of the extracted allocation; non-empty
+          only if encoder and analyzer disagree (a bug, surfaced loudly) *)
+  bool_vars : int;  (** formula size of the final encoding *)
+  literals : int;
+}
+
+val solve :
+  ?options:Encode.options ->
+  ?mode:Taskalloc_opt.Opt.mode ->
+  ?max_conflicts:int ->
+  ?validate:bool ->
+  Model.problem ->
+  Encode.objective ->
+  result option
+(** [None] when the problem is infeasible.  [validate] (default true)
+    re-checks the optimal allocation with {!Taskalloc_rt.Check}. *)
+
+val find_feasible :
+  ?options:Encode.options ->
+  ?max_conflicts:int ->
+  ?validate:bool ->
+  Model.problem ->
+  result option
+(** Feasibility without optimization. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val solve_incremental :
+  ?options:Encode.options ->
+  ?mode:Taskalloc_opt.Opt.mode ->
+  ?max_conflicts:int ->
+  ?validate:bool ->
+  existing:Model.allocation ->
+  Model.problem ->
+  Encode.objective ->
+  result option
+(** Incremental integration (the paper's §6 closing remark): the first
+    [Array.length existing.task_ecu] tasks of [problem] keep their ECU
+    from [existing]; only the remaining (new) tasks are placed freely.
+    Message routes, TDMA slots and priorities are re-optimized
+    globally.  Raises {!Model.Invalid_model} if an existing placement
+    is inadmissible in the new problem. *)
+
+(** {1 Infeasibility diagnosis} *)
+
+(** Constraint-class relaxations used to explain infeasibility. *)
+type relaxation =
+  | Drop_separation
+  | Drop_memory
+  | Scale_deadlines of int
+  | Drop_messages
+
+val pp_relaxation : Format.formatter -> relaxation -> unit
+
+val apply_relaxation : Model.problem -> relaxation -> Model.problem
+
+val default_relaxations : relaxation list
+
+val diagnose :
+  ?options:Encode.options ->
+  ?relaxations:relaxation list ->
+  ?max_conflicts:int ->
+  Model.problem ->
+  (relaxation * bool) list
+(** For each relaxation of an infeasible problem, report whether the
+    weakened problem becomes feasible — a [true] entry names a binding
+    constraint class. *)

@@ -1,0 +1,785 @@
+(* Transformation of the allocation problem into integer formulae
+   (§3), extended to hierarchical architectures (§4).
+
+   The generated constraint system, over the {!Taskalloc_bv.Bv} integer
+   layer, comprises:
+
+   - allocation selectors for every task (eq. 4: placement and
+     separation restrictions are built into the selector domain and
+     pairwise exclusion clauses);
+   - WCET selection (eq. 5) via one-hot constant selection;
+   - response times (eq. 6) as sums of preemption-cost variables
+     pc_i^j (eqs. 7-8), with the ceiling replaced by the two-sided
+     integer bounds on the preemption counters I_i^j (eqs. 11-12);
+   - deadline checks (eq. 13);
+   - deadline-monotonic priorities (eqs. 9-10), with ties resolved
+     consistently at transformation time;
+   - per-ECU memory capacities as pseudo-Boolean constraints;
+   - message routing over path closures (§4): a one-hot route choice
+     per message whose alternatives are the simple media paths
+     admissible for the message's endpoints (plus a Local alternative
+     for co-located endpoints), medium-usage bits K^k_m, per-medium
+     local deadlines d^k_m summing with gateway service cost to the
+     end-to-end deadline, inherited jitter J^k_m along the chosen path,
+     and per-medium response-time analysis — priority buses as eq. 2,
+     TDMA buses as eq. 3 including the genuinely nonlinear blocking
+     product Imb * (Lambda - osl).
+
+   A flat (single-bus) architecture is simply the special case where
+   every admissible path has length one. *)
+
+open Taskalloc_sat
+open Taskalloc_pb
+open Taskalloc_bv
+open Taskalloc_rt
+open Taskalloc_topology
+
+type objective =
+  | Feasible (* no optimization: cost is constant 0 *)
+  | Min_trt of int (* minimize the TDMA round (TRT) of one medium *)
+  | Min_sum_trt (* minimize the sum of all TDMA rounds (Table 4) *)
+  | Min_bus_load of int (* minimize permille bus load U of one medium *)
+  | Min_max_util (* minimize the maximum ECU utilization (permille) *)
+
+type alloc_encoding =
+  | One_hot (* selector bit per (task, ECU) + exactly-one (default) *)
+  | Binary (* the paper's integer a_i, selectors reified from equality *)
+
+(* How the priority ties of eqs. 9-10 are resolved.  Deadlines order
+   priorities (deadline-monotonic); when two deadlines are equal the
+   paper lets the solver pick "an arbitrary, but consistent" order.
+   [Solver_ties] gives the solver that freedom (with transitivity
+   constraints making the chosen order consistent); [Static_ties]
+   resolves ties by task id at transformation time. *)
+type tie_breaking = Solver_ties | Static_ties
+
+type options = {
+  pb_mode : Pb.mode;
+  alloc_encoding : alloc_encoding;
+  tie_breaking : tie_breaking;
+  max_slot : int; (* upper bound on TDMA slot-length variables *)
+}
+
+let default_options =
+  {
+    pb_mode = Pb.Native;
+    alloc_encoding = One_hot;
+    tie_breaking = Solver_ties;
+    max_slot = 0;
+  }
+
+(* Candidate route of a message. *)
+type candidate = C_local | C_path of int list
+
+type msg_enc = {
+  msg : Model.message;
+  candidates : candidate array;
+  route_bits : Circuits.bit array; (* one-hot over candidates *)
+  use : (int, Circuits.bit) Hashtbl.t; (* medium -> K^k_m *)
+  station : (int, Circuits.bit array) Hashtbl.t; (* medium -> per-ECU-index bit *)
+  local_deadline : (int, Bv.t) Hashtbl.t; (* medium -> d^k_m *)
+  jitter : (int, Bv.t) Hashtbl.t; (* medium -> J^k_m *)
+  response : (int, Bv.t) Hashtbl.t; (* medium -> r^k_m *)
+}
+
+type t = {
+  ctx : Bv.ctx;
+  problem : Model.problem;
+  options : options;
+  allowed : int array array; (* task -> allowed ECUs *)
+  sel : Circuits.bit array array; (* task -> bit per allowed-ECU index *)
+  tie_bits : (int * int, Circuits.bit) Hashtbl.t;
+      (* (i, j) with i < j, equal deadlines: bit <=> i higher priority *)
+  response_times : Bv.t array; (* task response-time terms *)
+  msg_encs : msg_enc array;
+  slot_vars : (int * int, Bv.t) Hashtbl.t; (* (medium, ecu) -> slot *)
+  rounds : (int, Bv.t) Hashtbl.t; (* TDMA medium -> Lambda *)
+  cost : Bv.t;
+}
+
+let ceil_div a b = if a <= 0 then 0 else ((a - 1) / b) + 1
+
+(* selector bit of task [i] on ECU [e] (Zero when not allowed) *)
+let sel_on t i e =
+  let rec find idx = function
+    | [] -> Circuits.Zero
+    | e' :: rest -> if e' = e then t.sel.(i).(idx) else find (idx + 1) rest
+  in
+  find 0 (Array.to_list t.allowed.(i))
+
+(* ORs of selector conjunctions are ubiquitous below *)
+let same_ecu_bit t i j =
+  let ctx = t.ctx in
+  let commons =
+    Array.to_list t.allowed.(i) |> List.filter (fun e -> Array.mem e t.allowed.(j))
+  in
+  Bv.bor_list ctx
+    (List.map (fun e -> Bv.band ctx (sel_on t i e) (sel_on t j e)) commons)
+
+let encode ?(options = default_options) (problem : Model.problem) (objective : objective)
+    : t =
+  let ctx = Bv.create ~mode:options.pb_mode () in
+  let arch = problem.Model.arch in
+  let tasks = problem.Model.tasks in
+  let topo = problem.Model.topology in
+
+  (* ---- allocation selectors (eq. 4) ------------------------------- *)
+  let allowed =
+    Array.map (fun task -> Array.of_list (Model.allowed_ecus problem task)) tasks
+  in
+  Array.iteri
+    (fun i a ->
+      if Array.length a = 0 then
+        Model.invalid "task %d has no admissible ECU (all barred?)" i)
+    allowed;
+  let sel =
+    match options.alloc_encoding with
+    | One_hot -> Array.map (fun a -> Bv.one_hot ctx (Array.length a)) allowed
+    | Binary ->
+      (* the paper's a_i: an integer variable whose equalities with the
+         admissible ECU numbers are reified into selector bits *)
+      Array.map
+        (fun a ->
+          let ai = Bv.var ctx ~hi:(arch.Model.n_ecus - 1) in
+          let bits = Array.map (fun e -> Bv.eq_const ctx ai e) a in
+          (* a_i must equal one of the admissible ECUs *)
+          Bv.assert_ ctx (Bv.bor_list ctx (Array.to_list bits));
+          bits)
+        allowed
+  in
+  (* priority relation p_i^j (eqs. 9-10): constants from the deadline
+     order, free (but transitively consistent) bits on ties *)
+  let tie_bits = Hashtbl.create 8 in
+  let n_tasks = Array.length tasks in
+  (match options.tie_breaking with
+  | Static_ties -> ()
+  | Solver_ties ->
+    for i = 0 to n_tasks - 1 do
+      for j = i + 1 to n_tasks - 1 do
+        if tasks.(i).Model.deadline = tasks.(j).Model.deadline then
+          Hashtbl.replace tie_bits (i, j) (Bv.fresh_bool ctx)
+      done
+    done);
+  (* [pr i j]: task i has higher priority than task j *)
+  let pr i j =
+    let di = tasks.(i).Model.deadline and dj = tasks.(j).Model.deadline in
+    if di < dj then Circuits.One
+    else if di > dj then Circuits.Zero
+    else
+      match Hashtbl.find_opt tie_bits (min i j, max i j) with
+      | Some b -> if i < j then b else Circuits.bnot b
+      | None -> if i < j then Circuits.One else Circuits.Zero
+  in
+  (* transitivity inside every equal-deadline group, so the chosen tie
+     order is a genuine total order *)
+  (match options.tie_breaking with
+  | Static_ties -> ()
+  | Solver_ties ->
+    let groups = Hashtbl.create 8 in
+    Array.iteri
+      (fun i task ->
+        let d = task.Model.deadline in
+        let cur = try Hashtbl.find groups d with Not_found -> [] in
+        Hashtbl.replace groups d (i :: cur))
+      tasks;
+    Hashtbl.iter
+      (fun _ members ->
+        if List.length members >= 3 then
+          List.iter
+            (fun x ->
+              List.iter
+                (fun y ->
+                  List.iter
+                    (fun z ->
+                      if x <> y && y <> z && x <> z then
+                        (* pr x y and pr y z -> pr x z *)
+                        Circuits.assert_implies (Bv.solver ctx)
+                          [ pr x y; pr y z ] (pr x z))
+                    members)
+                members)
+            members)
+      groups);
+  let t_partial =
+    {
+      ctx;
+      problem;
+      options;
+      allowed;
+      sel;
+      tie_bits;
+      response_times = [||];
+      msg_encs = [||];
+      slot_vars = Hashtbl.create 16;
+      rounds = Hashtbl.create 4;
+      cost = Bv.const 0;
+    }
+  in
+
+  (* separation delta_i (second conjunct of eq. 4) *)
+  Array.iteri
+    (fun i task ->
+      List.iter
+        (fun j ->
+          Array.iter
+            (fun e ->
+              match (sel_on t_partial i e, sel_on t_partial j e) with
+              | Circuits.Lit a, Circuits.Lit b ->
+                Solver.add_clause (Bv.solver ctx) [ Lit.neg a; Lit.neg b ]
+              | _ -> ())
+            allowed.(i))
+        task.Model.separation)
+    tasks;
+
+  (* memory capacities (pseudo-Boolean, per ECU) *)
+  for e = 0 to arch.Model.n_ecus - 1 do
+    let cap = arch.Model.mem_capacity.(e) in
+    if cap < max_int then begin
+      let terms =
+        Array.to_list tasks
+        |> List.filter_map (fun task ->
+               let b = sel_on t_partial task.Model.task_id e in
+               if b = Circuits.Zero then None else Some (task.Model.memory, b))
+      in
+      if terms <> [] then Bv.assert_pb_le ctx terms cap
+    end
+  done;
+
+  (* ---- task response times (eqs. 5-13) ------------------------------ *)
+  let response_times =
+    Array.mapi
+      (fun i task ->
+        (* wcet_i (eq. 5) by one-hot selection over the allowed ECUs *)
+        let wcet_values = Array.map (fun e -> Model.wcet_on task e) allowed.(i) in
+        let wcet_i = Bv.select_const ctx sel.(i) wcet_values in
+        (* blocking factor B_i is allocation-independent: a constant *)
+        let blocking_i = Bv.const task.Model.blocking in
+        (* preemption costs from every higher-priority co-locatable task *)
+        let pcs = ref [] in
+        let r_refs = ref [] in
+        Array.iteri
+          (fun j other ->
+            let p_bit = pr j i in
+            if j <> i && p_bit <> Circuits.Zero then begin
+              let commons =
+                Array.to_list allowed.(i)
+                |> List.filter (fun e -> Array.mem e allowed.(j))
+              in
+              if commons <> [] then begin
+                let same = same_ecu_bit t_partial i j in
+                (* interference requires co-location AND higher priority
+                   of the interferer (eqs. 7-10) *)
+                let guard = Bv.band ctx same p_bit in
+                let i_hi =
+                  ceil_div (task.Model.deadline + other.Model.jitter)
+                    other.Model.period
+                in
+                let i_var = Bv.var ctx ~hi:i_hi in
+                let pc_hi = i_hi * List.fold_left (fun m e -> max m (Model.wcet_on other e)) 0 commons in
+                let pc_var = Bv.var ctx ~hi:(min pc_hi task.Model.deadline) in
+                (* eq. 8 / eq. 12: no co-location or lower priority *)
+                Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx i_var 0);
+                Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx pc_var 0);
+                (* eq. 7: pc = I * c_j(Pi(t_j)); the product collapses to
+                   per-WCET-value linear cases because co-location fixes
+                   the ECU and hence the constant c_j *)
+                let by_value = Hashtbl.create 4 in
+                List.iter
+                  (fun e ->
+                    let v = Model.wcet_on other e in
+                    let prev = try Hashtbl.find by_value v with Not_found -> [] in
+                    Hashtbl.replace by_value v (e :: prev))
+                  commons;
+                Hashtbl.iter
+                  (fun v ecus ->
+                    let cond =
+                      Bv.bor_list ctx
+                        (List.map
+                           (fun e ->
+                             Bv.band ctx (sel_on t_partial i e) (sel_on t_partial j e))
+                           ecus)
+                    in
+                    Bv.assert_implies ctx
+                      [ Bv.band ctx cond p_bit ]
+                      (Bv.eq ctx pc_var (Bv.mul_const ctx v i_var)))
+                  by_value;
+                pcs := (guard, i_var, other.Model.period, other.Model.jitter) :: !pcs;
+                r_refs := pc_var :: !r_refs
+              end
+            end)
+          tasks;
+        (* eq. 6: r_i = wcet_i + B_i + sum pc *)
+        let r_i = Bv.sum ctx (wcet_i :: blocking_i :: !r_refs) in
+        (* eq. 13, with the task's own release jitter consuming part of
+           the deadline budget *)
+        Bv.assert_ ctx
+          (Bv.le_const ctx r_i (task.Model.deadline - task.Model.jitter));
+        (* eq. 11: the two-sided bound making I the ceiling of
+           (r + J_j)/t_j — the interferer's release jitter inflates its
+           preemption count *)
+        List.iter
+          (fun (guard, i_var, period, j_jitter) ->
+            let prod = Bv.mul_const ctx period i_var in
+            let r_plus_j =
+              if j_jitter = 0 then r_i else Bv.add ctx r_i (Bv.const j_jitter)
+            in
+            Bv.assert_implies ctx [ guard ] (Bv.ge ctx prod r_plus_j);
+            Bv.assert_implies ctx [ guard ]
+              (Bv.lt ctx prod (Bv.add ctx r_plus_j (Bv.const period))))
+          !pcs;
+        r_i)
+      tasks
+  in
+
+  (* ---- TDMA rounds and slots ------------------------------------------ *)
+  let max_slot =
+    if options.max_slot > 0 then options.max_slot
+    else begin
+      (* default: the largest frame any message could put on any medium *)
+      let msgs = Model.all_messages problem in
+      List.fold_left
+        (fun acc medium ->
+          Array.fold_left
+            (fun acc m -> max acc (Model.frame_time medium m))
+            acc msgs)
+        1 arch.Model.media
+    end
+  in
+  let slot_vars = Hashtbl.create 16 in
+  let rounds = Hashtbl.create 4 in
+  List.iter
+    (fun medium ->
+      match medium.Model.kind with
+      | Model.Priority -> ()
+      | Model.Tdma ->
+        let slots =
+          List.map
+            (fun e ->
+              (* every station owns a slot of at least one tick (the
+                 token must visit it), at most max_slot *)
+              let s = Bv.var ctx ~hi:max_slot in
+              Bv.assert_ ctx (Bv.ge_const ctx s 1);
+              Hashtbl.replace slot_vars (medium.Model.med_id, e) s;
+              s)
+            medium.Model.ecus
+        in
+        Hashtbl.replace rounds medium.Model.med_id (Bv.sum ctx slots))
+    arch.Model.media;
+
+  (* ---- message routing and per-medium analysis (§4) ------------------- *)
+  let msgs = Model.all_messages problem in
+  let all_paths = Topology.simple_paths topo in
+  let msg_encs =
+    Array.map
+      (fun (msg : Model.message) ->
+        let src = msg.Model.src and dst = msg.Model.dst in
+        let src_allowed = allowed.(src) and dst_allowed = allowed.(dst) in
+        let can_be_local =
+          Array.exists (fun e -> Array.mem e dst_allowed) src_allowed
+        in
+        let paths =
+          List.filter
+            (fun path ->
+              let senders, receivers = Topology.endpoint_ecus topo path in
+              List.exists (fun e -> Array.mem e src_allowed) senders
+              && List.exists (fun e -> Array.mem e dst_allowed) receivers)
+            all_paths
+        in
+        let candidates =
+          Array.of_list
+            ((if can_be_local then [ C_local ] else [])
+            @ List.map (fun p -> C_path p) paths)
+        in
+        if Array.length candidates = 0 then
+          Model.invalid "message %d has no admissible route" msg.Model.msg_id;
+        let route_bits = Bv.one_hot ctx (Array.length candidates) in
+        {
+          msg;
+          candidates;
+          route_bits;
+          use = Hashtbl.create 4;
+          station = Hashtbl.create 4;
+          local_deadline = Hashtbl.create 4;
+          jitter = Hashtbl.create 4;
+          response = Hashtbl.create 4;
+        })
+      msgs
+  in
+
+  let t =
+    { t_partial with response_times; msg_encs; slot_vars; rounds }
+  in
+
+  (* route structural constraints *)
+  Array.iter
+    (fun enc ->
+      let msg = enc.msg in
+      let src = msg.Model.src and dst = msg.Model.dst in
+      let same = same_ecu_bit t src dst in
+      Array.iteri
+        (fun c_idx cand ->
+          let r = enc.route_bits.(c_idx) in
+          match cand with
+          | C_local ->
+            (* Local <-> co-located *)
+            Bv.assert_implies ctx [ r ] same
+          | C_path path ->
+            (* a bus route implies distinct ECUs *)
+            Bv.assert_implies ctx [ r ] (Bv.bnot same);
+            (* v(h): endpoint placement *)
+            let senders, receivers = Topology.endpoint_ecus topo path in
+            let sender_ok =
+              Bv.bor_list ctx
+                (List.filter_map
+                   (fun e ->
+                     if Array.mem e allowed.(src) then Some (sel_on t src e) else None)
+                   senders)
+            in
+            let receiver_ok =
+              Bv.bor_list ctx
+                (List.filter_map
+                   (fun e ->
+                     if Array.mem e allowed.(dst) then Some (sel_on t dst e) else None)
+                   receivers)
+            in
+            Bv.assert_implies ctx [ r ] sender_ok;
+            Bv.assert_implies ctx [ r ] receiver_ok)
+        enc.candidates;
+      (* co-located -> Local (when a Local candidate exists; otherwise
+         co-location is impossible and [same] is refuted above) *)
+      (match enc.candidates.(0) with
+      | C_local -> Bv.assert_implies ctx [ same ] enc.route_bits.(0)
+      | C_path _ -> Bv.assert_implies ctx [ same ] Circuits.Zero);
+      (* medium usage bits K^k_m *)
+      let media_of_candidates =
+        Array.to_list enc.candidates
+        |> List.concat_map (function C_local -> [] | C_path p -> p)
+        |> List.sort_uniq Int.compare
+      in
+      List.iter
+        (fun k ->
+          let bit =
+            Bv.bor_list ctx
+              (Array.to_list
+                 (Array.mapi
+                    (fun c_idx cand ->
+                      match cand with
+                      | C_path p when List.mem k p -> enc.route_bits.(c_idx)
+                      | _ -> Circuits.Zero)
+                    enc.candidates))
+          in
+          Hashtbl.replace enc.use k bit)
+        media_of_candidates;
+      (* station one-hot on each usable medium *)
+      List.iter
+        (fun k ->
+          let medium = Model.medium_by_id problem k in
+          let ecus = Array.of_list medium.Model.ecus in
+          let bits =
+            Array.map
+              (fun e ->
+                (* station is e iff some route puts m on k with e as the
+                   emitting ECU *)
+                let cases =
+                  Array.to_list
+                    (Array.mapi
+                       (fun c_idx cand ->
+                         match cand with
+                         | C_local -> Circuits.Zero
+                         | C_path p ->
+                           if not (List.mem k p) then Circuits.Zero
+                           else begin
+                             let r = enc.route_bits.(c_idx) in
+                             match p with
+                             | first :: _ when first = k ->
+                               (* sender's own ECU *)
+                               Bv.band ctx r (sel_on t src e)
+                             | _ ->
+                               (* the gateway entering k *)
+                               let rec entry prev = function
+                                 | [] -> Circuits.Zero
+                                 | k' :: rest ->
+                                   if k' = k then
+                                     match prev with
+                                     | Some p_med ->
+                                       (match Topology.gateway_between topo p_med k with
+                                       | Some g when g = e -> r
+                                       | _ -> Circuits.Zero)
+                                     | None -> Circuits.Zero
+                                   else entry (Some k') rest
+                               in
+                               entry None p
+                           end)
+                       enc.candidates)
+                in
+                Bv.bor_list ctx cases)
+              ecus
+          in
+          Hashtbl.replace enc.station k bits)
+        media_of_candidates;
+      (* local deadlines, jitter, response variables per usable medium *)
+      let delta = msg.Model.msg_deadline in
+      List.iter
+        (fun k ->
+          let u = Hashtbl.find enc.use k in
+          let d_k = Bv.var ctx ~hi:delta in
+          let j_k = Bv.var ctx ~hi:delta in
+          let r_k = Bv.var ctx ~hi:delta in
+          Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx d_k 0);
+          Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx j_k 0);
+          Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx r_k 0);
+          (* schedulability on the medium: r <= local deadline *)
+          Bv.assert_implies ctx [ u ] (Bv.le ctx r_k d_k);
+          Hashtbl.replace enc.local_deadline k d_k;
+          Hashtbl.replace enc.jitter k j_k;
+          Hashtbl.replace enc.response k r_k)
+        media_of_candidates;
+      (* jitter chains per candidate path *)
+      Array.iteri
+        (fun c_idx cand ->
+          match cand with
+          | C_local -> ()
+          | C_path path ->
+            let r = enc.route_bits.(c_idx) in
+            let rec walk upstream = function
+              | [] -> ()
+              | k :: rest ->
+                let j_k = Hashtbl.find enc.jitter k in
+                (match upstream with
+                | [] -> Bv.assert_implies ctx [ r ] (Bv.eq_const ctx j_k 0)
+                | ups ->
+                  (* J^k = sum_{k' before k} (d^{k'} - beta^{k'})
+                     encoded additively: J^k + sum beta = sum d *)
+                  let betas =
+                    List.fold_left
+                      (fun acc k' ->
+                        acc
+                        + Model.best_case_time (Model.medium_by_id problem k') msg)
+                      0 ups
+                  in
+                  let d_sum =
+                    Bv.sum ctx (List.map (fun k' -> Hashtbl.find enc.local_deadline k') ups)
+                  in
+                  Bv.assert_implies ctx [ r ]
+                    (Bv.eq ctx (Bv.add ctx j_k (Bv.const betas)) d_sum));
+                walk (upstream @ [ k ]) rest
+            in
+            walk [] path)
+        enc.candidates;
+      (* end-to-end budget: sum of local deadlines + gateway service *)
+      let serv_values =
+        Array.map
+          (function
+            | C_local -> 0
+            | C_path p -> (List.length p - 1) * arch.Model.gateway_service)
+          enc.candidates
+      in
+      let serv = Bv.select_const ctx enc.route_bits serv_values in
+      let d_total =
+        Bv.sum ctx
+          (serv
+          :: List.map (fun k -> Hashtbl.find enc.local_deadline k) media_of_candidates)
+      in
+      Bv.assert_ ctx (Bv.le_const ctx d_total delta))
+    msg_encs;
+
+  (* per-medium response-time equations, with cross-message interference *)
+  List.iter
+    (fun medium ->
+      let k = medium.Model.med_id in
+      let users =
+        Array.to_list msg_encs |> List.filter (fun enc -> Hashtbl.mem enc.use k)
+      in
+      List.iter
+        (fun enc ->
+          let msg = enc.msg in
+          let u = Hashtbl.find enc.use k in
+          let r_k = Hashtbl.find enc.response k in
+          let rho = Model.frame_time medium msg in
+          let delta = msg.Model.msg_deadline in
+          (* interference variables from higher-priority users *)
+          let interference_terms = ref [] in
+          List.iter
+            (fun enc' ->
+              let msg' = enc'.msg in
+              if msg'.Model.msg_id <> msg.Model.msg_id
+                 && Model.msg_higher_prio msg' msg
+              then begin
+                let u' = Hashtbl.find enc'.use k in
+                let t_m' = Model.message_period problem msg' in
+                let rho' = Model.frame_time medium msg' in
+                let cond =
+                  match medium.Model.kind with
+                  | Model.Priority -> Bv.band ctx u u'
+                  | Model.Tdma ->
+                    (* same emitting station required *)
+                    let st = Hashtbl.find enc.station k
+                    and st' = Hashtbl.find enc'.station k in
+                    let same_station =
+                      Bv.bor_list ctx
+                        (List.init (Array.length st) (fun idx ->
+                             Bv.band ctx st.(idx) st'.(idx)))
+                    in
+                    Bv.band ctx (Bv.band ctx u u') same_station
+                in
+                let i_hi = ceil_div delta t_m' in
+                let i_var = Bv.var ctx ~hi:(max i_hi 1) in
+                Bv.assert_implies ctx [ Bv.bnot cond ] (Bv.eq_const ctx i_var 0);
+                let j' = Hashtbl.find enc'.jitter k in
+                let prod = Bv.mul_const ctx t_m' i_var in
+                let r_plus_j = Bv.add ctx r_k j' in
+                Bv.assert_implies ctx [ cond ] (Bv.ge ctx prod r_plus_j);
+                Bv.assert_implies ctx [ cond ]
+                  (Bv.lt ctx prod (Bv.add ctx r_plus_j (Bv.const t_m')));
+                interference_terms := Bv.mul_const ctx rho' i_var :: !interference_terms
+              end)
+            users;
+          (* TDMA blocking term (nonlinear: Imb * (Lambda - osl)) *)
+          let block_terms =
+            match medium.Model.kind with
+            | Model.Priority -> []
+            | Model.Tdma ->
+              let lambda = Hashtbl.find rounds k in
+              let st = Hashtbl.find enc.station k in
+              let ecus = Array.of_list medium.Model.ecus in
+              let osl = Bv.var ctx ~hi:max_slot in
+              Array.iteri
+                (fun idx e ->
+                  let slot = Hashtbl.find slot_vars (k, e) in
+                  Bv.assert_implies ctx [ st.(idx) ] (Bv.eq ctx osl slot);
+                  (* the slot must fit this frame *)
+                  Bv.assert_implies ctx [ st.(idx) ] (Bv.ge_const ctx slot rho))
+                ecus;
+              Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx osl 0);
+              let diff = Bv.sub_asserting ctx lambda osl in
+              let n_stations = List.length medium.Model.ecus in
+              let imb_hi = max 1 (ceil_div delta n_stations) in
+              let imb = Bv.var ctx ~hi:imb_hi in
+              Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx imb 0);
+              let prod = Bv.mul ctx imb lambda in
+              Bv.assert_implies ctx [ u ] (Bv.ge ctx prod r_k);
+              Bv.assert_implies ctx [ u ] (Bv.lt ctx prod (Bv.add ctx r_k lambda));
+              (* one-time blocking of (osl - 1) ticks: the frame may
+                 just miss its own slot; see Analysis.tdma_response_time
+                 for why this term is needed on top of the paper's
+                 literal eq. 3 *)
+              let own_slot_loss = Bv.var ctx ~hi:max_slot in
+              Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx own_slot_loss 0);
+              Bv.assert_implies ctx [ u ]
+                (Bv.eq ctx (Bv.add ctx own_slot_loss (Bv.const 1)) osl);
+              [ own_slot_loss; Bv.mul ctx imb diff ]
+          in
+          let rhs = Bv.sum ctx ((Bv.const rho :: !interference_terms) @ block_terms) in
+          Bv.assert_implies ctx [ u ] (Bv.eq ctx r_k rhs))
+        users)
+    arch.Model.media;
+
+  (* ---- objective -------------------------------------------------------- *)
+  let cost =
+    match objective with
+    | Feasible -> Bv.const 0
+    | Min_trt k ->
+      (match Hashtbl.find_opt rounds k with
+      | Some lambda -> lambda
+      | None -> Model.invalid "medium %d is not TDMA: no TRT to minimize" k)
+    | Min_sum_trt ->
+      let all = Hashtbl.fold (fun _ l acc -> l :: acc) rounds [] in
+      if all = [] then Model.invalid "no TDMA medium in the architecture";
+      Bv.sum ctx all
+    | Min_bus_load k ->
+      let medium = Model.medium_by_id problem k in
+      let terms =
+        Array.to_list msg_encs
+        |> List.filter_map (fun enc ->
+               match Hashtbl.find_opt enc.use k with
+               | None -> None
+               | Some u ->
+                 let w =
+                   Model.frame_time medium enc.msg
+                   * 1000
+                   / Model.message_period problem enc.msg
+                 in
+                 Some (Bv.ite ctx u (Bv.const (max w 1)) (Bv.const 0)))
+      in
+      Bv.sum ctx terms
+    | Min_max_util ->
+      let cost = Bv.var ctx ~hi:1000 in
+      for e = 0 to arch.Model.n_ecus - 1 do
+        let terms =
+          Array.to_list tasks
+          |> List.filter_map (fun task ->
+                 let b = sel_on t task.Model.task_id e in
+                 if b = Circuits.Zero then None
+                 else begin
+                   let u = Model.wcet_on task e * 1000 / task.Model.period in
+                   Some (Bv.ite ctx b (Bv.const (max u 1)) (Bv.const 0))
+                 end)
+        in
+        if terms <> [] then
+          Bv.assert_ ctx (Bv.ge ctx cost (Bv.sum ctx terms))
+      done;
+      cost
+  in
+  { t with cost }
+
+(* ---- model extraction ---------------------------------------------------- *)
+
+(* Read a complete allocation out of the solver's current model. *)
+let extract t : Model.allocation =
+  let ctx = t.ctx in
+  let task_ecu =
+    Array.mapi
+      (fun i sel_row ->
+        let chosen = ref (-1) in
+        Array.iteri
+          (fun idx b -> if Bv.model_bool ctx b then chosen := t.allowed.(i).(idx))
+          sel_row;
+        if !chosen < 0 then Model.invalid "task %d has no selected ECU in model" i;
+        !chosen)
+      t.sel
+  in
+  let msg_route =
+    Array.map
+      (fun enc ->
+        let chosen = ref None in
+        Array.iteri
+          (fun idx b -> if Bv.model_bool ctx b then chosen := Some enc.candidates.(idx))
+          enc.route_bits;
+        match !chosen with
+        | Some C_local -> Model.Local
+        | Some (C_path p) -> Model.Path p
+        | None -> Model.invalid "message %d has no selected route in model" enc.msg.Model.msg_id)
+      t.msg_encs
+  in
+  let slots = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (k, e) var -> Hashtbl.replace slots (k, e) (Bv.model_int ctx var))
+    t.slot_vars;
+  (* priority order: deadline-monotonic with the model's tie choices.
+     Transitivity constraints make the tie relation a strict total
+     order, so sorting with it is well defined. *)
+  let tasks = t.problem.Model.tasks in
+  let higher i j =
+    let di = tasks.(i).Model.deadline and dj = tasks.(j).Model.deadline in
+    if di <> dj then di < dj
+    else
+      match Hashtbl.find_opt t.tie_bits (min i j, max i j) with
+      | Some b ->
+        let b_val = Bv.model_bool ctx b in
+        if i < j then b_val else not b_val
+      | None -> i < j
+  in
+  let order =
+    List.sort
+      (fun i j -> if higher i j then -1 else 1)
+      (List.init (Array.length tasks) Fun.id)
+  in
+  let rank = Array.make (Array.length tasks) 0 in
+  List.iteri (fun pos i -> rank.(i) <- pos) order;
+  { Model.task_ecu; msg_route; slots; priority_rank = Some rank }
+
+let cost_term t = t.cost
+let context t = t.ctx
+
+(* Formula-size statistics, as reported in the paper's tables. *)
+let n_bool_vars t = Bv.n_bool_vars t.ctx
+let n_literals t = Bv.n_literals t.ctx

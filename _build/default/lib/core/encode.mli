@@ -1,0 +1,74 @@
+(** The paper's contribution: transformation of the task and message
+    allocation problem into integer formulae (§3), extended to
+    hierarchical architectures (§4), over the {!Taskalloc_bv.Bv} layer.
+
+    The encoding comprises allocation selectors with placement and
+    separation restrictions (eq. 4), WCET selection (eq. 5), response
+    times as preemption-cost sums (eqs. 6-8) with the ceiling replaced
+    by two-sided integer bounds on the preemption counters (eqs. 11-12),
+    deadline checks (eq. 13), deadline-monotonic priorities with
+    solver-resolved ties (eqs. 9-10), per-ECU memory capacities as
+    pseudo-Boolean constraints, and the §4 routing machinery: per-message
+    one-hot route choice over admissible simple media paths, medium
+    usage bits K^k_m, local deadlines d^k_m, inherited jitter J^k_m, and
+    per-medium response times — priority buses per eq. 2, TDMA buses per
+    eq. 3 including the nonlinear blocking product Imb * (Lambda - osl).
+
+    A flat single-bus architecture is the special case where every
+    admissible path has length one. *)
+
+open Taskalloc_rt
+
+(** Optimization objective, minimized by BIN_SEARCH. *)
+type objective =
+  | Feasible  (** constant cost 0: pure feasibility *)
+  | Min_trt of int  (** token rotation time of one TDMA medium (Table 1) *)
+  | Min_sum_trt  (** sum of all TDMA rounds (Table 4) *)
+  | Min_bus_load of int  (** permille bus load U of one medium (Table 1) *)
+  | Min_max_util  (** maximum ECU utilization in permille *)
+
+(** Representation of the allocation variables a_i. *)
+type alloc_encoding =
+  | One_hot  (** selector bit per (task, ECU) + exactly-one (default) *)
+  | Binary  (** the paper's integer a_i with reified equalities *)
+
+(** Resolution of equal-deadline priority ties (eqs. 9-10). *)
+type tie_breaking =
+  | Solver_ties
+      (** free tie bits with transitivity constraints: the solver picks
+          "an arbitrary, but consistent" order (default) *)
+  | Static_ties  (** ties resolved by task id at transformation time *)
+
+type options = {
+  pb_mode : Taskalloc_pb.Pb.mode;
+  alloc_encoding : alloc_encoding;
+  tie_breaking : tie_breaking;
+  max_slot : int;
+      (** upper bound on TDMA slot variables; [0] = derive from the
+          largest possible frame *)
+}
+
+val default_options : options
+
+type t
+(** An encoded problem: the constraint system plus the handles needed
+    to extract an allocation from a model. *)
+
+val encode : ?options:options -> Model.problem -> objective -> t
+(** Build the constraint system.  Raises {!Model.Invalid_model} when
+    the problem admits no encoding (e.g. a task with no admissible ECU,
+    a message with no admissible route, or a TRT objective on a
+    priority bus). *)
+
+val context : t -> Taskalloc_bv.Bv.ctx
+val cost_term : t -> Taskalloc_bv.Bv.t
+
+val extract : t -> Model.allocation
+(** Read a complete allocation (placement, routes, slots, priority
+    order) out of the solver's current model.  Only valid right after a
+    [Sat] answer. *)
+
+(** {1 Formula-size statistics} (the paper's Var./Lit. columns) *)
+
+val n_bool_vars : t -> int
+val n_literals : t -> int

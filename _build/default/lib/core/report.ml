@@ -1,0 +1,122 @@
+(* Human-readable allocation reports: placement, per-ECU utilization
+   and memory, per-task response-time slack, message routes with
+   latencies, and per-medium load / round length.  Used by the CLI and
+   examples; everything is derived from the independent analysis, not
+   from the encoder. *)
+
+open Taskalloc_rt
+
+type t = {
+  problem : Model.problem;
+  allocation : Model.allocation;
+  responses : int option array;
+  latencies : (int option * int) array; (* (end-to-end, deadline) per msg *)
+}
+
+let make (problem : Model.problem) (allocation : Model.allocation) : t =
+  let responses = Analysis.all_task_response_times problem allocation in
+  let latencies =
+    Array.map
+      (fun (m : Model.message) ->
+        ( (match Analysis.message_end_to_end problem allocation m with
+          | Some (_, l) -> Some l
+          | None -> None),
+          m.Model.msg_deadline ))
+      (Model.all_messages problem)
+  in
+  { problem; allocation; responses; latencies }
+
+(* Smallest relative slack over all tasks and messages, in percent;
+   [None] when something is unbounded. *)
+let min_slack_percent t =
+  let slacks = ref [] in
+  Array.iteri
+    (fun i r ->
+      let task = t.problem.Model.tasks.(i) in
+      match r with
+      | Some r ->
+        let budget = task.Model.deadline - task.Model.jitter in
+        if budget > 0 then slacks := (100 * (budget - r)) / budget :: !slacks
+      | None -> slacks := -1 :: !slacks)
+    t.responses;
+  Array.iter
+    (fun (l, d) ->
+      match l with
+      | Some l when d > 0 -> slacks := (100 * (d - l)) / d :: !slacks
+      | _ -> ())
+    t.latencies;
+  match !slacks with [] -> None | xs -> Some (List.fold_left min 100 xs)
+
+let pp ppf (t : t) =
+  let problem = t.problem and alloc = t.allocation in
+  Fmt.pf ppf "=== placement ===@.";
+  for e = 0 to problem.Model.arch.Model.n_ecus - 1 do
+    let names =
+      Array.to_list problem.Model.tasks
+      |> List.filter_map (fun task ->
+             if alloc.Model.task_ecu.(task.Model.task_id) = e then
+               Some task.Model.task_name
+             else None)
+    in
+    let util = Model.ecu_utilization_permille problem alloc e in
+    let mem =
+      Array.fold_left
+        (fun acc task ->
+          if alloc.Model.task_ecu.(task.Model.task_id) = e then acc + task.Model.memory
+          else acc)
+        0 problem.Model.tasks
+    in
+    let cap = problem.Model.arch.Model.mem_capacity.(e) in
+    Fmt.pf ppf "ECU %d: util %3d permille, mem %d%s  [%a]@." e util mem
+      (if cap = max_int then "" else Fmt.str "/%d" cap)
+      Fmt.(list ~sep:(any " ") string)
+      names
+  done;
+  Fmt.pf ppf "=== tasks ===@.";
+  Array.iteri
+    (fun i task ->
+      Fmt.pf ppf "%-10s r=%a%s d=%d%s@." task.Model.task_name
+        Fmt.(option ~none:(any "unbounded") int)
+        t.responses.(i)
+        (if task.Model.jitter > 0 then Fmt.str " (+J%d)" task.Model.jitter else "")
+        task.Model.deadline
+        (match t.responses.(i) with
+        | Some r when r + task.Model.jitter <= task.Model.deadline -> ""
+        | _ -> "  MISS"))
+    problem.Model.tasks;
+  let msgs = Model.all_messages problem in
+  if Array.length msgs > 0 then begin
+    Fmt.pf ppf "=== messages ===@.";
+    Array.iteri
+      (fun i (m : Model.message) ->
+        let latency, deadline = t.latencies.(i) in
+        let route =
+          match alloc.Model.msg_route.(i) with
+          | Model.Local -> "local"
+          | Model.Path p ->
+            Fmt.str "%a"
+              Fmt.(list ~sep:(any "->") (fun ppf k ->
+                  Fmt.string ppf (Model.medium_by_id problem k).Model.med_name))
+              p
+        in
+        Fmt.pf ppf "msg %-3d %s -> %s via %-20s latency=%a deadline=%d%s@." i
+          problem.Model.tasks.(m.Model.src).Model.task_name
+          problem.Model.tasks.(m.Model.dst).Model.task_name route
+          Fmt.(option ~none:(any "unbounded") int)
+          latency deadline
+          (match latency with Some l when l <= deadline -> "" | _ -> "  MISS"))
+      msgs
+  end;
+  List.iter
+    (fun medium ->
+      match medium.Model.kind with
+      | Model.Tdma ->
+        Fmt.pf ppf "medium %-12s TDMA round = %d@." medium.Model.med_name
+          (Model.round_length problem alloc medium.Model.med_id)
+      | Model.Priority ->
+        Fmt.pf ppf "medium %-12s load = %d permille@." medium.Model.med_name
+          (Model.medium_load_permille problem alloc medium.Model.med_id))
+    problem.Model.arch.Model.media;
+  match min_slack_percent t with
+  | Some s -> Fmt.pf ppf "minimum slack: %d%%@." s
+  | None -> ()

@@ -1,0 +1,17 @@
+(** Human-readable allocation reports, derived entirely from the
+    independent analysis of [taskalloc_rt]: placement with per-ECU
+    utilization and memory, per-task response times, message routes and
+    latencies, per-medium rounds/loads, and the minimum slack. *)
+
+open Taskalloc_rt
+
+type t
+
+val make : Model.problem -> Model.allocation -> t
+
+val min_slack_percent : t -> int option
+(** Smallest relative slack (percent of the deadline budget) over all
+    tasks and messages; negative when something misses, [None] when the
+    problem has neither tasks nor bounded messages. *)
+
+val pp : Format.formatter -> t -> unit

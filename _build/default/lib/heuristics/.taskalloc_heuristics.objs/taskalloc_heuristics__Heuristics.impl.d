@@ -1,0 +1,1 @@
+lib/heuristics/heuristics.ml: Analysis Array Check Fun Hashtbl Int List Model Rng Routing Taskalloc_rt Taskalloc_workloads

@@ -1,0 +1,1 @@
+lib/heuristics/heuristics.mli: Model Taskalloc_rt Taskalloc_workloads

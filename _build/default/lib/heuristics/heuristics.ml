@@ -1,0 +1,278 @@
+(* Heuristic baselines for the allocation problem.
+
+   The primary baseline is simulated annealing in the style of
+   Tindell/Burns/Wellings [5] — the comparator of Table 1 — searching
+   over task placements; message routes and TDMA slots are completed
+   deterministically by {!Taskalloc_rt.Routing.complete}.  A greedy
+   first-fit and a random-restart search round out the baseline set.
+
+   None of these is guaranteed to find the optimum; Table 1 reproduces
+   the paper's observation that SA can converge to a slightly
+   sub-optimal TRT that the SAT approach improves on. *)
+
+open Taskalloc_rt
+open Taskalloc_workloads
+
+type objective =
+  | Trt of int (* token rotation time of a TDMA medium *)
+  | Sum_trt
+  | Bus_load of int
+  | Max_util
+
+(* Objective value of a complete allocation (lower is better). *)
+let evaluate (problem : Model.problem) (alloc : Model.allocation) = function
+  | Trt k -> Model.round_length problem alloc k
+  | Sum_trt ->
+    List.fold_left
+      (fun acc medium ->
+        match medium.Model.kind with
+        | Model.Tdma -> acc + Model.round_length problem alloc medium.Model.med_id
+        | Model.Priority -> acc)
+      0 problem.Model.arch.Model.media
+  | Bus_load k -> Model.medium_load_permille problem alloc k
+  | Max_util ->
+    let n = problem.Model.arch.Model.n_ecus in
+    let m = ref 0 in
+    for e = 0 to n - 1 do
+      m := max !m (Model.ecu_utilization_permille problem alloc e)
+    done;
+    !m
+
+(* Smooth infeasibility measure guiding the annealer: the summed
+   magnitude of deadline overruns plus heavily weighted structural
+   violations. *)
+let penalty (problem : Model.problem) (alloc : Model.allocation) =
+  let total = ref 0 in
+  let responses = Analysis.all_task_response_times problem alloc in
+  Array.iteri
+    (fun i r ->
+      let d = problem.Model.tasks.(i).Model.deadline in
+      match r with
+      | Some r when r <= d -> ()
+      | Some r -> total := !total + (r - d)
+      | None -> total := !total + problem.Model.tasks.(i).Model.period)
+    responses;
+  let msgs = Model.all_messages problem in
+  Array.iter
+    (fun m ->
+      match Analysis.message_end_to_end problem alloc m with
+      | Some (_, l) when l <= m.Model.msg_deadline -> ()
+      | Some (_, l) -> total := !total + (l - m.Model.msg_deadline)
+      | None -> total := !total + m.Model.msg_deadline)
+    msgs;
+  (* structural violations are heavy *)
+  let structural =
+    Check.check_placement problem alloc @ Check.check_routes problem alloc
+  in
+  total := !total + (1000 * List.length structural);
+  !total
+
+let energy problem alloc objective =
+  let p = penalty problem alloc in
+  (10_000 * p) + evaluate problem alloc objective
+
+(* Random placement respecting the admissible-ECU sets (but not
+   necessarily separation — the penalty handles that). *)
+let random_placement rng (problem : Model.problem) =
+  Array.map
+    (fun task ->
+      let admissible = Model.allowed_ecus problem task in
+      Rng.pick rng admissible)
+    problem.Model.tasks
+
+let try_complete problem placement =
+  match Routing.complete problem placement with
+  | alloc -> Some alloc
+  | exception Routing.No_route _ -> None
+
+(* -- greedy first fit ----------------------------------------------------- *)
+
+(* Communication-aware greedy placement: tasks are clustered into the
+   connected components of the message graph (the natural transactions)
+   and each cluster goes, whole where possible, to the least-loaded ECU
+   admissible for all of its movable members — pinned members stay at
+   their pin.  Returns the completed allocation if it is feasible. *)
+let greedy ?seed (problem : Model.problem) objective =
+  ignore seed;
+  let tasks = problem.Model.tasks in
+  let n = Array.length tasks in
+  (* union-find over message edges *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b = parent.(find a) <- find b in
+  Array.iter
+    (fun task ->
+      List.iter (fun m -> union task.Model.task_id m.Model.dst) task.Model.messages)
+    tasks;
+  let components = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    let cur = try Hashtbl.find components r with Not_found -> [] in
+    Hashtbl.replace components r (i :: cur)
+  done;
+  let placement = Array.make n (-1) in
+  let load = Hashtbl.create 8 in
+  let get_load e = try Hashtbl.find load e with Not_found -> 0 in
+  let admissible_for i =
+    Model.allowed_ecus problem tasks.(i)
+    |> List.filter (fun e ->
+           not (List.exists (fun j -> placement.(j) = e) tasks.(i).Model.separation))
+  in
+  let place i e =
+    placement.(i) <- e;
+    let c = List.assoc e tasks.(i).Model.wcets in
+    Hashtbl.replace load e (get_load e + (c * 1000 / tasks.(i).Model.period))
+  in
+  let ok = ref true in
+  Hashtbl.iter
+    (fun _ members ->
+      if !ok then begin
+        let pinned, free =
+          List.partition
+            (fun i -> List.length (Model.allowed_ecus problem tasks.(i)) = 1)
+            members
+        in
+        List.iter
+          (fun i ->
+            match admissible_for i with
+            | e :: _ -> place i e
+            | [] -> ok := false)
+          pinned;
+        if !ok then begin
+          let pin_ecus = List.filter_map (fun i -> if placement.(i) >= 0 then Some placement.(i) else None) pinned in
+          let common =
+            match free with
+            | [] -> []
+            | first :: rest ->
+              List.fold_left
+                (fun acc i -> List.filter (fun e -> List.mem e (admissible_for i)) acc)
+                (admissible_for first) rest
+          in
+          let ranked =
+            List.sort
+              (fun a b ->
+                let pa = if List.mem a pin_ecus then 0 else 1
+                and pb = if List.mem b pin_ecus then 0 else 1 in
+                if pa <> pb then Int.compare pa pb
+                else Int.compare (get_load a) (get_load b))
+              common
+          in
+          match ranked with
+          | home :: _ -> List.iter (fun i -> place i home) free
+          | [] ->
+            List.iter
+              (fun i ->
+                match
+                  List.sort (fun a b -> Int.compare (get_load a) (get_load b)) (admissible_for i)
+                with
+                | [] -> ok := false
+                | e :: _ -> place i e)
+              free
+        end
+      end)
+    components;
+  if not !ok then None
+  else
+    match try_complete problem placement with
+    | Some alloc when penalty problem alloc = 0 ->
+      Some (alloc, evaluate problem alloc objective)
+    | _ -> None
+
+(* -- simulated annealing ------------------------------------------------ *)
+
+type sa_params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+  restarts : int;
+}
+
+let default_sa =
+  { iterations = 4000; initial_temperature = 50.0; cooling = 0.999; seed = 17; restarts = 3 }
+
+(* Returns the best feasible allocation found (with its objective
+   value), or [None] if annealing never reached feasibility. *)
+let simulated_annealing ?(params = default_sa) (problem : Model.problem) objective =
+  let rng = Rng.create params.seed in
+  let best = ref None in
+  let consider alloc =
+    if penalty problem alloc = 0 then begin
+      let v = evaluate problem alloc objective in
+      match !best with
+      | Some (_, bv) when bv <= v -> ()
+      | _ -> best := Some (alloc, v)
+    end
+  in
+  for restart = 1 to params.restarts do
+    (* the first restart starts from the communication-aware greedy
+       placement when one exists; later restarts explore from random
+       points, as [5]'s annealer does *)
+    let placement =
+      if restart = 1 then
+        match greedy problem objective with
+        | Some (alloc, _) -> Array.copy alloc.Model.task_ecu
+        | None -> random_placement rng problem
+      else random_placement rng problem
+    in
+    let current = ref placement in
+    let current_energy =
+      ref
+        (match try_complete problem placement with
+        | Some a ->
+          consider a;
+          energy problem a objective
+        | None -> max_int / 2)
+    in
+    let temperature = ref params.initial_temperature in
+    for _ = 1 to params.iterations do
+      (* neighbour: move one task to another admissible ECU *)
+      let i = Rng.int rng (Array.length problem.Model.tasks) in
+      let task = problem.Model.tasks.(i) in
+      let admissible = Model.allowed_ecus problem task in
+      if List.length admissible > 1 then begin
+        let old = !current.(i) in
+        let candidates = List.filter (fun e -> e <> old) admissible in
+        let e = Rng.pick rng candidates in
+        let next = Array.copy !current in
+        next.(i) <- e;
+        let next_energy =
+          match try_complete problem next with
+          | Some a ->
+            consider a;
+            energy problem a objective
+          | None -> max_int / 2
+        in
+        let delta = next_energy - !current_energy in
+        let accept =
+          delta <= 0
+          ||
+          let p = exp (-.float_of_int delta /. !temperature) in
+          Rng.bool rng p
+        in
+        if accept then begin
+          current := next;
+          current_energy := next_energy
+        end
+      end;
+      temperature := !temperature *. params.cooling
+    done
+  done;
+  !best
+
+(* -- random restart search -------------------------------------------------- *)
+
+let random_search ?(seed = 23) ?(samples = 2000) (problem : Model.problem) objective =
+  let rng = Rng.create seed in
+  let best = ref None in
+  for _ = 1 to samples do
+    let placement = random_placement rng problem in
+    match try_complete problem placement with
+    | Some alloc when penalty problem alloc = 0 ->
+      let v = evaluate problem alloc objective in
+      (match !best with
+      | Some (_, bv) when bv <= v -> ()
+      | _ -> best := Some (alloc, v))
+    | _ -> ()
+  done;
+  !best

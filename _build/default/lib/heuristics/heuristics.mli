@@ -1,0 +1,69 @@
+(** Heuristic baselines: simulated annealing in the style of
+    Tindell/Burns/Wellings [5] (the Table 1 comparator), a
+    communication-aware greedy first-fit, and random-restart search.
+    All search over task placements only; routes and TDMA slots are
+    completed deterministically by {!Taskalloc_rt.Routing.complete}.
+    None is guaranteed optimal. *)
+
+open Taskalloc_rt
+
+type objective =
+  | Trt of int  (** token rotation time of a TDMA medium *)
+  | Sum_trt
+  | Bus_load of int
+  | Max_util
+
+val evaluate : Model.problem -> Model.allocation -> objective -> int
+(** Objective value of a complete allocation (lower is better). *)
+
+val penalty : Model.problem -> Model.allocation -> int
+(** Smooth infeasibility measure: summed deadline overruns plus heavily
+    weighted structural violations; [0] iff analytically feasible with
+    respect to deadlines, placement and routing. *)
+
+val energy : Model.problem -> Model.allocation -> objective -> int
+(** Annealing energy: [10_000 * penalty + evaluate]. *)
+
+val random_placement : Taskalloc_workloads.Rng.t -> Model.problem -> int array
+
+val try_complete : Model.problem -> int array -> Model.allocation option
+(** {!Taskalloc_rt.Routing.complete}, with [None] on unroutable
+    messages. *)
+
+(** {1 Greedy first fit} *)
+
+val greedy :
+  ?seed:int -> Model.problem -> objective -> (Model.allocation * int) option
+(** Cluster tasks by message-graph connectivity and place each cluster
+    whole on the least-loaded admissible ECU (pins stay put).  [Some]
+    only if the completed allocation is feasible. *)
+
+(** {1 Simulated annealing} *)
+
+type sa_params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;  (** multiplicative per-iteration factor *)
+  seed : int;
+  restarts : int;
+}
+
+val default_sa : sa_params
+
+val simulated_annealing :
+  ?params:sa_params ->
+  Model.problem ->
+  objective ->
+  (Model.allocation * int) option
+(** Anneal over placements (first restart seeded from {!greedy});
+    returns the best feasible allocation encountered, with its
+    objective value. *)
+
+(** {1 Random restart search} *)
+
+val random_search :
+  ?seed:int ->
+  ?samples:int ->
+  Model.problem ->
+  objective ->
+  (Model.allocation * int) option

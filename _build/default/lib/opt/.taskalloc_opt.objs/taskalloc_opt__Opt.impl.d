@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Bv Circuits Fmt Lit Solver Taskalloc_bv Taskalloc_pb Taskalloc_sat Unix

@@ -1,0 +1,1 @@
+lib/opt/opt.mli: Bv Format Taskalloc_bv

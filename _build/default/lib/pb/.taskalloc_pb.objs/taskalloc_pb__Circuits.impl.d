@@ -1,0 +1,1 @@
+lib/pb/circuits.ml: Array List Lit Solver Taskalloc_sat

@@ -1,0 +1,1 @@
+lib/pb/circuits.mli: Lit Solver Taskalloc_sat

@@ -1,0 +1,1 @@
+lib/pb/opb.ml: Fmt Hashtbl List Lit Option Pb Solver String Taskalloc_sat

@@ -1,0 +1,1 @@
+lib/pb/opb.mli: Format Hashtbl Solver Taskalloc_sat

@@ -1,0 +1,1 @@
+lib/pb/pb.ml: Array Circuits Hashtbl List Lit Solver Taskalloc_sat

@@ -1,0 +1,1 @@
+lib/pb/pb.mli: Lit Solver Taskalloc_sat

@@ -1,0 +1,205 @@
+(* Boolean circuit construction over solver literals with constant
+   folding.  A [bit] is either a constant or a literal; gates emit
+   Tseitin-style defining clauses into the solver.  Full-adder carries
+   are axiomatized as pseudo-Boolean constraints exactly as in the
+   paper's eq. (19):
+
+     cout <-> (x + y + cin >= 2)
+
+   becomes   2*~cout + x + y + cin >= 2   and
+             2*cout + ~x + ~y + ~cin >= 2.
+
+   These circuits are shared by the CNF compilation path of {!Pb} and by
+   the integer bit-blasting layer [taskalloc_bv]. *)
+
+open Taskalloc_sat
+
+type bit = Zero | One | Lit of Lit.t
+
+let of_bool b = if b then One else Zero
+let of_lit l = Lit l
+
+let bnot = function Zero -> One | One -> Zero | Lit l -> Lit (Lit.neg l)
+
+let fresh solver = Lit.of_var (Solver.new_var solver)
+
+(* [b = x AND y] with constant folding. *)
+let and2 solver x y =
+  match (x, y) with
+  | Zero, _ | _, Zero -> Zero
+  | One, b | b, One -> b
+  | Lit a, Lit b when Lit.equal a b -> Lit a
+  | Lit a, Lit b when Lit.equal a (Lit.neg b) -> Zero
+  | Lit a, Lit b ->
+    let r = fresh solver in
+    Solver.add_clause solver [ Lit.neg r; a ];
+    Solver.add_clause solver [ Lit.neg r; b ];
+    Solver.add_clause solver [ r; Lit.neg a; Lit.neg b ];
+    Lit r
+
+let or2 solver x y = bnot (and2 solver (bnot x) (bnot y))
+
+let xor2 solver x y =
+  match (x, y) with
+  | Zero, b | b, Zero -> b
+  | One, b | b, One -> bnot b
+  | Lit a, Lit b when Lit.equal a b -> Zero
+  | Lit a, Lit b when Lit.equal a (Lit.neg b) -> One
+  | Lit a, Lit b ->
+    let r = fresh solver in
+    Solver.add_clause solver [ Lit.neg r; a; b ];
+    Solver.add_clause solver [ Lit.neg r; Lit.neg a; Lit.neg b ];
+    Solver.add_clause solver [ r; Lit.neg a; b ];
+    Solver.add_clause solver [ r; a; Lit.neg b ];
+    Lit r
+
+let and_list solver = List.fold_left (and2 solver) One
+let or_list solver = List.fold_left (or2 solver) Zero
+
+(* [r <-> (x <-> y)] *)
+let iff2 solver x y = bnot (xor2 solver x y)
+
+(* [x -> y] as a bit *)
+let implies2 solver x y = or2 solver (bnot x) y
+
+(* Multiplexer: [if c then x else y]. *)
+let mux solver c x y = or2 solver (and2 solver c x) (and2 solver (bnot c) y)
+
+(* Assert that a bit holds (top-level constraint). *)
+let assert_bit solver = function
+  | One -> ()
+  | Zero -> Solver.add_clause solver [] (* makes the instance unsat *)
+  | Lit l -> Solver.add_clause solver [ l ]
+
+(* Assert an implication [antecedents -> b] clausally when possible. *)
+let assert_implies solver antecedents b =
+  let negs = List.map bnot antecedents in
+  assert_bit solver (or_list solver (b :: negs))
+
+(* Full adder.  The sum output uses chained XOR gates; the carry output
+   uses the paper's PB axiomatization when all inputs are literals, and
+   constant folding otherwise. *)
+let full_add solver x y cin =
+  let sum = xor2 solver (xor2 solver x y) cin in
+  let carry =
+    match (x, y, cin) with
+    | Zero, a, b | a, Zero, b | a, b, Zero -> and2 solver a b
+    | One, a, b | a, One, b | a, b, One -> or2 solver a b
+    | Lit a, Lit b, Lit c ->
+      let cout = fresh solver in
+      (* cout -> x + y + cin >= 2 *)
+      Solver.add_pb_geq solver [ (2, Lit.neg cout); (1, a); (1, b); (1, c) ] 2;
+      (* ~cout -> x + y + cin <= 1, i.e. ~x + ~y + ~cin >= 2 *)
+      Solver.add_pb_geq solver
+        [ (2, cout); (1, Lit.neg a); (1, Lit.neg b); (1, Lit.neg c) ]
+        2;
+      Lit cout
+  in
+  (sum, carry)
+
+(* -- unsigned bit vectors (little-endian bit arrays) ------------------ *)
+
+let bits_of_int width n =
+  Array.init width (fun i -> if (n lsr i) land 1 = 1 then One else Zero)
+
+let width_for n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  if n <= 0 then 1 else go 1
+
+let bit_at bits i = if i < Array.length bits then bits.(i) else Zero
+
+(* Ripple-carry addition; result has one extra bit so it never overflows. *)
+let ripple_add solver a b =
+  let w = max (Array.length a) (Array.length b) + 1 in
+  let out = Array.make w Zero in
+  let carry = ref Zero in
+  for i = 0 to w - 1 do
+    let s, c = full_add solver (bit_at a i) (bit_at b i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  assert (!carry = Zero || Array.length a + 1 < w || true);
+  out
+
+(* Sum a list of bit vectors with a balanced tree of adders (smaller
+   depth means shorter Tseitin chains). *)
+let rec sum_vectors solver = function
+  | [] -> [| Zero |]
+  | [ v ] -> v
+  | vs ->
+    let rec pair = function
+      | a :: b :: rest -> ripple_add solver a b :: pair rest
+      | [ a ] -> [ a ]
+      | [] -> []
+    in
+    sum_vectors solver (pair vs)
+
+(* Multiply a bit vector by a non-negative constant via shift-and-add. *)
+let mul_const solver k v =
+  assert (k >= 0);
+  if k = 0 then [| Zero |]
+  else begin
+    let parts = ref [] in
+    let i = ref 0 in
+    let k = ref k in
+    while !k > 0 do
+      if !k land 1 = 1 then begin
+        let shifted = Array.append (Array.make !i Zero) v in
+        parts := shifted :: !parts
+      end;
+      k := !k lsr 1;
+      incr i
+    done;
+    sum_vectors solver !parts
+  end
+
+(* Full variable*variable multiplication via partial products. *)
+let mul solver a b =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun i bi ->
+           match bi with
+           | Zero -> [| Zero |]
+           | _ ->
+             let row = Array.map (fun aj -> and2 solver aj bi) a in
+             Array.append (Array.make i Zero) row)
+         b)
+  in
+  sum_vectors solver parts
+
+(* Reified unsigned comparison [a <= b] scanning from the MSB:
+   le_i = (a_i < b_i) or (a_i = b_i and le_{i-1}),  le_{-1} = One. *)
+let ule solver a b =
+  let w = max (Array.length a) (Array.length b) in
+  let le = ref One in
+  for i = 0 to w - 1 do
+    let ai = bit_at a i and bi = bit_at b i in
+    let lt_i = and2 solver (bnot ai) bi in
+    let eq_i = iff2 solver ai bi in
+    le := or2 solver lt_i (and2 solver eq_i !le)
+  done;
+  !le
+
+let ult solver a b = bnot (ule solver b a)
+let uge solver a b = ule solver b a
+let ugt solver a b = ult solver b a
+
+let equal_vec solver a b =
+  let w = max (Array.length a) (Array.length b) in
+  let acc = ref One in
+  for i = 0 to w - 1 do
+    acc := and2 solver !acc (iff2 solver (bit_at a i) (bit_at b i))
+  done;
+  !acc
+
+(* Evaluate a bit under the solver's current model. *)
+let model_bit solver = function
+  | Zero -> false
+  | One -> true
+  | Lit l -> Solver.model_value solver l
+
+let model_int solver bits =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if model_bit solver b then v := !v lor (1 lsl i)) bits;
+  !v

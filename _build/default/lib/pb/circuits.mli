@@ -1,0 +1,82 @@
+(** Boolean circuits over solver literals, with constant folding.
+
+    Gates emit Tseitin-style defining clauses into the solver; the
+    full-adder carry is axiomatized as two pseudo-Boolean constraints,
+    exactly as in the paper's eq. (19).  Bit vectors are little-endian
+    arrays of bits and denote unsigned integers. *)
+
+open Taskalloc_sat
+
+type bit = Zero | One | Lit of Lit.t
+(** A circuit wire: a constant or a solver literal. *)
+
+val of_bool : bool -> bit
+val of_lit : Lit.t -> bit
+val bnot : bit -> bit
+
+val fresh : Solver.t -> Lit.t
+(** A fresh positive literal over a fresh variable. *)
+
+(** {1 Gates} *)
+
+val and2 : Solver.t -> bit -> bit -> bit
+val or2 : Solver.t -> bit -> bit -> bit
+val xor2 : Solver.t -> bit -> bit -> bit
+val iff2 : Solver.t -> bit -> bit -> bit
+val implies2 : Solver.t -> bit -> bit -> bit
+
+val mux : Solver.t -> bit -> bit -> bit -> bit
+(** [mux s c x y] is [if c then x else y]. *)
+
+val and_list : Solver.t -> bit list -> bit
+val or_list : Solver.t -> bit list -> bit
+
+val assert_bit : Solver.t -> bit -> unit
+(** Force a wire true at the top level.  [Zero] makes the instance
+    unsatisfiable. *)
+
+val assert_implies : Solver.t -> bit list -> bit -> unit
+(** [assert_implies s antecedents b] asserts
+    [antecedent_1 /\ ... -> b] as one clause over the wires. *)
+
+(** {1 Arithmetic} *)
+
+val full_add : Solver.t -> bit -> bit -> bit -> bit * bit
+(** [(sum, carry)] of three input bits; the carry uses the PB
+    axiomatization of eq. (19) when all inputs are literals. *)
+
+val bits_of_int : int -> int -> bit array
+(** [bits_of_int width n]: constant vector, little-endian. *)
+
+val width_for : int -> int
+(** Minimal number of bits representing values in [[0, n]]. *)
+
+val bit_at : bit array -> int -> bit
+(** Bit [i], [Zero] beyond the width. *)
+
+val ripple_add : Solver.t -> bit array -> bit array -> bit array
+(** Sum of two vectors, one bit wider than the widest input (never
+    overflows). *)
+
+val sum_vectors : Solver.t -> bit array list -> bit array
+(** Balanced-tree summation of many vectors. *)
+
+val mul_const : Solver.t -> int -> bit array -> bit array
+(** Multiply by a non-negative constant (shift-and-add). *)
+
+val mul : Solver.t -> bit array -> bit array -> bit array
+(** Full variable*variable multiplication via partial products — used
+    for the paper's nonlinear TDMA blocking term. *)
+
+(** {1 Comparisons (reified)} *)
+
+val ule : Solver.t -> bit array -> bit array -> bit
+val ult : Solver.t -> bit array -> bit array -> bit
+val uge : Solver.t -> bit array -> bit array -> bit
+val ugt : Solver.t -> bit array -> bit array -> bit
+val equal_vec : Solver.t -> bit array -> bit array -> bit
+
+(** {1 Model inspection} *)
+
+val model_bit : Solver.t -> bit -> bool
+val model_int : Solver.t -> bit array -> int

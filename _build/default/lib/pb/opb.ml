@@ -1,0 +1,119 @@
+(* OPB-style pseudo-Boolean interchange.
+
+   Reading accepts a pragmatic subset of the OPB format used by PB
+   competitions: one constraint per line, terms [+a xN] or [a ~xN],
+   relations [>=], [<=], [=], optional trailing [;], comment lines
+   starting with [*] or [#].  Writing dumps a solver's entire constraint
+   store — problem clauses as >=1 constraints, native PB constraints
+   verbatim, and level-0 units — so an encoded allocation instance can
+   be handed to any external PB solver. *)
+
+open Taskalloc_sat
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Parse one constraint line into an existing solver, interning variable
+   names through [vars]. *)
+let parse_line solver vars ln line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '*' || line.[0] = '#' then ()
+  else begin
+    let line =
+      match String.index_opt line ';' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let tokens = String.split_on_char ' ' line |> List.filter (fun t -> t <> "") in
+    let var_of name =
+      match Hashtbl.find_opt vars name with
+      | Some v -> v
+      | None ->
+        let v = Solver.new_var solver in
+        Hashtbl.replace vars name v;
+        v
+    in
+    let lit_of tok =
+      if String.length tok > 1 && tok.[0] = '~' then
+        Lit.of_var ~sign:false (var_of (String.sub tok 1 (String.length tok - 1)))
+      else Lit.of_var (var_of tok)
+    in
+    let rec go acc pending = function
+      | [] -> parse_error ln "constraint without relational operator"
+      | ((">=" | "<=" | "=") as rel) :: bound :: rest -> begin
+        if rest <> [] then parse_error ln "trailing tokens after the bound";
+        let bound =
+          match int_of_string_opt bound with
+          | Some b -> b
+          | None -> parse_error ln "bad bound %S" bound
+        in
+        let terms = List.rev acc in
+        match rel with
+        | ">=" -> Pb.add_geq solver terms bound
+        | "<=" -> Pb.add_leq solver terms bound
+        | _ -> Pb.add_eq solver terms bound
+      end
+      | tok :: rest -> (
+        match int_of_string_opt tok with
+        | Some k ->
+          if pending <> None then parse_error ln "two coefficients in a row";
+          go acc (Some k) rest
+        | None ->
+          let k = Option.value pending ~default:1 in
+          go ((k, lit_of tok) :: acc) None rest)
+    in
+    go [] None tokens
+  end
+
+(* Parse a whole problem; returns the solver and the name table. *)
+let parse_string s =
+  let solver = Solver.create () in
+  let vars = Hashtbl.create 64 in
+  List.iteri
+    (fun idx line -> parse_line solver vars (idx + 1) line)
+    (String.split_on_char '\n' s);
+  (solver, vars)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+(* -- export ----------------------------------------------------------------- *)
+
+let pp_term ppf (a, l) =
+  Fmt.pf ppf "%+d %sx%d" a (if Lit.sign l then "" else "~") (Lit.var l + 1)
+
+let pp_terms ppf terms = Fmt.(list ~sep:(any " ") pp_term) ppf terms
+
+(* Write the full constraint store of [solver] in OPB form. *)
+let export ppf solver =
+  let n_constraints =
+    Solver.n_clauses solver + Solver.n_pbs solver
+    + List.length (Solver.level0_units solver)
+  in
+  Fmt.pf ppf "* #variable= %d #constraint= %d@." (Solver.n_vars solver) n_constraints;
+  (* an instance already refuted at level 0 has dropped its contradicting
+     clause; preserve unsatisfiability with an explicitly false line *)
+  if not (Solver.ok solver) then Fmt.pf ppf ">= 1 ;@.";
+  List.iter
+    (fun l -> Fmt.pf ppf "%a >= 1 ;@." pp_terms [ (1, l) ])
+    (Solver.level0_units solver);
+  Solver.fold_clauses
+    (fun () lits ->
+      Fmt.pf ppf "%a >= 1 ;@." pp_terms (List.map (fun l -> (1, l)) lits))
+    () solver;
+  Solver.fold_pbs
+    (fun () (pairs, degree) -> Fmt.pf ppf "%a >= %d ;@." pp_terms pairs degree)
+    () solver
+
+let export_string solver = Fmt.str "%a" export solver
+
+let export_file path solver =
+  let oc = open_out path in
+  output_string oc (export_string solver);
+  close_out oc

@@ -1,0 +1,21 @@
+(** OPB-style pseudo-Boolean interchange: read competition-style
+    constraint files into a solver, and dump a solver's constraint
+    store (clauses, PB constraints, level-0 units) back out — e.g. to
+    run an encoded allocation instance on an external PB solver. *)
+
+open Taskalloc_sat
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Solver.t * (string, int) Hashtbl.t
+(** Returns the loaded solver and the variable-name interning table. *)
+
+val parse_file : string -> Solver.t * (string, int) Hashtbl.t
+
+val export : Format.formatter -> Solver.t -> unit
+(** Write every constraint: level-0 units and clauses as [>= 1]
+    constraints, PB constraints in their normalized [>=] form.  The
+    header carries variable and constraint counts. *)
+
+val export_string : Solver.t -> string
+val export_file : string -> Solver.t -> unit

@@ -1,0 +1,179 @@
+(* Pseudo-Boolean constraint front end.
+
+   Accepts linear constraints [sum a_i * l_i REL bound] with arbitrary
+   integer coefficients and relations <=, >=, =, normalizes them to the
+   solver's canonical form (>=, positive coefficients, distinct
+   variables, saturated), and dispatches on the chosen encoding:
+
+   - [Native]: hand the constraint to the solver's built-in PB
+     propagation (the GOBLIN-style path the paper uses);
+   - [Cnf]: compile to clauses — sequential-counter encoding for
+     cardinality constraints, binary adder networks for the general
+     weighted case.
+
+   The encoding choice is benchmarked in [bench ablation-pb]. *)
+
+open Taskalloc_sat
+
+type mode = Native | Cnf
+
+type relation = Ge | Le | Eq
+
+(* A constraint before normalization. *)
+type t = {
+  terms : (int * Lit.t) list;
+  relation : relation;
+  bound : int;
+}
+
+let geq terms bound = { terms; relation = Ge; bound }
+let leq terms bound = { terms; relation = Le; bound }
+let eq terms bound = { terms; relation = Eq; bound }
+
+(* Normalize to >=-form with positive coefficients over distinct
+   variables.  Returns [None] when trivially true, [Some (pairs, degree)]
+   otherwise; degree > 0 and pairs may be empty (=> trivially false). *)
+let normalize_geq terms bound =
+  (* flip negative coefficients: a*l = a - a*(~l) for a < 0 *)
+  let bound = ref bound in
+  let flipped =
+    List.filter_map
+      (fun (a, l) ->
+        if a = 0 then None
+        else if a > 0 then Some (a, l)
+        else begin
+          bound := !bound - a;
+          (* -a > 0 *)
+          Some (-a, Lit.neg l)
+        end)
+      terms
+  in
+  (* merge per-variable occurrences *)
+  let by_var = Hashtbl.create 16 in
+  List.iter
+    (fun (a, l) ->
+      let v = Lit.var l in
+      let pos, neg = try Hashtbl.find by_var v with Not_found -> (0, 0) in
+      if Lit.sign l then Hashtbl.replace by_var v (pos + a, neg)
+      else Hashtbl.replace by_var v (pos, neg + a))
+    flipped;
+  let pairs =
+    Hashtbl.fold
+      (fun v (pos, neg) acc ->
+        (* a*l + b*~l = min(a,b) + (a-min)*l + (b-min)*~l *)
+        let m = min pos neg in
+        bound := !bound - m;
+        let pos = pos - m and neg = neg - m in
+        if pos > 0 then (pos, Lit.of_var v) :: acc
+        else if neg > 0 then (neg, Lit.of_var ~sign:false v) :: acc
+        else acc)
+      by_var []
+  in
+  let degree = !bound in
+  if degree <= 0 then None
+  else
+    (* saturation *)
+    Some (List.map (fun (a, l) -> (min a degree, l)) pairs, degree)
+
+(* -- CNF compilation --------------------------------------------------- *)
+
+(* Sinz sequential-counter encoding of [sum l_i <= k]. *)
+let encode_at_most_k solver lits k =
+  let n = List.length lits in
+  if k >= n then ()
+  else if k = 0 then List.iter (fun l -> Solver.add_clause solver [ Lit.neg l ]) lits
+  else begin
+    let lits = Array.of_list lits in
+    (* s.(i).(j) = "at least j+1 of the first i+1 literals are true" *)
+    let s = Array.init n (fun _ -> Array.init k (fun _ -> Circuits.fresh solver)) in
+    for i = 0 to n - 1 do
+      if i = 0 then begin
+        Solver.add_clause solver [ Lit.neg lits.(0); s.(0).(0) ];
+        for j = 1 to k - 1 do
+          Solver.add_clause solver [ Lit.neg s.(0).(j) ]
+        done
+      end
+      else begin
+        Solver.add_clause solver [ Lit.neg lits.(i); s.(i).(0) ];
+        Solver.add_clause solver [ Lit.neg s.(i - 1).(0); s.(i).(0) ];
+        for j = 1 to k - 1 do
+          Solver.add_clause solver
+            [ Lit.neg lits.(i); Lit.neg s.(i - 1).(j - 1); s.(i).(j) ];
+          Solver.add_clause solver [ Lit.neg s.(i - 1).(j); s.(i).(j) ]
+        done;
+        Solver.add_clause solver [ Lit.neg lits.(i); Lit.neg s.(i - 1).(k - 1) ]
+      end
+    done
+  end
+
+(* [sum l_i >= k]  <=>  [sum ~l_i <= n - k]. *)
+let encode_at_least_k solver lits k =
+  let n = List.length lits in
+  if k <= 0 then ()
+  else if k = 1 then Solver.add_clause solver lits
+  else if k > n then Solver.add_clause solver []
+  else if k = n then List.iter (fun l -> Solver.add_clause solver [ l ]) lits
+  else encode_at_most_k solver (List.map Lit.neg lits) (n - k)
+
+(* General weighted case: sum the coefficient-weighted literals with an
+   adder network and compare against the degree. *)
+let encode_adder_geq solver pairs degree =
+  let vectors =
+    List.map
+      (fun (a, l) ->
+        let w = Circuits.width_for a in
+        Array.init w (fun i ->
+            if (a lsr i) land 1 = 1 then Circuits.Lit l else Circuits.Zero))
+      pairs
+  in
+  let sum = Circuits.sum_vectors solver vectors in
+  let bound = Circuits.bits_of_int (Circuits.width_for degree) degree in
+  Circuits.assert_bit solver (Circuits.uge solver sum bound)
+
+(* -- entry points ------------------------------------------------------ *)
+
+let add_geq_normalized ?(mode = Native) solver pairs degree =
+  match mode with
+  | Native -> Solver.add_pb_geq solver pairs degree
+  | Cnf ->
+    if List.for_all (fun (a, _) -> a = 1) pairs then
+      encode_at_least_k solver (List.map snd pairs) degree
+    else encode_adder_geq solver pairs degree
+
+let add_constraint ?(mode = Native) solver { terms; relation; bound } =
+  let add_geq terms bound =
+    match normalize_geq terms bound with
+    | None -> ()
+    | Some ([], _) -> Solver.add_clause solver [] (* trivially false *)
+    | Some (pairs, degree) -> add_geq_normalized ~mode solver pairs degree
+  in
+  match relation with
+  | Ge -> add_geq terms bound
+  | Le -> add_geq (List.map (fun (a, l) -> (-a, l)) terms) (-bound)
+  | Eq ->
+    add_geq terms bound;
+    add_geq (List.map (fun (a, l) -> (-a, l)) terms) (-bound)
+
+let add_geq ?mode solver terms bound = add_constraint ?mode solver (geq terms bound)
+let add_leq ?mode solver terms bound = add_constraint ?mode solver (leq terms bound)
+let add_eq ?mode solver terms bound = add_constraint ?mode solver (eq terms bound)
+
+let add_at_most_k ?(mode = Native) solver lits k =
+  match mode with
+  | Native ->
+    (* sum l_i <= k  <=>  sum ~l_i >= n - k *)
+    let n = List.length lits in
+    if k < n then
+      Solver.add_pb_geq solver (List.map (fun l -> (1, Lit.neg l)) lits) (n - k)
+  | Cnf -> encode_at_most_k solver lits k
+
+let add_at_least_k ?(mode = Native) solver lits k =
+  match mode with
+  | Native -> if k > 0 then Solver.add_pb_geq solver (List.map (fun l -> (1, l)) lits) k
+  | Cnf -> encode_at_least_k solver lits k
+
+let add_exactly_k ?mode solver lits k =
+  add_at_most_k ?mode solver lits k;
+  add_at_least_k ?mode solver lits k
+
+let add_exactly_one ?mode solver lits = add_exactly_k ?mode solver lits 1

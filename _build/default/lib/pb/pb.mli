@@ -1,0 +1,60 @@
+(** Pseudo-Boolean constraint front end.
+
+    Accepts linear constraints [sum a_i * l_i REL bound] with arbitrary
+    integer coefficients and [<=], [>=], [=] relations, normalizes them
+    (positive coefficients, distinct variables, saturation) and emits
+    them either natively into the solver's PB propagation ({!Native},
+    the paper's GOBLIN path) or compiled to clauses ({!Cnf}:
+    sequential counters for cardinality, binary adder networks for
+    weighted constraints).  Both paths are cross-checked in the test
+    suite and compared in [bench ablation-pb]. *)
+
+open Taskalloc_sat
+
+type mode = Native | Cnf
+
+type relation = Ge | Le | Eq
+
+type t = {
+  terms : (int * Lit.t) list;
+  relation : relation;
+  bound : int;
+}
+(** A linear constraint before normalization. *)
+
+val geq : (int * Lit.t) list -> int -> t
+val leq : (int * Lit.t) list -> int -> t
+val eq : (int * Lit.t) list -> int -> t
+
+val normalize_geq :
+  (int * Lit.t) list -> int -> ((int * Lit.t) list * int) option
+(** Normalize [sum terms >= bound] to positive saturated coefficients
+    over distinct variables.  [None] when trivially true; [Some ([], d)]
+    with [d > 0] when trivially false. *)
+
+val add_constraint : ?mode:mode -> Solver.t -> t -> unit
+val add_geq : ?mode:mode -> Solver.t -> (int * Lit.t) list -> int -> unit
+val add_leq : ?mode:mode -> Solver.t -> (int * Lit.t) list -> int -> unit
+val add_eq : ?mode:mode -> Solver.t -> (int * Lit.t) list -> int -> unit
+
+(** {1 Cardinality} *)
+
+val add_at_most_k : ?mode:mode -> Solver.t -> Lit.t list -> int -> unit
+val add_at_least_k : ?mode:mode -> Solver.t -> Lit.t list -> int -> unit
+val add_exactly_k : ?mode:mode -> Solver.t -> Lit.t list -> int -> unit
+val add_exactly_one : ?mode:mode -> Solver.t -> Lit.t list -> unit
+
+(** {1 Direct encodings} (exposed for testing) *)
+
+val encode_at_most_k : Solver.t -> Lit.t list -> int -> unit
+(** Sinz sequential-counter encoding of [sum l_i <= k]. *)
+
+val encode_at_least_k : Solver.t -> Lit.t list -> int -> unit
+
+val encode_adder_geq : Solver.t -> (int * Lit.t) list -> int -> unit
+(** Adder-network encoding of a normalized [>=] constraint. *)
+
+val add_geq_normalized :
+  ?mode:mode -> Solver.t -> (int * Lit.t) list -> int -> unit
+(** Emit an already-normalized constraint (positive coefficients over
+    distinct variables, positive degree). *)

@@ -1,0 +1,1 @@
+lib/rt/analysis.ml: Array List Model Option

@@ -1,0 +1,1 @@
+lib/rt/analysis.mli: Model

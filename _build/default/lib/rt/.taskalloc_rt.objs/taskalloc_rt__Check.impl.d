@@ -1,0 +1,1 @@
+lib/rt/check.ml: Analysis Array Fmt List Model Taskalloc_topology Topology

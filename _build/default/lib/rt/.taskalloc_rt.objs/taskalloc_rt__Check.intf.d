@@ -1,0 +1,1 @@
+lib/rt/check.mli: Format Model

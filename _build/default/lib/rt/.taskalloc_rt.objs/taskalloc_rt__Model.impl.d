@@ -1,0 +1,1 @@
+lib/rt/model.ml: Array Fmt Hashtbl Int List Taskalloc_topology

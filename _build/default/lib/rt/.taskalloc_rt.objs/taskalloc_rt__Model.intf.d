@@ -1,0 +1,1 @@
+lib/rt/model.mli: Format Hashtbl Taskalloc_topology

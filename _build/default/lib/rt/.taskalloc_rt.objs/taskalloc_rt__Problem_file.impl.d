@@ -1,0 +1,1 @@
+lib/rt/problem_file.ml: Array Fmt Int List Model String

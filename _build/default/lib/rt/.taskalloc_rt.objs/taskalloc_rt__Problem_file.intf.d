@@ -1,0 +1,1 @@
+lib/rt/problem_file.mli: Format Model

@@ -1,0 +1,1 @@
+lib/rt/routing.ml: Array Hashtbl Int List Model Taskalloc_topology Topology

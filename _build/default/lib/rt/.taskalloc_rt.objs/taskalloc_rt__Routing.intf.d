@@ -1,0 +1,1 @@
+lib/rt/routing.mli: Model Taskalloc_topology

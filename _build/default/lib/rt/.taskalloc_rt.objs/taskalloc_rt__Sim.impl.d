@@ -1,0 +1,1 @@
+lib/rt/sim.ml: Array Fmt Hashtbl List Model Taskalloc_topology

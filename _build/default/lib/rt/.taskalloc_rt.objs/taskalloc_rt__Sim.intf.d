@@ -1,0 +1,1 @@
+lib/rt/sim.mli: Format Model

@@ -1,0 +1,63 @@
+(** Response-time analysis (§2): the fixed points of eqs. 1-3 with
+    release jitter on the interfering side, plus whole-system analysis
+    of an allocation.  Serves both as a standalone schedulability
+    analyzer and as the independent checker behind {!Check}. *)
+
+open Model
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = max(0, ceil(a / b)) for [b > 0]. *)
+
+val fixpoint : base:int -> limit:int -> (int -> int) -> int option
+(** Iterate [r <- base + f r] from [base]; [None] once [r > limit]
+    (deadline miss) or after a large iteration guard. *)
+
+val task_response_time :
+  ?blocking:int ->
+  wcet:int ->
+  deadline:int ->
+  interferers:(int * int * int) list ->
+  unit ->
+  int option
+(** Eq. 1, plus an optional blocking factor added once.  Interferers
+    are higher-priority tasks on the same ECU as
+    [(wcet, period, jitter)] triples. *)
+
+val priority_bus_response_time :
+  rho:int -> limit:int -> interferers:(int * int * int) list -> int option
+(** Eq. 2, for CAN-like buses; interferers as [(rho, period, jitter)]. *)
+
+val tdma_response_time :
+  rho:int ->
+  limit:int ->
+  round:int ->
+  own_slot:int ->
+  interferers:(int * int * int) list ->
+  int option
+(** Eq. 3: same-station queueing plus the per-round blocking
+    [ceil(r/Lambda) * (Lambda - own_slot)].  Requires
+    [round >= own_slot > ... >= 0]. *)
+
+(** {1 Whole-system analysis} *)
+
+val tasks_on : problem -> allocation -> int -> task list
+
+val all_task_response_times : problem -> allocation -> int option array
+(** Response time of every task under the allocation's priority order;
+    [None] marks a deadline miss. *)
+
+val messages_on : problem -> allocation -> int -> message list
+
+val message_hop_jitter : problem -> allocation -> message -> int -> int
+(** Inherited jitter of a message entering a medium: the §4 chain, with
+    each upstream hop bounded by the message deadline (the paper's safe
+    approximation). *)
+
+val message_response_on : problem -> allocation -> message -> int -> int option
+(** Response time of a message on one medium of its route. *)
+
+val message_end_to_end :
+  problem -> allocation -> message -> ((int * int) list * int) option
+(** Per-hop response times and total end-to-end latency including
+    gateway service costs; [None] on any hop miss.  Local routes have
+    latency 0. *)

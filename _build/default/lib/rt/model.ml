@@ -1,0 +1,232 @@
+(* The system model of §2.
+
+   An architecture A = (P, K, kappa): ECUs, communication media (each a
+   subset of P) and per-medium parameters.  A task set T of tuples
+   tau_i = (t_i, c_i, gamma_i, pi_i, delta_i, d_i).  All times are
+   integers in an arbitrary tick (the workload generators use 100 us
+   ticks).
+
+   The allowed-ECU set pi_i and the WCET function c_i are combined into
+   an association list [wcets]: a task may run exactly on the ECUs it
+   has a WCET for (minus globally barred gateway ECUs). *)
+
+type medium_kind =
+  | Priority (* CAN-like: global priority arbitration *)
+  | Tdma (* token-ring/TTP-like: one slot per station, round length Lambda *)
+
+type medium = {
+  med_id : int;
+  med_name : string;
+  kind : medium_kind;
+  ecus : int list;
+  byte_time : int; (* ticks to transfer one byte *)
+  frame_overhead : int; (* fixed ticks per frame (headers, stuffing, gaps) *)
+}
+
+type arch = {
+  n_ecus : int;
+  media : medium list;
+  mem_capacity : int array; (* per-ECU memory; [max_int] = unconstrained *)
+  gateway_service : int; (* ticks of store-and-forward cost per gateway hop *)
+  barred : int list; (* ECUs reserved for gateway duty: no application tasks *)
+}
+
+type message = {
+  msg_id : int;
+  src : int; (* sending task id *)
+  dst : int; (* receiving task id *)
+  bytes : int;
+  msg_deadline : int; (* Delta: end-to-end deadline *)
+}
+
+type task = {
+  task_id : int;
+  task_name : string;
+  period : int; (* t_i: period or minimal inter-arrival time *)
+  wcets : (int * int) list; (* (ecu, wcet): c_i restricted to pi_i *)
+  deadline : int; (* d_i *)
+  memory : int;
+  separation : int list; (* delta_i: task ids that must go elsewhere *)
+  messages : message list; (* gamma_i: outgoing messages *)
+  jitter : int; (* release jitter J_i (>= 0) *)
+  blocking : int; (* blocking factor B_i: longest lower-priority
+                     non-preemptible section (>= 0) *)
+}
+
+type problem = {
+  arch : arch;
+  tasks : task array;
+  topology : Taskalloc_topology.Topology.t;
+}
+
+(* -- construction ------------------------------------------------------- *)
+
+exception Invalid_model of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid_model s)) fmt
+
+let make_problem ~arch ~tasks =
+  let tasks = Array.of_list tasks in
+  let n_tasks = Array.length tasks in
+  Array.iteri
+    (fun i task ->
+      if task.task_id <> i then invalid "task %d has id %d (must be its index)" i task.task_id;
+      if task.period <= 0 then invalid "task %d: period must be positive" i;
+      if task.deadline <= 0 then invalid "task %d: deadline must be positive" i;
+      if task.wcets = [] then invalid "task %d: no allowed ECU" i;
+      if task.jitter < 0 then invalid "task %d: negative jitter" i;
+      if task.blocking < 0 then invalid "task %d: negative blocking" i;
+      if task.jitter >= task.deadline then
+        invalid "task %d: jitter %d leaves no room before deadline %d" i task.jitter
+          task.deadline;
+      List.iter
+        (fun (e, c) ->
+          if e < 0 || e >= arch.n_ecus then invalid "task %d: unknown ECU %d" i e;
+          if c <= 0 then invalid "task %d: WCET on ECU %d must be positive" i e;
+          if c > task.deadline then invalid "task %d: WCET %d exceeds deadline" i c)
+        task.wcets;
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n_tasks then invalid "task %d: unknown separation peer %d" i j)
+        task.separation;
+      List.iter
+        (fun m ->
+          if m.src <> i then invalid "task %d: message %d has src %d" i m.msg_id m.src;
+          if m.dst < 0 || m.dst >= n_tasks then
+            invalid "task %d: message to unknown task %d" i m.dst;
+          if m.bytes <= 0 then invalid "message %d: empty payload" m.msg_id;
+          if m.msg_deadline <= 0 then invalid "message %d: no deadline" m.msg_id)
+        task.messages)
+    tasks;
+  let topology =
+    Taskalloc_topology.Topology.create ~n_ecus:arch.n_ecus
+      ~media:(List.map (fun m -> m.ecus) arch.media)
+  in
+  { arch; tasks; topology }
+
+(* -- derived quantities -------------------------------------------------- *)
+
+(* ECUs the task may be placed on: those it has a WCET for, minus the
+   barred gateway ECUs (eq. 4's placement restriction). *)
+let allowed_ecus problem task =
+  List.filter_map
+    (fun (e, _) -> if List.mem e problem.arch.barred then None else Some e)
+    task.wcets
+
+let wcet_on task ecu =
+  match List.assoc_opt ecu task.wcets with
+  | Some c -> c
+  | None -> invalid "task %d has no WCET on ECU %d" task.task_id ecu
+
+(* Worst-case frame transmission time rho of a message on a medium. *)
+let frame_time medium msg = medium.frame_overhead + (medium.byte_time * msg.bytes)
+
+(* Best-case transmission time beta; with fixed frame layout it equals
+   the frame time (no error retransmissions modelled). *)
+let best_case_time = frame_time
+
+let medium_by_id problem k = List.nth problem.arch.media k
+
+(* All messages of the problem, indexed by msg_id. *)
+let all_messages problem =
+  let msgs =
+    Array.to_list problem.tasks |> List.concat_map (fun t -> t.messages)
+  in
+  let sorted = List.sort (fun a b -> Int.compare a.msg_id b.msg_id) msgs in
+  List.iteri
+    (fun i m -> if m.msg_id <> i then invalid "message ids must be dense (got %d at %d)" m.msg_id i)
+    sorted;
+  Array.of_list sorted
+
+(* Period of a message = period of its sender (it is queued at each
+   completion of the sending task). *)
+let message_period problem msg = problem.tasks.(msg.src).period
+
+(* -- priority orders ------------------------------------------------------ *)
+
+(* Deadline-monotonic priority for tasks (eqs. 9-10), ties broken by id:
+   [task_higher_prio a b] iff a has higher priority than b. *)
+let task_higher_prio a b =
+  a.deadline < b.deadline || (a.deadline = b.deadline && a.task_id < b.task_id)
+
+(* Messages are priority-ordered by deadline, ties by id. *)
+let msg_higher_prio a b =
+  a.msg_deadline < b.msg_deadline
+  || (a.msg_deadline = b.msg_deadline && a.msg_id < b.msg_id)
+
+(* -- allocations ----------------------------------------------------------- *)
+
+type route =
+  | Local (* sender and receiver share an ECU: no medium used *)
+  | Path of int list (* ordered media ids *)
+
+type allocation = {
+  task_ecu : int array; (* Pi *)
+  msg_route : route array; (* Gamma, by msg_id *)
+  slots : (int * int, int) Hashtbl.t; (* (medium, ecu) -> TDMA slot length *)
+  priority_rank : int array option;
+      (* Phi: total priority order (smaller rank = higher priority).
+         [None] means plain deadline-monotonic order with ties broken by
+         task id; the SAT encoder emits [Some] when it resolved
+         equal-deadline ties itself (eqs. 9-10). *)
+}
+
+(* Priority order actually in force under an allocation: the recorded
+   total order when present, deadline-monotonic otherwise. *)
+let higher_prio_under alloc a b =
+  match alloc.priority_rank with
+  | Some rank -> rank.(a.task_id) < rank.(b.task_id)
+  | None -> task_higher_prio a b
+
+let slot_length alloc ~medium ~ecu =
+  match Hashtbl.find_opt alloc.slots (medium, ecu) with
+  | Some s -> s
+  | None -> 0
+
+(* TDMA round length Lambda of a medium under an allocation. *)
+let round_length problem alloc k =
+  let medium = medium_by_id problem k in
+  List.fold_left (fun acc e -> acc + slot_length alloc ~medium:k ~ecu:e) 0 medium.ecus
+
+(* Station from which a message is emitted onto medium [k] of its path:
+   the sender's ECU on the first hop, the entry gateway afterwards. *)
+let station_on problem alloc msg k =
+  match alloc.msg_route.(msg.msg_id) with
+  | Local -> None
+  | Path path ->
+    let rec go prev = function
+      | [] -> None
+      | k' :: rest ->
+        if k' = k then
+          match prev with
+          | None -> Some alloc.task_ecu.(msg.src)
+          | Some p ->
+            (match Taskalloc_topology.Topology.gateway_between problem.topology p k with
+            | Some g -> Some g
+            | None -> invalid "route of message %d uses non-adjacent media" msg.msg_id)
+        else go (Some k') rest
+    in
+    go None path
+
+(* -- utilization ----------------------------------------------------------- *)
+
+let ecu_utilization_permille problem alloc e =
+  Array.fold_left
+    (fun acc task ->
+      if alloc.task_ecu.(task.task_id) = e then
+        acc + (wcet_on task e * 1000 / task.period)
+      else acc)
+    0 problem.tasks
+
+(* Bus load (the paper's U_CAN) of a medium in permille: the sum over
+   messages routed across it of rho/t. *)
+let medium_load_permille problem alloc k =
+  let medium = medium_by_id problem k in
+  let msgs = all_messages problem in
+  Array.fold_left
+    (fun acc msg ->
+      match alloc.msg_route.(msg.msg_id) with
+      | Path path when List.mem k path ->
+        acc + (frame_time medium msg * 1000 / message_period problem msg)
+      | _ -> acc)
+    0 msgs

@@ -1,0 +1,133 @@
+(** The system model of §2: architectures [A = (P, K, kappa)], task
+    sets [T] of tuples [(t_i, c_i, gamma_i, pi_i, delta_i, d_i)], and
+    allocations [(Pi, Phi, Gamma)].
+
+    All times are integers in an arbitrary tick.  A task's admissible
+    ECUs [pi_i] and WCET function [c_i] are combined in [wcets]: a task
+    may run exactly on the ECUs it has a WCET for, minus the globally
+    barred gateway ECUs. *)
+
+(** {1 Architecture} *)
+
+type medium_kind =
+  | Priority  (** CAN-like bus: global priority arbitration *)
+  | Tdma  (** token-ring/TTP-like: one slot per station per round *)
+
+type medium = {
+  med_id : int;
+  med_name : string;
+  kind : medium_kind;
+  ecus : int list;
+  byte_time : int;  (** ticks to transfer one byte *)
+  frame_overhead : int;  (** fixed ticks per frame *)
+}
+
+type arch = {
+  n_ecus : int;
+  media : medium list;
+  mem_capacity : int array;  (** per ECU; [max_int] = unconstrained *)
+  gateway_service : int;  (** store-and-forward ticks per gateway hop *)
+  barred : int list;  (** gateway-only ECUs: no application tasks *)
+}
+
+(** {1 Tasks and messages} *)
+
+type message = {
+  msg_id : int;  (** ids must be dense over the whole problem *)
+  src : int;
+  dst : int;
+  bytes : int;
+  msg_deadline : int;  (** Delta: end-to-end deadline *)
+}
+
+type task = {
+  task_id : int;  (** must equal the task's index in the problem *)
+  task_name : string;
+  period : int;
+  wcets : (int * int) list;  (** (ecu, wcet): c_i restricted to pi_i *)
+  deadline : int;
+  memory : int;
+  separation : int list;  (** delta_i: replica peers to place apart *)
+  messages : message list;  (** gamma_i *)
+  jitter : int;  (** release jitter J_i; the task may be released up to
+                     J_i ticks after its nominal arrival *)
+  blocking : int;  (** blocking factor B_i: longest non-preemptible
+                       lower-priority section delaying the task *)
+}
+
+type problem = {
+  arch : arch;
+  tasks : task array;
+  topology : Taskalloc_topology.Topology.t;
+}
+
+exception Invalid_model of string
+
+val invalid : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Invalid_model} with a formatted message. *)
+
+val make_problem : arch:arch -> tasks:task list -> problem
+(** Validate and assemble a problem.  Checks id density, positive
+    periods/deadlines/WCETs, reference ranges, and the topology
+    invariants.  Raises {!Invalid_model}. *)
+
+(** {1 Derived quantities} *)
+
+val allowed_ecus : problem -> task -> int list
+(** ECUs the task may be placed on (its WCET domain minus barred). *)
+
+val wcet_on : task -> int -> int
+(** Raises {!Invalid_model} if the task cannot run there. *)
+
+val frame_time : medium -> message -> int
+(** Worst-case transmission time rho of one frame. *)
+
+val best_case_time : medium -> message -> int
+(** Best-case transmission time beta (= rho here: fixed frame layout). *)
+
+val medium_by_id : problem -> int -> medium
+val all_messages : problem -> message array
+val message_period : problem -> message -> int
+
+(** {1 Priority orders} *)
+
+val task_higher_prio : task -> task -> bool
+(** Deadline-monotonic order, ties broken by id. *)
+
+val msg_higher_prio : message -> message -> bool
+(** Messages ordered by deadline, ties by id. *)
+
+(** {1 Allocations} *)
+
+type route =
+  | Local  (** endpoints co-located: no medium used *)
+  | Path of int list  (** ordered media ids *)
+
+type allocation = {
+  task_ecu : int array;  (** Pi *)
+  msg_route : route array;  (** Gamma, indexed by [msg_id] *)
+  slots : (int * int, int) Hashtbl.t;  (** (medium, ecu) -> slot length *)
+  priority_rank : int array option;
+      (** Phi: total priority order, smaller rank = higher priority.
+          [None] = deadline-monotonic with id tie-break; the SAT
+          encoder records [Some] with its own tie resolution. *)
+}
+
+val higher_prio_under : allocation -> task -> task -> bool
+(** Priority order in force under an allocation. *)
+
+val slot_length : allocation -> medium:int -> ecu:int -> int
+val round_length : problem -> allocation -> int -> int
+(** TDMA round Lambda of a medium (sum of its slots). *)
+
+val station_on : problem -> allocation -> message -> int -> int option
+(** Station emitting the message onto a medium of its route: the
+    sender's ECU on the first hop, the entry gateway afterwards. *)
+
+(** {1 Loads} *)
+
+val ecu_utilization_permille : problem -> allocation -> int -> int
+
+val medium_load_permille : problem -> allocation -> int -> int
+(** The paper's U_CAN: sum of rho/t over messages crossing the medium,
+    in permille. *)

@@ -1,0 +1,270 @@
+(* A plain-text problem format, so systems can be described without
+   writing OCaml.  Line-based; '#' starts a comment.
+
+     ecus 4
+     memory 0 20              # per-ECU capacity (omitted = unlimited)
+     gateway_service 2
+     barred 3                 # gateway-only ECU
+     medium ring0 tdma 1 2 0 1 2      # name kind byte_time overhead ecus...
+     medium can0 priority 1 5 2 3
+
+     task sensor 100 60 4     # name period deadline memory
+       wcet 0 12              # ecu wcet   (one line per admissible ECU)
+       separate processor     # replica separation, by task name
+       message processor 4 90 # dst bytes deadline
+
+   Tasks may reference later tasks; parsing is two-pass.  Message ids
+   are assigned in declaration order.  [print] emits the same format,
+   and [parse (print p)] reconstructs [p] exactly (up to hash-table
+   ordering), which the test suite checks by property. *)
+
+open Model
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* intermediate task representation with names instead of ids *)
+type draft_task = {
+  d_name : string;
+  d_period : int;
+  d_deadline : int;
+  d_memory : int;
+  mutable d_wcets : (int * int) list;
+  mutable d_separate : string list;
+  mutable d_messages : (string * int * int) list; (* dst, bytes, deadline *)
+  mutable d_jitter : int;
+  mutable d_blocking : int;
+}
+
+type draft = {
+  mutable n_ecus : int;
+  mutable memory : (int * int) list;
+  mutable gateway_service : int;
+  mutable barred : int list;
+  mutable media : (string * medium_kind * int * int * int list) list;
+  mutable tasks : draft_task list; (* reversed *)
+  mutable current : draft_task option;
+}
+
+let tokens_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_tok ln what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> parse_error ln "%s: expected an integer, got %S" what s
+
+let parse_lines lines =
+  let d =
+    {
+      n_ecus = 0;
+      memory = [];
+      gateway_service = 0;
+      barred = [];
+      media = [];
+      tasks = [];
+      current = None;
+    }
+  in
+  let finish_current () =
+    match d.current with
+    | Some t ->
+      if t.d_wcets = [] then
+        parse_error 0 "task %s: no wcet lines (no admissible ECU)" t.d_name;
+      d.tasks <- t :: d.tasks;
+      d.current <- None
+    | None -> ()
+  in
+  List.iteri
+    (fun idx line ->
+      let ln = idx + 1 in
+      match tokens_of_line line with
+      | [] -> ()
+      | "ecus" :: [ n ] -> d.n_ecus <- int_tok ln "ecus" n
+      | "memory" :: [ e; cap ] ->
+        d.memory <- (int_tok ln "memory ecu" e, int_tok ln "memory cap" cap) :: d.memory
+      | "gateway_service" :: [ g ] -> d.gateway_service <- int_tok ln "gateway_service" g
+      | "barred" :: ecus -> d.barred <- d.barred @ List.map (int_tok ln "barred") ecus
+      | "medium" :: name :: kind :: byte_time :: overhead :: ecus ->
+        let kind =
+          match String.lowercase_ascii kind with
+          | "tdma" | "token-ring" | "ttp" -> Tdma
+          | "priority" | "can" -> Priority
+          | k -> parse_error ln "unknown medium kind %S (tdma | priority)" k
+        in
+        if ecus = [] then parse_error ln "medium %s: no ECUs" name;
+        d.media <-
+          ( name,
+            kind,
+            int_tok ln "byte_time" byte_time,
+            int_tok ln "overhead" overhead,
+            List.map (int_tok ln "medium ecu") ecus )
+          :: d.media
+      | "task" :: name :: period :: deadline :: rest ->
+        finish_current ();
+        let memory = match rest with [ m ] -> int_tok ln "task memory" m | _ -> 1 in
+        d.current <-
+          Some
+            {
+              d_name = name;
+              d_period = int_tok ln "period" period;
+              d_deadline = int_tok ln "deadline" deadline;
+              d_memory = memory;
+              d_wcets = [];
+              d_separate = [];
+              d_messages = [];
+              d_jitter = 0;
+              d_blocking = 0;
+            }
+      | "jitter" :: [ j ] -> (
+        match d.current with
+        | Some t -> t.d_jitter <- int_tok ln "jitter" j
+        | None -> parse_error ln "jitter outside a task block")
+      | "blocking" :: [ b ] -> (
+        match d.current with
+        | Some t -> t.d_blocking <- int_tok ln "blocking" b
+        | None -> parse_error ln "blocking outside a task block")
+      | "wcet" :: [ e; c ] -> (
+        match d.current with
+        | Some t -> t.d_wcets <- t.d_wcets @ [ (int_tok ln "wcet ecu" e, int_tok ln "wcet" c) ]
+        | None -> parse_error ln "wcet outside a task block")
+      | "separate" :: [ peer ] -> (
+        match d.current with
+        | Some t -> t.d_separate <- t.d_separate @ [ peer ]
+        | None -> parse_error ln "separate outside a task block")
+      | "message" :: [ dst; bytes; deadline ] -> (
+        match d.current with
+        | Some t ->
+          t.d_messages <-
+            t.d_messages
+            @ [ (dst, int_tok ln "bytes" bytes, int_tok ln "message deadline" deadline) ]
+        | None -> parse_error ln "message outside a task block")
+      | tok :: _ -> parse_error ln "unknown directive %S" tok)
+    lines;
+  finish_current ();
+  if d.n_ecus <= 0 then parse_error 0 "missing or invalid 'ecus' directive";
+  if d.media = [] then parse_error 0 "no media declared";
+  d
+
+let to_problem d =
+  let media =
+    List.rev d.media
+    |> List.mapi (fun i (name, kind, byte_time, overhead, ecus) ->
+           {
+             med_id = i;
+             med_name = name;
+             kind;
+             ecus;
+             byte_time;
+             frame_overhead = overhead;
+           })
+  in
+  let mem_capacity = Array.make d.n_ecus max_int in
+  List.iter (fun (e, cap) ->
+      if e < 0 || e >= d.n_ecus then parse_error 0 "memory: unknown ECU %d" e;
+      mem_capacity.(e) <- cap)
+    d.memory;
+  let arch =
+    {
+      n_ecus = d.n_ecus;
+      media;
+      mem_capacity;
+      gateway_service = d.gateway_service;
+      barred = List.sort_uniq Int.compare d.barred;
+    }
+  in
+  let drafts = Array.of_list (List.rev d.tasks) in
+  let index_of name =
+    let rec go i =
+      if i >= Array.length drafts then parse_error 0 "unknown task name %S" name
+      else if drafts.(i).d_name = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let next_msg = ref 0 in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i t ->
+           {
+             task_id = i;
+             task_name = t.d_name;
+             period = t.d_period;
+             wcets = t.d_wcets;
+             deadline = t.d_deadline;
+             memory = t.d_memory;
+             separation = List.map index_of t.d_separate;
+             jitter = t.d_jitter;
+             blocking = t.d_blocking;
+             messages =
+               List.map
+                 (fun (dst, bytes, deadline) ->
+                   let id = !next_msg in
+                   incr next_msg;
+                   { msg_id = id; src = i; dst = index_of dst; bytes; msg_deadline = deadline })
+                 t.d_messages;
+           })
+         drafts)
+  in
+  make_problem ~arch ~tasks
+
+let parse_string s = to_problem (parse_lines (String.split_on_char '\n' s))
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+(* -- printing -------------------------------------------------------------- *)
+
+let print ppf (problem : problem) =
+  let arch = problem.arch in
+  Fmt.pf ppf "# taskalloc problem file@.";
+  Fmt.pf ppf "ecus %d@." arch.n_ecus;
+  Array.iteri
+    (fun e cap -> if cap < max_int then Fmt.pf ppf "memory %d %d@." e cap)
+    arch.mem_capacity;
+  if arch.gateway_service > 0 then Fmt.pf ppf "gateway_service %d@." arch.gateway_service;
+  List.iter (fun e -> Fmt.pf ppf "barred %d@." e) arch.barred;
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "medium %s %s %d %d %a@." m.med_name
+        (match m.kind with Tdma -> "tdma" | Priority -> "priority")
+        m.byte_time m.frame_overhead
+        Fmt.(list ~sep:(any " ") int)
+        m.ecus)
+    arch.media;
+  Array.iter
+    (fun t ->
+      Fmt.pf ppf "@.task %s %d %d %d@." t.task_name t.period t.deadline t.memory;
+      if t.jitter > 0 then Fmt.pf ppf "  jitter %d@." t.jitter;
+      if t.blocking > 0 then Fmt.pf ppf "  blocking %d@." t.blocking;
+      List.iter (fun (e, c) -> Fmt.pf ppf "  wcet %d %d@." e c) t.wcets;
+      List.iter
+        (fun j -> Fmt.pf ppf "  separate %s@." problem.tasks.(j).task_name)
+        t.separation;
+      List.iter
+        (fun m ->
+          Fmt.pf ppf "  message %s %d %d@." problem.tasks.(m.dst).task_name m.bytes
+            m.msg_deadline)
+        t.messages)
+    problem.tasks
+
+let to_string problem = Fmt.str "%a" print problem
+
+let write_file path problem =
+  let oc = open_out path in
+  output_string oc (to_string problem);
+  close_out oc

@@ -1,0 +1,37 @@
+(** Plain-text problem files, so systems can be described without
+    writing OCaml.  The format is line-based with ['#'] comments:
+
+    {v
+    ecus 4
+    memory 0 20              # per-ECU capacity (omitted = unlimited)
+    gateway_service 2
+    barred 3                 # gateway-only ECU
+    medium ring0 tdma 1 2 0 1 2      # name kind byte_time overhead ecus...
+    medium can0 priority 1 5 2 3
+
+    task sensor 100 60 4     # name period deadline memory
+      wcet 0 12              # ecu wcet (one line per admissible ECU)
+      jitter 2               # optional release jitter (default 0)
+      blocking 1             # optional blocking factor (default 0)
+      separate processor     # replica separation, by task name
+      message processor 4 90 # dst bytes deadline
+    v}
+
+    Medium kinds: [tdma] (aliases [token-ring], [ttp]) and [priority]
+    (alias [can]).  Tasks may reference tasks declared later.  Message
+    ids are assigned in declaration order. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Model.problem
+(** Raises {!Parse_error} on syntax errors and
+    {!Model.Invalid_model} on semantic ones. *)
+
+val parse_file : string -> Model.problem
+
+val print : Format.formatter -> Model.problem -> unit
+(** Emit the same format; [parse_string (to_string p)] reconstructs
+    [p]. *)
+
+val to_string : Model.problem -> string
+val write_file : string -> Model.problem -> unit

@@ -1,0 +1,66 @@
+(* Deterministic route and slot completion: given only a task placement,
+   derive a full allocation by routing every message over a shortest
+   admissible media path and sizing every TDMA slot to the largest frame
+   its station emits (minimum one tick, since the token visits every
+   station).  This is the completion used by the heuristic baselines and
+   by the workload generator's feasibility witness; the SAT encoder, in
+   contrast, optimizes routes and slots freely. *)
+
+open Model
+open Taskalloc_topology
+
+exception No_route of int (* msg_id *)
+
+let shortest_path topo ~src_ecu ~dst_ecu =
+  Topology.simple_paths topo
+  |> List.filter (fun path ->
+         let senders, receivers = Topology.endpoint_ecus topo path in
+         List.mem src_ecu senders && List.mem dst_ecu receivers)
+  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
+  |> function
+  | [] -> None
+  | p :: _ -> Some p
+
+(* Complete a placement into a full allocation. *)
+let complete (problem : problem) (placement : int array) : allocation =
+  let topo = problem.topology in
+  let msgs = all_messages problem in
+  let msg_route =
+    Array.map
+      (fun (m : message) ->
+        let se = placement.(m.src) and de = placement.(m.dst) in
+        if se = de then Local
+        else
+          match shortest_path topo ~src_ecu:se ~dst_ecu:de with
+          | Some p -> Path p
+          | None -> raise (No_route m.msg_id))
+      msgs
+  in
+  let slots = Hashtbl.create 16 in
+  let partial = { task_ecu = placement; msg_route; slots; priority_rank = None } in
+  List.iter
+    (fun medium ->
+      match medium.kind with
+      | Priority -> ()
+      | Tdma ->
+        List.iter
+          (fun e ->
+            (* size the slot to the station's whole queue: with one slot
+               per round the station can then drain every pending frame
+               each rotation, which keeps the eq. 3 fixed point bounded
+               whenever message periods exceed the round length *)
+            let needed =
+              Array.fold_left
+                (fun acc (m : message) ->
+                  match msg_route.(m.msg_id) with
+                  | Path p when List.mem medium.med_id p ->
+                    (match station_on problem partial m medium.med_id with
+                    | Some s when s = e -> acc + frame_time medium m
+                    | _ -> acc)
+                  | _ -> acc)
+                0 msgs
+            in
+            Hashtbl.replace slots (medium.med_id, e) (max 1 needed))
+          medium.ecus)
+    problem.arch.media;
+  { task_ecu = placement; msg_route; slots; priority_rank = None }

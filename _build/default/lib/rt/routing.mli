@@ -1,0 +1,19 @@
+(** Deterministic completion of a task placement into a full
+    allocation: shortest admissible media routes and TDMA slots sized
+    to each station's whole frame queue (so the eq. 3 fixed point stays
+    bounded whenever message periods exceed the round).  Used by the
+    heuristic baselines and the workload generator's witness; the SAT
+    encoder optimizes routes and slots freely instead. *)
+
+open Model
+
+exception No_route of int
+(** No admissible media path exists for this message id. *)
+
+val shortest_path :
+  Taskalloc_topology.Topology.t -> src_ecu:int -> dst_ecu:int -> int list option
+(** Shortest simple media path whose [v(h)] endpoints admit the given
+    ECUs. *)
+
+val complete : problem -> int array -> allocation
+(** Complete a placement.  Raises {!No_route}. *)

@@ -1,0 +1,329 @@
+(* Tick-level discrete-event simulation of an allocated system.
+
+   Complements the analytical fixed points of {!Analysis} with an
+   executable model: every ECU runs a preemptive fixed-priority
+   scheduler over its assigned tasks; TDMA media rotate through their
+   slot table; priority media arbitrate the highest-priority pending
+   frame bus-wide; gateways store and forward between media.  All tasks
+   are released synchronously at t = 0 (the critical instant), then
+   strictly periodically.
+
+   The simulation observes response times and end-to-end message
+   latencies; because the analysis is a worst-case bound, the test
+   suite asserts [observed <= analyzed] for every task and message, and
+   that no deadline is missed when the checker declared the allocation
+   feasible.  A violation of either would expose a bug in the analysis
+   or the encoder. *)
+
+open Model
+
+type trace = {
+  horizon : int;
+  task_max_response : int array; (* per task id; 0 if never completed *)
+  task_activations : int array;
+  msg_max_latency : int array; (* per msg id; 0 if never delivered *)
+  msg_deliveries : int array;
+  deadline_misses : (string * int) list; (* description, time *)
+}
+
+(* a pending job on an ECU *)
+type job = {
+  j_task : int;
+  j_release : int;
+  mutable j_remaining : int;
+}
+
+(* a frame in flight *)
+type frame = {
+  f_msg : int;
+  f_queued : int; (* time it entered the current station queue *)
+  f_origin : int; (* time the message left the sending task *)
+  mutable f_remaining : int; (* transmission ticks left on this medium *)
+  f_path : int list; (* remaining media (head = current) *)
+  f_station : int; (* emitting ECU on the current medium *)
+}
+
+let default_horizon problem =
+  let max_period =
+    Array.fold_left (fun m t -> max m t.period) 1 problem.tasks
+  in
+  (* a few hyper-ish periods; enough for max response observation on the
+     small instances the simulator targets *)
+  8 * max_period
+
+(* [offsets] shifts each task's first release (default: all zero, the
+   synchronous critical instant).  Phased runs observe lower or equal
+   response times; the property suite uses them to probe the analysis
+   from many alignments. *)
+let simulate ?horizon ?offsets (problem : problem) (alloc : allocation) : trace =
+  let horizon = match horizon with Some h -> h | None -> default_horizon problem in
+  let offsets =
+    match offsets with
+    | Some o ->
+      if Array.length o <> Array.length problem.tasks then
+        invalid "simulate: offsets length mismatch";
+      o
+    | None -> Array.make (Array.length problem.tasks) 0
+  in
+  let n_tasks = Array.length problem.tasks in
+  let msgs = all_messages problem in
+  let n_msgs = Array.length msgs in
+  let trace =
+    {
+      horizon;
+      task_max_response = Array.make n_tasks 0;
+      task_activations = Array.make n_tasks 0;
+      msg_max_latency = Array.make n_msgs 0;
+      msg_deliveries = Array.make n_msgs 0;
+      deadline_misses = [];
+    }
+  in
+  let misses = ref [] in
+  let miss fmt = Fmt.kstr (fun s t -> misses := (s, t) :: !misses) fmt in
+
+  (* per-ECU ready queues *)
+  let ready : job list array = Array.make problem.arch.n_ecus [] in
+  (* per-medium, per-station frame queues; and the in-flight frame on
+     priority media *)
+  let media = Array.of_list problem.arch.media in
+  let station_queues : (int, frame list) Hashtbl.t = Hashtbl.create 16 in
+  let queue_key k e = (k * 1024) + e in
+  let get_queue k e = try Hashtbl.find station_queues (queue_key k e) with Not_found -> [] in
+  let set_queue k e q = Hashtbl.replace station_queues (queue_key k e) q in
+  let bus_busy : frame option array = Array.make (Array.length media) None in
+  (* gateway store-and-forward delays: (ready_time, frame, next_station) *)
+  let gateway_pending : (int * frame * int) list ref = ref [] in
+
+  (* TDMA slot table: for medium k, [slot_owner k offset] gives the ECU
+     whose slot covers the round offset *)
+  let slot_tables =
+    Array.mapi
+      (fun k medium ->
+        match medium.kind with
+        | Priority -> [||]
+        | Tdma ->
+          let total = round_length problem alloc k in
+          let table = Array.make (max total 1) (-1) in
+          let pos = ref 0 in
+          List.iter
+            (fun e ->
+              let len = slot_length alloc ~medium:k ~ecu:e in
+              for _ = 1 to len do
+                if !pos < Array.length table then begin
+                  table.(!pos) <- e;
+                  incr pos
+                end
+              done)
+            medium.ecus;
+          table)
+      media
+  in
+
+  let msg_prio_order a b =
+    if msg_higher_prio msgs.(a.f_msg) msgs.(b.f_msg) then -1 else 1
+  in
+
+  (* deliver or forward a frame whose transmission just finished at [t] *)
+  let finish_frame t (f : frame) =
+    match f.f_path with
+    | [] -> assert false
+    | _ :: [] ->
+      (* final medium: delivered *)
+      let latency = t - f.f_origin in
+      trace.msg_max_latency.(f.f_msg) <- max trace.msg_max_latency.(f.f_msg) latency;
+      trace.msg_deliveries.(f.f_msg) <- trace.msg_deliveries.(f.f_msg) + 1;
+      if latency > msgs.(f.f_msg).msg_deadline then
+        miss "message %d latency %d > %d" f.f_msg latency msgs.(f.f_msg).msg_deadline t
+    | current :: (next :: _ as rest) ->
+      (* hop through the gateway onto the next medium *)
+      let gw =
+        match Taskalloc_topology.Topology.gateway_between problem.topology current next with
+        | Some g -> g
+        | None -> invalid "simulated route hops non-adjacent media"
+      in
+      let medium = media.(next) in
+      let f' =
+        {
+          f with
+          f_path = rest;
+          f_station = gw;
+          f_queued = t + problem.arch.gateway_service;
+          f_remaining = frame_time medium msgs.(f.f_msg);
+        }
+      in
+      gateway_pending := (t + problem.arch.gateway_service, f', gw) :: !gateway_pending
+  in
+
+  (* queue a message when its sender completes at [t] *)
+  let send_message t (m : message) =
+    match alloc.msg_route.(m.msg_id) with
+    | Local ->
+      trace.msg_max_latency.(m.msg_id) <- max trace.msg_max_latency.(m.msg_id) 0;
+      trace.msg_deliveries.(m.msg_id) <- trace.msg_deliveries.(m.msg_id) + 1
+    | Path (first :: _ as path) ->
+      let station = alloc.task_ecu.(m.src) in
+      let medium = media.(first) in
+      let f =
+        {
+          f_msg = m.msg_id;
+          f_queued = t;
+          f_origin = t;
+          f_remaining = frame_time medium m;
+          f_path = path;
+          f_station = station;
+        }
+      in
+      set_queue first station (List.sort msg_prio_order (f :: get_queue first station))
+    | Path [] -> invalid "empty route in simulation"
+  in
+
+  (* main loop: one tick at a time *)
+  for t = 0 to horizon - 1 do
+    (* 0. release gateway-forwarded frames whose service delay elapsed *)
+    let ready_now, still =
+      List.partition (fun (rt, _, _) -> rt <= t) !gateway_pending
+    in
+    gateway_pending := still;
+    List.iter
+      (fun (_, f, station) ->
+        let k = List.hd f.f_path in
+        set_queue k station (List.sort msg_prio_order (f :: get_queue k station)))
+      ready_now;
+
+    (* 1. periodic task releases *)
+    Array.iter
+      (fun task ->
+        let off = offsets.(task.task_id) in
+        if t >= off && (t - off) mod task.period = 0 then begin
+          let e = alloc.task_ecu.(task.task_id) in
+          (* an unfinished previous job of the same task is a miss *)
+          if List.exists (fun j -> j.j_task = task.task_id) ready.(e) then
+            miss "task %d re-released while pending" task.task_id t;
+          trace.task_activations.(task.task_id) <-
+            trace.task_activations.(task.task_id) + 1;
+          ready.(e) <-
+            { j_task = task.task_id; j_release = t; j_remaining = wcet_on task e }
+            :: ready.(e)
+        end)
+      problem.tasks;
+
+    (* 2. one tick of CPU on every ECU: run the highest-priority job *)
+    for e = 0 to problem.arch.n_ecus - 1 do
+      match
+        List.sort
+          (fun a b ->
+            if
+              higher_prio_under alloc problem.tasks.(a.j_task) problem.tasks.(b.j_task)
+            then -1
+            else 1)
+          ready.(e)
+      with
+      | [] -> ()
+      | top :: _ ->
+        top.j_remaining <- top.j_remaining - 1;
+        if top.j_remaining = 0 then begin
+          let task = problem.tasks.(top.j_task) in
+          let response = t + 1 - top.j_release in
+          trace.task_max_response.(top.j_task) <-
+            max trace.task_max_response.(top.j_task) response;
+          if response > task.deadline then
+            miss "task %d response %d > %d" top.j_task response task.deadline t;
+          ready.(e) <- List.filter (fun j -> j != top) ready.(e);
+          (* completion queues the task's messages *)
+          List.iter (send_message (t + 1)) task.messages
+        end
+    done;
+
+    (* 3. one tick of every medium *)
+    Array.iteri
+      (fun k medium ->
+        match medium.kind with
+        | Priority -> (
+          match bus_busy.(k) with
+          | Some f ->
+            f.f_remaining <- f.f_remaining - 1;
+            if f.f_remaining = 0 then begin
+              bus_busy.(k) <- None;
+              finish_frame (t + 1) f
+            end
+          | None ->
+            (* arbitration: highest-priority frame over all stations *)
+            let candidates =
+              List.concat_map (fun e -> get_queue k e) medium.ecus
+              |> List.sort msg_prio_order
+            in
+            (match candidates with
+            | [] -> ()
+            | f :: _ ->
+              set_queue k f.f_station
+                (List.filter (fun g -> g != f) (get_queue k f.f_station));
+              f.f_remaining <- f.f_remaining - 1;
+              if f.f_remaining = 0 then finish_frame (t + 1) f
+              else bus_busy.(k) <- Some f))
+        | Tdma ->
+          let table = slot_tables.(k) in
+          let round = Array.length table in
+          if round > 0 then begin
+            let owner = table.(t mod round) in
+            (match bus_busy.(k) with
+            | Some f when f.f_station = owner ->
+              f.f_remaining <- f.f_remaining - 1;
+              if f.f_remaining = 0 then begin
+                bus_busy.(k) <- None;
+                finish_frame (t + 1) f
+              end
+            | Some _ ->
+              (* slot changed under an unfinished frame: the slot was too
+                 small; drop the transmission back into the queue *)
+              (match bus_busy.(k) with
+              | Some f ->
+                miss "frame of message %d overran its slot" f.f_msg t;
+                bus_busy.(k) <- None;
+                let m = msgs.(f.f_msg) in
+                let f = { f with f_remaining = frame_time medium m } in
+                set_queue k f.f_station
+                  (List.sort msg_prio_order (f :: get_queue k f.f_station))
+              | None -> ())
+            | None -> (
+              (* start the owner's next frame if it fits the remaining
+                 window of this slot occurrence *)
+              match get_queue k owner with
+              | [] -> ()
+              | f :: rest ->
+                (* remaining contiguous ticks owned by this station *)
+                let rec window i =
+                  if i >= round || table.(i) <> owner then 0 else 1 + window (i + 1)
+                in
+                let remaining_window = window (t mod round) in
+                if f.f_remaining <= remaining_window then begin
+                  set_queue k owner rest;
+                  f.f_remaining <- f.f_remaining - 1;
+                  if f.f_remaining = 0 then finish_frame (t + 1) f
+                  else bus_busy.(k) <- Some f
+                end))
+          end)
+      media
+  done;
+  (* starvation check: a routed message whose sender ran repeatedly but
+     which was never delivered (e.g. its frame can never fit any slot
+     window) would otherwise fail silently *)
+  Array.iteri
+    (fun i (m : message) ->
+      match alloc.msg_route.(i) with
+      | Path _ when trace.msg_deliveries.(i) = 0 && trace.task_activations.(m.src) > 1
+        ->
+        miss "message %d starved (never delivered)" i horizon
+      | _ -> ())
+    msgs;
+  { trace with deadline_misses = List.rev !misses }
+
+(* Convenience: did the simulation observe any deadline miss? *)
+let missed trace = trace.deadline_misses <> []
+
+let pp_trace ppf trace =
+  Fmt.pf ppf "horizon=%d" trace.horizon;
+  if trace.deadline_misses = [] then Fmt.pf ppf " no-misses"
+  else
+    List.iter
+      (fun (s, t) -> Fmt.pf ppf "@.  MISS at %d: %s" t s)
+      trace.deadline_misses

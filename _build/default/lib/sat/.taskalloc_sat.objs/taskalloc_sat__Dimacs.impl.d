@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Fmt List Lit Solver Stdlib String

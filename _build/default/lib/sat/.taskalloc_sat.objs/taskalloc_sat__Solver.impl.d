@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Float Int List Lit Luby Order_heap Vec Veci

@@ -1,0 +1,1 @@
+lib/sat/veci.ml: Array List

@@ -1,0 +1,69 @@
+(* DIMACS CNF reading and writing, plus a tiny OPB-like format for
+   pseudo-Boolean problems.  Used by the [dimacs_solve] and [pbsolve]
+   command-line tools and by the test suite for golden problems. *)
+
+type cnf = {
+  num_vars : int;
+  clauses : int list list; (* DIMACS integers: +-(var+1) *)
+}
+
+let parse_string s =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun x -> x <> "") with
+        | [ "p"; "cnf"; nv; _nc ] -> num_vars := int_of_string nv
+        | _ -> failwith "Dimacs.parse_string: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun x -> x <> "")
+        |> List.iter (fun tok ->
+               let n = int_of_string tok in
+               if n = 0 then begin
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               end
+               else begin
+                 num_vars := max !num_vars (Stdlib.abs n);
+                 current := n :: !current
+               end))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let print_cnf ppf { num_vars; clauses } =
+  Fmt.pf ppf "p cnf %d %d@." num_vars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Fmt.pf ppf "%d " l) c;
+      Fmt.pf ppf "0@.")
+    clauses
+
+(* Load a CNF into a fresh solver; returns the solver and the number of
+   variables (variable i of the file is solver variable i-1). *)
+let load cnf =
+  let s = Solver.create () in
+  for _ = 1 to cnf.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) cnf.clauses;
+  s
+
+let solve_string str =
+  let cnf = parse_string str in
+  let s = load cnf in
+  (Solver.solve s, s)

@@ -1,0 +1,23 @@
+(** DIMACS CNF reading, writing and solving. *)
+
+type cnf = {
+  num_vars : int;
+  clauses : int list list;  (** DIMACS integer literals: [+-(var+1)] *)
+}
+
+val parse_string : string -> cnf
+(** Parse DIMACS CNF text.  Comment ([c]) and [%] lines are skipped;
+    the [p cnf] header is optional (variable count is then inferred).
+    Raises [Failure] on a malformed problem line. *)
+
+val parse_file : string -> cnf
+
+val print_cnf : Format.formatter -> cnf -> unit
+(** Print in standard DIMACS format, including the [p cnf] header. *)
+
+val load : cnf -> Solver.t
+(** Load into a fresh solver; file variable [i] becomes solver variable
+    [i-1]. *)
+
+val solve_string : string -> Solver.result * Solver.t
+(** Convenience: parse, load and solve in one step. *)

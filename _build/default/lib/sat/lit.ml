@@ -1,0 +1,31 @@
+(* Literals are packed integers: variable [v] yields the positive literal
+   [2*v] and the negative literal [2*v+1].  This is the classic MiniSat
+   representation; it makes watch lists indexable by literal. *)
+
+type t = int
+
+let of_var ?(sign = true) v =
+  assert (v >= 0);
+  if sign then 2 * v else (2 * v) + 1
+
+let var (l : t) = l lsr 1
+
+(* [true] iff the literal is the positive occurrence of its variable. *)
+let sign (l : t) = l land 1 = 0
+
+let neg (l : t) : t = l lxor 1
+
+let abs (l : t) : t = l land lnot 1
+
+let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal
+
+(* DIMACS integer form: variable [v] is [v+1], negation is [-]. *)
+let to_dimacs (l : t) = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs n =
+  assert (n <> 0);
+  if n > 0 then of_var (n - 1) else of_var ~sign:false (-n - 1)
+
+let pp ppf l = Fmt.int ppf (to_dimacs l)
+let to_string l = string_of_int (to_dimacs l)

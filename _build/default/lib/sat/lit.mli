@@ -1,0 +1,37 @@
+(** Literals over Boolean variables.
+
+    A literal is a packed integer: variable [v] yields the positive
+    literal [2*v] and the negative literal [2*v+1] (the MiniSat
+    convention), so watch lists can be indexed directly by literal. *)
+
+type t = int
+
+val of_var : ?sign:bool -> int -> t
+(** [of_var v] is the positive literal of variable [v];
+    [of_var ~sign:false v] the negative one.  [v] must be
+    non-negative. *)
+
+val var : t -> int
+(** Variable underlying a literal. *)
+
+val sign : t -> bool
+(** [true] iff the literal is the positive occurrence of its variable. *)
+
+val neg : t -> t
+(** Complement literal. *)
+
+val abs : t -> t
+(** The positive literal of the same variable. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_dimacs : t -> int
+(** DIMACS integer form: variable [v] maps to [v+1]; negative literals
+    are negative integers. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Raises on [0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,27 @@
+(* The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+   [get i] returns the i-th element (0-based).  Restart limits are
+   [base * get i] conflicts for the i-th restart.  Standard iterative
+   formulation after Een & Sorensson's MiniSat. *)
+
+let get i =
+  assert (i >= 0);
+  (* Find the finite subsequence that contains index i, and the size of
+     that subsequence. *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let i = ref i and result = ref 0 and continue = ref true in
+  while !continue do
+    if !size - 1 = !i then begin
+      result := 1 lsl !seq;
+      continue := false
+    end
+    else begin
+      size := (!size - 1) / 2;
+      decr seq;
+      i := !i mod !size
+    end
+  done;
+  !result

@@ -1,0 +1,5 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+
+val get : int -> int
+(** [get i] is the i-th element (0-based).  The solver restarts after
+    [base * get i] conflicts in its i-th episode. *)

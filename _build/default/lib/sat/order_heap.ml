@@ -1,0 +1,89 @@
+(* Binary max-heap over variables ordered by VSIDS activity.  The heap
+   stores variable indices; [indices.(v)] gives v's position in the heap
+   (or -1 when absent), enabling O(log n) increase-key when a variable's
+   activity is bumped. *)
+
+type t = {
+  mutable heap : int array;
+  mutable indices : int array; (* var -> heap position, -1 if absent *)
+  mutable size : int;
+  activity : float array ref;  (* shared with the solver; grows with vars *)
+}
+
+let create activity =
+  { heap = Array.make 16 0; indices = Array.make 16 (-1); size = 0; activity }
+
+let ensure_var t v =
+  let n = Array.length t.indices in
+  if v >= n then begin
+    let m = max (2 * n) (v + 1) in
+    let indices = Array.make m (-1) in
+    Array.blit t.indices 0 indices 0 n;
+    t.indices <- indices
+  end
+
+let in_heap t v = v < Array.length t.indices && t.indices.(v) >= 0
+let is_empty t = t.size = 0
+let size t = t.size
+
+let lt t u v = !(t.activity).(u) > !(t.activity).(v) (* max-heap on activity *)
+
+let percolate_up t i =
+  let x = t.heap.(i) in
+  let i = ref i in
+  while !i > 0 && lt t x t.heap.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    t.heap.(!i) <- t.heap.(parent);
+    t.indices.(t.heap.(!i)) <- !i;
+    i := parent
+  done;
+  t.heap.(!i) <- x;
+  t.indices.(x) <- !i
+
+let percolate_down t i =
+  let x = t.heap.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && (2 * !i) + 1 < t.size do
+    let l = (2 * !i) + 1 in
+    let child =
+      if l + 1 < t.size && lt t t.heap.(l + 1) t.heap.(l) then l + 1 else l
+    in
+    if lt t t.heap.(child) x then begin
+      t.heap.(!i) <- t.heap.(child);
+      t.indices.(t.heap.(!i)) <- !i;
+      i := child
+    end
+    else continue := false
+  done;
+  t.heap.(!i) <- x;
+  t.indices.(x) <- !i
+
+let insert t v =
+  ensure_var t v;
+  if not (in_heap t v) then begin
+    if t.size = Array.length t.heap then begin
+      let heap = Array.make (2 * t.size) 0 in
+      Array.blit t.heap 0 heap 0 t.size;
+      t.heap <- heap
+    end;
+    t.heap.(t.size) <- v;
+    t.indices.(v) <- t.size;
+    t.size <- t.size + 1;
+    percolate_up t (t.size - 1)
+  end
+
+(* Restore heap order for [v] after its activity increased. *)
+let decrease t v = if in_heap t v then percolate_up t t.indices.(v)
+
+let remove_max t =
+  assert (t.size > 0);
+  let x = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.indices.(x) <- -1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.indices.(t.heap.(0)) <- 0;
+    percolate_down t 0
+  end;
+  x

@@ -1,0 +1,22 @@
+(** Binary max-heap over variables keyed by VSIDS activity, with an
+    index array enabling O(log n) increase-key when a variable's
+    activity is bumped. *)
+
+type t
+
+val create : float array ref -> t
+(** The activity array is shared with the solver and may be replaced
+    (hence the ref) as the variable count grows. *)
+
+val insert : t -> int -> unit
+(** No-op when the variable is already present. *)
+
+val in_heap : t -> int -> bool
+val is_empty : t -> bool
+val size : t -> int
+
+val decrease : t -> int -> unit
+(** Restore heap order for a variable whose activity increased. *)
+
+val remove_max : t -> int
+(** Pop the variable with the highest activity. *)

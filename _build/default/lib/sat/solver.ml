@@ -1,0 +1,706 @@
+(* A CDCL SAT solver with native pseudo-Boolean (PB) constraints.
+
+   The clause part follows MiniSat: two-watched literals, first-UIP
+   conflict analysis with clause learning, VSIDS branching with phase
+   saving, Luby restarts and activity-based learnt-clause deletion.
+
+   PB constraints [sum a_i * l_i >= b] (a_i > 0) are propagated with the
+   counter method: each constraint keeps its slack
+   [sum over non-false l_i of a_i - b], updated eagerly on assignment
+   and unassignment.  A constraint is conflicting when slack < 0 and
+   propagates every unassigned literal whose coefficient exceeds the
+   slack.  Conflict analysis sees PB constraints through clausal
+   explanations (the propagated literal together with the literals of
+   the constraint that were false at propagation time), which keeps the
+   learning machinery purely clausal and sound.  This mirrors the
+   GOBLIN-style PB engine the paper relies on. *)
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type pb = {
+  coeffs : int array; (* positive, parallel to [plits] *)
+  plits : int array;
+  degree : int; (* b in sum a_i l_i >= b *)
+  mutable slack : int;
+  max_coeff : int;
+}
+
+type pb_watch = { pbc : pb; w_coeff : int }
+
+type reason = No_reason | Reason_clause of clause | Reason_pb of pb
+
+type result = Sat | Unsat | Unknown
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = true }
+let dummy_pb = { coeffs = [||]; plits = [||]; degree = 0; slack = 0; max_coeff = 0 }
+let dummy_pbw = { pbc = dummy_pb; w_coeff = 0 }
+
+type t = {
+  mutable ok : bool;
+  mutable nvars : int;
+  (* per-variable state, grown on demand *)
+  mutable assigns : int array; (* 0 unassigned, 1 true, -1 false *)
+  mutable level : int array;
+  mutable reason : reason array;
+  mutable trail_pos : int array;
+  mutable polarity : bool array; (* saved phase: last assigned sign *)
+  mutable seen : bool array;
+  activity : float array ref;
+  order : Order_heap.t;
+  (* per-literal watch lists *)
+  mutable watches : clause Vec.t array;
+  mutable pb_watches : pb_watch Vec.t array;
+  (* constraint database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  pbs : pb Vec.t;
+  (* assignment trail *)
+  trail : Veci.t;
+  trail_lim : Veci.t;
+  mutable qhead : int;
+  (* heuristics *)
+  mutable var_inc : float;
+  var_decay : float;
+  mutable cla_inc : float;
+  cla_decay : float;
+  mutable max_learnts : float;
+  (* statistics *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable lit_count : int; (* total input literal occurrences, for reporting *)
+  (* model of the last Sat answer *)
+  mutable model : bool array;
+  (* scratch buffers *)
+  explain_buf : Veci.t;
+  learnt_buf : Veci.t;
+}
+
+let create () =
+  let activity = ref (Array.make 16 0.) in
+  {
+    ok = true;
+    nvars = 0;
+    assigns = Array.make 16 0;
+    level = Array.make 16 0;
+    reason = Array.make 16 No_reason;
+    trail_pos = Array.make 16 0;
+    polarity = Array.make 16 false;
+    seen = Array.make 16 false;
+    activity;
+    order = Order_heap.create activity;
+    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    pb_watches = Array.init 32 (fun _ -> Vec.create dummy_pbw);
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    pbs = Vec.create dummy_pb;
+    trail = Veci.create ();
+    trail_lim = Veci.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    var_decay = 1.0 /. 0.95;
+    cla_inc = 1.0;
+    cla_decay = 1.0 /. 0.999;
+    max_learnts = 0.;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    lit_count = 0;
+    model = [||];
+    explain_buf = Veci.create ();
+    learnt_buf = Veci.create ();
+  }
+
+let n_vars t = t.nvars
+let n_clauses t = Vec.size t.clauses
+let n_pbs t = Vec.size t.pbs
+let n_learnts t = Vec.size t.learnts
+let n_conflicts t = t.conflicts
+let n_decisions t = t.decisions
+let n_propagations t = t.propagations
+let n_restarts t = t.restarts
+let n_literals t = t.lit_count
+let ok t = t.ok
+
+let grow_arrays t cap =
+  let old = Array.length t.assigns in
+  if cap > old then begin
+    let n = max cap (2 * old) in
+    let copy a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    t.assigns <- copy t.assigns 0;
+    t.level <- copy t.level 0;
+    t.reason <- (let b = Array.make n No_reason in Array.blit t.reason 0 b 0 old; b);
+    t.trail_pos <- copy t.trail_pos 0;
+    t.polarity <- (let b = Array.make n false in Array.blit t.polarity 0 b 0 old; b);
+    t.seen <- (let b = Array.make n false in Array.blit t.seen 0 b 0 old; b);
+    (let b = Array.make n 0. in Array.blit !(t.activity) 0 b 0 old; t.activity := b);
+    let oldw = Array.length t.watches in
+    if 2 * n > oldw then begin
+      let w = Array.init (2 * n) (fun i -> if i < oldw then t.watches.(i) else Vec.create dummy_clause) in
+      t.watches <- w;
+      let pw = Array.init (2 * n) (fun i -> if i < oldw then t.pb_watches.(i) else Vec.create dummy_pbw) in
+      t.pb_watches <- pw
+    end
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_arrays t t.nvars;
+  Order_heap.insert t.order v;
+  v
+
+let new_vars t n = List.init n (fun _ -> new_var t)
+
+let decision_level t = Veci.size t.trail_lim
+
+let _value_var t v = t.assigns.(v)
+
+let value_lit t l =
+  let a = t.assigns.(l lsr 1) in
+  if l land 1 = 0 then a else -a
+
+(* -- VSIDS ---------------------------------------------------------- *)
+
+let var_rescale t =
+  let act = !(t.activity) in
+  for v = 0 to t.nvars - 1 do
+    act.(v) <- act.(v) *. 1e-100
+  done;
+  t.var_inc <- t.var_inc *. 1e-100
+
+let var_bump t v =
+  let act = !(t.activity) in
+  act.(v) <- act.(v) +. t.var_inc;
+  if act.(v) > 1e100 then var_rescale t;
+  Order_heap.decrease t.order v
+
+let var_decay_activity t = t.var_inc <- t.var_inc *. t.var_decay
+
+let cla_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity t = t.cla_inc <- t.cla_inc *. t.cla_decay
+
+(* -- assignment ------------------------------------------------------ *)
+
+(* Precondition: [l] is unassigned.  Records the assignment and eagerly
+   updates the slack of every PB constraint containing the literal that
+   just became false. *)
+let enqueue t l r =
+  let v = l lsr 1 in
+  assert (t.assigns.(v) = 0);
+  t.assigns.(v) <- (if l land 1 = 0 then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- r;
+  t.trail_pos.(v) <- Veci.size t.trail;
+  t.polarity.(v) <- l land 1 = 0;
+  Veci.push t.trail l;
+  let falsified = l lxor 1 in
+  Vec.iter (fun w -> w.pbc.slack <- w.pbc.slack - w.w_coeff) t.pb_watches.(falsified)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Veci.get t.trail_lim lvl in
+    for c = Veci.size t.trail - 1 downto bound do
+      let l = Veci.get t.trail c in
+      let v = l lsr 1 in
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- No_reason;
+      if not (Order_heap.in_heap t.order v) then Order_heap.insert t.order v;
+      let falsified = l lxor 1 in
+      Vec.iter (fun w -> w.pbc.slack <- w.pbc.slack + w.w_coeff) t.pb_watches.(falsified)
+    done;
+    Veci.shrink t.trail bound;
+    Veci.shrink t.trail_lim lvl;
+    t.qhead <- bound
+  end
+
+let new_decision_level t = Veci.push t.trail_lim (Veci.size t.trail)
+
+(* -- propagation ----------------------------------------------------- *)
+
+exception Conflict of reason
+
+(* Scan a PB constraint after one of its literals was falsified.  Raises
+   [Conflict] or enqueues forced literals. *)
+let pb_check t pb =
+  if pb.slack < 0 then raise (Conflict (Reason_pb pb))
+  else if pb.slack < pb.max_coeff then begin
+    let n = Array.length pb.plits in
+    for i = 0 to n - 1 do
+      if pb.coeffs.(i) > pb.slack && value_lit t pb.plits.(i) = 0 then
+        enqueue t pb.plits.(i) (Reason_pb pb)
+    done
+  end
+
+let propagate t : reason option =
+  let confl = ref None in
+  (try
+     while t.qhead < Veci.size t.trail do
+       let p = Veci.get t.trail t.qhead in
+       t.qhead <- t.qhead + 1;
+       t.propagations <- t.propagations + 1;
+       (* clause watches: clauses in [watches.(p)] have a watched literal
+          equal to [neg p], which is now false *)
+       let ws = t.watches.(p) in
+       let i = ref 0 and j = ref 0 in
+       (try
+          while !i < Vec.size ws do
+            let c = Vec.get ws !i in
+            incr i;
+            if c.deleted then () (* drop lazily *)
+            else begin
+              let np = p lxor 1 in
+              if c.lits.(0) = np then begin
+                c.lits.(0) <- c.lits.(1);
+                c.lits.(1) <- np
+              end;
+              let first = c.lits.(0) in
+              if value_lit t first = 1 then begin
+                Vec.set ws !j c;
+                incr j
+              end
+              else begin
+                (* look for a non-false replacement watch *)
+                let n = Array.length c.lits in
+                let k = ref 2 in
+                while !k < n && value_lit t c.lits.(!k) = -1 do incr k done;
+                if !k < n then begin
+                  c.lits.(1) <- c.lits.(!k);
+                  c.lits.(!k) <- np;
+                  Vec.push t.watches.(c.lits.(1) lxor 1) c
+                end
+                else begin
+                  Vec.set ws !j c;
+                  incr j;
+                  if value_lit t first = -1 then begin
+                    (* conflict: flush the rest of the list and stop *)
+                    while !i < Vec.size ws do
+                      Vec.set ws !j (Vec.get ws !i);
+                      incr j;
+                      incr i
+                    done;
+                    raise (Conflict (Reason_clause c))
+                  end
+                  else enqueue t first (Reason_clause c)
+                end
+              end
+            end
+          done;
+          Vec.shrink ws !j
+        with Conflict r ->
+          Vec.shrink ws !j;
+          raise (Conflict r));
+       (* PB constraints containing [neg p] lost slack when [p] was
+          enqueued; check them now *)
+       Vec.iter (fun w -> pb_check t w.pbc) t.pb_watches.(p lxor 1)
+     done
+   with Conflict r ->
+     t.qhead <- Veci.size t.trail;
+     confl := Some r);
+  !confl
+
+(* -- adding constraints ---------------------------------------------- *)
+
+let attach_clause t c =
+  Vec.push t.watches.(c.lits.(0) lxor 1) c;
+  Vec.push t.watches.(c.lits.(1) lxor 1) c
+
+let detach_clause t c =
+  let eq a b = a == b in
+  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(0) lxor 1) c);
+  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(1) lxor 1) c)
+
+(* Add a problem clause.  Only legal at decision level 0.  Performs
+   level-0 simplification: drops false literals, ignores satisfied and
+   tautological clauses, detects immediate conflicts. *)
+let add_clause t lits =
+  assert (decision_level t = 0);
+  if t.ok then begin
+    List.iter (fun l -> assert (l lsr 1 < t.nvars)) lits;
+    let lits = List.sort_uniq Int.compare lits in
+    let taut =
+      let rec go = function
+        | a :: (b :: _ as rest) -> (a lxor 1 = b && a lsr 1 = b lsr 1) || go rest
+        | _ -> false
+      in
+      go lits
+    in
+    let satisfied = List.exists (fun l -> value_lit t l = 1) lits in
+    if not (taut || satisfied) then begin
+      let lits = List.filter (fun l -> value_lit t l <> -1) lits in
+      t.lit_count <- t.lit_count + List.length lits;
+      match lits with
+      | [] -> t.ok <- false
+      | [ l ] ->
+        enqueue t l No_reason;
+        if propagate t <> None then t.ok <- false
+      | _ ->
+        let c =
+          { lits = Array.of_list lits; learnt = false; activity = 0.; deleted = false }
+        in
+        Vec.push t.clauses c;
+        attach_clause t c
+    end
+  end
+
+(* Add [sum coeffs_i * lits_i >= degree] with all [coeffs_i > 0], over
+   distinct variables.  Callers normalize via {!Pb}; here we only handle
+   literals already assigned at level 0 and initial propagation. *)
+let add_pb_geq t pairs degree =
+  assert (decision_level t = 0);
+  if t.ok then begin
+    (* drop level-0 falsified literals; account satisfied ones into degree *)
+    let degree = ref degree in
+    let pairs =
+      List.filter
+        (fun (a, l) ->
+          assert (a > 0);
+          assert (l lsr 1 < t.nvars);
+          match value_lit t l with
+          | 1 ->
+            degree := !degree - a;
+            false
+          | -1 -> false
+          | _ -> true)
+        pairs
+    in
+    let degree = !degree in
+    if degree > 0 then begin
+      let total = List.fold_left (fun s (a, _) -> s + a) 0 pairs in
+      if total < degree then t.ok <- false
+      else begin
+        (* saturation: no coefficient needs to exceed the degree *)
+        let pairs = List.map (fun (a, l) -> (min a degree, l)) pairs in
+        t.lit_count <- t.lit_count + List.length pairs;
+        let n = List.length pairs in
+        let coeffs = Array.make n 0 and plits = Array.make n 0 in
+        List.iteri
+          (fun i (a, l) ->
+            coeffs.(i) <- a;
+            plits.(i) <- l)
+          pairs;
+        let max_coeff = Array.fold_left max 0 coeffs in
+        let total = Array.fold_left ( + ) 0 coeffs in
+        let pb = { coeffs; plits; degree; slack = total - degree; max_coeff } in
+        Vec.push t.pbs pb;
+        Array.iteri
+          (fun i l -> Vec.push t.pb_watches.(l) { pbc = pb; w_coeff = coeffs.(i) })
+          plits;
+        (try pb_check t pb with Conflict _ -> t.ok <- false);
+        if t.ok && propagate t <> None then t.ok <- false
+      end
+    end
+  end
+
+(* -- conflict analysis ------------------------------------------------ *)
+
+(* Write into [buf] the clausal explanation of [r]: the literals (all
+   currently false) whose conjunction of negations implies [p] (or the
+   conflict when [p < 0]).  For PB reasons only literals falsified
+   before [p] participate. *)
+let explain t buf r p =
+  Veci.clear buf;
+  (match r with
+  | No_reason -> assert false
+  | Reason_clause c ->
+    let n = Array.length c.lits in
+    for i = 0 to n - 1 do
+      let q = c.lits.(i) in
+      if q <> p then Veci.push buf q
+    done
+  | Reason_pb pb ->
+    let cutoff = if p >= 0 then t.trail_pos.(p lsr 1) else max_int in
+    let n = Array.length pb.plits in
+    for i = 0 to n - 1 do
+      let q = pb.plits.(i) in
+      if q <> p && value_lit t q = -1 && t.trail_pos.(q lsr 1) < cutoff then
+        Veci.push buf q
+    done);
+  ()
+
+(* Is learnt literal [q] redundant, i.e. implied by the rest of the
+   learnt clause?  One-step check: every literal of [q]'s reason is
+   already seen or assigned at level 0. *)
+let lit_redundant t q =
+  let v = q lsr 1 in
+  match t.reason.(v) with
+  | No_reason -> false
+  | r ->
+    explain t t.explain_buf r (q lxor 1);
+    let ok = ref true in
+    Veci.iter
+      (fun x ->
+        let xv = x lsr 1 in
+        if not t.seen.(xv) && t.level.(xv) > 0 then ok := false)
+      t.explain_buf;
+    !ok
+
+(* First-UIP conflict analysis.  Returns the learnt clause (UIP literal
+   first) and the backtrack level. *)
+let analyze t confl =
+  let learnt = t.learnt_buf in
+  Veci.clear learnt;
+  Veci.push learnt 0 (* placeholder for the asserting literal *);
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let index = ref (Veci.size t.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | Reason_clause c when c.learnt -> cla_bump t c
+    | _ -> ());
+    explain t t.explain_buf !confl !p;
+    Veci.iter
+      (fun q ->
+        let v = q lsr 1 in
+        if (not t.seen.(v)) && t.level.(v) > 0 then begin
+          t.seen.(v) <- true;
+          var_bump t v;
+          if t.level.(v) >= decision_level t then incr path_c
+          else Veci.push learnt q
+        end)
+      t.explain_buf;
+    (* pick the next literal to resolve on *)
+    while not t.seen.(Veci.get t.trail !index lsr 1) do decr index done;
+    p := Veci.get t.trail !index;
+    decr index;
+    let v = !p lsr 1 in
+    t.seen.(v) <- false;
+    decr path_c;
+    if !path_c > 0 then confl := t.reason.(v) else continue := false
+  done;
+  Veci.set learnt 0 (!p lxor 1);
+  (* clause minimization: drop redundant literals *)
+  let kept = Veci.create ~capacity:(Veci.size learnt) () in
+  Veci.push kept (Veci.get learnt 0);
+  for i = 1 to Veci.size learnt - 1 do
+    let q = Veci.get learnt i in
+    if not (lit_redundant t q) then Veci.push kept q
+  done;
+  (* compute backtrack level and place a literal of that level second *)
+  let bt =
+    if Veci.size kept <= 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Veci.size kept - 1 do
+        if t.level.(Veci.get kept i lsr 1) > t.level.(Veci.get kept !max_i lsr 1) then
+          max_i := i
+      done;
+      let tmp = Veci.get kept 1 in
+      Veci.set kept 1 (Veci.get kept !max_i);
+      Veci.set kept !max_i tmp;
+      t.level.(Veci.get kept 1 lsr 1)
+    end
+  in
+  (* clear seen flags *)
+  Veci.iter (fun q -> t.seen.(q lsr 1) <- false) learnt;
+  (Veci.to_array kept, bt)
+
+let record_learnt t lits =
+  if Array.length lits = 1 then enqueue t lits.(0) No_reason
+  else begin
+    let c = { lits; learnt = true; activity = 0.; deleted = false } in
+    Vec.push t.learnts c;
+    attach_clause t c;
+    cla_bump t c;
+    enqueue t lits.(0) (Reason_clause c)
+  end
+
+(* -- learnt clause DB reduction --------------------------------------- *)
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  match t.reason.(c.lits.(0) lsr 1) with
+  | Reason_clause c' -> c' == c && value_lit t c.lits.(0) = 1
+  | _ -> false
+
+let reduce_db t =
+  let xs = Vec.to_list t.learnts in
+  let xs = List.sort (fun (a : clause) b -> Float.compare a.activity b.activity) xs in
+  let n = List.length xs in
+  let limit = t.cla_inc /. float_of_int (max n 1) in
+  List.iteri
+    (fun i c ->
+      if
+        Array.length c.lits > 2
+        && (not (locked t c))
+        && (i < n / 2 || c.activity < limit)
+      then begin
+        c.deleted <- true;
+        detach_clause t c
+      end)
+    xs;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+
+(* -- search ------------------------------------------------------------ *)
+
+let pick_branch_var t =
+  let rec go () =
+    if Order_heap.is_empty t.order then -1
+    else
+      let v = Order_heap.remove_max t.order in
+      if t.assigns.(v) = 0 then v else go ()
+  in
+  go ()
+
+exception Found of result
+
+(* One restart-bounded search episode.  [assumptions] are re-installed as
+   pseudo-decisions after every restart. *)
+let search t assumptions nof_conflicts =
+  let conflict_count = ref 0 in
+  let result = ref Unknown in
+  (try
+     while true do
+       match propagate t with
+       | Some confl ->
+         t.conflicts <- t.conflicts + 1;
+         incr conflict_count;
+         if decision_level t = 0 then begin
+           t.ok <- false;
+           raise (Found Unsat)
+         end;
+         if decision_level t <= Array.length assumptions then
+           (* conflict under assumptions only *)
+           raise (Found Unsat);
+         let learnt, bt = analyze t confl in
+         let bt = max bt (min (decision_level t - 1) (Array.length assumptions)) in
+         cancel_until t bt;
+         record_learnt t learnt;
+         var_decay_activity t;
+         cla_decay_activity t
+       | None ->
+         if !conflict_count >= nof_conflicts then begin
+           cancel_until t (min (decision_level t) (Array.length assumptions));
+           cancel_until t 0;
+           raise (Found Unknown)
+         end;
+         if
+           float_of_int (Vec.size t.learnts) >= t.max_learnts
+           && decision_level t > 0
+         then reduce_db t;
+         (* install pending assumptions as decisions *)
+         if decision_level t < Array.length assumptions then begin
+           let p = assumptions.(decision_level t) in
+           match value_lit t p with
+           | 1 -> new_decision_level t (* already satisfied: dummy level *)
+           | -1 -> raise (Found Unsat)
+           | _ ->
+             new_decision_level t;
+             enqueue t p No_reason
+         end
+         else begin
+           let v = pick_branch_var t in
+           if v < 0 then raise (Found Sat)
+           else begin
+             t.decisions <- t.decisions + 1;
+             new_decision_level t;
+             enqueue t (Lit.of_var ~sign:t.polarity.(v) v) No_reason
+           end
+         end
+     done
+   with Found r -> result := r);
+  !result
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    match propagate t with
+    | Some _ ->
+      t.ok <- false;
+      Unsat
+    | None ->
+      let assumptions = Array.of_list assumptions in
+      t.max_learnts <-
+        max 1000. (float_of_int (Vec.size t.clauses + Vec.size t.pbs) /. 3.);
+      let budget = ref max_conflicts in
+      let result = ref Unknown in
+      let i = ref 0 in
+      while !result = Unknown && !budget > 0 do
+        let limit = min !budget (100 * Luby.get !i) in
+        incr i;
+        t.restarts <- t.restarts + 1;
+        let r = search t assumptions limit in
+        budget := !budget - limit;
+        if r <> Unknown then result := r
+        else t.max_learnts <- t.max_learnts *. 1.1
+      done;
+      (match !result with
+      | Sat ->
+        (* save the model before undoing the trail *)
+        if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
+        for v = 0 to t.nvars - 1 do
+          t.model.(v) <- t.assigns.(v) = 1
+        done
+      | Unsat | Unknown -> ());
+      cancel_until t 0;
+      !result
+  end
+
+(* Value of a literal in the most recent satisfying model. *)
+let model_value t l =
+  let b = t.model.(l lsr 1) in
+  if l land 1 = 0 then b else not b
+
+(* -- constraint database inspection ------------------------------------ *)
+
+(* Fold over the problem clauses (not learnt ones), as literal lists. *)
+let fold_clauses f acc t =
+  Vec.fold
+    (fun acc (c : clause) ->
+      if c.deleted then acc else f acc (Array.to_list c.lits))
+    acc t.clauses
+
+(* Fold over the PB constraints as (pairs, degree) in >=-form. *)
+let fold_pbs f acc t =
+  Vec.fold
+    (fun acc (pb : pb) ->
+      let pairs =
+        List.init (Array.length pb.plits) (fun i -> (pb.coeffs.(i), pb.plits.(i)))
+      in
+      f acc (pairs, pb.degree))
+    acc t.pbs
+
+(* Literals of every level-0 forced assignment (units). *)
+let level0_units t =
+  let acc = ref [] in
+  Veci.iter
+    (fun l -> if t.level.(l lsr 1) = 0 then acc := l :: !acc)
+    t.trail;
+  List.rev !acc
+
+(* -- convenience constraint forms -------------------------------------- *)
+
+let add_at_most_one t lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | _ ->
+    (* sum (neg l) >= n-1  <=>  sum l <= 1 *)
+    let n = List.length lits in
+    add_pb_geq t (List.map (fun l -> (1, l lxor 1)) lits) (n - 1)
+
+let add_at_least_one t lits = add_clause t lits
+
+let add_exactly_one t lits =
+  add_at_least_one t lits;
+  add_at_most_one t lits

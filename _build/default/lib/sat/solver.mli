@@ -1,0 +1,89 @@
+(** CDCL SAT solver with native pseudo-Boolean constraints.
+
+    The clause engine follows MiniSat: two-watched literals, first-UIP
+    learning, VSIDS branching with phase saving, Luby restarts and
+    activity-based deletion of learnt clauses.  Pseudo-Boolean
+    constraints [sum a_i * l_i >= b] are propagated natively with the
+    counter (slack) method and explained clausally to the conflict
+    analyzer, in the style of the GOBLIN engine used by the paper.
+
+    Typical use:
+    {[
+      let s = Solver.create () in
+      let x = Solver.new_var s and y = Solver.new_var s in
+      Solver.add_clause s [ Lit.of_var x; Lit.of_var y ];
+      Solver.add_pb_geq s [ (2, Lit.of_var x); (1, Lit.of_var y) ] 2;
+      match Solver.solve s with
+      | Sat -> assert (Solver.model_value s (Lit.of_var x))
+      | Unsat | Unknown -> ...
+    ]} *)
+
+type t
+(** A solver instance.  Constraints may only be added at decision
+    level 0, i.e. before or between [solve] calls. *)
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is only returned when a [max_conflicts] budget ran out. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh Boolean variable and return its index. *)
+
+val new_vars : t -> int -> int list
+(** [new_vars t n] allocates [n] fresh variables. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a disjunction of literals.  Tautologies are dropped; literals
+    already false at level 0 are removed; an empty (or emptied) clause
+    makes the instance unsatisfiable. *)
+
+val add_pb_geq : t -> (int * Lit.t) list -> int -> unit
+(** [add_pb_geq t pairs degree] adds [sum a_i * l_i >= degree].  All
+    coefficients must be positive and the literals must be over
+    distinct variables — use {!Taskalloc_pb.Pb} for arbitrary linear
+    constraints; it normalizes into this form. *)
+
+val add_at_most_one : t -> Lit.t list -> unit
+val add_at_least_one : t -> Lit.t list -> unit
+val add_exactly_one : t -> Lit.t list -> unit
+
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
+(** Decide satisfiability under the given assumption literals.
+    Assumptions do not permanently constrain the instance.  After
+    [Sat], the model is available through {!model_value}. *)
+
+val model_value : t -> Lit.t -> bool
+(** Value of a literal in the most recent satisfying assignment.  Only
+    meaningful directly after [solve] returned [Sat], and only for
+    variables that existed at that point. *)
+
+val ok : t -> bool
+(** [false] once the instance has been proved unsatisfiable at level 0. *)
+
+(** {1 Constraint database inspection} *)
+
+val fold_clauses : ('a -> Lit.t list -> 'a) -> 'a -> t -> 'a
+(** Fold over the problem clauses (learnt clauses excluded). *)
+
+val fold_pbs : ('a -> (int * Lit.t) list * int -> 'a) -> 'a -> t -> 'a
+(** Fold over the PB constraints in normalized [>=] form. *)
+
+val level0_units : t -> Lit.t list
+(** Literals forced at decision level 0 (top-level units). *)
+
+(** {1 Statistics} *)
+
+val n_vars : t -> int
+val n_clauses : t -> int
+val n_pbs : t -> int
+val n_learnts : t -> int
+val n_conflicts : t -> int
+val n_decisions : t -> int
+val n_propagations : t -> int
+val n_restarts : t -> int
+
+val n_literals : t -> int
+(** Total number of input literal occurrences (clauses after level-0
+    simplification plus PB terms) — the "Lit." metric of the paper's
+    tables. *)

@@ -1,0 +1,169 @@
+(* Hierarchical architecture topology (§4).
+
+   Media are nodes of a graph; two media are adjacent when they share an
+   ECU — that ECU is the *gateway* linking them.  Following the paper we
+   allow arbitrary networks but at most one gateway ECU between any two
+   media.  Messages travel along *media paths*; the set of candidate
+   routes for the encoder is the set of simple paths of this graph, and
+   the paper's *path closures* (fig. 1) are the prefix sets of the
+   maximal simple paths. *)
+
+type t = {
+  n_ecus : int;
+  media_ecus : int list array; (* medium id -> connected ECUs *)
+}
+
+exception Invalid_topology of string
+
+let create ~n_ecus ~media =
+  let media_ecus = Array.of_list media in
+  Array.iteri
+    (fun k ecus ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= n_ecus then
+            raise
+              (Invalid_topology
+                 (Printf.sprintf "medium %d references unknown ECU %d" k e)))
+        ecus;
+      if List.length (List.sort_uniq Int.compare ecus) <> List.length ecus then
+        raise (Invalid_topology (Printf.sprintf "medium %d lists an ECU twice" k)))
+    media_ecus;
+  (* at most one gateway between any two media *)
+  let n = Array.length media_ecus in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let shared =
+        List.filter (fun e -> List.mem e media_ecus.(b)) media_ecus.(a)
+      in
+      if List.length shared > 1 then
+        raise
+          (Invalid_topology
+             (Printf.sprintf "media %d and %d share %d ECUs (max one gateway)" a b
+                (List.length shared)))
+    done
+  done;
+  { n_ecus; media_ecus }
+
+let n_media t = Array.length t.media_ecus
+let ecus_of_medium t k = t.media_ecus.(k)
+let medium_has_ecu t k e = List.mem e t.media_ecus.(k)
+
+(* The gateway ECU shared by two media, if any. *)
+let gateway_between t a b =
+  if a = b then None
+  else
+    List.find_opt (fun e -> List.mem e t.media_ecus.(b)) t.media_ecus.(a)
+
+let adjacent t a b = gateway_between t a b <> None
+
+(* Media an ECU is attached to. *)
+let media_of_ecu t e =
+  let acc = ref [] in
+  Array.iteri (fun k ecus -> if List.mem e ecus then acc := k :: !acc) t.media_ecus;
+  List.rev !acc
+
+(* ECUs attached to more than one medium. *)
+let gateway_ecus t =
+  List.init t.n_ecus Fun.id
+  |> List.filter (fun e -> List.length (media_of_ecu t e) > 1)
+
+(* All simple paths (non-repeating media sequences) starting from each
+   medium, of length >= 1.  On the architectures of the paper these
+   number in the dozens at most. *)
+let simple_paths t =
+  let n = n_media t in
+  let results = ref [] in
+  let rec extend path last =
+    results := List.rev path :: !results;
+    for next = 0 to n - 1 do
+      if (not (List.mem next path)) && adjacent t last next then
+        extend (next :: path) next
+    done
+  in
+  for k = 0 to n - 1 do
+    extend [ k ] k
+  done;
+  List.rev !results
+
+(* Maximal simple paths: those that cannot be extended at the tail. *)
+let maximal_paths t =
+  let n = n_media t in
+  simple_paths t
+  |> List.filter (fun path ->
+         let last = List.nth path (List.length path - 1) in
+         not
+           (List.exists
+              (fun next -> (not (List.mem next path)) && adjacent t last next)
+              (List.init n Fun.id)))
+
+(* Path closures as in fig. 1: for each maximal simple path, the set of
+   its non-empty prefixes.  [path_closures t] returns the deduplicated
+   closure list (the paper's PH, without the empty closure ph0). *)
+let prefixes path =
+  let rec go acc prefix = function
+    | [] -> List.rev acc
+    | k :: rest ->
+      let prefix = prefix @ [ k ] in
+      go (prefix :: acc) prefix rest
+  in
+  go [] [] path
+
+let path_closures t =
+  maximal_paths t
+  |> List.map prefixes
+  |> List.sort_uniq compare
+
+(* Is [path] a valid route: consecutive media adjacent, no repeats? *)
+let valid_path t path =
+  let rec distinct = function
+    | [] -> true
+    | k :: rest -> (not (List.mem k rest)) && distinct rest
+  in
+  let rec chained = function
+    | a :: (b :: _ as rest) -> adjacent t a b && chained rest
+    | _ -> true
+  in
+  match path with
+  | [] -> false
+  | ks -> List.for_all (fun k -> k >= 0 && k < n_media t) ks && distinct ks && chained ks
+
+(* The paper's v(h) placement condition: the sender must sit on the
+   first medium (but, on multi-hop paths, not on the gateway into the
+   second), the receiver on the last (not on the gateway from the
+   second-to-last).  Returns the admissible sender and receiver ECUs. *)
+let endpoint_ecus t path =
+  match path with
+  | [] -> invalid_arg "endpoint_ecus: empty path"
+  | [ k ] -> (ecus_of_medium t k, ecus_of_medium t k)
+  | first :: second :: _ ->
+    let last = List.nth path (List.length path - 1) in
+    let before_last = List.nth path (List.length path - 2) in
+    let senders =
+      match gateway_between t first second with
+      | Some g -> List.filter (fun e -> e <> g) (ecus_of_medium t first)
+      | None -> ecus_of_medium t first
+    in
+    let receivers =
+      match gateway_between t before_last last with
+      | Some g -> List.filter (fun e -> e <> g) (ecus_of_medium t last)
+      | None -> ecus_of_medium t last
+    in
+    (senders, receivers)
+
+(* Gateways crossed by a path, in order. *)
+let gateways_of_path t path =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      (match gateway_between t a b with
+      | Some g -> g :: go rest
+      | None -> raise (Invalid_topology "non-adjacent media in path"))
+    | _ -> []
+  in
+  go path
+
+let pp_path ppf path =
+  Fmt.pf ppf "\"%a\"" Fmt.(list ~sep:nop (fun ppf k -> Fmt.pf ppf "k%d" k)) path
+
+let pp_closure ppf closure =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_path) closure

@@ -1,0 +1,62 @@
+(** Hierarchical architecture topology (§4 of the paper).
+
+    Media are nodes of a graph; two media are adjacent when they share
+    an ECU, which is then the {e gateway} linking them.  At most one
+    gateway may exist between any two media.  Message routes are simple
+    paths of this graph; the paper's {e path closures} (Fig. 1) are the
+    prefix sets of its maximal simple paths. *)
+
+type t
+
+exception Invalid_topology of string
+
+val create : n_ecus:int -> media:int list list -> t
+(** [create ~n_ecus ~media] builds a topology from the per-medium ECU
+    lists (medium [k] is [List.nth media k]).  Raises
+    {!Invalid_topology} on out-of-range ECUs, duplicate ECUs within a
+    medium, or two media sharing more than one ECU. *)
+
+val n_media : t -> int
+val ecus_of_medium : t -> int -> int list
+val medium_has_ecu : t -> int -> int -> bool
+
+val gateway_between : t -> int -> int -> int option
+(** The gateway ECU shared by two distinct media, if any. *)
+
+val adjacent : t -> int -> int -> bool
+val media_of_ecu : t -> int -> int list
+
+val gateway_ecus : t -> int list
+(** ECUs attached to more than one medium. *)
+
+val simple_paths : t -> int list list
+(** All simple media paths of length >= 1, from every start medium.
+    These are the candidate routes of the encoder. *)
+
+val maximal_paths : t -> int list list
+(** Simple paths that cannot be extended at the tail. *)
+
+val prefixes : int list -> int list list
+(** Non-empty prefixes of a path, shortest first. *)
+
+val path_closures : t -> int list list list
+(** The paper's PH (Fig. 1): one closure — the set of non-empty
+    prefixes — per maximal simple path, deduplicated.  The empty
+    closure ph0 is omitted. *)
+
+val valid_path : t -> int list -> bool
+(** Non-empty, within range, duplicate-free and chained through
+    gateways. *)
+
+val endpoint_ecus : t -> int list -> int list * int list
+(** The paper's [v(h)] condition: admissible (senders, receivers) for a
+    path — on multi-hop paths the sender may not sit on the gateway
+    into the second medium, nor the receiver on the gateway from the
+    second-to-last. *)
+
+val gateways_of_path : t -> int list -> int list
+(** Gateways crossed, in order.  Raises {!Invalid_topology} if the
+    path is not chained. *)
+
+val pp_path : Format.formatter -> int list -> unit
+val pp_closure : Format.formatter -> int list list -> unit

@@ -1,0 +1,1 @@
+lib/workloads/archs.ml: Array Fun List Model Taskalloc_rt

@@ -1,0 +1,1 @@
+lib/workloads/archs.mli: Model Taskalloc_rt

@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Analysis Archs Array Check Fmt Hashtbl Int List Model Option Printf Rng Routing Sys Taskalloc_rt

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Archs Generate List Model Taskalloc_rt

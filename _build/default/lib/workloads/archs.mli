@@ -1,0 +1,37 @@
+(** Architecture constructors: flat token-ring and CAN setups
+    (Tables 1-3) and the hierarchical architectures A, B, C of Fig. 2
+    (Table 4). *)
+
+open Taskalloc_rt
+
+val default_byte_time : int
+val default_overhead : int
+
+val medium :
+  id:int -> name:string -> kind:Model.medium_kind -> ecus:int list -> Model.medium
+
+val unlimited : int -> int array
+(** Per-ECU memory array with no limits. *)
+
+val token_ring : ?mem_capacity:int array option -> n_ecus:int -> unit -> Model.arch
+val can_bus : ?mem_capacity:int array option -> n_ecus:int -> unit -> Model.arch
+
+val arch_a :
+  ?kind0:Model.medium_kind -> ?kind1:Model.medium_kind -> unit -> Model.arch
+(** 8 application ECUs over two buses joined by a dedicated (barred)
+    gateway ECU 8. *)
+
+val arch_b :
+  ?kinds:Model.medium_kind * Model.medium_kind * Model.medium_kind ->
+  unit ->
+  Model.arch
+(** 12 application ECUs over three chained buses with two barred
+    gateways (ECUs 12, 13). *)
+
+val arch_c :
+  ?kind0:Model.medium_kind -> ?kind1:Model.medium_kind -> unit -> Model.arch
+(** 8 ECUs over two buses with ECU 0 as a task-capable gateway — the
+    configuration on which the paper recovers the flat placement. *)
+
+val app_ecus : Model.arch -> int list
+(** ECUs available to application tasks (everything not barred). *)

@@ -1,0 +1,42 @@
+(** Feasible-by-construction workload generator.
+
+    Synthesizes deterministic task sets with the structure of the
+    Tindell/Burns/Wellings benchmark [5] (whose concrete parameters are
+    not available — see DESIGN.md §3): transactions (task chains) with
+    messages between consecutive stages, pinned sensors/actuators,
+    replica separation pairs and per-ECU memory capacities.
+
+    Feasibility is guaranteed by a witness: tasks are first placed
+    chain-aware, messages routed, TDMA slots sized, the analytical
+    response times computed, and deadlines then derived as
+    [slack * witness response time] (capped by the period).  The
+    witness is re-verified under the final deadlines; on failure the
+    slack is relaxed and the derivation retried with a shifted seed. *)
+
+open Taskalloc_rt
+
+type spec = {
+  seed : int;
+  chain_lengths : int list;  (** tasks per transaction; the sum is the task count *)
+  periods : int list;  (** candidate base periods in ticks *)
+  wcet_lo : int;
+  wcet_hi : int;
+  bytes_lo : int;
+  bytes_hi : int;
+  pin_fraction : float;  (** probability a chain endpoint is pinned *)
+  n_separations : int;  (** replica pairs to place apart *)
+  memory_lo : int;
+  memory_hi : int;
+  mem_headroom : float;  (** ECU memory capacity = witness usage x headroom *)
+  slack : float;  (** deadline = slack x witness response time *)
+  jitter_hi : int;  (** max release jitter drawn per task (0 = none) *)
+  blocking_hi : int;  (** max blocking factor drawn per task (0 = none) *)
+}
+
+val default_spec : spec
+(** 43 tasks in 12 chains — the dimensions of [5]. *)
+
+exception Generation_failed of string
+
+val generate : ?spec:spec -> Model.arch -> Model.problem
+(** Raises {!Generation_failed} after bounded retries. *)

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 generator: same seed, same stream,
+    independent of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [[0, bound)]; [bound > 0]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [[lo, hi]] inclusive. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element; raises [Invalid_argument] on the empty list. *)
+
+val bool : t -> float -> bool
+(** [true] with (approximately) the given probability. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle (fresh list). *)

@@ -1,0 +1,128 @@
+(* Named workload instances backing the benchmark suite (Tables 1-4).
+   All are deterministic: same seed, same problem. *)
+
+open Taskalloc_rt
+
+(* Split [n] tasks into chains of 3-4 tasks (matching the 12-chain /
+   43-task structure of [5] when n = 43). *)
+let chain_split n =
+  assert (n >= 2);
+  let rec go acc remaining toggle =
+    if remaining = 0 then List.rev acc
+    else if remaining = 5 then List.rev (2 :: 3 :: acc)
+    else if remaining <= 4 then List.rev (remaining :: acc)
+    else
+      let len = if toggle then 3 else 4 in
+      go (len :: acc) (remaining - len) (not toggle)
+  in
+  go [] n true
+
+(* The 43-task / 12-chain / 8-ECU benchmark in the shape of [5], on a
+   token ring (Table 1, first row). *)
+let tindell43 ?(seed = 42) () =
+  let arch = Archs.token_ring ~n_ecus:8 () in
+  Generate.generate ~spec:{ Generate.default_spec with seed } arch
+
+(* The same task set shape on a CAN bus (Table 1, second row). *)
+let tindell43_can ?(seed = 42) () =
+  let arch = Archs.can_bus ~n_ecus:8 () in
+  Generate.generate ~spec:{ Generate.default_spec with seed } arch
+
+(* Task-set scaling series (Table 3): n in {7, 12, 20, 30, 43}. *)
+let task_scaling ?(seed = 42) ~n () =
+  let arch = Archs.token_ring ~n_ecus:8 () in
+  Generate.generate
+    ~spec:{ Generate.default_spec with seed; chain_lengths = chain_split n }
+    arch
+
+(* Architecture scaling series (Table 2): 30 tasks on n ECUs. *)
+let arch_scaling ?(seed = 42) ~n_ecus () =
+  let arch = Archs.token_ring ~n_ecus () in
+  Generate.generate
+    ~spec:{ Generate.default_spec with seed; chain_lengths = chain_split 30 }
+    arch
+
+type hier = A | B | C
+
+(* Hierarchical experiments (Table 4): the 43-task set on architectures
+   A, B, C of Fig. 2. *)
+let hierarchical ?(seed = 42) ?(n_tasks = 43) which =
+  let arch =
+    match which with
+    | A -> Archs.arch_a ()
+    | B -> Archs.arch_b ()
+    | C -> Archs.arch_c ()
+  in
+  Generate.generate
+    ~spec:{ Generate.default_spec with seed; chain_lengths = chain_split n_tasks }
+    arch
+
+(* Variant of architecture C with the upper bus replaced by CAN (end of
+   §6: "exchanging the above media of architecture C by a CAN bus"). *)
+let hierarchical_c_can ?(seed = 42) ?(n_tasks = 43) () =
+  let arch = Archs.arch_c ~kind0:Model.Priority () in
+  Generate.generate
+    ~spec:{ Generate.default_spec with seed; chain_lengths = chain_split n_tasks }
+    arch
+
+(* A small instance with release jitter and blocking factors, to
+   exercise the extended task model end to end. *)
+let small_jittery ?(seed = 7) ?(n_ecus = 3) ?(n_tasks = 6) () =
+  let arch = Archs.token_ring ~n_ecus () in
+  Generate.generate
+    ~spec:
+      {
+        Generate.default_spec with
+        seed;
+        chain_lengths = chain_split n_tasks;
+        n_separations = 1;
+        pin_fraction = 0.2;
+        jitter_hi = 5;
+        blocking_hi = 3;
+      }
+    arch
+
+(* Small instances for tests and quick demos. *)
+let small ?(seed = 7) ?(n_ecus = 3) ?(n_tasks = 6) () =
+  let arch = Archs.token_ring ~n_ecus () in
+  Generate.generate
+    ~spec:
+      {
+        Generate.default_spec with
+        seed;
+        chain_lengths = chain_split n_tasks;
+        n_separations = 1;
+        pin_fraction = 0.2;
+      }
+    arch
+
+let small_can ?(seed = 7) ?(n_ecus = 3) ?(n_tasks = 6) () =
+  let arch = Archs.can_bus ~n_ecus () in
+  Generate.generate
+    ~spec:
+      {
+        Generate.default_spec with
+        seed;
+        chain_lengths = chain_split n_tasks;
+        n_separations = 1;
+        pin_fraction = 0.2;
+      }
+    arch
+
+let small_hierarchical ?(seed = 7) ?(n_tasks = 8) which =
+  let arch =
+    match which with
+    | A -> Archs.arch_a ()
+    | B -> Archs.arch_b ()
+    | C -> Archs.arch_c ()
+  in
+  Generate.generate
+    ~spec:
+      {
+        Generate.default_spec with
+        seed;
+        chain_lengths = chain_split n_tasks;
+        n_separations = 0;
+        pin_fraction = 0.15;
+      }
+    arch

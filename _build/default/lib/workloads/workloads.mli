@@ -1,0 +1,40 @@
+(** Named workload instances backing the benchmark suite.  All are
+    deterministic in their seed. *)
+
+open Taskalloc_rt
+
+val chain_split : int -> int list
+(** Split [n >= 2] tasks into chains of 2-4 tasks. *)
+
+val tindell43 : ?seed:int -> unit -> Model.problem
+(** 43 tasks / 12 chains / 8 ECUs on a token ring — the shape of [5]
+    (Table 1, Table 3 rightmost column). *)
+
+val tindell43_can : ?seed:int -> unit -> Model.problem
+(** The same task-set shape on a CAN bus (Table 1, second row). *)
+
+val task_scaling : ?seed:int -> n:int -> unit -> Model.problem
+(** Task-scaling series of Table 3 (n in 7..43). *)
+
+val arch_scaling : ?seed:int -> n_ecus:int -> unit -> Model.problem
+(** Architecture-scaling series of Table 2: 30 tasks on [n_ecus]. *)
+
+type hier = A | B | C
+
+val hierarchical : ?seed:int -> ?n_tasks:int -> hier -> Model.problem
+(** Table 4: the task set on architectures A/B/C of Fig. 2. *)
+
+val hierarchical_c_can : ?seed:int -> ?n_tasks:int -> unit -> Model.problem
+(** Architecture C with its upper bus replaced by CAN (§6, last
+    experiment). *)
+
+(** {1 Small instances for tests and demos} *)
+
+val small : ?seed:int -> ?n_ecus:int -> ?n_tasks:int -> unit -> Model.problem
+
+val small_jittery : ?seed:int -> ?n_ecus:int -> ?n_tasks:int -> unit -> Model.problem
+(** Like {!small}, with per-task release jitter (up to 5) and blocking
+    factors (up to 3). *)
+
+val small_can : ?seed:int -> ?n_ecus:int -> ?n_tasks:int -> unit -> Model.problem
+val small_hierarchical : ?seed:int -> ?n_tasks:int -> hier -> Model.problem

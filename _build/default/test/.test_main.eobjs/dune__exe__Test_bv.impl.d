@@ -1,0 +1,1 @@
+test/test_bv.ml: Alcotest Array Bv Circuits Gen List Printf QCheck QCheck_alcotest Solver Taskalloc_bv Taskalloc_pb Taskalloc_sat

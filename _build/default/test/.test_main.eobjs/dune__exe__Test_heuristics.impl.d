@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Check Heuristics List Model Option Printf Taskalloc_core Taskalloc_heuristics Taskalloc_rt Taskalloc_workloads Workloads

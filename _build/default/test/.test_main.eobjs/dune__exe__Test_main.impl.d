@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bv Test_core Test_heuristics Test_opt Test_pb Test_rt Test_sat Test_topology Test_workloads

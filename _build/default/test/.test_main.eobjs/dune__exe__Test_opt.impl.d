@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Bv Gen List Lit Option QCheck QCheck_alcotest Solver Taskalloc_bv Taskalloc_opt Taskalloc_sat

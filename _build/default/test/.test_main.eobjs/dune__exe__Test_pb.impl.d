@@ -1,0 +1,1 @@
+test/test_pb.ml: Alcotest Array Circuits Hashtbl List Lit Opb Pb Printf QCheck QCheck_alcotest Solver Taskalloc_pb Taskalloc_sat

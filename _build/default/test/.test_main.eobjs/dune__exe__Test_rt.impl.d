@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Analysis Array Check Gen Hashtbl List Model Printf Problem_file QCheck QCheck_alcotest Routing Sim Taskalloc_core Taskalloc_rt Taskalloc_workloads

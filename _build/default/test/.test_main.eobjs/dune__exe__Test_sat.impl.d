@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dimacs Fmt Hashtbl Int List Lit Luby Order_heap Printf QCheck QCheck_alcotest Solver Stdlib Taskalloc_sat Vec Veci

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Gen List QCheck QCheck_alcotest Taskalloc_topology Topology

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Archs Array Check Fmt Generate List Model Printf Rng Taskalloc_core Taskalloc_heuristics Taskalloc_rt Taskalloc_topology Taskalloc_workloads Workloads

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "taskalloc"
+    [
+      ("sat", Test_sat.suite);
+      ("pb", Test_pb.suite);
+      ("bv", Test_bv.suite);
+      ("opt", Test_opt.suite);
+      ("rt", Test_rt.suite);
+      ("topology", Test_topology.suite);
+      ("core", Test_core.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("workloads", Test_workloads.suite);
+    ]

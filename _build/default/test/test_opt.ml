@@ -1,0 +1,182 @@
+(* Tests for the BIN_SEARCH optimizer, in both Fresh and Incremental
+   modes, including qcheck equivalence against brute-force optima. *)
+
+open Taskalloc_bv
+open Taskalloc_opt.Opt
+
+(* Small knapsack-like problem: choose items to cover a demand while
+   minimizing weight.  Items (weight, value); demand on total value. *)
+let knapsack_build items demand () =
+  let ctx = Bv.create () in
+  let picks = List.map (fun _ -> Bv.fresh_bool ctx) items in
+  let value_terms =
+    List.map2
+      (fun b (_, v) -> Bv.ite ctx b (Bv.const v) (Bv.const 0))
+      picks items
+  in
+  let weight_terms =
+    List.map2
+      (fun b (w, _) -> Bv.ite ctx b (Bv.const w) (Bv.const 0))
+      picks items
+  in
+  let total_value = Bv.sum ctx value_terms in
+  let total_weight = Bv.sum ctx weight_terms in
+  Bv.assert_ ctx (Bv.ge_const ctx total_value demand);
+  (ctx, total_weight)
+
+let brute_force_knapsack items demand =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value = ref 0 and weight = ref 0 in
+    for i = 0 to n - 1 do
+      if (mask lsr i) land 1 = 1 then begin
+        let w, v = items.(i) in
+        weight := !weight + w;
+        value := !value + v
+      end
+    done;
+    if !value >= demand then
+      match !best with
+      | Some b when b <= !weight -> ()
+      | _ -> best := Some !weight
+  done;
+  !best
+
+let run_knapsack mode items demand =
+  let result, _stats =
+    minimize ~mode ~build:(knapsack_build items demand) ~on_sat:(fun _ cost -> cost) ()
+  in
+  Option.map fst result
+
+let test_knapsack_both_modes () =
+  let items = [ (5, 10); (4, 8); (6, 13); (3, 5); (8, 20) ] in
+  let expected = brute_force_knapsack items 25 in
+  Alcotest.(check (option int)) "fresh" expected (run_knapsack Fresh items 25);
+  Alcotest.(check (option int)) "incremental" expected (run_knapsack Incremental items 25)
+
+let test_infeasible () =
+  let items = [ (5, 1); (4, 1) ] in
+  Alcotest.(check (option int)) "fresh none" None (run_knapsack Fresh items 10);
+  Alcotest.(check (option int)) "incr none" None (run_knapsack Incremental items 10)
+
+let test_optimum_zero () =
+  (* demand 0 is satisfied by the empty selection: optimal weight 0 *)
+  let items = [ (5, 10); (3, 4) ] in
+  Alcotest.(check (option int)) "zero fresh" (Some 0) (run_knapsack Fresh items 0);
+  Alcotest.(check (option int)) "zero incr" (Some 0) (run_knapsack Incremental items 0)
+
+let test_on_sat_extraction () =
+  (* the last on_sat call must correspond to the optimum *)
+  let items = [ (2, 3); (3, 4); (4, 6) ] in
+  let seen = ref [] in
+  let result, _ =
+    minimize ~mode:Incremental
+      ~build:(knapsack_build items 7)
+      ~on_sat:(fun _ cost ->
+        seen := cost :: !seen;
+        cost)
+      ()
+  in
+  match result with
+  | None -> Alcotest.fail "should be feasible"
+  | Some (opt, payload) ->
+    Alcotest.(check int) "payload is optimal cost" opt payload;
+    Alcotest.(check int) "last extraction optimal" opt (List.hd !seen);
+    (* costs decrease monotonically over extractions *)
+    let rec decreasing = function
+      | a :: (b :: _ as rest) -> a <= b && decreasing rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "improving sequence" true (decreasing !seen)
+
+let test_stats_populated () =
+  let items = [ (5, 10); (4, 8); (6, 13) ] in
+  let _, stats = minimize ~build:(knapsack_build items 20) ~on_sat:(fun _ c -> c) () in
+  Alcotest.(check bool) "probes > 0" true (stats.probes > 0);
+  Alcotest.(check bool) "vars > 0" true (stats.bool_vars > 0);
+  Alcotest.(check bool) "sat+unsat=probes" true
+    (stats.sat_probes + stats.unsat_probes = stats.probes)
+
+let test_solve_feasible () =
+  let build () =
+    let ctx = Bv.create () in
+    let x = Bv.var ctx ~hi:9 in
+    Bv.assert_ ctx (Bv.ge_const ctx x 4);
+    Bv.assert_ ctx (Bv.le_const ctx x 4);
+    ctx
+  in
+  match solve_feasible ~build ~on_sat:(fun _ -> ()) () with
+  | Some () -> ()
+  | None -> Alcotest.fail "feasible"
+
+let prop_modes_agree =
+  QCheck.Test.make ~count:60 ~name:"Fresh and Incremental find the same optimum"
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 1 6 in
+          let* items = list_size (return n) (pair (int_range 1 9) (int_range 1 9)) in
+          let* demand = int_range 0 20 in
+          return (items, demand)))
+    (fun (items, demand) ->
+      let expected = brute_force_knapsack items demand in
+      run_knapsack Fresh items demand = expected
+      && run_knapsack Incremental items demand = expected)
+
+let test_budget_exceeded () =
+  (* a pigeonhole-hard core with a cost: tiny budget must raise *)
+  let build () =
+    let ctx = Bv.create () in
+    let open Taskalloc_sat in
+    let s = Bv.solver ctx in
+    let n = 9 in
+    let x = Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Solver.new_var s)) in
+    for p = 0 to n - 1 do
+      Solver.add_clause s (List.init (n - 1) (fun h -> Lit.of_var x.(p).(h)))
+    done;
+    for h = 0 to n - 2 do
+      for p1 = 0 to n - 1 do
+        for p2 = p1 + 1 to n - 1 do
+          Solver.add_clause s
+            [ Lit.of_var ~sign:false x.(p1).(h); Lit.of_var ~sign:false x.(p2).(h) ]
+        done
+      done
+    done;
+    (ctx, Bv.const 0)
+  in
+  Alcotest.check_raises "budget" Budget_exceeded (fun () ->
+      ignore (minimize ~max_conflicts:3 ~build ~on_sat:(fun _ c -> c) ()))
+
+let test_fresh_rebuilds () =
+  (* in Fresh mode the builder runs once per probe *)
+  let calls = ref 0 in
+  let items = [ (5, 10); (4, 8); (6, 13) ] in
+  let build () =
+    incr calls;
+    knapsack_build items 20 ()
+  in
+  let _, stats = minimize ~mode:Fresh ~build ~on_sat:(fun _ c -> c) () in
+  Alcotest.(check int) "one build per probe" stats.probes !calls;
+  (* in Incremental mode it runs exactly once *)
+  let calls = ref 0 in
+  let build () =
+    incr calls;
+    knapsack_build items 20 ()
+  in
+  let _, _ = minimize ~mode:Incremental ~build ~on_sat:(fun _ c -> c) () in
+  Alcotest.(check int) "single build" 1 !calls
+
+let suite =
+  [
+    Alcotest.test_case "knapsack both modes" `Quick test_knapsack_both_modes;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "optimum zero" `Quick test_optimum_zero;
+    Alcotest.test_case "on_sat extraction" `Quick test_on_sat_extraction;
+    Alcotest.test_case "stats populated" `Quick test_stats_populated;
+    Alcotest.test_case "solve_feasible" `Quick test_solve_feasible;
+    Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
+    Alcotest.test_case "fresh rebuilds per probe" `Quick test_fresh_rebuilds;
+    QCheck_alcotest.to_alcotest prop_modes_agree;
+  ]

@@ -1,0 +1,326 @@
+(* Tests for the PB normalization layer, the CNF encodings and the
+   circuit primitives — including cross-checking Native vs Cnf modes. *)
+
+open Taskalloc_sat
+open Taskalloc_pb
+
+let lit v = Lit.of_var v
+
+let mk_solver n =
+  let s = Solver.create () in
+  let vs = Array.init n (fun _ -> Solver.new_var s) in
+  (s, vs)
+
+let is_sat s = Solver.solve s = Solver.Sat
+
+let test_normalize_negative_coeffs () =
+  (* -2a + b >= -1  <=>  2(~a) + b >= 1 *)
+  let s, vs = mk_solver 2 in
+  Pb.add_geq s [ (-2, lit vs.(0)); (1, lit vs.(1)) ] (-1);
+  Solver.add_clause s [ lit vs.(0) ];
+  Solver.add_clause s [ Lit.neg (lit vs.(1)) ];
+  (* a=1, b=0: LHS = -2 < -1, should be unsat *)
+  Alcotest.(check bool) "violated" false (is_sat s)
+
+let test_normalize_merge_duplicates () =
+  (* a + a >= 2 forces a *)
+  let s, vs = mk_solver 1 in
+  Pb.add_geq s [ (1, lit vs.(0)); (1, lit vs.(0)) ] 2;
+  Alcotest.(check bool) "sat" true (is_sat s);
+  Alcotest.(check bool) "a true" true (Solver.model_value s (lit vs.(0)))
+
+let test_normalize_opposite_lits () =
+  (* a + ~a >= 1 is trivially true; a + ~a >= 2 is trivially false *)
+  let s, vs = mk_solver 1 in
+  Pb.add_geq s [ (1, lit vs.(0)); (1, Lit.neg (lit vs.(0))) ] 1;
+  Alcotest.(check bool) "taut sat" true (is_sat s);
+  let s, vs = mk_solver 1 in
+  Pb.add_geq s [ (1, lit vs.(0)); (1, Lit.neg (lit vs.(0))) ] 2;
+  Alcotest.(check bool) "impossible" false (is_sat s)
+
+let test_leq () =
+  (* 2a + 3b <= 4 forbids a&b *)
+  let s, vs = mk_solver 2 in
+  Pb.add_leq s [ (2, lit vs.(0)); (3, lit vs.(1)) ] 4;
+  Solver.add_clause s [ lit vs.(0) ];
+  Solver.add_clause s [ lit vs.(1) ];
+  Alcotest.(check bool) "a&b violates" false (is_sat s)
+
+let test_eq () =
+  (* a + b + c = 2 *)
+  let s, vs = mk_solver 3 in
+  Pb.add_eq s (List.map (fun v -> (1, lit v)) (Array.to_list vs)) 2;
+  Alcotest.(check bool) "sat" true (is_sat s);
+  let count =
+    Array.fold_left (fun n v -> if Solver.model_value s (lit v) then n + 1 else n) 0 vs
+  in
+  Alcotest.(check int) "exactly two" 2 count
+
+let test_cardinality_cnf () =
+  let s, vs = mk_solver 6 in
+  Pb.add_at_most_k ~mode:Pb.Cnf s (Array.to_list vs |> List.map lit) 2;
+  Pb.add_at_least_k ~mode:Pb.Cnf s (Array.to_list vs |> List.map lit) 2;
+  Alcotest.(check bool) "sat" true (is_sat s);
+  let count =
+    Array.fold_left (fun n v -> if Solver.model_value s (lit v) then n + 1 else n) 0 vs
+  in
+  Alcotest.(check int) "exactly two" 2 count
+
+let test_adder_encoding () =
+  (* 3a + 5b + 7c >= 10 with CNF adder network *)
+  let s, vs = mk_solver 3 in
+  Pb.add_geq ~mode:Pb.Cnf s
+    [ (3, lit vs.(0)); (5, lit vs.(1)); (7, lit vs.(2)) ]
+    10;
+  Alcotest.(check bool) "sat" true (is_sat s);
+  let weight = [| 3; 5; 7 |] in
+  let sum = ref 0 in
+  Array.iteri (fun i v -> if Solver.model_value s (lit v) then sum := !sum + weight.(i)) vs;
+  Alcotest.(check bool) "sum >= 10" true (!sum >= 10)
+
+(* Exhaustive cross-check: for every assignment-constraint combination of
+   small size, Native and Cnf agree with direct evaluation. *)
+let modes_agree_exhaustive () =
+  let cases =
+    [
+      ([ (1, 0, true); (1, 1, true); (1, 2, true) ], 2);
+      ([ (2, 0, true); (3, 1, false); (1, 2, true) ], 3);
+      ([ (5, 0, true); (5, 1, true) ], 5);
+      ([ (4, 0, false); (2, 1, false); (3, 2, true); (1, 3, true) ], 6);
+      ([ (-2, 0, true); (3, 1, true) ], 1);
+      ([ (7, 0, true); (-7, 1, true); (2, 2, false) ], 0);
+    ]
+  in
+  List.iteri
+    (fun idx (terms, bound) ->
+      let nv = 1 + List.fold_left (fun m (_, v, _) -> max m v) 0 terms in
+      (* enumerate all assignments; compare against both solver modes
+         with the assignment forced by unit clauses *)
+      for mask = 0 to (1 lsl nv) - 1 do
+        let truth v = (mask lsr v) land 1 = 1 in
+        let lhs =
+          List.fold_left
+            (fun acc (a, v, sign) ->
+              let value = truth v = sign in
+              if value then acc + a else acc)
+            0 terms
+        in
+        let expected = lhs >= bound in
+        List.iter
+          (fun mode ->
+            let s, vs = mk_solver nv in
+            Pb.add_geq ~mode s
+              (List.map (fun (a, v, sign) -> (a, Lit.of_var ~sign vs.(v))) terms)
+              bound;
+            Array.iteri
+              (fun v var ->
+                Solver.add_clause s [ Lit.of_var ~sign:(truth v) var ])
+              vs;
+            Alcotest.(check bool)
+              (Printf.sprintf "case %d mask %d" idx mask)
+              expected (is_sat s))
+          [ Pb.Native; Pb.Cnf ]
+      done)
+    cases
+
+(* qcheck: Native and Cnf modes are equisatisfiable on random systems *)
+let random_system_gen =
+  QCheck.Gen.(
+    let* nv = int_range 1 6 in
+    let* nc = int_range 1 5 in
+    let term_gen =
+      let* a = int_range (-4) 4 in
+      let* v = int_range 0 (nv - 1) in
+      let* sign = bool in
+      return (a, v, sign)
+    in
+    let con_gen =
+      let* n = int_range 1 4 in
+      let* terms = list_size (return n) term_gen in
+      let* bound = int_range (-4) 8 in
+      return (terms, bound)
+    in
+    let* cons = list_size (return nc) con_gen in
+    return (nv, cons))
+
+let prop_modes_equisat =
+  QCheck.Test.make ~count:200 ~name:"Native and Cnf PB modes agree"
+    (QCheck.make random_system_gen)
+    (fun (nv, cons) ->
+      let run mode =
+        let s, vs = mk_solver nv in
+        List.iter
+          (fun (terms, bound) ->
+            Pb.add_geq ~mode s
+              (List.map (fun (a, v, sign) -> (a, Lit.of_var ~sign vs.(v))) terms)
+              bound)
+          cons;
+        is_sat s
+      in
+      run Pb.Native = run Pb.Cnf)
+
+(* circuits *)
+
+let test_full_adder_truth_table () =
+  for mask = 0 to 7 do
+    let x = (mask lsr 0) land 1 and y = (mask lsr 1) land 1 and c = (mask lsr 2) land 1 in
+    let s, vs = mk_solver 3 in
+    let bx = Circuits.Lit (lit vs.(0))
+    and by = Circuits.Lit (lit vs.(1))
+    and bc = Circuits.Lit (lit vs.(2)) in
+    let sum, carry = Circuits.full_add s bx by bc in
+    Solver.add_clause s [ Lit.of_var ~sign:(x = 1) vs.(0) ];
+    Solver.add_clause s [ Lit.of_var ~sign:(y = 1) vs.(1) ];
+    Solver.add_clause s [ Lit.of_var ~sign:(c = 1) vs.(2) ];
+    Alcotest.(check bool) "fa sat" true (is_sat s);
+    let total = x + y + c in
+    Alcotest.(check bool)
+      (Printf.sprintf "sum %d" mask)
+      (total land 1 = 1)
+      (Circuits.model_bit s sum);
+    Alcotest.(check bool)
+      (Printf.sprintf "carry %d" mask)
+      (total >= 2)
+      (Circuits.model_bit s carry)
+  done
+
+let test_adder_vectors () =
+  (* 13 + 29 = 42 through the circuit *)
+  let s = Solver.create () in
+  let a = Circuits.bits_of_int 5 13 and b = Circuits.bits_of_int 5 29 in
+  let sum = Circuits.sum_vectors s [ a; b ] in
+  Alcotest.(check bool) "sat" true (is_sat s);
+  Alcotest.(check int) "13+29" 42 (Circuits.model_int s sum)
+
+let test_mul_const () =
+  let s = Solver.create () in
+  let v = Circuits.bits_of_int 4 11 in
+  let r = Circuits.mul_const s 13 v in
+  Alcotest.(check bool) "sat" true (is_sat s);
+  Alcotest.(check int) "11*13" 143 (Circuits.model_int s r)
+
+let test_mul_symbolic () =
+  (* x * y = 91 with x,y in [2,15] has solution {7,13} *)
+  let s = Solver.create () in
+  let xv = Array.init 4 (fun _ -> Circuits.Lit (Circuits.fresh s)) in
+  let yv = Array.init 4 (fun _ -> Circuits.Lit (Circuits.fresh s)) in
+  let prod = Circuits.mul s xv yv in
+  let target = Circuits.bits_of_int 8 91 in
+  Circuits.assert_bit s (Circuits.equal_vec s prod target);
+  (* exclude the trivial factorizations 1*91 (impossible in 4 bits) *)
+  Circuits.assert_bit s (Circuits.uge s xv (Circuits.bits_of_int 4 2));
+  Circuits.assert_bit s (Circuits.uge s yv (Circuits.bits_of_int 4 2));
+  Alcotest.(check bool) "sat" true (is_sat s);
+  let x = Circuits.model_int s xv and y = Circuits.model_int s yv in
+  Alcotest.(check int) "product" 91 (x * y)
+
+let test_comparisons () =
+  let s = Solver.create () in
+  let checks =
+    [
+      (Circuits.ule, 5, 7, true);
+      (Circuits.ule, 7, 7, true);
+      (Circuits.ule, 8, 7, false);
+      (Circuits.ult, 6, 7, true);
+      (Circuits.ult, 7, 7, false);
+      (Circuits.uge, 9, 3, true);
+      (Circuits.ugt, 3, 3, false);
+    ]
+  in
+  List.iteri
+    (fun i (op, a, b, expected) ->
+      let r = op s (Circuits.bits_of_int 5 a) (Circuits.bits_of_int 5 b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "cmp %d" i)
+        expected
+        (match r with
+        | Circuits.One -> true
+        | Circuits.Zero -> false
+        | Circuits.Lit _ -> Alcotest.fail "constant comparison produced a literal"))
+    checks
+
+let test_width_for () =
+  Alcotest.(check int) "w 0" 1 (Circuits.width_for 0);
+  Alcotest.(check int) "w 1" 1 (Circuits.width_for 1);
+  Alcotest.(check int) "w 2" 2 (Circuits.width_for 2);
+  Alcotest.(check int) "w 7" 3 (Circuits.width_for 7);
+  Alcotest.(check int) "w 8" 4 (Circuits.width_for 8);
+  Alcotest.(check int) "w 255" 8 (Circuits.width_for 255);
+  Alcotest.(check int) "w 256" 9 (Circuits.width_for 256)
+
+(* -- OPB interchange ------------------------------------------------------ *)
+
+let test_opb_parse_and_solve () =
+  let text = "* demo\n+2 x1 +3 x2 >= 3 ;\n+1 x1 +1 x2 <= 1 ;\n" in
+  let solver, vars = Opb.parse_string text in
+  Alcotest.(check int) "two vars" 2 (Hashtbl.length vars);
+  Alcotest.(check bool) "sat" true (Solver.solve solver = Solver.Sat);
+  (* 2a+3b >= 3 with a+b <= 1 forces b alone *)
+  let b = Hashtbl.find vars "x2" in
+  Alcotest.(check bool) "x2 true" true (Solver.model_value solver (Lit.of_var b))
+
+let test_opb_parse_errors () =
+  let fails s =
+    match Opb.parse_string s with
+    | exception Opb.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no relation" true (fails "+1 x1 +1 x2\n");
+  Alcotest.(check bool) "bad bound" true (fails "+1 x1 >= goo\n");
+  Alcotest.(check bool) "double coeff" true (fails "+1 +2 x1 >= 1\n")
+
+let test_opb_export_roundtrip () =
+  (* build a mixed instance, export, re-parse: equisatisfiable, and the
+     model survives the trip *)
+  let s, vs = mk_solver 4 in
+  Solver.add_clause s [ lit vs.(0); lit vs.(1) ];
+  Solver.add_clause s [ Lit.neg (lit vs.(1)); lit vs.(2) ];
+  Pb.add_geq s [ (2, lit vs.(2)); (1, lit vs.(3)) ] 2;
+  Pb.add_leq s [ (1, lit vs.(0)); (1, lit vs.(3)) ] 1;
+  let text = Opb.export_string s in
+  let s', _ = Opb.parse_string text in
+  Alcotest.(check bool) "original sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "reparsed sat" true (Solver.solve s' = Solver.Sat);
+  (* force a contradiction in both; both must refuse *)
+  Solver.add_clause s [ Lit.neg (lit vs.(2)) ];
+  let text2 = Opb.export_string s in
+  let s2, _ = Opb.parse_string text2 in
+  Alcotest.(check bool) "original unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "reparsed unsat" true (Solver.solve s2 = Solver.Unsat)
+
+let prop_opb_roundtrip_equisat =
+  QCheck.Test.make ~count:80 ~name:"OPB export/parse is equisatisfiable"
+    (QCheck.make random_system_gen)
+    (fun (nv, cons) ->
+      let s, vs = mk_solver nv in
+      List.iter
+        (fun (terms, bound) ->
+          Pb.add_geq s
+            (List.map (fun (a, v, sign) -> (a, Lit.of_var ~sign vs.(v))) terms)
+            bound)
+        cons;
+      let s', _ = Opb.parse_string (Opb.export_string s) in
+      (Solver.solve s = Solver.Sat) = (Solver.solve s' = Solver.Sat))
+
+let suite =
+  [
+    Alcotest.test_case "negative coeffs" `Quick test_normalize_negative_coeffs;
+    Alcotest.test_case "merge duplicates" `Quick test_normalize_merge_duplicates;
+    Alcotest.test_case "opposite lits" `Quick test_normalize_opposite_lits;
+    Alcotest.test_case "leq" `Quick test_leq;
+    Alcotest.test_case "eq" `Quick test_eq;
+    Alcotest.test_case "cardinality cnf" `Quick test_cardinality_cnf;
+    Alcotest.test_case "adder encoding" `Quick test_adder_encoding;
+    Alcotest.test_case "modes agree exhaustive" `Quick modes_agree_exhaustive;
+    Alcotest.test_case "full adder truth table" `Quick test_full_adder_truth_table;
+    Alcotest.test_case "adder vectors" `Quick test_adder_vectors;
+    Alcotest.test_case "mul const" `Quick test_mul_const;
+    Alcotest.test_case "mul symbolic" `Quick test_mul_symbolic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "width_for" `Quick test_width_for;
+    Alcotest.test_case "opb parse and solve" `Quick test_opb_parse_and_solve;
+    Alcotest.test_case "opb parse errors" `Quick test_opb_parse_errors;
+    Alcotest.test_case "opb export roundtrip" `Quick test_opb_export_roundtrip;
+    QCheck_alcotest.to_alcotest prop_opb_roundtrip_equisat;
+    QCheck_alcotest.to_alcotest prop_modes_equisat;
+  ]

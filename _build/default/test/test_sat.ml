@@ -1,0 +1,471 @@
+(* Unit and property tests for the CDCL+PB solver. *)
+
+open Taskalloc_sat
+
+let lit v = Lit.of_var v
+let nlit v = Lit.of_var ~sign:false v
+
+let check_result = Alcotest.testable (fun ppf -> function
+    | Solver.Sat -> Fmt.string ppf "Sat"
+    | Solver.Unsat -> Fmt.string ppf "Unsat"
+    | Solver.Unknown -> Fmt.string ppf "Unknown")
+    ( = )
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v ];
+  Alcotest.check check_result "x" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "model x" true (Solver.model_value s (lit v))
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v ];
+  Solver.add_clause s [ nlit v ];
+  Alcotest.check check_result "x & ~x" Solver.Unsat (Solver.solve s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Alcotest.check check_result "empty clause" Solver.Unsat (Solver.solve s)
+
+let test_unit_propagation_chain () =
+  let s = Solver.create () in
+  let n = 50 in
+  let vs = Array.init n (fun _ -> Solver.new_var s) in
+  Solver.add_clause s [ lit vs.(0) ];
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ nlit vs.(i); lit vs.(i + 1) ]
+  done;
+  Alcotest.check check_result "chain" Solver.Sat (Solver.solve s);
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "v%d" i) true (Solver.model_value s (lit vs.(i)))
+  done
+
+let test_simple_3sat () =
+  (* (a | b) & (~a | c) & (~b | c) & ~c is unsat; without ~c sat *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ lit a; lit b ];
+  Solver.add_clause s [ nlit a; lit c ];
+  Solver.add_clause s [ nlit b; lit c ];
+  Alcotest.check check_result "sat part" Solver.Sat (Solver.solve s);
+  Solver.add_clause s [ nlit c ];
+  Alcotest.check check_result "plus ~c" Solver.Unsat (Solver.solve s)
+
+let pigeonhole ~pigeons ~holes =
+  (* unsat iff pigeons > holes; classic hard family *)
+  let s = Solver.create () in
+  let x = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> lit x.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ nlit x.(p1).(h); nlit x.(p2).(h) ]
+      done
+    done
+  done;
+  Solver.solve s
+
+let test_pigeonhole () =
+  Alcotest.check check_result "php(6,5) unsat" Solver.Unsat (pigeonhole ~pigeons:6 ~holes:5);
+  Alcotest.check check_result "php(5,5) sat" Solver.Sat (pigeonhole ~pigeons:5 ~holes:5)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ nlit a; lit b ];
+  Alcotest.check check_result "assume a" Solver.Sat
+    (Solver.solve ~assumptions:[ lit a ] s);
+  Alcotest.(check bool) "b forced" true (Solver.model_value s (lit b));
+  Solver.add_clause s [ nlit b ];
+  Alcotest.check check_result "assume a, now unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a ] s);
+  Alcotest.check check_result "without assumption still sat" Solver.Sat
+    (Solver.solve s);
+  Alcotest.(check bool) "a false in model" false (Solver.model_value s (lit a))
+
+let test_assumption_reuse () =
+  (* assumptions must not leave permanent marks *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Alcotest.check check_result "assume a" Solver.Sat (Solver.solve ~assumptions:[ lit a ] s);
+  Alcotest.check check_result "assume ~a" Solver.Sat (Solver.solve ~assumptions:[ nlit a ] s);
+  Alcotest.check check_result "assume both" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a; nlit a ] s)
+
+let test_pb_basic () =
+  (* 2a + b + c >= 3 forces a *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_pb_geq s [ (2, lit a); (1, lit b); (1, lit c) ] 3;
+  Alcotest.check check_result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "a forced" true (Solver.model_value s (lit a));
+  Alcotest.(check bool) "b or c" true
+    (Solver.model_value s (lit b) || Solver.model_value s (lit c))
+
+let test_pb_conflict () =
+  (* a + b >= 2 together with ~a is unsat *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_pb_geq s [ (1, lit a); (1, lit b) ] 2;
+  Solver.add_clause s [ nlit a ];
+  Alcotest.check check_result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_pb_infeasible_degree () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_pb_geq s [ (1, lit a) ] 5;
+  Alcotest.check check_result "degree too high" Solver.Unsat (Solver.solve s)
+
+let test_exactly_one () =
+  let s = Solver.create () in
+  let vs = List.init 8 (fun _ -> Solver.new_var s) in
+  Solver.add_exactly_one s (List.map lit vs);
+  Alcotest.check check_result "sat" Solver.Sat (Solver.solve s);
+  let count =
+    List.fold_left (fun n v -> if Solver.model_value s (lit v) then n + 1 else n) 0 vs
+  in
+  Alcotest.(check int) "exactly one true" 1 count
+
+let test_pb_pigeonhole () =
+  (* PHP with at-most-one holes expressed as PB: much faster to refute *)
+  let pigeons = 7 and holes = 6 in
+  let s = Solver.create () in
+  let x = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> lit x.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    Solver.add_at_most_one s (List.init pigeons (fun p -> lit x.(p).(h)))
+  done;
+  Alcotest.check check_result "php-pb unsat" Solver.Unsat (Solver.solve s)
+
+let test_pb_knapsack_model_valid () =
+  (* Random-ish weighted constraints; check any model actually satisfies
+     them semantically. *)
+  let s = Solver.create () in
+  let n = 12 in
+  let vs = Array.init n (fun _ -> Solver.new_var s) in
+  let w = Array.init n (fun i -> (i mod 5) + 1) in
+  let pairs = Array.to_list (Array.mapi (fun i v -> (w.(i), lit v)) vs) in
+  let total = Array.fold_left ( + ) 0 w in
+  Solver.add_pb_geq s pairs (total / 2);
+  (* also an upper bound: sum w_i x_i <= 2*total/3, via negated lits *)
+  let ub = 2 * total / 3 in
+  Solver.add_pb_geq s (List.map (fun (a, l) -> (a, Lit.neg l)) pairs) (total - ub);
+  Alcotest.check check_result "sat" Solver.Sat (Solver.solve s);
+  let sum =
+    Array.to_list vs
+    |> List.mapi (fun i v -> if Solver.model_value s (lit v) then w.(i) else 0)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool) "lower bound holds" true (sum >= total / 2);
+  Alcotest.(check bool) "upper bound holds" true (sum <= ub)
+
+let test_dimacs_roundtrip () =
+  let txt = "c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n" in
+  let cnf = Dimacs.parse_string txt in
+  Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 3 (List.length cnf.Dimacs.clauses);
+  let result, _ = Dimacs.solve_string txt in
+  Alcotest.check check_result "solves" Solver.Sat result
+
+let test_luby () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  List.iteri
+    (fun i e -> Alcotest.(check int) (Printf.sprintf "luby %d" i) e (Luby.get i))
+    expected
+
+(* Property: solver agrees with brute force on random small CNFs. *)
+let brute_force_sat num_vars clauses =
+  let rec go assignment v =
+    if v = num_vars then
+      List.for_all
+        (fun c -> List.exists (fun l -> assignment.(Stdlib.abs l - 1) = (l > 0)) c)
+        clauses
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make num_vars false) 0
+
+let random_cnf_gen =
+  QCheck.Gen.(
+    let* num_vars = int_range 1 8 in
+    let* num_clauses = int_range 1 25 in
+    let lit_gen =
+      let* v = int_range 1 num_vars in
+      let* s = bool in
+      return (if s then v else -v)
+    in
+    let* clauses = list_size (return num_clauses) (list_size (int_range 1 4) lit_gen) in
+    return (num_vars, clauses))
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~count:300 ~name:"solver agrees with brute force"
+    (QCheck.make random_cnf_gen)
+    (fun (num_vars, clauses) ->
+      let s = Solver.create () in
+      for _ = 1 to num_vars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) clauses;
+      let expected = brute_force_sat num_vars clauses in
+      let got = Solver.solve s = Solver.Sat in
+      if got && expected then
+        (* model must actually satisfy every clause *)
+        List.for_all
+          (fun c -> List.exists (fun l -> Solver.model_value s (Lit.of_dimacs l)) c)
+          clauses
+      else got = expected)
+
+let random_pb_gen =
+  QCheck.Gen.(
+    let* num_vars = int_range 1 7 in
+    let* num_cons = int_range 1 8 in
+    let con_gen =
+      let* n = int_range 1 num_vars in
+      let* coeffs = list_size (return n) (int_range 1 4) in
+      let* signs = list_size (return n) bool in
+      let* degree = int_range 0 8 in
+      return (List.combine coeffs (List.mapi (fun i s -> (i + 1, s)) signs), degree)
+    in
+    let* cons = list_size (return num_cons) con_gen in
+    return (num_vars, cons))
+
+let brute_force_pb num_vars cons =
+  let rec go assignment v =
+    if v = num_vars then
+      List.for_all
+        (fun (pairs, degree) ->
+          let sum =
+            List.fold_left
+              (fun acc (a, (var, sign)) ->
+                let value = assignment.(var - 1) = sign in
+                if value then acc + a else acc)
+              0 pairs
+          in
+          sum >= degree)
+        cons
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make num_vars false) 0
+
+let prop_pb_matches_brute_force =
+  QCheck.Test.make ~count:300 ~name:"PB solver agrees with brute force"
+    (QCheck.make random_pb_gen)
+    (fun (num_vars, cons) ->
+      let s = Solver.create () in
+      for _ = 1 to num_vars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter
+        (fun (pairs, degree) ->
+          let pairs =
+            (* merge duplicate variables to respect the solver contract *)
+            let tbl = Hashtbl.create 8 in
+            List.iter
+              (fun (a, (var, sign)) ->
+                let l = Lit.of_var ~sign (var - 1) in
+                let cur = try Hashtbl.find tbl l with Not_found -> 0 in
+                Hashtbl.replace tbl l (cur + a))
+              pairs;
+            (* opposite literals of one variable: keep as separate lits is
+               not allowed; resolve min overlap into a constant *)
+            Hashtbl.fold (fun l a acc -> (a, l) :: acc) tbl []
+          in
+          (* split pairs that mention both polarities of one var *)
+          let by_var = Hashtbl.create 8 in
+          List.iter
+            (fun (a, l) ->
+              let v = Lit.var l in
+              let pos, neg = try Hashtbl.find by_var v with Not_found -> (0, 0) in
+              if Lit.sign l then Hashtbl.replace by_var v (pos + a, neg)
+              else Hashtbl.replace by_var v (pos, neg + a))
+            pairs;
+          let const = ref 0 in
+          let clean =
+            Hashtbl.fold
+              (fun v (pos, neg) acc ->
+                let m = min pos neg in
+                const := !const + m;
+                let pos = pos - m and neg = neg - m in
+                if pos > 0 then (pos, Lit.of_var v) :: acc
+                else if neg > 0 then (neg, Lit.of_var ~sign:false v) :: acc
+                else acc)
+              by_var []
+          in
+          let degree = degree - !const in
+          if degree > 0 then Solver.add_pb_geq s clean degree)
+        cons;
+      let expected = brute_force_pb num_vars cons in
+      let got = Solver.solve s = Solver.Sat in
+      got = expected)
+
+(* -- incremental use, budgets, containers ------------------------------- *)
+
+let test_incremental_narrowing () =
+  (* add clauses between solves; models must respect all of them *)
+  let s = Solver.create () in
+  let vs = Array.init 6 (fun _ -> Solver.new_var s) in
+  Solver.add_clause s (Array.to_list (Array.map lit vs));
+  Alcotest.check check_result "first" Solver.Sat (Solver.solve s);
+  (* forbid the current model, repeatedly: enumerate models *)
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < 100 do
+    match Solver.solve s with
+    | Solver.Sat ->
+      incr count;
+      let blocking =
+        Array.to_list vs
+        |> List.map (fun v ->
+               if Solver.model_value s (lit v) then nlit v else lit v)
+      in
+      Solver.add_clause s blocking
+    | Solver.Unsat -> continue := false
+    | Solver.Unknown -> Alcotest.fail "unexpected unknown"
+  done;
+  (* 2^6 - 1 models satisfy "at least one of six" *)
+  Alcotest.(check int) "model count" 63 !count
+
+let test_conflict_budget () =
+  (* php(8,7) cannot be refuted in 5 conflicts *)
+  let s = Solver.create () in
+  let x = Array.init 8 (fun _ -> Array.init 7 (fun _ -> Solver.new_var s)) in
+  for p = 0 to 7 do
+    Solver.add_clause s (List.init 7 (fun h -> lit x.(p).(h)))
+  done;
+  for h = 0 to 6 do
+    for p1 = 0 to 7 do
+      for p2 = p1 + 1 to 7 do
+        Solver.add_clause s [ nlit x.(p1).(h); nlit x.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.check check_result "budget" Solver.Unknown
+    (Solver.solve ~max_conflicts:5 s);
+  (* and the solver remains usable afterwards *)
+  Alcotest.check check_result "full solve" Solver.Unsat (Solver.solve s);
+  Alcotest.(check bool) "ok false after unsat" false (Solver.ok s)
+
+let test_at_most_one_exhaustive () =
+  (* all assignments of three variables against add_at_most_one *)
+  for mask = 0 to 7 do
+    let s = Solver.create () in
+    let vs = Array.init 3 (fun _ -> Solver.new_var s) in
+    Solver.add_at_most_one s (Array.to_list (Array.map lit vs));
+    Array.iteri
+      (fun i v -> Solver.add_clause s [ Lit.of_var ~sign:((mask lsr i) land 1 = 1) v ])
+      vs;
+    let popcount = (mask land 1) + ((mask lsr 1) land 1) + ((mask lsr 2) land 1) in
+    Alcotest.check check_result
+      (Printf.sprintf "mask %d" mask)
+      (if popcount <= 1 then Solver.Sat else Solver.Unsat)
+      (Solver.solve s)
+  done
+
+let test_statistics_monotone () =
+  let s = Solver.create () in
+  let vs = Array.init 10 (fun _ -> Solver.new_var s) in
+  for i = 0 to 8 do
+    Solver.add_clause s [ nlit vs.(i); lit vs.(i + 1) ]
+  done;
+  Solver.add_clause s [ lit vs.(0) ];
+  ignore (Solver.solve s);
+  Alcotest.(check bool) "propagations counted" true (Solver.n_propagations s > 0);
+  Alcotest.(check int) "vars" 10 (Solver.n_vars s);
+  Alcotest.(check bool) "literals counted" true (Solver.n_literals s >= 19)
+
+let test_vec_operations () =
+  let v = Vec.create (-1) in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check bool) "swap_remove hit" true (Vec.swap_remove ~eq:Int.equal v 50);
+  Alcotest.(check bool) "swap_remove miss" false (Vec.swap_remove ~eq:Int.equal v 50);
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check bool) "filtered" true (Vec.fold (fun acc x -> acc && x mod 2 = 0) true v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.size v)
+
+let test_veci_operations () =
+  let v = Veci.create () in
+  for i = 0 to 49 do
+    Veci.push v (49 - i)
+  done;
+  Alcotest.(check int) "size" 50 (Veci.size v);
+  Veci.sort Int.compare v;
+  Alcotest.(check int) "sorted first" 0 (Veci.get v 0);
+  Alcotest.(check int) "sorted last" 49 (Veci.last v);
+  Alcotest.(check (list int)) "to_list prefix" [ 0; 1; 2 ]
+    (List.filteri (fun i _ -> i < 3) (Veci.to_list v));
+  Veci.shrink v 10;
+  Alcotest.(check int) "shrunk" 10 (Veci.size v)
+
+let test_order_heap () =
+  let activity = ref (Array.make 8 0.) in
+  let h = Order_heap.create activity in
+  for v = 0 to 7 do
+    !activity.(v) <- float_of_int (v mod 4);
+    Order_heap.insert h v
+  done;
+  Alcotest.(check int) "size" 8 (Order_heap.size h);
+  (* max activity is 3.0, shared by vars 3 and 7 *)
+  let first = Order_heap.remove_max h in
+  Alcotest.(check bool) "max activity" true (!activity.(first) = 3.0);
+  (* bump a low one above everything *)
+  !activity.(0) <- 100.;
+  Order_heap.decrease h 0;
+  Alcotest.(check int) "bumped to top" 0 (Order_heap.remove_max h);
+  Alcotest.(check bool) "in_heap" false (Order_heap.in_heap h 0)
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "unit chain" `Quick test_unit_propagation_chain;
+    Alcotest.test_case "3sat" `Quick test_simple_3sat;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "assumption reuse" `Quick test_assumption_reuse;
+    Alcotest.test_case "pb basic" `Quick test_pb_basic;
+    Alcotest.test_case "pb conflict" `Quick test_pb_conflict;
+    Alcotest.test_case "pb infeasible degree" `Quick test_pb_infeasible_degree;
+    Alcotest.test_case "exactly one" `Quick test_exactly_one;
+    Alcotest.test_case "pb pigeonhole" `Quick test_pb_pigeonhole;
+    Alcotest.test_case "pb knapsack model" `Quick test_pb_knapsack_model_valid;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "luby" `Quick test_luby;
+    Alcotest.test_case "incremental narrowing" `Quick test_incremental_narrowing;
+    Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+    Alcotest.test_case "at-most-one exhaustive" `Quick test_at_most_one_exhaustive;
+    Alcotest.test_case "statistics" `Quick test_statistics_monotone;
+    Alcotest.test_case "vec" `Quick test_vec_operations;
+    Alcotest.test_case "veci" `Quick test_veci_operations;
+    Alcotest.test_case "order heap" `Quick test_order_heap;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_pb_matches_brute_force;
+  ]

@@ -1,0 +1,183 @@
+(* Tests for media graphs, gateways and path closures, including the
+   paper's Fig. 1 example verbatim. *)
+
+open Taskalloc_topology
+
+(* Fig. 1: ECUs p1..p5 are 0..4; k1 = {p1,p2,p3}, k2 = {p2,p4},
+   k3 = {p3,p5}. *)
+let fig1 () =
+  Topology.create ~n_ecus:5 ~media:[ [ 0; 1; 2 ]; [ 1; 3 ]; [ 2; 4 ] ]
+
+let test_fig1_gateways () =
+  let t = fig1 () in
+  Alcotest.(check (option int)) "k1-k2 via p2" (Some 1) (Topology.gateway_between t 0 1);
+  Alcotest.(check (option int)) "k1-k3 via p3" (Some 2) (Topology.gateway_between t 0 2);
+  Alcotest.(check (option int)) "k2-k3 none" None (Topology.gateway_between t 1 2);
+  Alcotest.(check (list int)) "gateway ecus" [ 1; 2 ] (Topology.gateway_ecus t)
+
+let test_fig1_path_closures () =
+  let t = fig1 () in
+  let closures = Topology.path_closures t in
+  (* ph1 = {k1,k1k2}, ph2 = {k1,k1k3}, ph3 = {k2,k2k1,k2k1k3},
+     ph4 = {k3,k3k1,k3k1k2} *)
+  let expected =
+    List.sort_uniq compare
+      [
+        [ [ 0 ]; [ 0; 1 ] ];
+        [ [ 0 ]; [ 0; 2 ] ];
+        [ [ 1 ]; [ 1; 0 ]; [ 1; 0; 2 ] ];
+        [ [ 2 ]; [ 2; 0 ]; [ 2; 0; 1 ] ];
+      ]
+  in
+  Alcotest.(check int) "four closures" 4 (List.length closures);
+  Alcotest.(check bool) "closures match fig. 1" true (closures = expected)
+
+let test_simple_paths_count () =
+  let t = fig1 () in
+  let paths = Topology.simple_paths t in
+  (* per medium: k1: [1],[1,2],[1,3]; k2: [2],[2,1],[2,1,3]; k3 symmetric:
+     3 + 3 + 3 = 9, where [i] denotes media *)
+  Alcotest.(check int) "path count" 9 (List.length paths);
+  List.iter
+    (fun p -> Alcotest.(check bool) "valid" true (Topology.valid_path t p))
+    paths
+
+let test_valid_path () =
+  let t = fig1 () in
+  Alcotest.(check bool) "single" true (Topology.valid_path t [ 0 ]);
+  Alcotest.(check bool) "chained" true (Topology.valid_path t [ 1; 0; 2 ]);
+  Alcotest.(check bool) "non adjacent" false (Topology.valid_path t [ 1; 2 ]);
+  Alcotest.(check bool) "repeat" false (Topology.valid_path t [ 0; 1; 0 ]);
+  Alcotest.(check bool) "empty" false (Topology.valid_path t []);
+  Alcotest.(check bool) "unknown medium" false (Topology.valid_path t [ 7 ])
+
+let test_endpoint_ecus () =
+  let t = fig1 () in
+  (* path k1: both endpoints anywhere on k1 *)
+  let s, r = Topology.endpoint_ecus t [ 0 ] in
+  Alcotest.(check (list int)) "senders k1" [ 0; 1; 2 ] s;
+  Alcotest.(check (list int)) "receivers k1" [ 0; 1; 2 ] r;
+  (* path k1k2: sender on k1 minus gateway p2; receiver on k2 minus p2 *)
+  let s, r = Topology.endpoint_ecus t [ 0; 1 ] in
+  Alcotest.(check (list int)) "senders k1k2" [ 0; 2 ] s;
+  Alcotest.(check (list int)) "receivers k1k2" [ 3 ] r;
+  (* three-hop k2k1k3 *)
+  let s, r = Topology.endpoint_ecus t [ 1; 0; 2 ] in
+  Alcotest.(check (list int)) "senders k2k1k3" [ 3 ] s;
+  Alcotest.(check (list int)) "receivers k2k1k3" [ 4 ] r
+
+let test_gateways_of_path () =
+  let t = fig1 () in
+  Alcotest.(check (list int)) "k2k1k3 gateways" [ 1; 2 ]
+    (Topology.gateways_of_path t [ 1; 0; 2 ]);
+  Alcotest.(check (list int)) "single" [] (Topology.gateways_of_path t [ 0 ])
+
+let test_media_of_ecu () =
+  let t = fig1 () in
+  Alcotest.(check (list int)) "p2 on k1 k2" [ 0; 1 ] (Topology.media_of_ecu t 1);
+  Alcotest.(check (list int)) "p4 on k2" [ 1 ] (Topology.media_of_ecu t 3)
+
+let test_invalid_topologies () =
+  Alcotest.check_raises "two gateways"
+    (Topology.Invalid_topology "media 0 and 1 share 2 ECUs (max one gateway)")
+    (fun () -> ignore (Topology.create ~n_ecus:4 ~media:[ [ 0; 1; 2 ]; [ 1; 2; 3 ] ]));
+  Alcotest.check_raises "unknown ecu"
+    (Topology.Invalid_topology "medium 0 references unknown ECU 9") (fun () ->
+      ignore (Topology.create ~n_ecus:3 ~media:[ [ 0; 9 ] ]));
+  Alcotest.check_raises "duplicate ecu"
+    (Topology.Invalid_topology "medium 0 lists an ECU twice") (fun () ->
+      ignore (Topology.create ~n_ecus:3 ~media:[ [ 0; 0 ] ]))
+
+(* property: every element of every closure is a valid path, prefixes
+   are closed, and the first element is a single medium *)
+let prop_closures_prefix_closed =
+  QCheck.Test.make ~count:60 ~name:"closures are prefix-closed valid paths"
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      (* random small topology: 3-5 media in a random tree over ECUs *)
+      let rng = seed in
+      let n_media = 2 + (rng mod 3) in
+      let n_app = 2 in
+      (* media k gets ECUs [k*n_app .. k*n_app+n_app-1] plus gateway to k-1 *)
+      let gateway k = (n_media * n_app) + k in
+      let media =
+        List.init n_media (fun k ->
+            let own = List.init n_app (fun i -> (k * n_app) + i) in
+            let gws = (if k > 0 then [ gateway (k - 1) ] else []) @ if k < n_media - 1 then [ gateway k ] else [] in
+            own @ gws)
+      in
+      let t = Topology.create ~n_ecus:((n_media * n_app) + n_media) ~media in
+      let closures = Topology.path_closures t in
+      List.for_all
+        (fun closure ->
+          List.for_all (Topology.valid_path t) closure
+          && List.for_all
+               (fun path ->
+                 List.length path = 1
+                 ||
+                 let prefix = List.filteri (fun i _ -> i < List.length path - 1) path in
+                 List.mem prefix closure)
+               closure)
+        closures)
+
+let test_medium_has_ecu () =
+  let t = fig1 () in
+  Alcotest.(check bool) "k1 has p1" true (Topology.medium_has_ecu t 0 0);
+  Alcotest.(check bool) "k2 lacks p1" false (Topology.medium_has_ecu t 1 0)
+
+let test_maximal_paths () =
+  let t = fig1 () in
+  let maxp = Topology.maximal_paths t in
+  (* maximal simple paths: k1k2, k1k3, k2k1k3, k3k1k2 *)
+  Alcotest.(check int) "count" 4 (List.length maxp);
+  Alcotest.(check bool) "k2k1k3 maximal" true (List.mem [ 1; 0; 2 ] maxp);
+  Alcotest.(check bool) "k1 alone not maximal" false (List.mem [ 0 ] maxp)
+
+let test_prefixes () =
+  Alcotest.(check (list (list int))) "prefixes" [ [ 1 ]; [ 1; 0 ]; [ 1; 0; 2 ] ]
+    (Topology.prefixes [ 1; 0; 2 ]);
+  Alcotest.(check (list (list int))) "single" [ [ 7 ] ] (Topology.prefixes [ 7 ])
+
+let test_single_medium_topology () =
+  (* a flat bus: one closure, one path *)
+  let t = Topology.create ~n_ecus:4 ~media:[ [ 0; 1; 2; 3 ] ] in
+  Alcotest.(check int) "one path" 1 (List.length (Topology.simple_paths t));
+  Alcotest.(check (list (list (list int)))) "one closure" [ [ [ 0 ] ] ]
+    (Topology.path_closures t);
+  Alcotest.(check (list int)) "no gateways" [] (Topology.gateway_ecus t);
+  let s, r = Topology.endpoint_ecus t [ 0 ] in
+  Alcotest.(check (list int)) "senders" [ 0; 1; 2; 3 ] s;
+  Alcotest.(check (list int)) "receivers" [ 0; 1; 2; 3 ] r
+
+let test_arch_b_topology () =
+  (* the chained three-bus architecture B of the paper *)
+  let t =
+    Topology.create ~n_ecus:14
+      ~media:[ [ 0; 1; 2; 3; 12 ]; [ 4; 5; 6; 7; 12; 13 ]; [ 8; 9; 10; 11; 13 ] ]
+  in
+  Alcotest.(check (list int)) "gateways" [ 12; 13 ] (Topology.gateway_ecus t);
+  Alcotest.(check bool) "0-2 not adjacent" false (Topology.adjacent t 0 2);
+  Alcotest.(check (list int)) "through path gateways" [ 12; 13 ]
+    (Topology.gateways_of_path t [ 0; 1; 2 ]);
+  (* crossing from bus0 to bus2 requires the 3-hop path *)
+  let s, r = Topology.endpoint_ecus t [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "senders exclude gw" [ 0; 1; 2; 3 ] s;
+  Alcotest.(check (list int)) "receivers exclude gw" [ 8; 9; 10; 11 ] r
+
+let suite =
+  [
+    Alcotest.test_case "fig1 gateways" `Quick test_fig1_gateways;
+    Alcotest.test_case "fig1 path closures" `Quick test_fig1_path_closures;
+    Alcotest.test_case "simple paths count" `Quick test_simple_paths_count;
+    Alcotest.test_case "valid path" `Quick test_valid_path;
+    Alcotest.test_case "endpoint ecus (v(h))" `Quick test_endpoint_ecus;
+    Alcotest.test_case "gateways of path" `Quick test_gateways_of_path;
+    Alcotest.test_case "media of ecu" `Quick test_media_of_ecu;
+    Alcotest.test_case "invalid topologies" `Quick test_invalid_topologies;
+    Alcotest.test_case "medium has ecu" `Quick test_medium_has_ecu;
+    Alcotest.test_case "maximal paths" `Quick test_maximal_paths;
+    Alcotest.test_case "prefixes" `Quick test_prefixes;
+    Alcotest.test_case "single medium" `Quick test_single_medium_topology;
+    Alcotest.test_case "architecture B topology" `Quick test_arch_b_topology;
+    QCheck_alcotest.to_alcotest prop_closures_prefix_closed;
+  ]
