@@ -1,0 +1,19 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# full CI gate: typecheck, build, tests, format (when available), CLI smoke
+check:
+	sh bin/ci.sh
+
+bench:
+	dune exec bench/main.exe -- quick
+
+clean:
+	dune clean

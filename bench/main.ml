@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- quick        -- reduced instances
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
-                   ablation-incremental ablation-encoding ablation-pb micro)
+                   ablation-incremental ablation-encoding ablation-pb
+                   anytime micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -34,12 +35,13 @@ let pp_time ppf s =
 
 let solve_or_fail name problem objective =
   match time (fun () -> Allocator.solve problem objective) with
-  | Some r, dt ->
+  | Allocator.Solved r, dt ->
     if r.Allocator.violations <> [] then
       Fmt.failwith "%s: allocation failed independent validation:@.%a" name
         Check.pp_report r.violations;
     (r, dt)
-  | None, _ -> Fmt.failwith "%s: unexpectedly infeasible" name
+  | Allocator.Infeasible, _ -> Fmt.failwith "%s: unexpectedly infeasible" name
+  | Allocator.Unknown, _ -> Fmt.failwith "%s: unbudgeted solve cannot pause" name
 
 (* ---- Table 1: the 43-task set of [5], token ring and CAN ------------- *)
 
@@ -207,8 +209,10 @@ let ablation_incremental ~quick () =
     (fun (name, problem) ->
       let run mode =
         match time (fun () -> Allocator.solve ~mode problem (Encode.Min_trt 0)) with
-        | Some r, dt -> (r.Allocator.cost, dt, r.stats.Taskalloc_opt.Opt.conflicts)
-        | None, _ -> Fmt.failwith "ablation: infeasible"
+        | Allocator.Solved r, dt ->
+          (r.Allocator.cost, dt, r.stats.Taskalloc_opt.Opt.conflicts)
+        | (Allocator.Infeasible | Allocator.Unknown), _ ->
+          Fmt.failwith "ablation: infeasible"
       in
       let cost_f, t_f, c_f = run Taskalloc_opt.Opt.Fresh in
       let cost_i, t_i, c_i = run Taskalloc_opt.Opt.Incremental in
@@ -234,12 +238,13 @@ let ablation_encoding ~quick () =
   let problem = Workloads.task_scaling ~n () in
   let run options name =
     match time (fun () -> Allocator.solve ~options problem (Encode.Min_trt 0)) with
-    | Some r, dt ->
+    | Allocator.Solved r, dt ->
       Fmt.pr "  %-10s TRT=%d time=%a vars=%dk lits=%dk conflicts=%d@." name
         r.Allocator.cost pp_time dt (r.bool_vars / 1000) (r.literals / 1000)
         r.stats.Taskalloc_opt.Opt.conflicts;
       r.Allocator.cost
-    | None, _ -> Fmt.failwith "ablation-encoding: infeasible"
+    | (Allocator.Infeasible | Allocator.Unknown), _ ->
+      Fmt.failwith "ablation-encoding: infeasible"
   in
   let a = run Encode.default_options "one-hot" in
   let b =
@@ -255,15 +260,109 @@ let ablation_pb ~quick () =
   let problem = Workloads.task_scaling ~n () in
   let run options name =
     match time (fun () -> Allocator.solve ~options problem (Encode.Min_trt 0)) with
-    | Some r, dt ->
+    | Allocator.Solved r, dt ->
       Fmt.pr "  %-10s TRT=%d time=%a vars=%dk lits=%dk@." name r.Allocator.cost
         pp_time dt (r.bool_vars / 1000) (r.literals / 1000);
       r.Allocator.cost
-    | None, _ -> Fmt.failwith "ablation-pb: infeasible"
+    | (Allocator.Infeasible | Allocator.Unknown), _ ->
+      Fmt.failwith "ablation-pb: infeasible"
   in
   let a = run Encode.default_options "native" in
   let b = run { Encode.default_options with pb_mode = Taskalloc_pb.Pb.Cnf } "cnf" in
   if a <> b then Fmt.failwith "ablation-pb: PB modes disagree"
+
+(* ---- anytime profile: solution quality vs wall-clock budget --------------- *)
+
+(* For each workload, sweep a ladder of wall-clock budgets and record
+   what the degradation chain delivers: the resolution rung, cost,
+   optimality gap and time actually spent.  Results go to the console
+   and to [bench_anytime.json] for downstream plotting. *)
+let anytime ~quick () =
+  section "Anytime profile: resolution and gap vs wall-clock budget";
+  let budgets =
+    if quick then [ 0.001; 0.01; 0.1; infinity ]
+    else [ 0.001; 0.005; 0.02; 0.1; 0.5; 2.0; infinity ]
+  in
+  let workloads =
+    if quick then
+      [
+        ("tasks12", Workloads.task_scaling ~n:12 (), Encode.Min_trt 0);
+        ("small-hier", Workloads.small_hierarchical ~seed:7 ~n_tasks:6 Workloads.C,
+         Encode.Min_sum_trt);
+      ]
+    else
+      [
+        ("tasks20", Workloads.task_scaling ~n:20 (), Encode.Min_trt 0);
+        ("tasks30", Workloads.task_scaling ~n:30 (), Encode.Min_trt 0);
+        ("ecus16", Workloads.arch_scaling ~n_ecus:16 (), Encode.Min_trt 0);
+        ("small-hier", Workloads.small_hierarchical ~seed:7 ~n_tasks:6 Workloads.C,
+         Encode.Min_sum_trt);
+      ]
+  in
+  let json_escape s =
+    String.concat ""
+      (List.map
+         (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let rows = ref [] in
+  Fmt.pr "  %-12s %-9s %-26s %-8s %-8s %-8s@." "workload" "budget" "resolution"
+    "cost" "gap" "time";
+  List.iter
+    (fun (name, problem, objective) ->
+      List.iter
+        (fun budget_s ->
+          let budget =
+            if budget_s = infinity then None
+            else Some (Allocator.Budget.create ~timeout:budget_s ())
+          in
+          let outcome, dt =
+            time (fun () -> Allocator.solve ?budget problem objective)
+          in
+          let resolution, cost, gap =
+            match outcome with
+            | Allocator.Solved r ->
+              if r.Allocator.violations <> [] then
+                Fmt.failwith "anytime %s: allocation failed validation" name;
+              let tag =
+                match r.Allocator.quality with
+                | Allocator.Optimal -> "optimal"
+                | Allocator.Anytime _ -> "anytime"
+                | Allocator.Heuristic h -> "heuristic:" ^ h
+              in
+              (tag, Some r.Allocator.cost, Allocator.gap r)
+            | Allocator.Infeasible -> ("infeasible", None, None)
+            | Allocator.Unknown -> ("unknown", None, None)
+          in
+          let pp_budget ppf s =
+            if s = infinity then Fmt.string ppf "inf" else Fmt.pf ppf "%gs" s
+          in
+          Fmt.pr "  %-12s %-9s %-26s %-8s %-8s %-8s@." name
+            (Fmt.str "%a" pp_budget budget_s)
+            resolution
+            (match cost with Some c -> string_of_int c | None -> "-")
+            (match gap with Some g -> Fmt.str "%.1f%%" (100. *. g) | None -> "-")
+            (Fmt.str "%a" pp_time dt);
+          rows :=
+            Printf.sprintf
+              "{\"workload\":\"%s\",\"budget_s\":%s,\"resolution\":\"%s\",\"cost\":%s,\"gap\":%s,\"wall_s\":%.6f}"
+              (json_escape name)
+              (if budget_s = infinity then "null" else Printf.sprintf "%g" budget_s)
+              (json_escape resolution)
+              (match cost with Some c -> string_of_int c | None -> "null")
+              (match gap with Some g -> Printf.sprintf "%.6f" g | None -> "null")
+              dt
+            :: !rows)
+        budgets)
+    workloads;
+  let path = "bench_anytime.json" in
+  let oc = open_out path in
+  output_string oc "[\n  ";
+  output_string oc (String.concat ",\n  " (List.rev !rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Fmt.pr "  shape check: larger budgets climb the ladder (heuristic/anytime -> optimal)@.";
+  Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
 
 (* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
 
@@ -339,6 +438,7 @@ let () =
       ("ablation-incremental", fun () -> ablation_incremental ~quick ());
       ("ablation-encoding", fun () -> ablation_encoding ~quick ());
       ("ablation-pb", fun () -> ablation_pb ~quick ());
+      ("anytime", fun () -> anytime ~quick ());
       ("micro", fun () -> micro ());
     ]
   in

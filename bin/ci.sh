@@ -1,0 +1,42 @@
+#!/bin/sh
+# CI entry point: typecheck, build, test, format-check, and smoke-test
+# the budgeted CLI.  Run from the repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+# format check only where the toolchain provides ocamlformat
+if command -v ocamlformat >/dev/null 2>&1; then
+    echo "== dune build @fmt =="
+    dune build @fmt
+else
+    echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+# regression: a budgeted solve must exit 0 and report its provenance,
+# never leak an exception (the old Budget_exceeded escape)
+echo "== CLI smoke: tiny wall-clock budget =="
+out=$(dune exec bin/taskalloc.exe -- solve --workload small --timeout 0.05)
+echo "$out" | grep -q "resolution:" || {
+    echo "FAIL: budgeted solve did not report a resolution"; exit 1; }
+
+echo "== CLI smoke: tiny conflict budget =="
+out=$(dune exec bin/taskalloc.exe -- solve --workload small --max-conflicts 1)
+echo "$out" | grep -q "resolution:" || {
+    echo "FAIL: conflict-budgeted solve did not report a resolution"; exit 1; }
+
+echo "== CLI smoke: unbudgeted solve still optimal =="
+out=$(dune exec bin/taskalloc.exe -- solve --workload small)
+echo "$out" | grep -q "resolution: optimal" || {
+    echo "FAIL: unbudgeted solve not optimal"; exit 1; }
+
+echo "CI OK"

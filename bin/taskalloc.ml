@@ -8,7 +8,8 @@
 
    Example:
      taskalloc solve --workload tindell43 --objective trt
-     taskalloc solve --workload arch-a --objective sum-trt --mode fresh *)
+     taskalloc solve --workload arch-a --objective sum-trt --mode fresh
+     taskalloc solve --workload small --timeout 0.5 --gap 0.05 *)
 
 open Cmdliner
 open Taskalloc_rt
@@ -70,6 +71,46 @@ let mode_arg =
     & info [ "mode" ] ~docv:"MODE"
         ~doc:"Binary-search mode: incremental (learned-clause reuse) or fresh.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the whole solve.  On expiry the best \
+           incumbent found so far is returned (with its optimality gap), or \
+           a heuristic fallback when no incumbent exists yet.")
+
+let max_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:"Total solver conflict budget across all binary-search probes.")
+
+let gap_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "gap" ] ~docv:"FRACTION"
+        ~doc:
+          "Stop as soon as the relative optimality gap is within FRACTION \
+           (e.g. 0.05 accepts any allocation within 5% of optimal).")
+
+let no_fallback_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-fallback" ]
+        ~doc:
+          "Disable the heuristic fallback: report UNKNOWN when the budget \
+           expires before any incumbent exists.")
+
+let budget_of ~timeout ~max_conflicts =
+  match (timeout, max_conflicts) with
+  | None, None -> None
+  | _ -> Some (Taskalloc_core.Allocator.Budget.create ?timeout ?max_conflicts ())
+
 let lookup_workload ?file name seed =
   match file with
   | Some path -> (
@@ -103,7 +144,8 @@ let heuristic_objective = function
   | `Max_util -> Heuristics.Max_util
 
 let solve_cmd =
-  let run file workload seed objective mode =
+  let run file workload seed objective mode timeout max_conflicts gap_tol
+      no_fallback =
     let problem = lookup_workload ?file workload seed in
     let label = match file with Some f -> f | None -> workload in
     Fmt.pr "workload %s: %d tasks, %d ECUs, %d messages, %d media@." label
@@ -111,8 +153,12 @@ let solve_cmd =
       problem.Model.arch.Model.n_ecus
       (Array.length (Model.all_messages problem))
       (List.length problem.Model.arch.Model.media);
-    match Allocator.solve ~mode problem (to_objective problem objective) with
-    | None ->
+    let budget = budget_of ~timeout ~max_conflicts in
+    match
+      Allocator.solve ~mode ?budget ~gap_tol ~fallback:(not no_fallback)
+        problem (to_objective problem objective)
+    with
+    | Allocator.Infeasible ->
       Fmt.pr "INFEASIBLE; probing constraint classes...@.";
       List.iter
         (fun (relaxation, feasible) ->
@@ -121,15 +167,24 @@ let solve_cmd =
             (if feasible then "FEASIBLE (binding constraint class)" else "still infeasible"))
         (Allocator.diagnose problem);
       exit 1
-    | Some r ->
-      Fmt.pr "optimal cost = %d@." r.Allocator.cost;
+    | Allocator.Unknown ->
+      Fmt.pr
+        "UNKNOWN: budget exhausted before any feasible allocation was found@.";
+      exit 4
+    | Allocator.Solved r ->
+      Fmt.pr "resolution: %a@." Allocator.pp_quality r.Allocator.quality;
+      (match Allocator.gap r with
+      | Some g -> Fmt.pr "cost = %d  (gap %.1f%%)@." r.Allocator.cost (100. *. g)
+      | None -> Fmt.pr "cost = %d  (no optimality bound)@." r.Allocator.cost);
       Fmt.pr "%a" Report.pp (Report.make problem r.allocation);
       Fmt.pr "stats: %a@." Taskalloc_opt.Opt.pp_stats r.stats;
       Fmt.pr "validation: %a@." Check.pp_report r.violations;
       if r.violations <> [] then exit 3
   in
   Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
-    Term.(const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg)
+    Term.(
+      const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg
+      $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg)
 
 let check_cmd =
   let run workload seed =
@@ -164,8 +219,9 @@ let compare_cmd =
     report "random-search" (Heuristics.random_search problem hobj);
     report "sim-annealing" (Heuristics.simulated_annealing problem hobj);
     (match Allocator.solve problem (to_objective problem objective) with
-    | Some r -> Fmt.pr "  %-16s %d  (optimal)@." "sat" r.Allocator.cost
-    | None -> Fmt.pr "  %-16s infeasible@." "sat")
+    | Allocator.Solved r -> Fmt.pr "  %-16s %d  (optimal)@." "sat" r.Allocator.cost
+    | Allocator.Infeasible -> Fmt.pr "  %-16s infeasible@." "sat"
+    | Allocator.Unknown -> Fmt.pr "  %-16s unknown@." "sat")
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare heuristics against the optimal allocator")
     Term.(const run $ workload_arg $ seed_arg $ objective_arg)
@@ -186,10 +242,13 @@ let simulate_cmd =
   let run file workload seed objective horizon =
     let problem = lookup_workload ?file workload seed in
     match Allocator.solve problem (to_objective problem objective) with
-    | None ->
+    | Allocator.Infeasible ->
       Fmt.pr "INFEASIBLE@.";
       exit 1
-    | Some r ->
+    | Allocator.Unknown ->
+      Fmt.pr "UNKNOWN@.";
+      exit 4
+    | Allocator.Solved r ->
       Fmt.pr "optimal cost = %d; simulating...@." r.Allocator.cost;
       let trace = Sim.simulate ?horizon problem r.allocation in
       Fmt.pr "simulated %d ticks: %s@." trace.Sim.horizon

@@ -92,8 +92,8 @@ let () =
   Fmt.pr "automotive scenario: %d tasks, 2 rings + gateway, redundancy pair (brake, brake-mon)@."
     (Array.length problem.Model.tasks);
   match Allocator.solve problem Encode.Min_sum_trt with
-  | None -> Fmt.pr "no feasible allocation@."
-  | Some r ->
+  | Allocator.Infeasible | Allocator.Unknown -> Fmt.pr "no feasible allocation@."
+  | Allocator.Solved r ->
     Fmt.pr "optimal sum of token rotation times: %d ticks@." r.Allocator.cost;
     Array.iteri
       (fun i e ->

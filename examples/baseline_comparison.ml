@@ -28,8 +28,9 @@ let () =
   | Some (_, v) -> report "simulated annealing" (string_of_int v)
   | None -> report "simulated annealing" "no feasible placement");
   match Allocator.solve problem (Encode.Min_trt 0) with
-  | Some r ->
+  | Allocator.Solved r ->
     report "SAT (optimal)" (string_of_int r.Allocator.cost);
     Fmt.pr "@.the SAT allocator proves no allocation beats TRT = %d@." r.Allocator.cost;
     Fmt.pr "solver: %a@." Taskalloc_opt.Opt.pp_stats r.stats
-  | None -> report "SAT (optimal)" "infeasible"
+  | Allocator.Infeasible -> report "SAT (optimal)" "infeasible"
+  | Allocator.Unknown -> report "SAT (optimal)" "unknown"

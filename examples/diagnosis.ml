@@ -48,8 +48,8 @@ let () =
   let problem = Model.make_problem ~arch ~tasks:(List.init 4 controller) in
   Fmt.pr "4 tasks x 8 memory units onto 2 ECUs x 12 units...@.";
   match Allocator.solve problem Encode.Feasible with
-  | Some _ -> Fmt.pr "unexpectedly feasible?!@."
-  | None ->
+  | Allocator.Solved _ | Allocator.Unknown -> Fmt.pr "unexpectedly feasible?!@."
+  | Allocator.Infeasible ->
     Fmt.pr "infeasible, as expected.  probing constraint classes:@.";
     List.iter
       (fun (relaxation, feasible) ->
@@ -63,8 +63,8 @@ let () =
       Allocator.apply_relaxation problem Allocator.Drop_memory
     in
     (match Allocator.solve fixed Encode.Min_max_util with
-    | Some r ->
+    | Allocator.Solved r ->
       Fmt.pr "@.with the memory budget lifted, the optimum balances to %d permille:@."
         r.Allocator.cost;
       Fmt.pr "%a" Report.pp (Report.make fixed r.allocation)
-    | None -> Fmt.pr "still infeasible?!@.")
+    | Allocator.Infeasible | Allocator.Unknown -> Fmt.pr "still infeasible?!@.")

@@ -77,8 +77,8 @@ let () =
   in
   let problem = Model.make_problem ~arch ~tasks in
   match Allocator.solve problem (Encode.Min_trt 0) with
-  | None -> Fmt.pr "no feasible allocation exists@."
-  | Some r ->
+  | Allocator.Infeasible | Allocator.Unknown -> Fmt.pr "no feasible allocation exists@."
+  | Allocator.Solved r ->
     Fmt.pr "optimal TRT = %d ticks@." r.cost;
     Array.iteri
       (fun i e -> Fmt.pr "  %-10s -> ECU %d@." problem.Model.tasks.(i).Model.task_name e)

@@ -108,8 +108,8 @@ let () =
   in
   let problem = Model.make_problem ~arch ~tasks in
   match Allocator.solve problem Encode.Min_max_util with
-  | None -> Fmt.pr "no feasible allocation@."
-  | Some r ->
+  | Allocator.Infeasible | Allocator.Unknown -> Fmt.pr "no feasible allocation@."
+  | Allocator.Solved r ->
     Fmt.pr "optimal worst-ECU utilization: %d permille@." r.Allocator.cost;
     Array.iteri
       (fun i e ->

@@ -3,14 +3,40 @@
    model, and validate it with the independent fixed-point checker of
    [taskalloc_rt].  The validation step is not part of the paper's
    pipeline — it is our guard against encoder/checker divergence, and
-   it runs on every result. *)
+   it runs on every result.
+
+   The allocator is deadline-aware: under a {!Budget.t} it degrades
+   gracefully instead of failing —
+
+     proven optimum
+       -> anytime incumbent from the interrupted binary search,
+          re-validated by the analytical checker, with the proven
+          lower bound and optimality gap
+       -> heuristic fallback (greedy / random search / annealing)
+          when the budget expired before any incumbent existed
+       -> [Unknown]
+
+   Every answer carries its provenance in [quality], so callers always
+   know which rung of the ladder they got. *)
 
 open Taskalloc_rt
 open Taskalloc_opt
+open Taskalloc_heuristics
+module Budget = Taskalloc_sat.Budget
+
+(* Provenance of a returned allocation. *)
+type quality =
+  | Optimal  (** proven optimal by a completed binary search *)
+  | Anytime of { lower_bound : int }
+      (** best incumbent of a budget-interrupted search; the true
+          optimum lies in [lower_bound, cost] *)
+  | Heuristic of string
+      (** produced by the named fallback heuristic; no bound proved *)
 
 type result = {
   allocation : Model.allocation;
   cost : int;
+  quality : quality;
   stats : Opt.stats;
   violations : Check.violation list; (* empty unless the encoder disagrees
                                         with the analytical checker *)
@@ -18,9 +44,34 @@ type result = {
   literals : int;
 }
 
+type outcome = Solved of result | Infeasible | Unknown
+
+let gap (r : result) =
+  match r.quality with
+  | Optimal -> Some 0.
+  | Anytime { lower_bound } ->
+    if r.cost <= lower_bound then Some 0.
+    else Some (float_of_int (r.cost - lower_bound) /. float_of_int r.cost)
+  | Heuristic _ -> None
+
+let pp_quality ppf = function
+  | Optimal -> Fmt.string ppf "optimal"
+  | Anytime { lower_bound } ->
+    Fmt.pf ppf "anytime (search stopped early, optimum in [%d, cost])" lower_bound
+  | Heuristic name -> Fmt.pf ppf "heuristic fallback (%s)" name
+
+(* Objective mapping for the heuristic fallback rung.  [Feasible] has
+   no cost to preserve, so any total objective will do. *)
+let heuristic_objective : Encode.objective -> Heuristics.objective = function
+  | Encode.Min_trt k -> Heuristics.Trt k
+  | Encode.Min_sum_trt -> Heuristics.Sum_trt
+  | Encode.Min_bus_load k -> Heuristics.Bus_load k
+  | Encode.Min_max_util | Encode.Feasible -> Heuristics.Max_util
+
 let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
-    ?(max_conflicts = max_int) ?(validate = true) (problem : Model.problem)
-    (objective : Encode.objective) : result option =
+    ?max_conflicts ?budget ?(gap_tol = 0.) ?(validate = true)
+    ?(fallback = true) (problem : Model.problem) (objective : Encode.objective)
+    : outcome =
   let last_size = ref (0, 0) in
   (* thread the encoding through on_sat so extraction sees the matching
      selector handles even in Fresh mode, where every probe re-encodes *)
@@ -31,26 +82,56 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     current_enc := Some enc;
     (Encode.context enc, Encode.cost_term enc)
   in
-  let result, stats =
-    Opt.minimize ~mode ~max_conflicts ~build
+  let anytime, stats =
+    Opt.minimize ~mode ?max_conflicts ?budget ~gap_tol ~build
       ~on_sat:(fun _ctx _cost ->
         match !current_enc with
         | Some enc -> Encode.extract enc
         | None -> assert false)
       ()
   in
-  match result with
-  | None -> None
-  | Some (cost, allocation) ->
+  let solved quality (cost, allocation) =
+    (* anytime incumbents and optima alike are re-checked by the
+       independent analyzer before being handed out *)
     let violations = if validate then Check.check problem allocation else [] in
     let bool_vars, literals = !last_size in
-    Some { allocation; cost; stats; violations; bool_vars; literals }
+    Solved { allocation; cost; quality; stats; violations; bool_vars; literals }
+  in
+  match (anytime.Opt.resolution, anytime.Opt.incumbent) with
+  | Opt.Infeasible, _ -> Infeasible
+  | Opt.Optimal, Some incumbent -> solved Optimal incumbent
+  | Opt.Feasible_budget_exhausted, Some incumbent ->
+    solved (Anytime { lower_bound = anytime.Opt.lower_bound }) incumbent
+  | (Opt.Optimal | Opt.Feasible_budget_exhausted), None ->
+    assert false (* the optimizer guarantees an incumbent here *)
+  | Opt.Unknown, _ ->
+    (* no incumbent at all: last rung of the ladder *)
+    if not fallback then Unknown
+    else begin
+      match Heuristics.best_effort problem (heuristic_objective objective) with
+      | None -> Unknown
+      | Some (name, allocation, cost) ->
+        let violations =
+          if validate then Check.check problem allocation else []
+        in
+        let bool_vars, literals = !last_size in
+        Solved
+          {
+            allocation;
+            cost;
+            quality = Heuristic name;
+            stats;
+            violations;
+            bool_vars;
+            literals;
+          }
+    end
 
 (* Feasibility without optimization. *)
-let find_feasible ?(options = Encode.default_options) ?(max_conflicts = max_int)
-    ?(validate = true) (problem : Model.problem) : result option =
-  solve ~options ~mode:Opt.Incremental ~max_conflicts ~validate problem
-    Encode.Feasible
+let find_feasible ?(options = Encode.default_options) ?max_conflicts ?budget
+    ?(validate = true) ?fallback (problem : Model.problem) : outcome =
+  solve ~options ~mode:Opt.Incremental ?max_conflicts ?budget ~validate
+    ?fallback problem Encode.Feasible
 
 (* -- incremental integration (§6) -------------------------------------- *)
 
@@ -61,9 +142,9 @@ let find_feasible ?(options = Encode.default_options) ?(max_conflicts = max_int)
    admissible set is narrowed to the existing placement) and only the
    new tasks are free.  Routes and slots are re-optimized globally so
    the new traffic is accommodated. *)
-let solve_incremental ?options ?mode ?max_conflicts ?validate
-    ~(existing : Model.allocation) (problem : Model.problem)
-    (objective : Encode.objective) : result option =
+let solve_incremental ?options ?mode ?max_conflicts ?budget ?gap_tol ?validate
+    ?fallback ~(existing : Model.allocation) (problem : Model.problem)
+    (objective : Encode.objective) : outcome =
   let n_existing = Array.length existing.Model.task_ecu in
   let tasks =
     Array.to_list problem.Model.tasks
@@ -80,7 +161,8 @@ let solve_incremental ?options ?mode ?max_conflicts ?validate
            else task)
   in
   let pinned = Model.make_problem ~arch:problem.Model.arch ~tasks in
-  solve ?options ?mode ?max_conflicts ?validate pinned objective
+  solve ?options ?mode ?max_conflicts ?budget ?gap_tol ?validate ?fallback
+    pinned objective
 
 (* -- infeasibility diagnosis ------------------------------------------- *)
 
@@ -139,21 +221,28 @@ let default_relaxations =
   [ Drop_separation; Drop_memory; Scale_deadlines 2; Drop_messages ]
 
 (* For each relaxation, is the weakened problem feasible?  Only
-   meaningful when the original is infeasible. *)
+   meaningful when the original is infeasible.  An [Unknown] under a
+   budget counts as not-proven-feasible. *)
 let diagnose ?(options = Encode.default_options)
-    ?(relaxations = default_relaxations) ?(max_conflicts = max_int)
+    ?(relaxations = default_relaxations) ?max_conflicts ?budget
     (problem : Model.problem) : (relaxation * bool) list =
   List.map
     (fun relaxation ->
       let feasible =
         match apply_relaxation problem relaxation with
-        | relaxed ->
-          find_feasible ~options ~max_conflicts ~validate:false relaxed <> None
+        | relaxed -> (
+          match
+            find_feasible ~options ?max_conflicts ?budget ~validate:false
+              relaxed
+          with
+          | Solved _ -> true
+          | Infeasible | Unknown -> false)
         | exception Model.Invalid_model _ -> false
       in
       (relaxation, feasible))
     relaxations
 
-let pp_result ppf { cost; stats; violations; bool_vars; literals; _ } =
-  Fmt.pf ppf "cost=%d %a vars=%d lits=%d%s" cost Opt.pp_stats stats bool_vars literals
+let pp_result ppf { cost; quality; stats; violations; bool_vars; literals; _ } =
+  Fmt.pf ppf "cost=%d [%a] %a vars=%d lits=%d%s" cost pp_quality quality
+    Opt.pp_stats stats bool_vars literals
     (if violations = [] then "" else " INVALID")

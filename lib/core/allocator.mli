@@ -1,11 +1,31 @@
 (** Top-level optimal allocator: encode, minimize with BIN_SEARCH,
-    extract, and validate with the independent analytical checker. *)
+    extract, and validate with the independent analytical checker.
+
+    Under a {!Budget.t} the allocator is {e anytime}: it degrades
+    gracefully from the proven optimum, to the best
+    checker-re-validated incumbent of the interrupted search (with a
+    proven lower bound), to a heuristic fallback, to a clean
+    {!outcome.Unknown} — never an exception, and every answer carries
+    its provenance in {!result.quality}. *)
 
 open Taskalloc_rt
 
+module Budget = Taskalloc_sat.Budget
+
+(** Provenance of a returned allocation — which rung of the
+    degradation ladder produced it. *)
+type quality =
+  | Optimal  (** proven optimal by a completed binary search *)
+  | Anytime of { lower_bound : int }
+      (** budget expired mid-search; the true optimum lies in
+          [[lower_bound, cost]] *)
+  | Heuristic of string
+      (** named fallback heuristic; feasible but no bound proved *)
+
 type result = {
   allocation : Model.allocation;
-  cost : int;  (** optimal objective value *)
+  cost : int;  (** objective value of [allocation] *)
+  quality : quality;
   stats : Taskalloc_opt.Opt.stats;
   violations : Check.violation list;
       (** independent validation of the extracted allocation; non-empty
@@ -14,24 +34,48 @@ type result = {
   literals : int;
 }
 
+type outcome =
+  | Solved of result
+  | Infeasible  (** proved: no allocation exists *)
+  | Unknown
+      (** budget expired before any incumbent, and the heuristic
+          fallback was disabled or also failed *)
+
+val gap : result -> float option
+(** Relative optimality gap: [Some 0.] for [Optimal],
+    [(cost - lower_bound) / cost] for [Anytime], [None] for
+    [Heuristic] results (no bound proved). *)
+
+val pp_quality : Format.formatter -> quality -> unit
+
 val solve :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
+  ?gap_tol:float ->
   ?validate:bool ->
+  ?fallback:bool ->
   Model.problem ->
   Encode.objective ->
-  result option
-(** [None] when the problem is infeasible.  [validate] (default true)
-    re-checks the optimal allocation with {!Taskalloc_rt.Check}. *)
+  outcome
+(** Allocate optimally, degrading per the ladder above when [budget]
+    (total spend across all probes) or [max_conflicts] (per probe)
+    expires.  [gap_tol] stops early once the relative optimality gap is
+    within tolerance.  [validate] (default true) re-checks every
+    returned allocation — including anytime incumbents and heuristic
+    fallbacks — with {!Taskalloc_rt.Check}.  [fallback] (default true)
+    enables the heuristic rung.  Never raises on budget expiry. *)
 
 val find_feasible :
   ?options:Encode.options ->
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
   ?validate:bool ->
+  ?fallback:bool ->
   Model.problem ->
-  result option
-(** Feasibility without optimization. *)
+  outcome
+(** Feasibility without optimization; same degradation behaviour. *)
 
 val pp_result : Format.formatter -> result -> unit
 
@@ -39,17 +83,21 @@ val solve_incremental :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
+  ?gap_tol:float ->
   ?validate:bool ->
+  ?fallback:bool ->
   existing:Model.allocation ->
   Model.problem ->
   Encode.objective ->
-  result option
+  outcome
 (** Incremental integration (the paper's §6 closing remark): the first
     [Array.length existing.task_ecu] tasks of [problem] keep their ECU
     from [existing]; only the remaining (new) tasks are placed freely.
     Message routes, TDMA slots and priorities are re-optimized
     globally.  Raises {!Model.Invalid_model} if an existing placement
-    is inadmissible in the new problem. *)
+    is inadmissible in the new problem; budget expiry degrades like
+    {!solve}. *)
 
 (** {1 Infeasibility diagnosis} *)
 
@@ -70,8 +118,10 @@ val diagnose :
   ?options:Encode.options ->
   ?relaxations:relaxation list ->
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
   Model.problem ->
   (relaxation * bool) list
 (** For each relaxation of an infeasible problem, report whether the
     weakened problem becomes feasible — a [true] entry names a binding
-    constraint class. *)
+    constraint class.  Under a budget, [Unknown] counts as
+    not-proven-feasible. *)

@@ -276,3 +276,20 @@ let random_search ?(seed = 23) ?(samples = 2000) (problem : Model.problem) objec
     | _ -> ()
   done;
   !best
+
+(* -- best-effort degradation chain ------------------------------------------ *)
+
+(* Cheapest-first fallback ladder for callers whose exact solve ran out
+   of budget: greedy first fit, then random-restart search, then
+   simulated annealing.  The first heuristic that reaches feasibility
+   wins; the tag names it so provenance survives into reports. *)
+let best_effort ?(sa = default_sa) (problem : Model.problem) objective =
+  match greedy problem objective with
+  | Some (alloc, v) -> Some ("greedy", alloc, v)
+  | None -> (
+    match random_search problem objective with
+    | Some (alloc, v) -> Some ("random-search", alloc, v)
+    | None -> (
+      match simulated_annealing ~params:sa problem objective with
+      | Some (alloc, v) -> Some ("annealing", alloc, v)
+      | None -> None))

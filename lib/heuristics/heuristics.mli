@@ -67,3 +67,16 @@ val random_search :
   Model.problem ->
   objective ->
   (Model.allocation * int) option
+
+(** {1 Best-effort degradation chain} *)
+
+val best_effort :
+  ?sa:sa_params ->
+  Model.problem ->
+  objective ->
+  (string * Model.allocation * int) option
+(** Cheapest-first fallback ladder: {!greedy}, then {!random_search},
+    then {!simulated_annealing}.  Returns the first feasible
+    allocation found, tagged with the name of the heuristic that
+    produced it — the allocator's last resort when an exact solve runs
+    out of budget before any incumbent exists. *)

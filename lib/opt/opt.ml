@@ -22,11 +22,18 @@
      [cost <= M] is guarded by a fresh activation literal assumed for
      that probe only, and monotone lower bounds are added permanently.
      All clauses learned in earlier probes remain, pruning later ones —
-     the paper reports a factor >= 2 from exactly this reuse. *)
+     the paper reports a factor >= 2 from exactly this reuse.
+
+   The loop is *anytime*: a shared {!Budget.t} governs the total spend
+   across all probes, and when it trips mid-search the loop stops and
+   reports the best model found so far together with the lower bound
+   already proved, instead of discarding the incumbent.  Budget expiry
+   is an answer, never an exception. *)
 
 open Taskalloc_sat
 open Taskalloc_pb
 open Taskalloc_bv
+module Budget = Taskalloc_sat.Budget
 
 type mode = Fresh | Incremental
 
@@ -34,6 +41,7 @@ type stats = {
   mutable probes : int;
   mutable sat_probes : int;
   mutable unsat_probes : int;
+  mutable interrupted_probes : int;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
@@ -47,6 +55,7 @@ let empty_stats () =
     probes = 0;
     sat_probes = 0;
     unsat_probes = 0;
+    interrupted_probes = 0;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
@@ -59,14 +68,35 @@ let pp_stats ppf s =
   Fmt.pf ppf "probes=%d (sat=%d unsat=%d) conflicts=%d vars=%d lits=%d time=%.2fs"
     s.probes s.sat_probes s.unsat_probes s.conflicts s.bool_vars s.literals s.time_s
 
-exception Budget_exceeded
+type resolution = Optimal | Feasible_budget_exhausted | Infeasible | Unknown
 
-(* One SAT probe; records statistics. *)
-let probe stats ?(assumptions = []) ~max_conflicts ctx =
+let pp_resolution ppf = function
+  | Optimal -> Fmt.string ppf "optimal"
+  | Feasible_budget_exhausted -> Fmt.string ppf "feasible (budget exhausted)"
+  | Infeasible -> Fmt.string ppf "infeasible"
+  | Unknown -> Fmt.string ppf "unknown (budget exhausted)"
+
+type 'a anytime = {
+  incumbent : (int * 'a) option;
+  lower_bound : int;
+  upper_bound : int option;
+  resolution : resolution;
+}
+
+let gap a =
+  match a.incumbent with
+  | None -> None
+  | Some (ub, _) ->
+    if ub <= a.lower_bound then Some 0.
+    else Some (float_of_int (ub - a.lower_bound) /. float_of_int ub)
+
+(* One SAT probe; records statistics.  Never raises: budget expiry is
+   reported as [Solver.Unknown]. *)
+let probe stats ?(assumptions = []) ?max_conflicts ~budget ctx =
   stats.probes <- stats.probes + 1;
   let s = Bv.solver ctx in
   let before = Solver.n_conflicts s in
-  let result = Solver.solve ~assumptions ~max_conflicts s in
+  let result = Solver.solve ~assumptions ?max_conflicts ~budget s in
   stats.conflicts <- stats.conflicts + (Solver.n_conflicts s - before);
   stats.decisions <- Solver.n_decisions s;
   stats.propagations <- Solver.n_propagations s;
@@ -75,85 +105,120 @@ let probe stats ?(assumptions = []) ~max_conflicts ctx =
   (match result with
   | Solver.Sat -> stats.sat_probes <- stats.sat_probes + 1
   | Solver.Unsat -> stats.unsat_probes <- stats.unsat_probes + 1
-  | Solver.Unknown -> raise Budget_exceeded);
+  | Solver.Unknown -> stats.interrupted_probes <- stats.interrupted_probes + 1);
   result
 
 (* Minimize the cost term produced by [build].  [on_sat ctx cost] is
    invoked on every improving model so the caller can extract its
-   solution; the last extraction corresponds to the optimum.  Returns
-   [None] when the constraints are infeasible. *)
-let minimize ?(mode = Incremental) ?(max_conflicts = max_int)
+   solution; the last extraction corresponds to the incumbent. *)
+let minimize ?(mode = Incremental) ?max_conflicts
+    ?(budget = Budget.unlimited ()) ?(gap_tol = 0.)
     ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   let stats = empty_stats () in
   let t0 = Unix.gettimeofday () in
-  let finish result =
+  let finish outcome =
     stats.time_s <- Unix.gettimeofday () -. t0;
-    (result, stats)
+    (outcome, stats)
+  in
+  let infeasible =
+    { incumbent = None; lower_bound = 0; upper_bound = None; resolution = Infeasible }
+  in
+  let unknown =
+    { incumbent = None; lower_bound = 0; upper_bound = None; resolution = Unknown }
+  in
+  (* BIN_SEARCH over [lower, best_cost], shared by both modes through
+     [reprobe : lower -> m -> Sat of new cost | Unsat | Unknown]. *)
+  let run_search ~first_cost ~first_payload ~reprobe =
+    let best_cost = ref first_cost in
+    let best = ref first_payload in
+    let lower = ref 0 in
+    let interrupted = ref false in
+    let converged () =
+      !lower >= !best_cost
+      || float_of_int (!best_cost - !lower) <= gap_tol *. float_of_int !best_cost
+    in
+    while (not !interrupted) && not (converged ()) do
+      let m = (!lower + !best_cost) / 2 in
+      match reprobe !lower m with
+      | `Sat (k, payload) ->
+        best_cost := k;
+        best := payload
+      | `Unsat -> lower := m + 1
+      | `Unknown -> interrupted := true
+    done;
+    let resolution =
+      if !lower >= !best_cost then Optimal else Feasible_budget_exhausted
+    in
+    {
+      incumbent = Some (!best_cost, !best);
+      lower_bound = (if resolution = Optimal then !best_cost else !lower);
+      upper_bound = Some !best_cost;
+      resolution;
+    }
   in
   match mode with
-  | Incremental ->
+  | Incremental -> (
     let ctx, cost = build () in
     let s = Bv.solver ctx in
-    (match probe stats ~max_conflicts ctx with
-    | Solver.Unsat -> finish None
-    | Solver.Unknown -> assert false
+    match probe stats ?max_conflicts ~budget ctx with
+    | Solver.Unsat -> finish infeasible
+    | Solver.Unknown -> finish unknown
     | Solver.Sat ->
-      let best_cost = ref (Bv.model_int ctx cost) in
-      let best = ref (on_sat ctx !best_cost) in
-      let lower = ref 0 in
-      while !lower < !best_cost do
-        let m = (!lower + !best_cost) / 2 in
+      let first_cost = Bv.model_int ctx cost in
+      let first_payload = on_sat ctx first_cost in
+      let reprobe lower m =
+        ignore lower;
         (* activation literal guarding [cost <= m] for this probe only *)
         let g = Circuits.fresh s in
         let le_bit = Bv.le_const ctx cost m in
         Bv.assert_implies ctx [ Circuits.Lit g ] le_bit;
-        (match probe stats ~assumptions:[ g ] ~max_conflicts ctx with
-        | Solver.Sat ->
-          let k = Bv.model_int ctx cost in
-          assert (k <= m);
-          best_cost := k;
-          best := on_sat ctx k
-        | Solver.Unsat ->
-          lower := m + 1;
-          (* the lower bound is entailed from now on: add permanently *)
-          Bv.assert_ ctx (Bv.ge_const ctx cost !lower)
-        | Solver.Unknown -> assert false);
+        let r =
+          match probe stats ~assumptions:[ g ] ?max_conflicts ~budget ctx with
+          | Solver.Sat ->
+            let k = Bv.model_int ctx cost in
+            assert (k <= m);
+            `Sat (k, on_sat ctx k)
+          | Solver.Unsat ->
+            (* the lower bound is entailed from now on: add permanently *)
+            Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
+            `Unsat
+          | Solver.Unknown -> `Unknown
+        in
         (* retire the activation literal *)
-        Solver.add_clause s [ Lit.neg g ]
-      done;
-      finish (Some (!best_cost, !best)))
-  | Fresh ->
+        Solver.add_clause s [ Lit.neg g ];
+        r
+      in
+      finish (run_search ~first_cost ~first_payload ~reprobe))
+  | Fresh -> (
     (* first probe: unconstrained *)
     let ctx0, cost0 = build () in
-    (match probe stats ~max_conflicts ctx0 with
-    | Solver.Unsat -> finish None
-    | Solver.Unknown -> assert false
+    match probe stats ?max_conflicts ~budget ctx0 with
+    | Solver.Unsat -> finish infeasible
+    | Solver.Unknown -> finish unknown
     | Solver.Sat ->
-      let best_cost = ref (Bv.model_int ctx0 cost0) in
-      let best = ref (on_sat ctx0 !best_cost) in
-      let lower = ref 0 in
-      while !lower < !best_cost do
-        let m = (!lower + !best_cost) / 2 in
+      let first_cost = Bv.model_int ctx0 cost0 in
+      let first_payload = on_sat ctx0 first_cost in
+      let reprobe lower m =
         let ctx, cost = build () in
-        Bv.assert_ ctx (Bv.ge_const ctx cost !lower);
+        Bv.assert_ ctx (Bv.ge_const ctx cost lower);
         Bv.assert_ ctx (Bv.le_const ctx cost m);
-        (match probe stats ~max_conflicts ctx with
+        match probe stats ?max_conflicts ~budget ctx with
         | Solver.Sat ->
           let k = Bv.model_int ctx cost in
-          best_cost := k;
-          best := on_sat ctx k
-        | Solver.Unsat -> lower := m + 1
-        | Solver.Unknown -> assert false)
-      done;
-      finish (Some (!best_cost, !best)))
+          `Sat (k, on_sat ctx k)
+        | Solver.Unsat -> `Unsat
+        | Solver.Unknown -> `Unknown
+      in
+      finish (run_search ~first_cost ~first_payload ~reprobe))
 
-(* Single feasibility check (no optimization): [Some payload] when a
-   model exists. *)
-let solve_feasible ?(max_conflicts = max_int)
+(* Single feasibility check (no optimization). *)
+type 'a feasibility = Feasible of 'a | No_solution | Undecided
+
+let solve_feasible ?max_conflicts ?(budget = Budget.unlimited ())
     ~(build : unit -> Bv.ctx) ~(on_sat : Bv.ctx -> 'a) () =
   let ctx = build () in
   let s = Bv.solver ctx in
-  match Solver.solve ~max_conflicts s with
-  | Solver.Sat -> Some (on_sat ctx)
-  | Solver.Unsat -> None
-  | Solver.Unknown -> raise Budget_exceeded
+  match Solver.solve ?max_conflicts ~budget s with
+  | Solver.Sat -> Feasible (on_sat ctx)
+  | Solver.Unsat -> No_solution
+  | Solver.Unknown -> Undecided

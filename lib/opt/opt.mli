@@ -9,9 +9,16 @@
       [cost <= M] with an activation literal assumed for that probe
       only; all learned clauses survive across probes.  Monotone lower
       bounds are added permanently.  This is the configuration the
-      paper reports as >= 2x faster. *)
+      paper reports as >= 2x faster.
+
+    The loop is {e anytime}: pass a {!Budget.t} (or [max_conflicts])
+    and budget expiry yields the best model found so far together with
+    the lower bound already proved — a validated incumbent and an
+    optimality gap, never an exception. *)
 
 open Taskalloc_bv
+
+module Budget = Taskalloc_sat.Budget
 
 type mode = Fresh | Incremental
 
@@ -19,6 +26,8 @@ type stats = {
   mutable probes : int;
   mutable sat_probes : int;
   mutable unsat_probes : int;
+  mutable interrupted_probes : int;
+      (** probes that ran out of budget before an answer *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
@@ -30,27 +39,68 @@ type stats = {
 val empty_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
-exception Budget_exceeded
-(** Raised when a [max_conflicts] budget runs out mid-search. *)
+(** How a [minimize] run ended. *)
+type resolution =
+  | Optimal  (** binary search closed the interval: incumbent is proven optimal *)
+  | Feasible_budget_exhausted
+      (** a feasible incumbent exists, but the budget (or the gap
+          tolerance) stopped the search before optimality was proved *)
+  | Infeasible  (** the constraints admit no model at all *)
+  | Unknown
+      (** the budget expired before even one model or an infeasibility
+          proof was found *)
+
+val pp_resolution : Format.formatter -> resolution -> unit
+
+(** Anytime answer: the incumbent (best model found, with its cost and
+    the caller's payload), the proven bounds on the true optimum, and
+    how the run ended.  Invariants: [incumbent = None] iff [resolution]
+    is [Infeasible] or [Unknown]; [upper_bound] is the incumbent cost;
+    [lower_bound <= optimum <= upper_bound] whenever an optimum
+    exists. *)
+type 'a anytime = {
+  incumbent : (int * 'a) option;
+  lower_bound : int;
+  upper_bound : int option;
+  resolution : resolution;
+}
+
+val gap : 'a anytime -> float option
+(** Relative optimality gap [(ub - lb) / ub]; [Some 0.] when optimal,
+    [None] when there is no incumbent. *)
 
 val minimize :
   ?mode:mode ->
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
+  ?gap_tol:float ->
   build:(unit -> Bv.ctx * Bv.t) ->
   on_sat:(Bv.ctx -> int -> 'a) ->
   unit ->
-  (int * 'a) option * stats
+  'a anytime * stats
 (** Minimize the cost term produced by [build].  [on_sat ctx cost] runs
     on every improving model (the context holds the fresh model); the
-    final call corresponds to the optimum.  Returns
-    [(Some (optimum, payload), stats)] or [(None, stats)] when
-    infeasible.  In [Fresh] mode [build] is called once per probe and
-    must construct the same formula each time. *)
+    final call corresponds to the incumbent.  In [Fresh] mode [build]
+    is called once per probe and must construct the same formula each
+    time.
+
+    [budget] is shared across the whole probe sequence and governs the
+    total spend; [max_conflicts] caps each individual probe.  A
+    [gap_tol] > 0 stops the search as soon as the relative gap is
+    within the tolerance (reported as [Feasible_budget_exhausted]).
+    This function never raises on exhaustion. *)
+
+(** Outcome of a single feasibility check. *)
+type 'a feasibility =
+  | Feasible of 'a
+  | No_solution  (** proved infeasible *)
+  | Undecided  (** budget expired first *)
 
 val solve_feasible :
   ?max_conflicts:int ->
+  ?budget:Budget.t ->
   build:(unit -> Bv.ctx) ->
   on_sat:(Bv.ctx -> 'a) ->
   unit ->
-  'a option
+  'a feasibility
 (** One satisfiability check without optimization. *)

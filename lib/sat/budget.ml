@@ -1,0 +1,93 @@
+(* Composable resource budgets.  A budget is a passive tracker: the
+   solver charges work to it and polls [exhausted] at a configurable
+   conflict cadence.  One budget can be shared by many solve calls, so
+   the limits govern total spend across an optimization sequence. *)
+
+let no_hook () = false
+
+type t = {
+  started : float;
+  deadline : float; (* absolute gettimeofday; infinity = unarmed *)
+  max_conflicts : int; (* max_int = unarmed *)
+  max_propagations : int;
+  should_stop : unit -> bool;
+  check_every : int;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable tripped : bool;
+}
+
+let create ?timeout ?(max_conflicts = max_int) ?(max_propagations = max_int)
+    ?(should_stop = no_hook) ?(check_every = 32) () =
+  let started = Unix.gettimeofday () in
+  let deadline =
+    match timeout with None -> infinity | Some s -> started +. s
+  in
+  {
+    started;
+    deadline;
+    max_conflicts;
+    max_propagations;
+    should_stop;
+    check_every = max 1 check_every;
+    conflicts = 0;
+    propagations = 0;
+    tripped = false;
+  }
+
+let unlimited () = create ()
+
+let is_unlimited t =
+  t.deadline = infinity
+  && t.max_conflicts = max_int
+  && t.max_propagations = max_int
+  && t.should_stop == no_hook
+
+let check_every t = t.check_every
+
+let charge t ~conflicts ~propagations =
+  t.conflicts <- t.conflicts + conflicts;
+  t.propagations <- t.propagations + propagations
+
+let exhausted t =
+  t.tripped
+  ||
+  let e =
+    t.conflicts >= t.max_conflicts
+    || t.propagations >= t.max_propagations
+    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+    || t.should_stop ()
+  in
+  if e then t.tripped <- true;
+  e
+
+let tripped t = t.tripped
+
+let remaining_conflicts t =
+  if t.tripped then 0
+  else if t.max_conflicts = max_int then max_int
+  else max 0 (t.max_conflicts - t.conflicts)
+
+let spent_conflicts t = t.conflicts
+let spent_propagations t = t.propagations
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let pp ppf t =
+  if is_unlimited t then Fmt.string ppf "unlimited"
+  else begin
+    let limit ppf (name, armed, spent, cap) =
+      if armed then Fmt.pf ppf "%s=%d/%d" name spent cap
+    in
+    Fmt.pf ppf "%a%a%s%s"
+      limit
+      ("conflicts", t.max_conflicts <> max_int, t.conflicts, t.max_conflicts)
+      limit
+      ( " propagations",
+        t.max_propagations <> max_int,
+        t.propagations,
+        t.max_propagations )
+      (if t.deadline < infinity then
+         Fmt.str " deadline=%.3fs" (t.deadline -. t.started)
+       else "")
+      (if t.tripped then " (exhausted)" else "")
+  end

@@ -1,0 +1,61 @@
+(** Composable resource budgets for the solver and every layer above it.
+
+    A budget bundles a wall-clock deadline, a conflict limit, a
+    propagation limit and a pluggable [should_stop] hook into one
+    tracker that can be shared across several [Solver.solve] calls —
+    the optimizer threads a single budget through its whole probe
+    sequence, so the limits govern the total spend, not one probe.
+
+    The solver charges consumed conflicts and propagations to the
+    budget and polls {!exhausted} every {!check_every} conflicts; when
+    the budget trips, the search returns a clean [Unknown] with the
+    solver state intact, so a later call with a larger (or no) budget
+    resumes where it left off, keeping everything learned so far. *)
+
+type t
+
+val create :
+  ?timeout:float ->
+  ?max_conflicts:int ->
+  ?max_propagations:int ->
+  ?should_stop:(unit -> bool) ->
+  ?check_every:int ->
+  unit ->
+  t
+(** [create ()] is an unlimited budget; each optional limit arms one
+    tripwire.  [timeout] is in wall-clock seconds, measured from this
+    call.  [should_stop] is polled at every budget check and may
+    implement any external cancellation policy (cooperative shutdown,
+    fault injection, ...).  [check_every] (default 32, clamped to
+    >= 1) is the polling cadence in conflicts. *)
+
+val unlimited : unit -> t
+
+val is_unlimited : t -> bool
+(** No tripwire armed: the budget can never trip. *)
+
+val check_every : t -> int
+
+val charge : t -> conflicts:int -> propagations:int -> unit
+(** Account consumed work against the budget.  Deltas, not totals. *)
+
+val exhausted : t -> bool
+(** Full check: counters, wall clock and the [should_stop] hook.  Once
+    a budget has tripped it stays exhausted (the hook is not polled
+    again). *)
+
+val tripped : t -> bool
+(** Has this budget already tripped?  Never polls the hook or the
+    clock — cheap, and safe to call from tight loops. *)
+
+val remaining_conflicts : t -> int
+(** Conflicts left before the conflict tripwire fires; [max_int] when
+    unarmed, [0] once tripped. *)
+
+val spent_conflicts : t -> int
+val spent_propagations : t -> int
+
+val elapsed : t -> float
+(** Wall-clock seconds since the budget was created. *)
+
+val pp : Format.formatter -> t -> unit

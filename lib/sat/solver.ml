@@ -565,9 +565,13 @@ let pick_branch_var t =
 exception Found of result
 
 (* One restart-bounded search episode.  [assumptions] are re-installed as
-   pseudo-decisions after every restart. *)
-let search t assumptions nof_conflicts =
+   pseudo-decisions after every restart.  [checkpoint] is polled every
+   [check_every] conflicts; when it reports exhaustion the episode backs
+   off to level 0 and answers [Unknown], leaving the solver state (and
+   all learnt clauses) intact for a later resume. *)
+let search t assumptions nof_conflicts ~check_every ~checkpoint =
   let conflict_count = ref 0 in
+  let since_check = ref 0 in
   let result = ref Unknown in
   (try
      while true do
@@ -587,10 +591,17 @@ let search t assumptions nof_conflicts =
          cancel_until t bt;
          record_learnt t learnt;
          var_decay_activity t;
-         cla_decay_activity t
+         cla_decay_activity t;
+         incr since_check;
+         if !since_check >= check_every then begin
+           since_check := 0;
+           if checkpoint () then begin
+             cancel_until t 0;
+             raise (Found Unknown)
+           end
+         end
        | None ->
          if !conflict_count >= nof_conflicts then begin
-           cancel_until t (min (decision_level t) (Array.length assumptions));
            cancel_until t 0;
            raise (Found Unknown)
          end;
@@ -621,7 +632,7 @@ let search t assumptions nof_conflicts =
    with Found r -> result := r);
   !result
 
-let solve ?(assumptions = []) ?(max_conflicts = max_int) t =
+let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
   if not t.ok then Unsat
   else begin
     cancel_until t 0;
@@ -633,28 +644,64 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) t =
       let assumptions = Array.of_list assumptions in
       t.max_learnts <-
         max 1000. (float_of_int (Vec.size t.clauses + Vec.size t.pbs) /. 3.);
-      let budget = ref max_conflicts in
-      let result = ref Unknown in
-      let i = ref 0 in
-      while !result = Unknown && !budget > 0 do
-        let limit = min !budget (100 * Luby.get !i) in
-        incr i;
-        t.restarts <- t.restarts + 1;
-        let r = search t assumptions limit in
-        budget := !budget - limit;
-        if r <> Unknown then result := r
-        else t.max_learnts <- t.max_learnts *. 1.1
-      done;
-      (match !result with
-      | Sat ->
-        (* save the model before undoing the trail *)
-        if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
-        for v = 0 to t.nvars - 1 do
-          t.model.(v) <- t.assigns.(v) = 1
-        done
-      | Unsat | Unknown -> ());
-      cancel_until t 0;
-      !result
+      (* thread the shared budget through the search: conflicts and
+         propagations consumed here are charged as deltas, and the
+         tripwires are polled at the budget's conflict cadence *)
+      let last_confl = ref t.conflicts and last_prop = ref t.propagations in
+      let commit () =
+        match budget with
+        | None -> ()
+        | Some b ->
+          Budget.charge b
+            ~conflicts:(t.conflicts - !last_confl)
+            ~propagations:(t.propagations - !last_prop);
+          last_confl := t.conflicts;
+          last_prop := t.propagations
+      in
+      let checkpoint () =
+        match budget with
+        | None -> false
+        | Some b ->
+          commit ();
+          Budget.exhausted b
+      in
+      let check_every =
+        match budget with None -> max_int | Some b -> Budget.check_every b
+      in
+      if checkpoint () then Unknown (* spent before we even started *)
+      else begin
+        let conflicts_left =
+          ref
+            (match budget with
+            | None -> max_conflicts
+            | Some b -> min max_conflicts (Budget.remaining_conflicts b))
+        in
+        let stopped () =
+          match budget with None -> false | Some b -> Budget.tripped b
+        in
+        let result = ref Unknown in
+        let i = ref 0 in
+        while !result = Unknown && !conflicts_left > 0 && not (stopped ()) do
+          let limit = min !conflicts_left (100 * Luby.get !i) in
+          incr i;
+          t.restarts <- t.restarts + 1;
+          let r = search t assumptions limit ~check_every ~checkpoint in
+          conflicts_left := !conflicts_left - limit;
+          if r <> Unknown then result := r
+          else t.max_learnts <- t.max_learnts *. 1.1
+        done;
+        commit ();
+        (match !result with
+        | Sat ->
+          (* save the model before undoing the trail *)
+          if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
+          for v = 0 to t.nvars - 1 do
+            t.model.(v) <- t.assigns.(v) = 1
+          done
+        | Unsat | Unknown -> ());
+        cancel_until t 0;
+        !result
+      end
   end
 
 (* Value of a literal in the most recent satisfying model. *)

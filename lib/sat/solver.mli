@@ -23,7 +23,10 @@ type t
     level 0, i.e. before or between [solve] calls. *)
 
 type result = Sat | Unsat | Unknown
-(** [Unknown] is only returned when a [max_conflicts] budget ran out. *)
+(** [Unknown] is only returned when a [max_conflicts] or {!Budget.t}
+    limit ran out.  It is a clean pause, not a failure: the solver
+    state — including every clause learnt so far — survives, and a
+    later [solve] with a larger (or no) budget resumes the search. *)
 
 val create : unit -> t
 
@@ -48,10 +51,18 @@ val add_at_most_one : t -> Lit.t list -> unit
 val add_at_least_one : t -> Lit.t list -> unit
 val add_exactly_one : t -> Lit.t list -> unit
 
-val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
+val solve :
+  ?assumptions:Lit.t list -> ?max_conflicts:int -> ?budget:Budget.t -> t -> result
 (** Decide satisfiability under the given assumption literals.
     Assumptions do not permanently constrain the instance.  After
-    [Sat], the model is available through {!model_value}. *)
+    [Sat], the model is available through {!model_value}.
+
+    [max_conflicts] caps the conflicts of this call alone; [budget] is
+    a shared {!Budget.t} charged with the conflicts and propagations
+    consumed here and polled every [Budget.check_every] conflicts —
+    one budget threaded through many calls governs their total spend.
+    Exhaustion of either yields [Unknown] with the instance reusable:
+    call [solve] again with more budget to continue the search. *)
 
 val model_value : t -> Lit.t -> bool
 (** Value of a literal in the most recent satisfying assignment.  Only

@@ -30,8 +30,16 @@ let brute_force problem objective =
   | [] -> None
   | costs -> Some (List.fold_left min max_int costs)
 
-let solve ?options problem objective =
-  Allocator.solve ?options problem objective
+(* Most tests below predate the anytime [outcome] type and reason in
+   [result option] terms; without a budget [Unknown] is impossible, so
+   collapsing the outcome is lossless here. *)
+let to_opt = function
+  | Allocator.Solved r -> Some r
+  | Allocator.Infeasible -> None
+  | Allocator.Unknown -> Alcotest.fail "Unknown without a budget"
+
+let solve ?options ?mode ?validate problem objective =
+  to_opt (Allocator.solve ?options ?mode ?validate problem objective)
 
 (* the quickstart instance, with a known optimum *)
 let quickstart_problem () =
@@ -228,7 +236,7 @@ let test_cnf_pb_agrees () =
 let test_fresh_mode_agrees () =
   let problem = quickstart_problem () in
   let incr = solve problem (Encode.Min_trt 0) in
-  let fresh = Allocator.solve ~mode:Taskalloc_opt.Opt.Fresh problem (Encode.Min_trt 0) in
+  let fresh = solve ~mode:Taskalloc_opt.Opt.Fresh problem (Encode.Min_trt 0) in
   match (incr, fresh) with
   | Some a, Some b -> Alcotest.(check int) "same optimum" a.cost b.cost
   | _ -> Alcotest.fail "both modes should be feasible"
@@ -357,7 +365,7 @@ let test_tie_transitivity () =
 
 let test_feasibility_only () =
   let problem = Workloads.small ~seed:9 () in
-  match Allocator.find_feasible problem with
+  match to_opt (Allocator.find_feasible problem) with
   | None -> Alcotest.fail "feasible by construction"
   | Some r ->
     Alcotest.(check (list string)) "checker clean" []
@@ -402,7 +410,7 @@ let test_validate_flag () =
   | Some r ->
     Alcotest.(check (list string)) "validated" []
       (List.map (Fmt.str "%a" Check.pp_violation) r.violations);
-    (match Allocator.solve ~validate:false problem (Encode.Min_trt 0) with
+    (match solve ~validate:false problem (Encode.Min_trt 0) with
     | Some r' ->
       Alcotest.(check int) "same optimum" r.cost r'.cost;
       Alcotest.(check (list string)) "skipped" []
@@ -704,8 +712,9 @@ let test_incremental_integration () =
         ~tasks:(Array.to_list base.Model.tasks @ [ extra 4; extra 5 ])
     in
     (match
-       Allocator.solve_incremental ~existing:r_base.Allocator.allocation extended
-         (Encode.Min_trt 0)
+       to_opt
+         (Allocator.solve_incremental ~existing:r_base.Allocator.allocation
+            extended (Encode.Min_trt 0))
      with
     | None -> Alcotest.fail "extension should fit"
     | Some r ->
@@ -741,6 +750,89 @@ let test_incremental_rejects_bad_pin () =
            false
          with Model.Invalid_model _ -> true))
 
+(* -- graceful degradation under a budget ------------------------------- *)
+
+module Budget = Allocator.Budget
+
+let test_no_fallback_unknown () =
+  (* a pre-expired budget with the heuristic rung disabled: the only
+     honest answer is a clean Unknown *)
+  let problem = Workloads.small ~seed:13 () in
+  match
+    Allocator.solve
+      ~budget:(Budget.create ~timeout:0. ())
+      ~fallback:false problem (Encode.Min_trt 0)
+  with
+  | Allocator.Unknown -> ()
+  | Allocator.Solved _ -> Alcotest.fail "expired budget cannot solve"
+  | Allocator.Infeasible -> Alcotest.fail "cannot prove infeasibility for free"
+
+let test_heuristic_fallback_validated () =
+  (* same expired budget with the fallback enabled: a heuristic answer,
+     clearly labelled, and clean under the analytical checker *)
+  let problem = Workloads.small ~seed:13 () in
+  match
+    Allocator.solve
+      ~budget:(Budget.create ~timeout:0. ())
+      problem (Encode.Min_trt 0)
+  with
+  | Allocator.Unknown -> Alcotest.fail "feasible workload: fallback should land"
+  | Allocator.Infeasible -> Alcotest.fail "cannot prove infeasibility for free"
+  | Allocator.Solved r ->
+    (match r.Allocator.quality with
+    | Allocator.Heuristic _ -> ()
+    | q -> Alcotest.failf "expected heuristic provenance, got %a" Allocator.pp_quality q);
+    Alcotest.(check (list string)) "checker clean" []
+      (List.map (Fmt.str "%a" Check.pp_violation) r.Allocator.violations);
+    Alcotest.(check (option (float 0.0001))) "no gap claim" None (Allocator.gap r)
+
+let test_anytime_quality_sound () =
+  (* sweep conflict budgets upward: every Solved outcome must be sound
+     (checker-clean, cost bounded below by the true optimum when the
+     provenance claims a bound) and the largest budget must be optimal *)
+  let problem = quickstart_problem () in
+  let optimum = 7 in
+  List.iter
+    (fun n ->
+      match
+        Allocator.solve
+          ~budget:(Budget.create ~max_conflicts:n ~check_every:1 ())
+          problem (Encode.Min_trt 0)
+      with
+      | Allocator.Infeasible -> Alcotest.failf "budget %d: spurious infeasibility" n
+      | Allocator.Unknown -> Alcotest.failf "budget %d: fallback should land" n
+      | Allocator.Solved r -> (
+        Alcotest.(check (list string))
+          (Printf.sprintf "budget %d checker clean" n)
+          []
+          (List.map (Fmt.str "%a" Check.pp_violation) r.Allocator.violations);
+        match r.Allocator.quality with
+        | Allocator.Optimal ->
+          Alcotest.(check int) (Printf.sprintf "budget %d optimal" n) optimum
+            r.Allocator.cost
+        | Allocator.Anytime { lower_bound } ->
+          Alcotest.(check bool) "incumbent above optimum" true
+            (r.Allocator.cost >= optimum);
+          Alcotest.(check bool) "lower bound below optimum" true
+            (lower_bound <= optimum)
+        | Allocator.Heuristic _ ->
+          Alcotest.(check bool) "heuristic cost sound" true
+            (r.Allocator.cost >= optimum)))
+    [ 0; 1; 2; 5; 20; 10_000 ]
+
+let test_gap_tolerance_early_stop () =
+  (* any first incumbent is within a 100% gap; the result must carry an
+     honest provenance (not claim optimality unless bounds met) *)
+  let problem = quickstart_problem () in
+  match Allocator.solve ~gap_tol:1.0 problem (Encode.Min_trt 0) with
+  | Allocator.Solved r ->
+    Alcotest.(check (list string)) "checker clean" []
+      (List.map (Fmt.str "%a" Check.pp_violation) r.Allocator.violations);
+    (match Allocator.gap r with
+    | Some g -> Alcotest.(check bool) "gap within tolerance" true (g <= 1.0)
+    | None -> Alcotest.fail "sat-search results carry a gap")
+  | _ -> Alcotest.fail "feasible by construction"
+
 let suite =
   [
     Alcotest.test_case "quickstart golden" `Quick test_quickstart_golden;
@@ -772,5 +864,9 @@ let suite =
     Alcotest.test_case "report flags misses" `Quick test_report_flags_misses;
     Alcotest.test_case "diagnose separation" `Quick test_diagnose_separation;
     Alcotest.test_case "diagnose memory" `Quick test_diagnose_memory;
+    Alcotest.test_case "no fallback yields Unknown" `Quick test_no_fallback_unknown;
+    Alcotest.test_case "heuristic fallback validated" `Quick test_heuristic_fallback_validated;
+    Alcotest.test_case "anytime quality sound" `Quick test_anytime_quality_sound;
+    Alcotest.test_case "gap tolerance early stop" `Quick test_gap_tolerance_early_stop;
     QCheck_alcotest.to_alcotest prop_solver_sound_and_dominant;
   ]

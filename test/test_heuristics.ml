@@ -34,7 +34,13 @@ let test_sa_never_beats_optimal () =
     (fun seed ->
       let problem = Workloads.small ~seed ~n_ecus:3 ~n_tasks:5 () in
       let optimal =
-        Taskalloc_core.Allocator.solve problem (Taskalloc_core.Encode.Min_trt 0)
+        match
+          Taskalloc_core.Allocator.solve problem (Taskalloc_core.Encode.Min_trt 0)
+        with
+        | Taskalloc_core.Allocator.Solved r -> Some r
+        | Taskalloc_core.Allocator.Infeasible -> None
+        | Taskalloc_core.Allocator.Unknown ->
+          Alcotest.fail "Unknown without a budget"
       in
       let params = { Heuristics.default_sa with iterations = 600; restarts = 2 } in
       let sa = Heuristics.simulated_annealing ~params problem (Heuristics.Trt 0) in

@@ -8,6 +8,7 @@ let () =
       ("rt", Test_rt.suite);
       ("topology", Test_topology.suite);
       ("core", Test_core.suite);
+      ("chaos", Test_chaos.suite);
       ("heuristics", Test_heuristics.suite);
       ("workloads", Test_workloads.suite);
     ]

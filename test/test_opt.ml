@@ -1,8 +1,10 @@
 (* Tests for the BIN_SEARCH optimizer, in both Fresh and Incremental
-   modes, including qcheck equivalence against brute-force optima. *)
+   modes, including qcheck equivalence against brute-force optima and
+   the anytime (budget-exhausted) result contract. *)
 
 open Taskalloc_bv
 open Taskalloc_opt.Opt
+module Budget = Taskalloc_sat.Budget
 
 (* Small knapsack-like problem: choose items to cover a demand while
    minimizing weight.  Items (weight, value); demand on total value. *)
@@ -48,7 +50,11 @@ let run_knapsack mode items demand =
   let result, _stats =
     minimize ~mode ~build:(knapsack_build items demand) ~on_sat:(fun _ cost -> cost) ()
   in
-  Option.map fst result
+  match result.resolution with
+  | Optimal -> Option.map fst result.incumbent
+  | Infeasible -> None
+  | Feasible_budget_exhausted | Unknown ->
+    Alcotest.fail "unbudgeted run must not stop early"
 
 let test_knapsack_both_modes () =
   let items = [ (5, 10); (4, 8); (6, 13); (3, 5); (8, 20) ] in
@@ -79,11 +85,13 @@ let test_on_sat_extraction () =
         cost)
       ()
   in
-  match result with
+  match result.incumbent with
   | None -> Alcotest.fail "should be feasible"
   | Some (opt, payload) ->
     Alcotest.(check int) "payload is optimal cost" opt payload;
     Alcotest.(check int) "last extraction optimal" opt (List.hd !seen);
+    Alcotest.(check (option (float 0.0001))) "gap is zero" (Some 0.) (gap result);
+    Alcotest.(check int) "bounds meet" result.lower_bound opt;
     (* costs decrease monotonically over extractions *)
     let rec decreasing = function
       | a :: (b :: _ as rest) -> a <= b && decreasing rest
@@ -97,7 +105,8 @@ let test_stats_populated () =
   Alcotest.(check bool) "probes > 0" true (stats.probes > 0);
   Alcotest.(check bool) "vars > 0" true (stats.bool_vars > 0);
   Alcotest.(check bool) "sat+unsat=probes" true
-    (stats.sat_probes + stats.unsat_probes = stats.probes)
+    (stats.sat_probes + stats.unsat_probes = stats.probes);
+  Alcotest.(check int) "no interruptions" 0 stats.interrupted_probes
 
 let test_solve_feasible () =
   let build () =
@@ -108,8 +117,8 @@ let test_solve_feasible () =
     ctx
   in
   match solve_feasible ~build ~on_sat:(fun _ -> ()) () with
-  | Some () -> ()
-  | None -> Alcotest.fail "feasible"
+  | Feasible () -> ()
+  | No_solution | Undecided -> Alcotest.fail "feasible"
 
 let prop_modes_agree =
   QCheck.Test.make ~count:60 ~name:"Fresh and Incremental find the same optimum"
@@ -125,29 +134,117 @@ let prop_modes_agree =
       run_knapsack Fresh items demand = expected
       && run_knapsack Incremental items demand = expected)
 
-let test_budget_exceeded () =
-  (* a pigeonhole-hard core with a cost: tiny budget must raise *)
-  let build () =
-    let ctx = Bv.create () in
-    let open Taskalloc_sat in
-    let s = Bv.solver ctx in
-    let n = 9 in
-    let x = Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Solver.new_var s)) in
-    for p = 0 to n - 1 do
-      Solver.add_clause s (List.init (n - 1) (fun h -> Lit.of_var x.(p).(h)))
-    done;
-    for h = 0 to n - 2 do
-      for p1 = 0 to n - 1 do
-        for p2 = p1 + 1 to n - 1 do
-          Solver.add_clause s
-            [ Lit.of_var ~sign:false x.(p1).(h); Lit.of_var ~sign:false x.(p2).(h) ]
-        done
+(* a pigeonhole-hard core with a constant cost: the first (feasibility)
+   probe cannot finish inside a tiny budget *)
+let pigeonhole_build () =
+  let ctx = Bv.create () in
+  let open Taskalloc_sat in
+  let s = Bv.solver ctx in
+  let n = 9 in
+  let x = Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Solver.new_var s)) in
+  for p = 0 to n - 1 do
+    Solver.add_clause s (List.init (n - 1) (fun h -> Lit.of_var x.(p).(h)))
+  done;
+  for h = 0 to n - 2 do
+    for p1 = 0 to n - 1 do
+      for p2 = p1 + 1 to n - 1 do
+        Solver.add_clause s
+          [ Lit.of_var ~sign:false x.(p1).(h); Lit.of_var ~sign:false x.(p2).(h) ]
       done
-    done;
-    (ctx, Bv.const 0)
+    done
+  done;
+  (ctx, Bv.const 0)
+
+let test_budget_unknown () =
+  (* a tiny conflict budget on a hard core yields a clean Unknown, not
+     an exception *)
+  let budget = Budget.create ~max_conflicts:3 ~check_every:1 () in
+  let result, stats =
+    minimize ~budget ~build:pigeonhole_build ~on_sat:(fun _ c -> c) ()
   in
-  Alcotest.check_raises "budget" Budget_exceeded (fun () ->
-      ignore (minimize ~max_conflicts:3 ~build ~on_sat:(fun _ c -> c) ()))
+  Alcotest.(check bool) "resolution unknown" true (result.resolution = Unknown);
+  Alcotest.(check bool) "no incumbent" true (result.incumbent = None);
+  Alcotest.(check (option (float 0.0001))) "no gap" None (gap result);
+  Alcotest.(check int) "interrupted probe recorded" 1 stats.interrupted_probes
+
+let test_timeout_budget_unknown () =
+  (* an already-expired wall-clock deadline trips before any search *)
+  let budget = Budget.create ~timeout:0. () in
+  let result, _ =
+    minimize ~budget ~build:pigeonhole_build ~on_sat:(fun _ c -> c) ()
+  in
+  Alcotest.(check bool) "resolution unknown" true (result.resolution = Unknown)
+
+(* Sweep a chaos budget (trips at exactly the Nth poll) over the whole
+   knapsack search: every interruption point must yield a coherent
+   anytime answer, and the sweep must traverse all three terminal
+   resolutions for a feasible problem. *)
+let test_anytime_sweep () =
+  let items = [ (5, 10); (4, 8); (6, 13); (3, 5); (8, 20) ] in
+  let demand = 25 in
+  let optimum =
+    match brute_force_knapsack items demand with
+    | Some v -> v
+    | None -> Alcotest.fail "knapsack should be feasible"
+  in
+  let seen_unknown = ref false
+  and seen_anytime = ref false
+  and seen_optimal = ref false in
+  for n = 1 to 80 do
+    let polls = ref 0 in
+    let budget =
+      Budget.create ~check_every:1
+        ~should_stop:(fun () ->
+          incr polls;
+          !polls >= n)
+        ()
+    in
+    let result, _ =
+      minimize ~budget ~build:(knapsack_build items demand)
+        ~on_sat:(fun _ c -> c) ()
+    in
+    match result.resolution with
+    | Infeasible -> Alcotest.failf "N=%d: spurious infeasibility" n
+    | Unknown ->
+      seen_unknown := true;
+      Alcotest.(check bool) (Printf.sprintf "N=%d no incumbent" n) true
+        (result.incumbent = None)
+    | Feasible_budget_exhausted ->
+      seen_anytime := true;
+      (match result.incumbent with
+      | None -> Alcotest.failf "N=%d: anytime without incumbent" n
+      | Some (c, _) ->
+        Alcotest.(check bool) (Printf.sprintf "N=%d incumbent sound" n) true
+          (c >= optimum);
+        Alcotest.(check bool) (Printf.sprintf "N=%d lower bound sound" n) true
+          (result.lower_bound <= optimum))
+    | Optimal ->
+      seen_optimal := true;
+      Alcotest.(check (option int)) (Printf.sprintf "N=%d optimal" n)
+        (Some optimum)
+        (Option.map fst result.incumbent)
+  done;
+  Alcotest.(check bool) "sweep saw Unknown" true !seen_unknown;
+  Alcotest.(check bool) "sweep saw anytime stop" true !seen_anytime;
+  Alcotest.(check bool) "sweep saw Optimal" true !seen_optimal
+
+let test_gap_tolerance () =
+  (* with a 100% tolerance any first incumbent is accepted immediately *)
+  let items = [ (5, 10); (4, 8); (6, 13); (3, 5); (8, 20) ] in
+  let result, stats =
+    minimize ~gap_tol:1.0 ~build:(knapsack_build items 25)
+      ~on_sat:(fun _ c -> c) ()
+  in
+  Alcotest.(check int) "single probe" 1 stats.probes;
+  (match result.resolution with
+  | Optimal | Feasible_budget_exhausted -> ()
+  | _ -> Alcotest.fail "expected an incumbent");
+  match (result.incumbent, gap result) with
+  | Some (c, _), Some g ->
+    Alcotest.(check bool) "gap within tolerance" true (g <= 1.0);
+    Alcotest.(check bool) "incumbent sound" true
+      (c >= Option.get (brute_force_knapsack items 25))
+  | _ -> Alcotest.fail "incumbent and gap expected"
 
 let test_fresh_rebuilds () =
   (* in Fresh mode the builder runs once per probe *)
@@ -176,7 +273,10 @@ let suite =
     Alcotest.test_case "on_sat extraction" `Quick test_on_sat_extraction;
     Alcotest.test_case "stats populated" `Quick test_stats_populated;
     Alcotest.test_case "solve_feasible" `Quick test_solve_feasible;
-    Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
+    Alcotest.test_case "budget unknown" `Quick test_budget_unknown;
+    Alcotest.test_case "timeout budget unknown" `Quick test_timeout_budget_unknown;
+    Alcotest.test_case "anytime sweep" `Quick test_anytime_sweep;
+    Alcotest.test_case "gap tolerance" `Quick test_gap_tolerance;
     Alcotest.test_case "fresh rebuilds per probe" `Quick test_fresh_rebuilds;
     QCheck_alcotest.to_alcotest prop_modes_agree;
   ]

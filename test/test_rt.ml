@@ -424,8 +424,9 @@ let prop_sim_within_analysis =
     (fun seed ->
       let problem = Taskalloc_workloads.Workloads.small ~seed ~n_ecus:2 ~n_tasks:4 () in
       match Taskalloc_core.Allocator.solve problem Taskalloc_core.Encode.Feasible with
-      | None -> true (* nothing to simulate *)
-      | Some r ->
+      | Taskalloc_core.Allocator.Infeasible | Taskalloc_core.Allocator.Unknown ->
+        true (* nothing to simulate *)
+      | Taskalloc_core.Allocator.Solved r ->
         let alloc = r.Taskalloc_core.Allocator.allocation in
         let trace = Sim.simulate problem alloc in
         let responses = Analysis.all_task_response_times problem alloc in
@@ -539,8 +540,9 @@ let prop_sim_phases_within_bounds =
     (fun seed ->
       let problem = Taskalloc_workloads.Workloads.small ~seed ~n_ecus:2 ~n_tasks:4 () in
       match Taskalloc_core.Allocator.solve problem Taskalloc_core.Encode.Feasible with
-      | None -> true
-      | Some r ->
+      | Taskalloc_core.Allocator.Infeasible | Taskalloc_core.Allocator.Unknown ->
+        true
+      | Taskalloc_core.Allocator.Solved r ->
         let alloc = r.Taskalloc_core.Allocator.allocation in
         let responses = Analysis.all_task_response_times problem alloc in
         let rng = Taskalloc_workloads.Rng.create seed in

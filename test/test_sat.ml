@@ -364,6 +364,124 @@ let test_conflict_budget () =
   Alcotest.check check_result "full solve" Solver.Unsat (Solver.solve s);
   Alcotest.(check bool) "ok false after unsat" false (Solver.ok s)
 
+(* php(p, p-1): p pigeons into p-1 holes — unsatisfiable, and hard
+   enough that tiny budgets interrupt the refutation *)
+let pigeonhole_solver p =
+  let s = Solver.create () in
+  let x = Array.init p (fun _ -> Array.init (p - 1) (fun _ -> Solver.new_var s)) in
+  for i = 0 to p - 1 do
+    Solver.add_clause s (List.init (p - 1) (fun h -> lit x.(i).(h)))
+  done;
+  for h = 0 to p - 2 do
+    for p1 = 0 to p - 1 do
+      for p2 = p1 + 1 to p - 1 do
+        Solver.add_clause s [ nlit x.(p1).(h); nlit x.(p2).(h) ]
+      done
+    done
+  done;
+  s
+
+let test_budget_module () =
+  (* conflict accounting, latching, and the stop hook *)
+  let b = Budget.create ~max_conflicts:10 () in
+  Alcotest.(check bool) "fresh not exhausted" false (Budget.exhausted b);
+  Budget.charge b ~conflicts:4 ~propagations:100;
+  Alcotest.(check int) "remaining" 6 (Budget.remaining_conflicts b);
+  Alcotest.(check bool) "under budget" false (Budget.exhausted b);
+  Budget.charge b ~conflicts:6 ~propagations:0;
+  Alcotest.(check bool) "at limit" true (Budget.exhausted b);
+  Alcotest.(check bool) "latched" true (Budget.tripped b);
+  Alcotest.(check int) "spent conflicts" 10 (Budget.spent_conflicts b);
+  Alcotest.(check int) "spent propagations" 100 (Budget.spent_propagations b);
+  (* an expired deadline trips immediately *)
+  let b = Budget.create ~timeout:0. () in
+  Alcotest.(check bool) "expired deadline" true (Budget.exhausted b);
+  (* the hook is consulted and its trip latches: once tripped, the
+     budget stays tripped even if the hook would later say "go" *)
+  let stop = ref false in
+  let polls = ref 0 in
+  let b =
+    Budget.create
+      ~should_stop:(fun () ->
+        incr polls;
+        !stop)
+      ()
+  in
+  Alcotest.(check bool) "hook says go" false (Budget.exhausted b);
+  stop := true;
+  Alcotest.(check bool) "hook says stop" true (Budget.exhausted b);
+  stop := false;
+  Alcotest.(check bool) "trip latches" true (Budget.exhausted b);
+  Alcotest.(check int) "hook not re-polled after trip" 2 !polls;
+  (* the unlimited budget never trips *)
+  let b = Budget.unlimited () in
+  Alcotest.(check bool) "unlimited" true (Budget.is_unlimited b);
+  Budget.charge b ~conflicts:1_000_000 ~propagations:0;
+  Alcotest.(check bool) "never exhausted" false (Budget.exhausted b)
+
+let test_budget_resume_to_unsat () =
+  (* Unknown is a clean pause: the instance stays reusable, and a
+     fresh, larger budget lets the same solver finish the refutation *)
+  let s = pigeonhole_solver 8 in
+  Alcotest.check check_result "tiny budget pauses" Solver.Unknown
+    (Solver.solve ~budget:(Budget.create ~max_conflicts:3 ~check_every:1 ()) s);
+  Alcotest.(check bool) "still ok after pause" true (Solver.ok s);
+  let learnt_after_pause = Solver.n_conflicts s in
+  Alcotest.(check bool) "some work was done" true (learnt_after_pause > 0);
+  (* several more pauses must each make progress without crashing *)
+  for _ = 1 to 3 do
+    ignore (Solver.solve ~budget:(Budget.create ~max_conflicts:7 ()) s)
+  done;
+  Alcotest.(check bool) "conflict count survives pauses" true
+    (Solver.n_conflicts s >= learnt_after_pause);
+  Alcotest.check check_result "unbounded resume refutes" Solver.Unsat
+    (Solver.solve s)
+
+let test_budget_resume_to_sat () =
+  (* a satisfiable instance paused by a hook budget still yields a
+     model on resume *)
+  let s = Solver.create () in
+  let vs = Array.init 30 (fun _ -> Solver.new_var s) in
+  for i = 0 to 28 do
+    Solver.add_clause s [ nlit vs.(i); lit vs.(i + 1) ]
+  done;
+  Solver.add_clause s [ lit vs.(0); lit vs.(29) ];
+  let b = Budget.create ~should_stop:(fun () -> true) ~check_every:1 () in
+  (* the hook trips at the first checkpoint; with so easy an instance
+     the solve may finish before any conflict — both are acceptable,
+     a crash is not *)
+  (match Solver.solve ~budget:b s with
+  | Solver.Sat | Solver.Unknown -> ()
+  | Solver.Unsat -> Alcotest.fail "satisfiable by construction");
+  Alcotest.check check_result "resume finds a model" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "model readable" true
+    (Solver.model_value s (lit vs.(0)) || Solver.model_value s (lit vs.(29)))
+
+let test_budget_shared_across_calls () =
+  (* one budget governs total spend across several solves: later calls
+     see what earlier calls charged *)
+  let b = Budget.create ~max_conflicts:40 () in
+  let s = pigeonhole_solver 8 in
+  let r1 = Solver.solve ~budget:b s in
+  Alcotest.check check_result "first call pauses" Solver.Unknown r1;
+  Alcotest.(check bool) "charge recorded" true (Budget.spent_conflicts b >= 40);
+  (* the shared budget is exhausted: a second solver must return
+     Unknown immediately, doing no work *)
+  let s2 = pigeonhole_solver 8 in
+  Alcotest.check check_result "second call starves" Solver.Unknown
+    (Solver.solve ~budget:b s2);
+  Alcotest.(check int) "no work done" 0 (Solver.n_conflicts s2)
+
+let test_budget_timeout () =
+  (* a wall-clock deadline interrupts a hard refutation *)
+  let s = pigeonhole_solver 11 in
+  let b = Budget.create ~timeout:0.02 ~check_every:1 () in
+  (match Solver.solve ~budget:b s with
+  | Solver.Unknown -> ()
+  | Solver.Unsat -> () (* a very fast machine might still finish *)
+  | Solver.Sat -> Alcotest.fail "php is unsatisfiable");
+  Alcotest.(check bool) "elapsed measured" true (Budget.elapsed b >= 0.)
+
 let test_at_most_one_exhaustive () =
   (* all assignments of three variables against add_at_most_one *)
   for mask = 0 to 7 do
@@ -461,6 +579,11 @@ let suite =
     Alcotest.test_case "luby" `Quick test_luby;
     Alcotest.test_case "incremental narrowing" `Quick test_incremental_narrowing;
     Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+    Alcotest.test_case "budget module" `Quick test_budget_module;
+    Alcotest.test_case "budget resume to unsat" `Quick test_budget_resume_to_unsat;
+    Alcotest.test_case "budget resume to sat" `Quick test_budget_resume_to_sat;
+    Alcotest.test_case "budget shared across calls" `Quick test_budget_shared_across_calls;
+    Alcotest.test_case "budget timeout" `Quick test_budget_timeout;
     Alcotest.test_case "at-most-one exhaustive" `Quick test_at_most_one_exhaustive;
     Alcotest.test_case "statistics" `Quick test_statistics_monotone;
     Alcotest.test_case "vec" `Quick test_vec_operations;

@@ -55,10 +55,11 @@ let test_witness_feasibility () =
         (* greedy can diverge from the generator's witness; fall back to
            the SAT allocator as the feasibility oracle *)
         (match Taskalloc_core.Allocator.find_feasible problem with
-        | Some r ->
+        | Taskalloc_core.Allocator.Solved r ->
           Alcotest.(check (list string)) "sat witness ok" []
             (List.map (Fmt.str "%a" Check.pp_violation) r.violations)
-        | None -> Alcotest.fail (Printf.sprintf "seed %d generated infeasible" seed)))
+        | Taskalloc_core.Allocator.Infeasible | Taskalloc_core.Allocator.Unknown ->
+          Alcotest.fail (Printf.sprintf "seed %d generated infeasible" seed)))
     [ 1; 2; 3; 4 ]
 
 let test_task_scaling_sizes () =
