@@ -39,4 +39,50 @@ out=$(dune exec bin/taskalloc.exe -- solve --workload small)
 echo "$out" | grep -q "resolution: optimal" || {
     echo "FAIL: unbudgeted solve not optimal"; exit 1; }
 
+# certification round-trip: an Unsat run must emit a DRUP trace the
+# independent checker verifies (pigeonhole PHP(4,3): 4 pigeons, 3 holes)
+echo "== CLI smoke: proof logging + check round-trip =="
+cnf=$(mktemp /tmp/ci-php43-XXXXXX.cnf)
+proof=$(mktemp /tmp/ci-php43-XXXXXX.drup)
+cat > "$cnf" <<'EOF'
+p cnf 12 22
+1 2 3 0
+4 5 6 0
+7 8 9 0
+10 11 12 0
+-1 -4 0
+-1 -7 0
+-1 -10 0
+-4 -7 0
+-4 -10 0
+-7 -10 0
+-2 -5 0
+-2 -8 0
+-2 -11 0
+-5 -8 0
+-5 -11 0
+-8 -11 0
+-3 -6 0
+-3 -9 0
+-3 -12 0
+-6 -9 0
+-6 -12 0
+-9 -12 0
+EOF
+# Unsat exits 20 by SAT-competition convention; anything else is a failure
+rc=0
+dune exec bin/dimacs_solve.exe -- --proof "$proof" "$cnf" > /dev/null || rc=$?
+[ "$rc" -eq 20 ] || { echo "FAIL: expected Unsat (exit 20), got $rc"; exit 1; }
+out=$(dune exec bin/dimacs_solve.exe -- --check "$proof" "$cnf")
+echo "$out" | grep -q "s VERIFIED" || {
+    echo "FAIL: proof did not verify"; exit 1; }
+rm -f "$cnf" "$proof"
+
+# differential fuzz: solver vs brute-force oracle, Unsat answers
+# certified by the proof checker; exits non-zero on any discrepancy
+echo "== CLI smoke: bounded fuzz campaign =="
+out=$(dune exec bin/taskalloc.exe -- fuzz --iters 200 --seed 1)
+echo "$out" | grep -q " 0 failures" || {
+    echo "FAIL: fuzz campaign found discrepancies"; echo "$out"; exit 1; }
+
 echo "CI OK"

@@ -1,37 +1,110 @@
 (* Standalone DIMACS CNF solver built on the taskalloc CDCL engine.
 
-   Usage:  dimacs_solve FILE.cnf
+   Usage:  dimacs_solve [--proof FILE [--binary]] FILE.cnf
+           dimacs_solve --check PROOF FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
-   in the conventional SAT-competition output format. *)
+   in the conventional SAT-competition output format (exit 20 on Unsat,
+   30 on Unknown).  With --proof, an Unsat run also writes a DRUP trace;
+   --check replays such a trace through the independent RUP checker and
+   prints "s VERIFIED" (exit 0) or "s NOT VERIFIED" (exit 1). *)
 
 open Taskalloc_sat
+module Proof = Taskalloc_proof.Proof
+
+let usage () =
+  prerr_endline
+    "usage: dimacs_solve [--proof FILE [--binary]] FILE.cnf\n\
+    \       dimacs_solve --check PROOF [--binary] FILE.cnf";
+  exit 2
+
+type opts = {
+  mutable proof : string option;
+  mutable check : string option;
+  mutable binary : bool;
+  mutable cnf : string option;
+}
+
+let parse_args () =
+  let o = { proof = None; check = None; binary = false; cnf = None } in
+  let rec go = function
+    | [] -> ()
+    | "--proof" :: file :: rest ->
+      o.proof <- Some file;
+      go rest
+    | "--check" :: file :: rest ->
+      o.check <- Some file;
+      go rest
+    | "--binary" :: rest ->
+      o.binary <- true;
+      go rest
+    | arg :: rest when o.cnf = None && String.length arg > 0 && arg.[0] <> '-' ->
+      o.cnf <- Some arg;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if o.proof <> None && o.check <> None then usage ();
+  o
+
+let solve cnf_path proof_path binary =
+  let cnf = Dimacs.parse_file cnf_path in
+  let solver = Solver.create () in
+  let trace =
+    match proof_path with
+    | None -> fun () -> []
+    | Some _ -> Proof.record solver
+  in
+  for _ = 1 to cnf.Dimacs.num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter
+    (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
+    cnf.Dimacs.clauses;
+  match Solver.solve solver with
+  | Solver.Sat ->
+    print_endline "s SATISFIABLE";
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "v";
+    for v = 0 to cnf.Dimacs.num_vars - 1 do
+      let value = Solver.model_value solver (Lit.of_var v) in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
+    done;
+    Buffer.add_string buf " 0";
+    print_endline (Buffer.contents buf);
+    Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
+      (Solver.n_conflicts solver) (Solver.n_decisions solver)
+      (Solver.n_propagations solver)
+  | Solver.Unsat ->
+    (match proof_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          if binary then Proof.write_binary oc (trace ())
+          else Proof.write_text oc (trace ()));
+      Printf.printf "c proof written to %s\n" path);
+    print_endline "s UNSATISFIABLE";
+    exit 20
+  | Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 30
+
+let check proof_path cnf_path binary =
+  let cnf = Dimacs.parse_file cnf_path in
+  let trace = Proof.read_file ~binary proof_path in
+  match Proof.verify cnf trace with
+  | Proof.Valid -> print_endline "s VERIFIED"
+  | Proof.Invalid _ as v ->
+    Fmt.pr "c %a@." Proof.pp_verdict v;
+    print_endline "s NOT VERIFIED";
+    exit 1
 
 let () =
-  match Sys.argv with
-  | [| _; path |] ->
-    let cnf = Dimacs.parse_file path in
-    let solver = Dimacs.load cnf in
-    (match Solver.solve solver with
-    | Solver.Sat ->
-      print_endline "s SATISFIABLE";
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf "v";
-      for v = 0 to cnf.Dimacs.num_vars - 1 do
-        let value = Solver.model_value solver (Lit.of_var v) in
-        Buffer.add_char buf ' ';
-        Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
-      done;
-      Buffer.add_string buf " 0";
-      print_endline (Buffer.contents buf);
-      Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
-        (Solver.n_conflicts solver) (Solver.n_decisions solver)
-        (Solver.n_propagations solver)
-    | Solver.Unsat ->
-      print_endline "s UNSATISFIABLE";
-      exit 20
-    | Solver.Unknown ->
-      print_endline "s UNKNOWN";
-      exit 30)
-  | _ ->
-    prerr_endline "usage: dimacs_solve FILE.cnf";
-    exit 2
+  let o = parse_args () in
+  match (o.cnf, o.check) with
+  | Some cnf_path, Some proof_path -> check proof_path cnf_path o.binary
+  | Some cnf_path, None -> solve cnf_path o.proof o.binary
+  | None, _ -> usage ()

@@ -325,6 +325,43 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Print a named workload in the problem-file format")
     Term.(const run $ workload_arg $ seed_arg)
 
+let fuzz_cmd =
+  let run iters seed max_vars verbose =
+    let log = if verbose then fun s -> Fmt.pr "c %s@." s else ignore in
+    let report = Taskalloc_fuzz.Fuzz.run ~max_vars ~log ~iters ~seed () in
+    Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_report report;
+    if report.Taskalloc_fuzz.Fuzz.failures <> [] then exit 1
+  in
+  let iters_arg =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Number of random cases to run.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed; every case is derived from it.")
+  in
+  let max_vars_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "max-vars" ] ~docv:"N"
+          ~doc:"Largest instance size in variables (clamped to 2..16).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print each discrepancy as it is found.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-fuzz the solver against a brute-force oracle, certifying \
+          every Unsat answer with the DRUP checker; exits non-zero on any \
+          discrepancy and prints a minimized reproducer")
+    Term.(const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ verbose_arg)
+
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd ]))

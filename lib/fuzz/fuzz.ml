@@ -1,0 +1,293 @@
+(* Differential and certifying fuzzing of the solver stack.
+
+   Instances are kept small enough (<= 16 variables) that a brute-force
+   enumeration over all assignments is an unimpeachable oracle.  The
+   solver's Sat answers are re-evaluated semantically; its Unsat
+   answers must come with a DRUP trace the independent checker accepts.
+   Every case derives from one integer seed, so a report line is a
+   complete reproduction recipe. *)
+
+open Taskalloc_sat
+module Rng = Taskalloc_workloads.Rng
+module Proof = Taskalloc_proof.Proof
+
+type pb_instance = {
+  pb_vars : int;
+  constraints : Proof.pb list;
+}
+
+type case = Cnf of Dimacs.cnf | Pb of pb_instance
+
+let pp_case ppf = function
+  | Cnf cnf -> Dimacs.print_cnf ppf cnf
+  | Pb { pb_vars; constraints } ->
+    Fmt.pf ppf "p pb %d %d@." pb_vars (List.length constraints);
+    List.iter
+      (fun { Proof.terms; degree } ->
+        List.iter (fun (a, l) -> Fmt.pf ppf "%+d x%d " a l) terms;
+        Fmt.pf ppf ">= %d@." degree)
+      constraints
+
+(* -- generation --------------------------------------------------------- *)
+
+(* [len] distinct variables drawn from [1..nvars]. *)
+let distinct_vars rng nvars len =
+  List.filteri (fun i _ -> i < len) (Rng.shuffle rng (List.init nvars (fun v -> v + 1)))
+
+let gen_cnf ~seed ~max_vars =
+  let rng = Rng.create ((2 * seed) + 1) in
+  let nvars = Rng.range rng 3 (max 3 max_vars) in
+  (* clause counts spanning the under- and over-constrained regimes,
+     centred near the 3-SAT threshold ratio so both answers are common *)
+  let nclauses = Rng.range rng nvars ((9 * nvars / 2) + 2) in
+  let clause () =
+    let len = if Rng.bool rng 0.15 then Rng.range rng 1 2 else 3 in
+    distinct_vars rng nvars len
+    |> List.map (fun v -> if Rng.bool rng 0.5 then v else -v)
+  in
+  { Dimacs.num_vars = nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+let gen_pb ~seed ~max_vars =
+  let rng = Rng.create ((2 * seed) + 1) in
+  let nvars = Rng.range rng 2 (max 2 max_vars) in
+  let ncons = Rng.range rng 1 (2 * nvars) in
+  let constraint_ () =
+    let k = Rng.range rng 1 (min 5 nvars) in
+    let terms =
+      distinct_vars rng nvars k
+      |> List.map (fun v ->
+             (Rng.range rng 1 4, if Rng.bool rng 0.5 then v else -v))
+    in
+    let total = List.fold_left (fun s (a, _) -> s + a) 0 terms in
+    (* degrees from trivially-true (0) to just-infeasible (total + 2) *)
+    { Proof.terms; degree = Rng.range rng 0 (total + 2) }
+  in
+  { pb_vars = nvars; constraints = List.init ncons (fun _ -> constraint_ ()) }
+
+let gen_case ~seed ~max_vars =
+  if seed land 1 = 0 then Cnf (gen_cnf ~seed ~max_vars)
+  else Pb (gen_pb ~seed ~max_vars)
+
+(* -- brute-force oracle ------------------------------------------------- *)
+
+(* DIMACS literal value under assignment bitmask [m]. *)
+let lit_true m l = (m lsr (abs l - 1)) land 1 = if l > 0 then 1 else 0
+
+let eval_cnf cnf m =
+  List.for_all (fun c -> List.exists (lit_true m) c) cnf.Dimacs.clauses
+
+let eval_pb { pb_vars = _; constraints } m =
+  List.for_all
+    (fun { Proof.terms; degree } ->
+      List.fold_left (fun s (a, l) -> if lit_true m l then s + a else s) 0 terms
+      >= degree)
+    constraints
+
+let nvars_of = function
+  | Cnf cnf -> cnf.Dimacs.num_vars
+  | Pb { pb_vars; _ } -> pb_vars
+
+let eval case m =
+  match case with Cnf cnf -> eval_cnf cnf m | Pb pb -> eval_pb pb m
+
+let oracle case =
+  let n = nvars_of case in
+  let rec go m = m < 1 lsl n && (eval case m || go (m + 1)) in
+  go 0
+
+(* -- differential driver ------------------------------------------------ *)
+
+(* Load a case into a fresh solver with proof recording installed
+   before the first constraint, so add-time refutations are logged. *)
+let load case =
+  let s = Solver.create () in
+  let trace = Proof.record s in
+  (match case with
+  | Cnf cnf ->
+    for _ = 1 to cnf.Dimacs.num_vars do
+      ignore (Solver.new_var s)
+    done;
+    List.iter
+      (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c))
+      cnf.Dimacs.clauses
+  | Pb { pb_vars; constraints } ->
+    for _ = 1 to pb_vars do
+      ignore (Solver.new_var s)
+    done;
+    List.iter
+      (fun { Proof.terms; degree } ->
+        if degree > 0 then
+          Solver.add_pb_geq s
+            (List.map (fun (a, l) -> (a, Lit.of_dimacs l)) terms)
+            degree)
+      constraints);
+  (s, trace)
+
+let model_mask case s =
+  let n = nvars_of case in
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    if Solver.model_value s (Lit.of_var v) then m := !m lor (1 lsl v)
+  done;
+  !m
+
+(* The CNF/PB view of a case that the proof checker certifies against. *)
+let checker_view = function
+  | Cnf cnf -> (cnf, [])
+  | Pb { pb_vars; constraints } ->
+    ({ Dimacs.num_vars = pb_vars; clauses = [] }, constraints)
+
+let check_case case =
+  let s, trace = load case in
+  let expected = oracle case in
+  match Solver.solve s with
+  | Solver.Unknown -> Error "solver returned Unknown without a budget"
+  | Solver.Sat ->
+    if not expected then Error "solver says Sat, oracle says Unsat"
+    else if not (eval case (model_mask case s)) then
+      Error "Sat model does not satisfy the instance"
+    else Ok ()
+  | Solver.Unsat ->
+    if expected then Error "solver says Unsat, oracle says Sat"
+    else begin
+      let cnf, pbs = checker_view case in
+      match Proof.verify ~pbs cnf (trace ()) with
+      | Proof.Valid -> Ok ()
+      | Proof.Invalid { step; reason } ->
+        Error (Fmt.str "Unsat proof rejected at step %d: %s" step reason)
+    end
+
+(* -- shrinking ---------------------------------------------------------- *)
+
+let fails case = Result.is_error (check_case case)
+
+let without i xs = List.filteri (fun j _ -> j <> i) xs
+
+(* One-step simplifications, most aggressive first. *)
+let variants = function
+  | Cnf cnf ->
+    let n = List.length cnf.Dimacs.clauses in
+    List.init n (fun i ->
+        Cnf { cnf with Dimacs.clauses = without i cnf.Dimacs.clauses })
+    @ List.concat
+        (List.mapi
+           (fun i c ->
+             if List.length c <= 1 then []
+             else
+               List.mapi
+                 (fun j _ ->
+                   Cnf
+                     {
+                       cnf with
+                       Dimacs.clauses =
+                         List.mapi
+                           (fun i' c' -> if i' = i then without j c' else c')
+                           cnf.Dimacs.clauses;
+                     })
+                 c)
+           cnf.Dimacs.clauses)
+  | Pb pb ->
+    let n = List.length pb.constraints in
+    let update i f =
+      Pb
+        {
+          pb with
+          constraints =
+            List.mapi (fun i' c -> if i' = i then f c else c) pb.constraints;
+        }
+    in
+    List.init n (fun i -> Pb { pb with constraints = without i pb.constraints })
+    @ List.concat
+        (List.mapi
+           (fun i { Proof.terms; degree } ->
+             (if degree > 0 then
+                [ update i (fun c -> { c with Proof.degree = degree - 1 }) ]
+              else [])
+             @ (if List.length terms > 1 then
+                  List.mapi
+                    (fun j _ ->
+                      update i (fun c ->
+                          { c with Proof.terms = without j c.Proof.terms }))
+                    terms
+                else [])
+             @ List.concat
+                 (List.mapi
+                    (fun j (a, _) ->
+                      if a <= 1 then []
+                      else
+                        [
+                          update i (fun c ->
+                              {
+                                c with
+                                Proof.terms =
+                                  List.mapi
+                                    (fun j' (a', l') ->
+                                      if j' = j then (a' - 1, l') else (a', l'))
+                                    c.Proof.terms;
+                              });
+                        ])
+                    terms))
+           pb.constraints)
+
+let shrink case =
+  if not (fails case) then case
+  else begin
+    let fuel = ref 400 in
+    let rec go case =
+      let rec first = function
+        | [] -> None
+        | v :: rest ->
+          if !fuel <= 0 then None
+          else begin
+            decr fuel;
+            if fails v then Some v else first rest
+          end
+      in
+      match first (variants case) with Some v -> go v | None -> case
+    in
+    go case
+  end
+
+(* -- campaigns ---------------------------------------------------------- *)
+
+type failure = {
+  fail_seed : int;
+  fail_case : case;
+  fail_error : string;
+}
+
+type report = {
+  iters : int;
+  n_sat : int;
+  n_unsat : int;
+  failures : failure list;
+}
+
+let run ?(max_vars = 10) ?(log = ignore) ~iters ~seed () =
+  let max_vars = min 16 (max 2 max_vars) in
+  let rng = Rng.create seed in
+  let n_sat = ref 0 and n_unsat = ref 0 in
+  let failures = ref [] in
+  for i = 0 to iters - 1 do
+    let case_seed = Rng.int rng 0x3FFFFFFF in
+    let case = gen_case ~seed:case_seed ~max_vars in
+    if oracle case then incr n_sat else incr n_unsat;
+    match check_case case with
+    | Ok () -> ()
+    | Error e ->
+      log (Fmt.str "iter %d (seed %d): %s" i case_seed e);
+      failures :=
+        { fail_seed = case_seed; fail_case = shrink case; fail_error = e }
+        :: !failures
+  done;
+  { iters; n_sat = !n_sat; n_unsat = !n_unsat; failures = List.rev !failures }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%d cases: %d sat, %d unsat, %d failures@." r.iters r.n_sat
+    r.n_unsat
+    (List.length r.failures);
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "FAILURE (seed %d): %s@.minimized reproducer:@.%a" f.fail_seed
+        f.fail_error pp_case f.fail_case)
+    r.failures

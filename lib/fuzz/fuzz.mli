@@ -1,0 +1,84 @@
+(** Differential and certifying fuzzing of the solver stack.
+
+    Every generated instance is small enough for a brute-force
+    enumeration oracle.  A case passes only if the CDCL(+PB) solver
+    {ul
+    {- agrees with the oracle on satisfiability,}
+    {- returns a model that re-evaluates to true clause-by-clause
+       (constraint-by-constraint) when it answers [Sat], and}
+    {- emits a DRUP trace that {!Taskalloc_proof.Proof.check} certifies
+       when it answers [Unsat].}}
+
+    Failures are shrunk to a local minimum before being reported, and
+    every case is identified by the integer seed that regenerates it:
+    [check_case (gen_case ~seed ~max_vars)] replays a report line
+    exactly. *)
+
+open Taskalloc_sat
+
+(** A pseudo-Boolean instance: [constraints] over DIMACS literals of
+    variables [1..pb_vars], each in the normalized [>=] form of
+    {!Taskalloc_proof.Proof.pb}. *)
+type pb_instance = {
+  pb_vars : int;
+  constraints : Taskalloc_proof.Proof.pb list;
+}
+
+type case = Cnf of Dimacs.cnf | Pb of pb_instance
+
+val pp_case : Format.formatter -> case -> unit
+(** CNF cases print as DIMACS, PB cases as OPB-style [>=] lines —
+    ready to paste into a regression test. *)
+
+(** {1 Generation} *)
+
+val gen_cnf : seed:int -> max_vars:int -> Dimacs.cnf
+(** Random 3-CNF (with occasional shorter clauses) over at most
+    [max_vars] variables, clause count drawn around the hard
+    sat/unsat-threshold ratio. *)
+
+val gen_pb : seed:int -> max_vars:int -> pb_instance
+(** Random normalized PB [>=] constraints: positive coefficients,
+    mixed polarities, degrees spanning trivial to infeasible. *)
+
+val gen_case : seed:int -> max_vars:int -> case
+(** Half CNF, half PB, decided by the seed. *)
+
+(** {1 Oracle and differential driver} *)
+
+val oracle : case -> bool
+(** Brute-force satisfiability by enumerating all assignments.  Only
+    use on instances from the generators ([max_vars] small). *)
+
+val check_case : case -> (unit, string) result
+(** Solve, cross-check against {!oracle}, re-evaluate Sat models, and
+    certify Unsat answers with the proof checker. *)
+
+val shrink : case -> case
+(** Greedily minimize a failing case (drop constraints, then literals
+    and degrees) while {!check_case} still fails.  Returns the case
+    unchanged if it does not fail. *)
+
+(** {1 Campaigns} *)
+
+type failure = {
+  fail_seed : int;  (** regenerates the original failing case *)
+  fail_case : case;  (** shrunk reproducer *)
+  fail_error : string;  (** first discrepancy, before shrinking *)
+}
+
+type report = {
+  iters : int;
+  n_sat : int;
+  n_unsat : int;
+  failures : failure list;
+}
+
+val run :
+  ?max_vars:int -> ?log:(string -> unit) -> iters:int -> seed:int -> unit ->
+  report
+(** Run [iters] generated cases derived deterministically from [seed].
+    [max_vars] (default 10, clamped to [2..16]) bounds instance size;
+    [log] receives progress lines. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,446 @@
+(* DRUP proof traces and a reverse-unit-propagation checker.
+
+   The checker is deliberately independent of the CDCL engine: it keeps
+   its own clause database, its own assignment, and does plain
+   occurrence-list unit propagation.  Verifying a step never trusts the
+   solver's bookkeeping — an added clause is accepted only if assuming
+   all its literals false propagates to a conflict (RUP), or, for
+   [Add_pb] lemmas, if some input PB constraint cannot reach its degree
+   once the clause is falsified and units are propagated.
+
+   Propagated root units persist across steps (they are consequences of
+   the database); assumptions made while checking one step are undone
+   before the next. *)
+
+open Taskalloc_sat
+
+type step =
+  | Add of int list
+  | Add_pb of int list
+  | Delete of int list
+
+type trace = step list
+
+type pb = { terms : (int * int) list; degree : int }
+
+(* -- solver bridge ------------------------------------------------------ *)
+
+let dimacs_of_array a = Array.to_list (Array.map Lit.to_dimacs a)
+
+let of_solver_step = function
+  | Solver.Step_rup a -> Add (dimacs_of_array a)
+  | Solver.Step_pb a -> Add_pb (dimacs_of_array a)
+  | Solver.Step_delete a -> Delete (dimacs_of_array a)
+
+let record solver =
+  let steps = ref [] in
+  Solver.set_proof_sink solver
+    (Some (fun s -> steps := of_solver_step s :: !steps));
+  fun () -> List.rev !steps
+
+(* -- checker state ------------------------------------------------------ *)
+
+type cls = { lits : int array; mutable alive : bool }
+
+type ck = {
+  mutable nvars : int;
+  mutable value : int array; (* per variable: 0 unassigned, 1, -1 *)
+  mutable occs : cls Vec.t array; (* per literal: clauses containing it *)
+  trail : Veci.t;
+  mutable qhead : int;
+  mutable root_conflict : bool; (* the database is refuted *)
+  index : (int list, cls list ref) Hashtbl.t; (* sorted lits -> clauses *)
+  pbs : (int array * int array * int) list; (* coeffs, lits, degree *)
+}
+
+let dummy_cls = { lits = [||]; alive = false }
+
+let ensure ck nvars =
+  if nvars > ck.nvars then begin
+    let old = Array.length ck.value in
+    if nvars > old then begin
+      let n = max nvars (2 * max old 1) in
+      let value = Array.make n 0 in
+      Array.blit ck.value 0 value 0 old;
+      ck.value <- value;
+      let occs =
+        Array.init (2 * n) (fun i ->
+            if i < 2 * old then ck.occs.(i) else Vec.create dummy_cls)
+      in
+      ck.occs <- occs
+    end;
+    ck.nvars <- nvars
+  end
+
+let lit_value ck l =
+  let a = ck.value.(l lsr 1) in
+  if l land 1 = 0 then a else -a
+
+let assign ck l =
+  ck.value.(l lsr 1) <- (if l land 1 = 0 then 1 else -1);
+  Veci.push ck.trail l
+
+let undo_to ck mark =
+  for i = Veci.size ck.trail - 1 downto mark do
+    ck.value.(Veci.get ck.trail i lsr 1) <- 0
+  done;
+  Veci.shrink ck.trail mark;
+  ck.qhead <- mark
+
+(* Unit propagation from the current queue head.  Returns [true] on
+   conflict; the trail then holds everything derived so far. *)
+let propagate ck =
+  let conflict = ref false in
+  while (not !conflict) && ck.qhead < Veci.size ck.trail do
+    let p = Veci.get ck.trail ck.qhead in
+    ck.qhead <- ck.qhead + 1;
+    let ws = ck.occs.(p lxor 1) in
+    let i = ref 0 in
+    while (not !conflict) && !i < Vec.size ws do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.alive then begin
+        let sat = ref false and unassigned = ref (-1) and n_un = ref 0 in
+        let n = Array.length c.lits in
+        let j = ref 0 in
+        while (not !sat) && !j < n do
+          let l = c.lits.(!j) in
+          (match lit_value ck l with
+          | 1 -> sat := true
+          | 0 ->
+            incr n_un;
+            unassigned := l
+          | _ -> ());
+          incr j
+        done;
+        if not !sat then
+          if !n_un = 0 then conflict := true
+          else if !n_un = 1 then assign ck !unassigned
+      end
+    done
+  done;
+  !conflict
+
+let key_of lits = List.sort Int.compare (Array.to_list lits)
+
+let max_var_of_dimacs lits = List.fold_left (fun m l -> max m (abs l)) 0 lits
+
+let internalize lits = Array.of_list (List.map Lit.of_dimacs lits)
+
+(* Install a clause in the database and update the root state: an
+   already-empty or all-false clause refutes; a unit clause propagates
+   at root level (permanently). *)
+let install ck (lits : int array) =
+  let c = { lits; alive = true } in
+  Array.iter (fun l -> Vec.push ck.occs.(l) c) lits;
+  let key = key_of lits in
+  (match Hashtbl.find_opt ck.index key with
+  | Some r -> r := c :: !r
+  | None -> Hashtbl.add ck.index key (ref [ c ]));
+  if not ck.root_conflict then begin
+    let sat = ref false and unassigned = ref (-1) and n_un = ref 0 in
+    Array.iter
+      (fun l ->
+        match lit_value ck l with
+        | 1 -> sat := true
+        | 0 ->
+          incr n_un;
+          unassigned := l
+        | _ -> ())
+      lits;
+    if not !sat then
+      if !n_un = 0 then ck.root_conflict <- true
+      else if !n_un = 1 then begin
+        if lit_value ck !unassigned = 0 then assign ck !unassigned;
+        if propagate ck then ck.root_conflict <- true
+      end
+  end
+
+let remove ck (lits : int array) =
+  match Hashtbl.find_opt ck.index (key_of lits) with
+  | None -> () (* permissive: deleting an unknown clause is a no-op *)
+  | Some r -> (
+    match List.find_opt (fun c -> c.alive) !r with
+    | Some c -> c.alive <- false
+    | None -> ())
+
+(* Assume every literal of [lits] false on top of the root state.
+   Returns [true] when the assumption is already contradictory (some
+   literal holds at root — the clause is subsumed by the database). *)
+let assume_negation ck (lits : int array) =
+  let contradicted = ref false in
+  Array.iter
+    (fun l ->
+      if not !contradicted then
+        match lit_value ck l with
+        | 1 -> contradicted := true
+        | -1 -> ()
+        | _ -> assign ck (l lxor 1))
+    lits;
+  !contradicted
+
+(* Reverse unit propagation: the clause must conflict under its own
+   negation.  Leaves the root state untouched. *)
+let rup_holds ck lits =
+  ck.root_conflict
+  ||
+  let mark = Veci.size ck.trail in
+  let ok = assume_negation ck lits || propagate ck in
+  undo_to ck mark;
+  ok
+
+(* A PB lemma holds if falsifying it (plus unit propagation) either
+   conflicts outright or caps some input constraint's maximum
+   achievable sum below its degree. *)
+let pb_implied ck lits =
+  ck.root_conflict
+  ||
+  let mark = Veci.size ck.trail in
+  let ok =
+    assume_negation ck lits
+    || propagate ck
+    || List.exists
+         (fun (coeffs, plits, degree) ->
+           let achievable = ref 0 in
+           Array.iteri
+             (fun i l ->
+               if lit_value ck l <> -1 then achievable := !achievable + coeffs.(i))
+             plits;
+           !achievable < degree)
+         ck.pbs
+  in
+  undo_to ck mark;
+  ok
+
+(* -- verification ------------------------------------------------------- *)
+
+type verdict = Valid | Invalid of { step : int; reason : string }
+
+let pp_verdict ppf = function
+  | Valid -> Fmt.string ppf "valid"
+  | Invalid { step; reason } -> Fmt.pf ppf "invalid at step %d: %s" step reason
+
+let pp_lits ppf lits =
+  List.iter (fun l -> Fmt.pf ppf "%d " l) lits;
+  Fmt.string ppf "0"
+
+let pp_step ppf = function
+  | Add lits -> pp_lits ppf lits
+  | Add_pb lits -> Fmt.pf ppf "p %a" pp_lits lits
+  | Delete lits -> Fmt.pf ppf "d %a" pp_lits lits
+
+let create (cnf : Dimacs.cnf) pbs =
+  let ck =
+    {
+      nvars = 0;
+      value = [||];
+      occs = [||];
+      trail = Veci.create ();
+      qhead = 0;
+      root_conflict = false;
+      index = Hashtbl.create 256;
+      pbs =
+        List.map
+          (fun { terms; degree } ->
+            ( Array.of_list (List.map fst terms),
+              Array.of_list (List.map (fun (_, l) -> Lit.of_dimacs l) terms),
+              degree ))
+          pbs;
+    }
+  in
+  let max_pb_var =
+    List.fold_left
+      (fun m { terms; _ } -> max m (max_var_of_dimacs (List.map snd terms)))
+      0 pbs
+  in
+  ensure ck (max cnf.Dimacs.num_vars max_pb_var);
+  List.iter
+    (fun c ->
+      ensure ck (max_var_of_dimacs c);
+      install ck (internalize c))
+    cnf.Dimacs.clauses;
+  ck
+
+let verify ?(pbs = []) cnf trace =
+  let ck = create cnf pbs in
+  let rec go i = function
+    | [] ->
+      if ck.root_conflict then Valid
+      else
+        Invalid { step = i; reason = "trace does not derive the empty clause" }
+    | s :: rest -> (
+      match s with
+      | Add lits ->
+        ensure ck (max_var_of_dimacs lits);
+        let la = internalize lits in
+        if rup_holds ck la then begin
+          install ck la;
+          go (i + 1) rest
+        end
+        else
+          Invalid
+            {
+              step = i;
+              reason = Fmt.str "clause %a is not RUP" pp_lits lits;
+            }
+      | Add_pb lits ->
+        ensure ck (max_var_of_dimacs lits);
+        let la = internalize lits in
+        if pb_implied ck la then begin
+          install ck la;
+          go (i + 1) rest
+        end
+        else
+          Invalid
+            {
+              step = i;
+              reason =
+                Fmt.str "clause %a is not implied by any input PB constraint"
+                  pp_lits lits;
+            }
+      | Delete lits ->
+        ensure ck (max_var_of_dimacs lits);
+        remove ck (internalize lits);
+        go (i + 1) rest)
+  in
+  go 0 trace
+
+let check ?pbs cnf trace = verify ?pbs cnf trace = Valid
+
+(* -- text serialization -------------------------------------------------- *)
+
+let to_text trace =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      (match s with
+      | Add _ -> ()
+      | Add_pb _ -> Buffer.add_string buf "p "
+      | Delete _ -> Buffer.add_string buf "d ");
+      let lits =
+        match s with Add l | Add_pb l | Delete l -> l
+      in
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        lits;
+      Buffer.add_string buf "0\n")
+    trace;
+  Buffer.contents buf
+
+let write_text oc trace = output_string oc (to_text trace)
+
+let of_text s =
+  let steps = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let toks =
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun t -> t <> "")
+         in
+         match toks with
+         | [] | "c" :: _ -> ()
+         | _ ->
+           let kind, toks =
+             match toks with
+             | "d" :: rest -> (`Delete, rest)
+             | "p" :: rest -> (`Pb, rest)
+             | rest -> (`Add, rest)
+           in
+           let lits =
+             List.map
+               (fun t ->
+                 match int_of_string_opt t with
+                 | Some n -> n
+                 | None -> failwith (Fmt.str "Proof.of_text: bad literal %S" t))
+               toks
+           in
+           let lits =
+             match List.rev lits with
+             | 0 :: rev -> List.rev rev
+             | _ -> failwith "Proof.of_text: clause line not 0-terminated"
+           in
+           if List.mem 0 lits then
+             failwith "Proof.of_text: literal 0 inside a clause";
+           steps :=
+             (match kind with
+             | `Add -> Add lits
+             | `Pb -> Add_pb lits
+             | `Delete -> Delete lits)
+             :: !steps);
+  List.rev !steps
+
+(* -- binary serialization (DRAT's variable-length encoding) -------------- *)
+
+let to_binary trace =
+  let buf = Buffer.create 1024 in
+  let emit_lit l =
+    let n = ref ((2 * abs l) + if l < 0 then 1 else 0) in
+    while !n >= 128 do
+      Buffer.add_char buf (Char.chr (128 lor (!n land 127)));
+      n := !n lsr 7
+    done;
+    Buffer.add_char buf (Char.chr !n)
+  in
+  List.iter
+    (fun s ->
+      let tag, lits =
+        match s with
+        | Add l -> ('a', l)
+        | Add_pb l -> ('p', l)
+        | Delete l -> ('d', l)
+      in
+      Buffer.add_char buf tag;
+      List.iter emit_lit lits;
+      Buffer.add_char buf '\x00')
+    trace;
+  Buffer.contents buf
+
+let write_binary oc trace = output_string oc (to_binary trace)
+
+let of_binary s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let read_lit () =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      if !pos >= n then failwith "Proof.of_binary: truncated literal";
+      let b = Char.code s.[!pos] in
+      incr pos;
+      v := !v lor ((b land 127) lsl !shift);
+      shift := !shift + 7;
+      continue := b >= 128
+    done;
+    !v
+  in
+  let steps = ref [] in
+  while !pos < n do
+    let tag = s.[!pos] in
+    incr pos;
+    let lits = ref [] in
+    let continue = ref true in
+    while !continue do
+      let v = read_lit () in
+      if v = 0 then continue := false
+      else
+        let l = if v land 1 = 1 then -(v lsr 1) else v lsr 1 in
+        lits := l :: !lits
+    done;
+    let lits = List.rev !lits in
+    steps :=
+      (match tag with
+      | 'a' -> Add lits
+      | 'p' -> Add_pb lits
+      | 'd' -> Delete lits
+      | c -> failwith (Fmt.str "Proof.of_binary: unknown tag %C" c))
+      :: !steps
+  done;
+  List.rev !steps
+
+let read_file ?(binary = false) path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  if binary then of_binary s else of_text s

@@ -1,0 +1,84 @@
+(** DRUP proof traces and a reverse-unit-propagation checker.
+
+    A trace is the sequence of clause additions and deletions emitted
+    by {!Taskalloc_sat.Solver} while it solves an instance.  For a pure
+    CNF instance the trace is standard DRUP: every added clause must be
+    derivable from the input formula plus the earlier additions by
+    {e reverse unit propagation} (RUP) — assume every literal of the
+    clause false and unit-propagate to a conflict.  Native PB
+    constraints enter through [Add_pb] lemmas: clauses the solver
+    claims are implied by a single input PB constraint, which the
+    checker verifies semantically (falsify the clause, propagate, and
+    confirm the constraint's maximum achievable sum falls below its
+    degree).
+
+    A valid trace that derives the empty clause certifies
+    unsatisfiability with trust rooted only in this ~200-line checker,
+    not in the CDCL engine — the audit the paper's optimality claims
+    rest on. *)
+
+(** One trace event, in DIMACS integer literals. *)
+type step =
+  | Add of int list  (** RUP clause addition; [Add []] refutes *)
+  | Add_pb of int list
+      (** clause implied by one input PB constraint (under unit
+          propagation); emitted only for instances with PB
+          constraints *)
+  | Delete of int list  (** clause deletion *)
+
+type trace = step list
+
+(** An input pseudo-Boolean constraint [sum coeff*lit >= degree], with
+    positive coefficients over DIMACS literals of distinct variables —
+    the same normalized form {!Taskalloc_sat.Solver.add_pb_geq}
+    accepts. *)
+type pb = { terms : (int * int) list; degree : int }
+
+val of_solver_step : Taskalloc_sat.Solver.proof_step -> step
+
+val record : Taskalloc_sat.Solver.t -> unit -> trace
+(** [record solver] installs a recording proof sink on [solver] and
+    returns a function producing the trace logged so far (in emission
+    order).  Replaces any previously installed sink. *)
+
+(** {1 Checking} *)
+
+type verdict =
+  | Valid
+  | Invalid of { step : int; reason : string }
+      (** [step] is the 0-based index of the offending trace step, or
+          the trace length when the trace verified but never derived
+          the empty clause *)
+
+val verify : ?pbs:pb list -> Taskalloc_sat.Dimacs.cnf -> trace -> verdict
+(** Check every step of the trace against the formula ([cnf] plus
+    [pbs]) and require that the empty clause is derived.  Deletions of
+    unknown clauses are ignored (standard permissive DRUP). *)
+
+val check : ?pbs:pb list -> Taskalloc_sat.Dimacs.cnf -> trace -> bool
+(** [check cnf trace] is [verify cnf trace = Valid]: the trace is a
+    machine-checked certificate that [cnf] (with [pbs]) is
+    unsatisfiable. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_step : Format.formatter -> step -> unit
+
+(** {1 Serialization}
+
+    Text format is standard DRUP ("[1 -2 0]" per added clause, deleted
+    clauses prefixed with [d]) extended with a [p] prefix for [Add_pb]
+    lemmas; pure-CNF traces contain no [p] lines and are accepted by
+    external DRUP/DRAT checkers.  Binary format is DRAT's: a tag byte
+    (['a'], ['d'], or ['p']) followed by variable-length encoded
+    literals terminated by a zero byte. *)
+
+val to_text : trace -> string
+val of_text : string -> trace
+val write_text : out_channel -> trace -> unit
+
+val to_binary : trace -> string
+val of_binary : string -> trace
+val write_binary : out_channel -> trace -> unit
+
+val read_file : ?binary:bool -> string -> trace
+(** Raises [Failure] on malformed input. *)

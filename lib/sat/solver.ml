@@ -36,6 +36,17 @@ type reason = No_reason | Reason_clause of clause | Reason_pb of pb
 
 type result = Sat | Unsat | Unknown
 
+(* DRUP-style proof events.  [Step_rup] clauses are claimed derivable by
+   reverse unit propagation from the input CNF plus all earlier steps;
+   [Step_pb] clauses are claimed implied by a single input PB constraint
+   (under the unit-propagation closure of the clause database), which is
+   how clausal explanations of PB propagations enter the trace.  An
+   empty [Step_rup] is the final refutation. *)
+type proof_step =
+  | Step_rup of int array
+  | Step_pb of int array
+  | Step_delete of int array
+
 let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = true }
 let dummy_pb = { coeffs = [||]; plits = [||]; degree = 0; slack = 0; max_coeff = 0 }
 let dummy_pbw = { pbc = dummy_pb; w_coeff = 0 }
@@ -77,6 +88,8 @@ type t = {
   mutable lit_count : int; (* total input literal occurrences, for reporting *)
   (* model of the last Sat answer *)
   mutable model : bool array;
+  (* optional proof sink; see [set_proof_sink] *)
+  mutable proof : (proof_step -> unit) option;
   (* scratch buffers *)
   explain_buf : Veci.t;
   learnt_buf : Veci.t;
@@ -114,6 +127,7 @@ let create () =
     restarts = 0;
     lit_count = 0;
     model = [||];
+    proof = None;
     explain_buf = Veci.create ();
     learnt_buf = Veci.create ();
   }
@@ -170,6 +184,37 @@ let _value_var t v = t.assigns.(v)
 let value_lit t l =
   let a = t.assigns.(l lsr 1) in
   if l land 1 = 0 then a else -a
+
+(* -- proof logging --------------------------------------------------- *)
+
+let set_proof_sink t sink = t.proof <- sink
+let proof_on t = t.proof <> None
+
+let log_step t step =
+  match t.proof with None -> () | Some sink -> sink step
+
+(* Clausal consequence of [pb] given the literals of [pb] currently
+   false: falsifying [extra] (when >= 0) and those literals leaves the
+   maximum achievable sum below the degree. *)
+let log_pb_clause t pb extra =
+  match t.proof with
+  | None -> ()
+  | Some sink ->
+    let buf = ref (if extra >= 0 then [ extra ] else []) in
+    let n = Array.length pb.plits in
+    for i = n - 1 downto 0 do
+      let q = pb.plits.(i) in
+      if q <> extra && value_lit t q = -1 then buf := q :: !buf
+    done;
+    sink (Step_pb (Array.of_list !buf))
+
+(* The instance has been refuted: log the clausal form of a PB conflict
+   reason (when there is one) and then the empty clause. *)
+let log_refutation t r =
+  if proof_on t then begin
+    (match r with Reason_pb pb -> log_pb_clause t pb (-1) | _ -> ());
+    log_step t (Step_rup [||])
+  end
 
 (* -- VSIDS ---------------------------------------------------------- *)
 
@@ -244,8 +289,14 @@ let pb_check t pb =
   else if pb.slack < pb.max_coeff then begin
     let n = Array.length pb.plits in
     for i = 0 to n - 1 do
-      if pb.coeffs.(i) > pb.slack && value_lit t pb.plits.(i) = 0 then
+      if pb.coeffs.(i) > pb.slack && value_lit t pb.plits.(i) = 0 then begin
+        (* level-0 PB propagations are invisible to conflict analysis
+           (it skips level-0 literals), so a checker replaying the trace
+           could never derive them: log their explanation here *)
+        if proof_on t && decision_level t = 0 then
+          log_pb_clause t pb pb.plits.(i);
         enqueue t pb.plits.(i) (Reason_pb pb)
+      end
     done
   end
 
@@ -347,10 +398,16 @@ let add_clause t lits =
       let lits = List.filter (fun l -> value_lit t l <> -1) lits in
       t.lit_count <- t.lit_count + List.length lits;
       match lits with
-      | [] -> t.ok <- false
-      | [ l ] ->
+      | [] ->
+        t.ok <- false;
+        log_step t (Step_rup [||])
+      | [ l ] -> (
         enqueue t l No_reason;
-        if propagate t <> None then t.ok <- false
+        match propagate t with
+        | None -> ()
+        | Some r ->
+          t.ok <- false;
+          log_refutation t r)
       | _ ->
         let c =
           { lits = Array.of_list lits; learnt = false; activity = 0.; deleted = false }
@@ -384,7 +441,12 @@ let add_pb_geq t pairs degree =
     let degree = !degree in
     if degree > 0 then begin
       let total = List.fold_left (fun s (a, _) -> s + a) 0 pairs in
-      if total < degree then t.ok <- false
+      if total < degree then begin
+        t.ok <- false;
+        (* the constraint is unsatisfiable on its own once level-0
+           units are accounted for: the empty clause is PB-implied *)
+        log_step t (Step_pb [||])
+      end
       else begin
         (* saturation: no coefficient needs to exceed the degree *)
         let pairs = List.map (fun (a, l) -> (min a degree, l)) pairs in
@@ -403,8 +465,16 @@ let add_pb_geq t pairs degree =
         Array.iteri
           (fun i l -> Vec.push t.pb_watches.(l) { pbc = pb; w_coeff = coeffs.(i) })
           plits;
-        (try pb_check t pb with Conflict _ -> t.ok <- false);
-        if t.ok && propagate t <> None then t.ok <- false
+        (try pb_check t pb
+         with Conflict r ->
+           t.ok <- false;
+           log_refutation t r);
+        if t.ok then
+          match propagate t with
+          | None -> ()
+          | Some r ->
+            t.ok <- false;
+            log_refutation t r
       end
     end
   end
@@ -432,7 +502,25 @@ let explain t buf r p =
       let q = pb.plits.(i) in
       if q <> p && value_lit t q = -1 && t.trail_pos.(q lsr 1) < cutoff then
         Veci.push buf q
-    done);
+    done;
+    (* the clausal explanation is a lemma a DRUP checker cannot infer
+       from the CNF: log it as a PB-implied addition so learnt clauses
+       resolved against it stay RUP-checkable *)
+    (match t.proof with
+    | None -> ()
+    | Some sink ->
+      let lits = Array.make (Veci.size buf + if p >= 0 then 1 else 0) 0 in
+      let k = ref 0 in
+      if p >= 0 then begin
+        lits.(0) <- p;
+        k := 1
+      end;
+      Veci.iter
+        (fun q ->
+          lits.(!k) <- q;
+          incr k)
+        buf;
+      sink (Step_pb lits)));
   ()
 
 (* Is learnt literal [q] redundant, i.e. implied by the rest of the
@@ -515,6 +603,7 @@ let analyze t confl =
   (Veci.to_array kept, bt)
 
 let record_learnt t lits =
+  log_step t (Step_rup (Array.copy lits));
   if Array.length lits = 1 then enqueue t lits.(0) No_reason
   else begin
     let c = { lits; learnt = true; activity = 0.; deleted = false } in
@@ -546,6 +635,7 @@ let reduce_db t =
         && (i < n / 2 || c.activity < limit)
       then begin
         c.deleted <- true;
+        log_step t (Step_delete (Array.copy c.lits));
         detach_clause t c
       end)
     xs;
@@ -581,6 +671,7 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
          incr conflict_count;
          if decision_level t = 0 then begin
            t.ok <- false;
+           log_refutation t confl;
            raise (Found Unsat)
          end;
          if decision_level t <= Array.length assumptions then
@@ -637,8 +728,9 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
   else begin
     cancel_until t 0;
     match propagate t with
-    | Some _ ->
+    | Some r ->
       t.ok <- false;
+      log_refutation t r;
       Unsat
     | None ->
       let assumptions = Array.of_list assumptions in

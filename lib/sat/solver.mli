@@ -69,6 +69,35 @@ val model_value : t -> Lit.t -> bool
     meaningful directly after [solve] returned [Sat], and only for
     variables that existed at that point. *)
 
+(** {1 Proof logging}
+
+    With a proof sink installed the solver emits a DRUP-style trace:
+    every learnt clause and every deletion is logged, and clausal
+    explanations of PB propagations are logged as [Step_pb] lemmas so
+    that a checker without a PB engine can still replay the clausal
+    reasoning.  A run that ends in a level-0 refutation closes the
+    trace with the empty clause; {!Taskalloc_proof.Proof.check} (or any
+    standard DRUP checker, for pure-CNF instances) can then certify the
+    [Unsat] answer independently.  Traces accumulate across [solve]
+    calls, so a budget-interrupted search resumed to [Unsat] still
+    yields one checkable trace.  Unsat answers under [~assumptions]
+    are conditional and do not produce an empty clause. *)
+
+type proof_step =
+  | Step_rup of Lit.t array
+      (** clause derivable by reverse unit propagation from the input
+          clauses plus all earlier additions; [Step_rup [||]] is the
+          refutation *)
+  | Step_pb of Lit.t array
+      (** clause implied by a single input PB constraint under the
+          unit-propagation closure of the clause database *)
+  | Step_delete of Lit.t array  (** clause removed from the database *)
+
+val set_proof_sink : t -> (proof_step -> unit) option -> unit
+(** Install (or remove) the proof sink.  Install it before adding
+    constraints: level-0 simplification during [add_clause] /
+    [add_pb_geq] can already refute the instance and must be logged. *)
+
 val ok : t -> bool
 (** [false] once the instance has been proved unsatisfiable at level 0. *)
 

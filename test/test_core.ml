@@ -833,6 +833,192 @@ let test_gap_tolerance_early_stop () =
     | None -> Alcotest.fail "sat-search results carry a gap")
   | _ -> Alcotest.fail "feasible by construction"
 
+(* -- metamorphic properties: relabelings and rescalings of a problem
+      that must not change what the optimizer concludes ---------------- *)
+
+(* rebuild the problem with tasks in [order] (a permutation given as
+   the list of old task ids in their new positions), remapping
+   separation sets, message endpoints, and message ids *)
+let permute_tasks order problem =
+  let tasks = problem.Model.tasks in
+  let new_of_old = Array.make (Array.length tasks) (-1) in
+  List.iteri (fun new_id old_id -> new_of_old.(old_id) <- new_id) order;
+  let next_msg = ref 0 in
+  let tasks' =
+    List.mapi
+      (fun new_id old_id ->
+        let t = tasks.(old_id) in
+        {
+          t with
+          Model.task_id = new_id;
+          separation = List.map (fun s -> new_of_old.(s)) t.Model.separation;
+          messages =
+            List.map
+              (fun m ->
+                let id = !next_msg in
+                incr next_msg;
+                {
+                  m with
+                  Model.msg_id = id;
+                  src = new_of_old.(m.Model.src);
+                  dst = new_of_old.(m.Model.dst);
+                })
+              t.Model.messages;
+        })
+      order
+  in
+  Model.make_problem ~arch:problem.Model.arch ~tasks:tasks'
+
+(* multiply every time quantity (periods, deadlines, WCETs, jitter,
+   blocking, byte times, frame overheads, gateway service) by [k] *)
+let scale_times k problem =
+  let arch = problem.Model.arch in
+  let arch' =
+    {
+      arch with
+      Model.media =
+        List.map
+          (fun m ->
+            {
+              m with
+              Model.byte_time = k * m.Model.byte_time;
+              frame_overhead = k * m.Model.frame_overhead;
+            })
+          arch.Model.media;
+      gateway_service = k * arch.Model.gateway_service;
+    }
+  in
+  let tasks' =
+    Array.to_list problem.Model.tasks
+    |> List.map (fun t ->
+           {
+             t with
+             Model.period = k * t.Model.period;
+             deadline = k * t.Model.deadline;
+             jitter = k * t.Model.jitter;
+             blocking = k * t.Model.blocking;
+             wcets = List.map (fun (e, w) -> (e, k * w)) t.Model.wcets;
+             messages =
+               List.map
+                 (fun m -> { m with Model.msg_deadline = k * m.Model.msg_deadline })
+                 t.Model.messages;
+           })
+  in
+  Model.make_problem ~arch:arch' ~tasks:tasks'
+
+(* relabel ECUs by [perm] (perm.(old_ecu) = new_ecu), remapping WCET
+   tables, media memberships, memory capacities, and barred lists *)
+let permute_ecus perm problem =
+  let arch = problem.Model.arch in
+  let mem = Array.make arch.Model.n_ecus 0 in
+  Array.iteri (fun old_e c -> mem.(perm.(old_e)) <- c) arch.Model.mem_capacity;
+  let arch' =
+    {
+      arch with
+      Model.media =
+        List.map
+          (fun m -> { m with Model.ecus = List.map (fun e -> perm.(e)) m.Model.ecus })
+          arch.Model.media;
+      mem_capacity = mem;
+      barred = List.map (fun e -> perm.(e)) arch.Model.barred;
+    }
+  in
+  let tasks' =
+    Array.to_list problem.Model.tasks
+    |> List.map (fun t ->
+           { t with Model.wcets = List.map (fun (e, w) -> (perm.(e), w)) t.Model.wcets })
+  in
+  Model.make_problem ~arch:arch' ~tasks:tasks'
+
+let optimum problem = Option.map (fun r -> r.Allocator.cost) (solve problem (Encode.Min_trt 0))
+
+let test_metamorphic_task_permutation () =
+  let base = optimum (quickstart_problem ()) in
+  List.iter
+    (fun order ->
+      Alcotest.(check (option int)) "optimum invariant under task relabeling" base
+        (optimum (permute_tasks order (quickstart_problem ()))))
+    [ [ 2; 0; 1 ]; [ 1; 2; 0 ]; [ 2; 1; 0 ] ]
+
+let test_metamorphic_time_scaling () =
+  (* response-time fixed points scale exactly with k (see the rt-suite
+     metamorphic tests), so scaling a solution scales its cost by k and
+     the scaled optimum is at most k times the original.  It can be
+     strictly less: the 1-tick minimum TDMA slot does not scale, so the
+     optimizer wins back slack on the scaled instance (quickstart:
+     7 -> 19, not 21, the receiver's slot staying at 1 tick instead
+     of 3).  Feasibility, however, must be invariant. *)
+  let k = 3 in
+  match (optimum (quickstart_problem ()), optimum (scale_times k (quickstart_problem ()))) with
+  | Some c, Some c' ->
+    Alcotest.(check int) "base optimum" 7 c;
+    Alcotest.(check bool) "scaled optimum within [c, k*c]" true (c <= c' && c' <= k * c)
+  | _ -> Alcotest.fail "quickstart is feasible"
+
+let test_metamorphic_ecu_permutation () =
+  let base = optimum (quickstart_problem ()) in
+  Alcotest.(check (option int)) "optimum invariant under ECU relabeling" base
+    (optimum (permute_ecus [| 1; 0 |] (quickstart_problem ())))
+
+let test_metamorphic_infeasible_invariant () =
+  (* two mutually separated tasks on one ECU: infeasible however the
+     instance is relabeled or rescaled *)
+  let infeasible =
+    let arch =
+      {
+        Model.n_ecus = 1;
+        media =
+          [
+            {
+              Model.med_id = 0;
+              med_name = "ring";
+              kind = Model.Tdma;
+              ecus = [ 0 ];
+              byte_time = 1;
+              frame_overhead = 2;
+            };
+          ];
+        mem_capacity = [| max_int |];
+        gateway_service = 0;
+        barred = [];
+      }
+    in
+    let tasks =
+      [
+        {
+          Model.task_id = 0;
+          task_name = "a";
+          period = 50;
+          wcets = [ (0, 5) ];
+          deadline = 40;
+          memory = 1;
+          separation = [ 1 ];
+          messages = [];
+          jitter = 0;
+          blocking = 0;
+        };
+        {
+          Model.task_id = 1;
+          task_name = "b";
+          period = 50;
+          wcets = [ (0, 5) ];
+          deadline = 40;
+          memory = 1;
+          separation = [];
+          messages = [];
+          jitter = 0;
+          blocking = 0;
+        };
+      ]
+    in
+    Model.make_problem ~arch ~tasks
+  in
+  List.iter
+    (fun problem ->
+      Alcotest.(check bool) "still infeasible" true
+        (solve problem Encode.Feasible = None))
+    [ infeasible; permute_tasks [ 1; 0 ] infeasible; scale_times 4 infeasible ]
+
 let suite =
   [
     Alcotest.test_case "quickstart golden" `Quick test_quickstart_golden;
@@ -868,5 +1054,9 @@ let suite =
     Alcotest.test_case "heuristic fallback validated" `Quick test_heuristic_fallback_validated;
     Alcotest.test_case "anytime quality sound" `Quick test_anytime_quality_sound;
     Alcotest.test_case "gap tolerance early stop" `Quick test_gap_tolerance_early_stop;
+    Alcotest.test_case "metamorphic task permutation" `Quick test_metamorphic_task_permutation;
+    Alcotest.test_case "metamorphic time scaling" `Quick test_metamorphic_time_scaling;
+    Alcotest.test_case "metamorphic ecu permutation" `Quick test_metamorphic_ecu_permutation;
+    Alcotest.test_case "metamorphic infeasible invariant" `Quick test_metamorphic_infeasible_invariant;
     QCheck_alcotest.to_alcotest prop_solver_sound_and_dominant;
   ]

@@ -1,0 +1,72 @@
+(* Property-based differential tests: the solver against a brute-force
+   oracle on random CNF and PB instances, Sat models re-evaluated and
+   Unsat answers certified by the proof checker.  Failing seeds are
+   printed so a report line reproduces the exact case. *)
+
+module Fuzz = Taskalloc_fuzz.Fuzz
+
+let qcheck_case name count gen =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name
+       QCheck.(small_nat)
+       (fun seed ->
+         match Fuzz.check_case (gen seed) with
+         | Ok () -> true
+         | Error e -> QCheck.Test.fail_reportf "seed %d: %s" seed e))
+
+let test_determinism () =
+  let a = Fuzz.gen_case ~seed:42 ~max_vars:10 in
+  let b = Fuzz.gen_case ~seed:42 ~max_vars:10 in
+  Alcotest.(check bool) "same seed, same case" true (a = b);
+  Alcotest.(check bool) "seed parity selects kind" true
+    (match (Fuzz.gen_case ~seed:4 ~max_vars:6, Fuzz.gen_case ~seed:5 ~max_vars:6) with
+    | Fuzz.Cnf _, Fuzz.Pb _ -> true
+    | _ -> false)
+
+let test_oracle_sanity () =
+  let unsat = Fuzz.Cnf { Taskalloc_sat.Dimacs.num_vars = 1; clauses = [ [ 1 ]; [ -1 ] ] } in
+  let sat = Fuzz.Cnf { Taskalloc_sat.Dimacs.num_vars = 2; clauses = [ [ 1; -2 ] ] } in
+  Alcotest.(check bool) "contradiction unsat" false (Fuzz.oracle unsat);
+  Alcotest.(check bool) "single clause sat" true (Fuzz.oracle sat);
+  let pb_unsat =
+    Fuzz.Pb
+      {
+        Fuzz.pb_vars = 2;
+        constraints =
+          [
+            { Taskalloc_proof.Proof.terms = [ (1, 1); (1, 2) ]; degree = 3 };
+          ];
+      }
+  in
+  Alcotest.(check bool) "unachievable degree unsat" false (Fuzz.oracle pb_unsat)
+
+let test_shrink_keeps_passing_case () =
+  let case = Fuzz.gen_case ~seed:7 ~max_vars:6 in
+  Alcotest.(check bool) "case passes" true (Fuzz.check_case case = Ok ());
+  Alcotest.(check bool) "shrink is identity on passing cases" true
+    (Fuzz.shrink case = case)
+
+let test_campaign_clean () =
+  let report = Fuzz.run ~iters:60 ~seed:1 () in
+  Alcotest.(check int) "all iterations ran" 60 report.Fuzz.iters;
+  Alcotest.(check bool) "both polarities exercised" true
+    (report.Fuzz.n_sat > 0 && report.Fuzz.n_unsat > 0);
+  Alcotest.(check int) "no discrepancies" 0 (List.length report.Fuzz.failures)
+
+let test_campaign_large_instances () =
+  (* push to the 16-var oracle limit to stress PB propagation depth *)
+  let report = Fuzz.run ~max_vars:14 ~iters:25 ~seed:2 () in
+  Alcotest.(check int) "no discrepancies" 0 (List.length report.Fuzz.failures)
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick test_determinism;
+    Alcotest.test_case "oracle sanity" `Quick test_oracle_sanity;
+    Alcotest.test_case "shrink identity on pass" `Quick test_shrink_keeps_passing_case;
+    qcheck_case "cnf differential vs oracle" 150 (fun seed ->
+        Fuzz.Cnf (Fuzz.gen_cnf ~seed ~max_vars:10));
+    qcheck_case "pb differential vs oracle" 150 (fun seed ->
+        Fuzz.Pb (Fuzz.gen_pb ~seed ~max_vars:10));
+    Alcotest.test_case "campaign 60 iters clean" `Slow test_campaign_clean;
+    Alcotest.test_case "campaign large instances" `Slow test_campaign_large_instances;
+  ]

@@ -1,14 +1,31 @@
+(* DUNE_RUNTEST_QUICK=1 skips `Slow-tagged cases (chaos sweeps, fuzz
+   campaigns, brute-force comparisons) for a fast edit-compile-test
+   loop; the full suite runs by default and in CI. *)
+let quick_only =
+  match Sys.getenv_opt "DUNE_RUNTEST_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let filter (name, tests) =
+  ( name,
+    if quick_only then
+      List.filter (fun (_, speed, _) -> speed = `Quick) tests
+    else tests )
+
 let () =
   Alcotest.run "taskalloc"
-    [
-      ("sat", Test_sat.suite);
-      ("pb", Test_pb.suite);
-      ("bv", Test_bv.suite);
-      ("opt", Test_opt.suite);
-      ("rt", Test_rt.suite);
-      ("topology", Test_topology.suite);
-      ("core", Test_core.suite);
-      ("chaos", Test_chaos.suite);
-      ("heuristics", Test_heuristics.suite);
-      ("workloads", Test_workloads.suite);
-    ]
+    (List.map filter
+       [
+         ("sat", Test_sat.suite);
+         ("pb", Test_pb.suite);
+         ("bv", Test_bv.suite);
+         ("opt", Test_opt.suite);
+         ("rt", Test_rt.suite);
+         ("topology", Test_topology.suite);
+         ("core", Test_core.suite);
+         ("chaos", Test_chaos.suite);
+         ("heuristics", Test_heuristics.suite);
+         ("workloads", Test_workloads.suite);
+         ("proof", Test_proof.suite);
+         ("fuzz", Test_fuzz.suite);
+       ])

@@ -1,0 +1,180 @@
+(* Certification tests: the solver's DRUP traces must pass the
+   independent RUP checker, and the checker must reject corrupted or
+   truncated traces.  The checker is the trust root — these tests are
+   what lets every other Unsat answer in the suite be believed. *)
+
+open Taskalloc_sat
+module Proof = Taskalloc_proof.Proof
+module Fuzz = Taskalloc_fuzz.Fuzz
+
+(* PHP(pigeons, holes) as a DIMACS cnf; var x_{p,h} = p*holes + h + 1 *)
+let php_cnf ~pigeons ~holes =
+  let v p h = (p * holes) + h + 1 in
+  let some_hole = List.init pigeons (fun p -> List.init holes (fun h -> v p h)) in
+  let exclusive =
+    List.concat
+      (List.init holes (fun h ->
+           List.concat
+             (List.init pigeons (fun p1 ->
+                  List.filter_map
+                    (fun p2 -> if p2 > p1 then Some [ -v p1 h; -v p2 h ] else None)
+                    (List.init pigeons Fun.id)))))
+  in
+  { Dimacs.num_vars = pigeons * holes; clauses = some_hole @ exclusive }
+
+(* fresh solver over [cnf] with proof recording installed up front *)
+let recording_solver cnf =
+  let s = Solver.create () in
+  let trace = Proof.record s in
+  for _ = 1 to cnf.Dimacs.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) cnf.Dimacs.clauses;
+  (s, trace)
+
+let solve_traced cnf =
+  let s, trace = recording_solver cnf in
+  let result = Solver.solve s in
+  (result, trace ())
+
+let check_result = Alcotest.testable Fmt.(any "result") ( = )
+
+let test_php_trace_accepted () =
+  let cnf = php_cnf ~pigeons:4 ~holes:3 in
+  let result, trace = solve_traced cnf in
+  Alcotest.check check_result "php(4,3) unsat" Solver.Unsat result;
+  Alcotest.(check bool) "trace non-trivial" true (List.length trace > 1);
+  Alcotest.(check bool) "trace certified" true (Proof.check cnf trace)
+
+let test_corrupted_traces_rejected () =
+  let cnf = php_cnf ~pigeons:4 ~holes:3 in
+  let result, trace = solve_traced cnf in
+  Alcotest.check check_result "php(4,3) unsat" Solver.Unsat result;
+  (* claiming the empty clause without derivation *)
+  Alcotest.(check bool) "bare empty clause rejected" false
+    (Proof.check cnf [ Proof.Add [] ]);
+  (* a unit the formula does not imply *)
+  Alcotest.(check bool) "bogus unit rejected" false
+    (Proof.check cnf (Proof.Add [ 1 ] :: trace));
+  Alcotest.(check bool) "bogus fresh-var unit rejected" false
+    (Proof.check cnf (Proof.Add [ cnf.Dimacs.num_vars + 1 ] :: trace));
+  (* truncation: a one-step prefix derives nothing *)
+  let truncated = [ List.hd trace ] in
+  (match Proof.verify cnf truncated with
+  | Proof.Valid -> Alcotest.fail "truncated trace must not verify"
+  | Proof.Invalid { step; reason } ->
+    Alcotest.(check int) "fails at end of trace" (List.length truncated) step;
+    Alcotest.(check bool) "reason mentions empty clause" true
+      (String.length reason > 0));
+  (* deleting an input clause the derivation still needs *)
+  let first_clause = List.hd cnf.Dimacs.clauses in
+  Alcotest.(check bool) "premature input deletion rejected" false
+    (Proof.check cnf (Proof.Delete first_clause :: trace))
+
+let test_sat_trace_not_certificate () =
+  (* a satisfiable instance's trace never derives the empty clause *)
+  let cnf = { Dimacs.num_vars = 3; clauses = [ [ 1; 2 ]; [ -1; 3 ] ] } in
+  let result, trace = solve_traced cnf in
+  Alcotest.check check_result "sat" Solver.Sat result;
+  Alcotest.(check bool) "no unsat certificate" false (Proof.check cnf trace)
+
+let test_random_unsat_traces_accepted () =
+  (* 200 seeded random Unsat instances, every trace certified *)
+  let accepted = ref 0 in
+  let seed = ref 0 in
+  while !accepted < 200 do
+    let cnf = Fuzz.gen_cnf ~seed:!seed ~max_vars:8 in
+    incr seed;
+    let result, trace = solve_traced cnf in
+    if result = Solver.Unsat then begin
+      if not (Proof.check cnf trace) then
+        Alcotest.failf "seed %d: unsat trace rejected" (!seed - 1);
+      incr accepted
+    end
+  done;
+  Alcotest.(check int) "200 certified" 200 !accepted
+
+let test_budget_interrupted_resume_certified () =
+  (* interrupt mid-search, resume to Unsat: the accumulated trace must
+     still be one valid refutation *)
+  let cnf = php_cnf ~pigeons:6 ~holes:5 in
+  let s, trace = recording_solver cnf in
+  let budget = Budget.create ~max_conflicts:5 ~check_every:1 () in
+  Alcotest.check check_result "interrupted" Solver.Unknown (Solver.solve ~budget s);
+  Alcotest.check check_result "resumed to unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check bool) "accumulated trace certified" true
+    (Proof.check cnf (trace ()))
+
+let test_pb_trace_accepted () =
+  (* pigeonhole via native PB constraints; Add_pb lemmas carry the
+     explanations, the checker verifies them against the input pbs *)
+  let pigeons = 4 and holes = 3 in
+  let v p h = (p * holes) + h + 1 in
+  let pbs =
+    List.init pigeons (fun p ->
+        { Proof.terms = List.init holes (fun h -> (1, v p h)); degree = 1 })
+    @ List.init holes (fun h ->
+          {
+            Proof.terms = List.init pigeons (fun p -> (1, -v p h));
+            degree = pigeons - 1;
+          })
+  in
+  let s = Solver.create () in
+  let trace = Proof.record s in
+  for _ = 1 to pigeons * holes do
+    ignore (Solver.new_var s)
+  done;
+  List.iter
+    (fun { Proof.terms; degree } ->
+      Solver.add_pb_geq s (List.map (fun (a, l) -> (a, Lit.of_dimacs l)) terms) degree)
+    pbs;
+  Alcotest.check check_result "pb php(4,3) unsat" Solver.Unsat (Solver.solve s);
+  let cnf = { Dimacs.num_vars = pigeons * holes; clauses = [] } in
+  Alcotest.(check bool) "pb trace certified" true (Proof.check ~pbs cnf (trace ()));
+  Alcotest.(check bool) "pb trace needs the pbs" false (Proof.check cnf (trace ()))
+
+let test_serialization_roundtrips () =
+  let hand =
+    [
+      Proof.Add [ 1; -2; 3 ];
+      Proof.Add_pb [ -4; 5 ];
+      Proof.Delete [ 1; -2; 3 ];
+      Proof.Add [ 127 ];
+      Proof.Add [ -128 ];
+      Proof.Add [];
+    ]
+  in
+  Alcotest.(check bool) "text roundtrip (hand)" true
+    (Proof.of_text (Proof.to_text hand) = hand);
+  Alcotest.(check bool) "binary roundtrip (hand)" true
+    (Proof.of_binary (Proof.to_binary hand) = hand);
+  let cnf = php_cnf ~pigeons:4 ~holes:3 in
+  let _, trace = solve_traced cnf in
+  Alcotest.(check bool) "text roundtrip (php)" true
+    (Proof.of_text (Proof.to_text trace) = trace);
+  Alcotest.(check bool) "binary roundtrip (php)" true
+    (Proof.of_binary (Proof.to_binary trace) = trace);
+  (* a reserialized trace still certifies *)
+  Alcotest.(check bool) "reparsed trace certified" true
+    (Proof.check cnf (Proof.of_text (Proof.to_text trace)))
+
+let test_text_format () =
+  let trace = Proof.of_text "c comment\n1 -2 0\nd 1 -2 0\np 3 0\n0\n" in
+  Alcotest.(check bool) "parsed" true
+    (trace
+    = [ Proof.Add [ 1; -2 ]; Proof.Delete [ 1; -2 ]; Proof.Add_pb [ 3 ]; Proof.Add [] ]);
+  (match Proof.of_text "1 -2\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing terminator must raise")
+
+let suite =
+  [
+    Alcotest.test_case "php(4,3) trace accepted" `Quick test_php_trace_accepted;
+    Alcotest.test_case "corrupted traces rejected" `Quick test_corrupted_traces_rejected;
+    Alcotest.test_case "sat trace is no certificate" `Quick test_sat_trace_not_certificate;
+    Alcotest.test_case "200 random unsat traces" `Slow test_random_unsat_traces_accepted;
+    Alcotest.test_case "budget interrupt + resume" `Quick test_budget_interrupted_resume_certified;
+    Alcotest.test_case "pb trace accepted" `Quick test_pb_trace_accepted;
+    Alcotest.test_case "serialization roundtrips" `Quick test_serialization_roundtrips;
+    Alcotest.test_case "text format" `Quick test_text_format;
+  ]

@@ -671,6 +671,120 @@ medium m ethernet 1 1 0 1
 medium m tdma 1 1 0 1
 ")
 
+(* -- metamorphic: the RTA fixed points commute with time scaling -------- *)
+
+let test_rta_scaling_metamorphic () =
+  (* ceil((k*r + k*J) / (k*T)) = ceil((r + J) / T), so scaling every
+     time quantity by k must scale the eq. 1 fixed point by exactly k
+     and preserve schedulability *)
+  let k = 4 in
+  let scale = List.map (fun (c, t, j) -> (k * c, k * t, k * j)) in
+  List.iter
+    (fun (blocking, wcet, deadline, interferers) ->
+      let r = Analysis.task_response_time ~blocking ~wcet ~deadline ~interferers () in
+      let r' =
+        Analysis.task_response_time ~blocking:(k * blocking) ~wcet:(k * wcet)
+          ~deadline:(k * deadline) ~interferers:(scale interferers) ()
+      in
+      match (r, r') with
+      | Some r, Some r' -> Alcotest.(check int) "k-scaled response" (k * r) r'
+      | None, None -> ()
+      | _ -> Alcotest.fail "schedulability changed under scaling")
+    [
+      (0, 1, 12, []);
+      (0, 2, 12, [ (1, 4, 0) ]);
+      (0, 2, 20, [ (1, 5, 4) ]);
+      (3, 2, 10, [ (1, 5, 0) ]);
+      (0, 5, 20, [ (2, 6, 1); (3, 9, 2) ]);
+      (0, 5, 19, [ (2, 6, 0); (3, 9, 0) ]);
+      (0, 5, 9, [ (2, 6, 0); (3, 9, 0) ]);
+    ]
+
+let test_bus_rta_scaling_metamorphic () =
+  let k = 3 in
+  let scale = List.map (fun (c, t, j) -> (k * c, k * t, k * j)) in
+  List.iter
+    (fun (rho, limit, interferers) ->
+      let r = Analysis.priority_bus_response_time ~rho ~limit ~interferers in
+      let r' =
+        Analysis.priority_bus_response_time ~rho:(k * rho) ~limit:(k * limit)
+          ~interferers:(scale interferers)
+      in
+      match (r, r') with
+      | Some r, Some r' -> Alcotest.(check int) "k-scaled bus response" (k * r) r'
+      | None, None -> ()
+      | _ -> Alcotest.fail "schedulability changed under scaling")
+    [ (4, 50, [ (3, 10, 0) ]); (4, 50, [ (3, 10, 2); (2, 7, 1) ]); (4, 10, [ (3, 5, 0) ]) ];
+  (* eq. 3 contains an absolute (own_slot - 1) tick constant that does
+     not scale — the scaled map dominates k times the original by k-1
+     per iteration — so the fixed point commutes only up to a bounded
+     distortion: k*r <= r' <= k*(r + round) *)
+  List.iter
+    (fun (rho, limit, round, own_slot, interferers) ->
+      let r = Analysis.tdma_response_time ~rho ~limit ~round ~own_slot ~interferers in
+      let r' =
+        Analysis.tdma_response_time ~rho:(k * rho) ~limit:(k * limit + (k * round))
+          ~round:(k * round) ~own_slot:(k * own_slot) ~interferers:(scale interferers)
+      in
+      match (r, r') with
+      | Some r, Some r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "tdma response %d within [%d, %d]" r' (k * r) (k * (r + round)))
+          true
+          (k * r <= r' && r' <= k * (r + round))
+      | None, None -> ()
+      | _ -> Alcotest.fail "schedulability changed under scaling")
+    [ (3, 60, 10, 4, []); (3, 60, 10, 10, []); (4, 80, 12, 5, [ (2, 20, 0) ]) ]
+
+let test_check_scaling_metamorphic () =
+  (* scaling every time quantity of a problem must not flip the
+     checker's verdict for the correspondingly completed allocation *)
+  let k = 5 in
+  let scale_problem problem =
+    let arch = problem.Model.arch in
+    let arch' =
+      {
+        arch with
+        Model.media =
+          List.map
+            (fun m ->
+              {
+                m with
+                Model.byte_time = k * m.Model.byte_time;
+                frame_overhead = k * m.Model.frame_overhead;
+              })
+            arch.Model.media;
+        gateway_service = k * arch.Model.gateway_service;
+      }
+    in
+    let tasks =
+      Array.to_list problem.Model.tasks
+      |> List.map (fun t ->
+             {
+               t with
+               Model.period = k * t.Model.period;
+               deadline = k * t.Model.deadline;
+               jitter = k * t.Model.jitter;
+               blocking = k * t.Model.blocking;
+               wcets = List.map (fun (e, w) -> (e, k * w)) t.Model.wcets;
+               messages =
+                 List.map
+                   (fun m -> { m with Model.msg_deadline = k * m.Model.msg_deadline })
+                   t.Model.messages;
+             })
+    in
+    Model.make_problem ~arch:arch' ~tasks
+  in
+  List.iter
+    (fun placement ->
+      let problem = two_ecu_problem ~separated:false in
+      let scaled = scale_problem problem in
+      let verdict p = Check.is_feasible p (Routing.complete p placement) in
+      Alcotest.(check bool)
+        (Printf.sprintf "placement [%d;%d] verdict invariant" placement.(0) placement.(1))
+        (verdict problem) (verdict scaled))
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+
 let suite =
   [
     Alcotest.test_case "task rta classic" `Quick test_task_rta_classic;
@@ -710,4 +824,7 @@ let suite =
     Alcotest.test_case "problem roundtrip generated" `Quick test_problem_roundtrip_generated;
     Alcotest.test_case "problem parse errors" `Quick test_problem_parse_errors;
     QCheck_alcotest.to_alcotest prop_rta_fixed_point;
+    Alcotest.test_case "rta scaling metamorphic" `Quick test_rta_scaling_metamorphic;
+    Alcotest.test_case "bus rta scaling metamorphic" `Quick test_bus_rta_scaling_metamorphic;
+    Alcotest.test_case "check scaling metamorphic" `Quick test_check_scaling_metamorphic;
   ]
