@@ -1,0 +1,22 @@
+(** Uniform JSON emission for benchmark results.
+
+    All machine-readable bench output goes through {!write}, which
+    places [BENCH_<experiment>.json] at the repository root (the
+    nearest ancestor with a [dune-project]; falls back to the current
+    directory).  These files are build artifacts and are gitignored. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Serialize; lists of rows print one row per line. *)
+
+val write : experiment:string -> t -> string
+(** Write [BENCH_<experiment>.json] at the repo root and return the
+    path written. *)

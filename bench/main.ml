@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
                    ablation-incremental ablation-encoding ablation-pb
-                   anytime micro)
+                   anytime portfolio micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -299,12 +299,6 @@ let anytime ~quick () =
          Encode.Min_sum_trt);
       ]
   in
-  let json_escape s =
-    String.concat ""
-      (List.map
-         (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-         (List.init (String.length s) (String.get s)))
-  in
   let rows = ref [] in
   Fmt.pr "  %-12s %-9s %-26s %-8s %-8s %-8s@." "workload" "budget" "resolution"
     "cost" "gap" "time";
@@ -344,24 +338,217 @@ let anytime ~quick () =
             (match gap with Some g -> Fmt.str "%.1f%%" (100. *. g) | None -> "-")
             (Fmt.str "%a" pp_time dt);
           rows :=
-            Printf.sprintf
-              "{\"workload\":\"%s\",\"budget_s\":%s,\"resolution\":\"%s\",\"cost\":%s,\"gap\":%s,\"wall_s\":%.6f}"
-              (json_escape name)
-              (if budget_s = infinity then "null" else Printf.sprintf "%g" budget_s)
-              (json_escape resolution)
-              (match cost with Some c -> string_of_int c | None -> "null")
-              (match gap with Some g -> Printf.sprintf "%.6f" g | None -> "null")
-              dt
+            Bench_json.Obj
+              [
+                ("workload", Bench_json.Str name);
+                ( "budget_s",
+                  if budget_s = infinity then Bench_json.Null
+                  else Bench_json.Float budget_s );
+                ("resolution", Bench_json.Str resolution);
+                ( "cost",
+                  match cost with
+                  | Some c -> Bench_json.Int c
+                  | None -> Bench_json.Null );
+                ( "gap",
+                  match gap with
+                  | Some g -> Bench_json.Float g
+                  | None -> Bench_json.Null );
+                ("wall_s", Bench_json.Float dt);
+              ]
             :: !rows)
         budgets)
     workloads;
-  let path = "bench_anytime.json" in
-  let oc = open_out path in
-  output_string oc "[\n  ";
-  output_string oc (String.concat ",\n  " (List.rev !rows));
-  output_string oc "\n]\n";
-  close_out oc;
+  let path =
+    Bench_json.write ~experiment:"anytime" (Bench_json.List (List.rev !rows))
+  in
   Fmt.pr "  shape check: larger budgets climb the ladder (heuristic/anytime -> optimal)@.";
+  Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
+
+(* ---- portfolio: diversified parallel solving --------------------------- *)
+
+(* Race the N-worker portfolio against the sequential solver on two
+   refutation-heavy families and record the wall-clock speedups.
+
+   The families are near-threshold random 3-SAT (clause/var ratio
+   ~4.45, mostly Unsat) and an optimization variant (minimize the
+   number of true variables among the first k, near ratio 4.2) — both
+   generated from a fixed xorshift stream so runs are reproducible.
+
+   Why the portfolio wins even on one core: the default configuration's
+   rapid Luby restarts grow the learnt-DB reduction threshold once per
+   restart episode, so on long refutations the database is never
+   reduced and propagation slows several-fold.  The rare-restart
+   presets (workers 1-2) keep the database small on exactly those
+   instances, and shared low-LBD clauses let the eventual winner skip
+   work the losers already did.  The speedup is algorithmic hedging
+   against strategy mismatch, not hardware parallelism — on a
+   multi-core machine the two effects compound. *)
+let portfolio ~quick () =
+  section "Portfolio: diversified parallel solving vs sequential";
+  let module Solver = Taskalloc_sat.Solver in
+  let module Lit = Taskalloc_sat.Lit in
+  let module Bv = Taskalloc_bv.Bv in
+  let module Opt = Taskalloc_opt.Opt in
+  let module Portfolio = Taskalloc_portfolio.Portfolio in
+  let xs_next st =
+    let x = !st in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    let x = x land max_int in
+    let x = if x = 0 then 0x9e3779b9 else x in
+    st := x;
+    x
+  in
+  let gen_3sat ~n ~m ~seed =
+    let st = ref (seed * 2654435761) in
+    List.init m (fun _ ->
+        let rec pick acc k =
+          if k = 0 then acc
+          else
+            let v = xs_next st mod n in
+            if List.exists (fun (v', _) -> v' = v) acc then pick acc k
+            else pick ((v, xs_next st land 1 = 0) :: acc) (k - 1)
+        in
+        pick [] 3)
+  in
+  let add_clauses s vars clauses =
+    List.iter
+      (fun c ->
+        Solver.add_clause s
+          (List.map (fun (v, sign) -> Lit.of_var ~sign vars.(v)) c))
+      clauses
+  in
+  let jobs_ladder = if quick then [ 1; 4 ] else [ 1; 2; 4 ] in
+  let timeout = if quick then 30. else 180. in
+  let rows = ref [] in
+  let record ~workload ~seed ~jobs ~wall ~seq_wall ~outcome ~winner ~cost =
+    let speedup = if jobs = 1 then None else Some (seq_wall /. wall) in
+    Fmt.pr "  %-10s seed=%-3d jobs=%d  %-12s %a%s%s@." workload seed jobs
+      outcome pp_time wall
+      (match cost with Some c -> Printf.sprintf "  cost=%d" c | None -> "")
+      (match speedup with
+      | Some s when winner >= 0 ->
+        Printf.sprintf "  speedup=%.2fx (winner w%d)" s winner
+      | Some s -> Printf.sprintf "  speedup=%.2fx" s
+      | None -> "");
+    rows :=
+      Bench_json.Obj
+        [
+          ("workload", Bench_json.Str workload);
+          ("seed", Bench_json.Int seed);
+          ("jobs", Bench_json.Int jobs);
+          ("outcome", Bench_json.Str outcome);
+          ("winner", Bench_json.Int winner);
+          ( "cost",
+            match cost with Some c -> Bench_json.Int c | None -> Bench_json.Null
+          );
+          ("wall_s", Bench_json.Float wall);
+          ( "speedup_vs_seq",
+            match speedup with
+            | Some s -> Bench_json.Float s
+            | None -> Bench_json.Null );
+        ]
+      :: !rows;
+    speedup
+  in
+  let best = Hashtbl.create 4 in
+  let note_best workload ~jobs = function
+    | Some s when jobs = 4 ->
+      let cur = try Hashtbl.find best workload with Not_found -> 0. in
+      if s > cur then Hashtbl.replace best workload s
+    | _ -> ()
+  in
+  (* Unsat-heavy: near-threshold random 3-SAT, raced at the SAT level. *)
+  let n, m, seeds =
+    if quick then (120, 534, [ 1 ]) else (240, 1068, [ 1; 2; 4 ])
+  in
+  Fmt.pr "  unsat3sat: random 3-SAT, n=%d m=%d (ratio %.2f)@." n m
+    (float_of_int m /. float_of_int n);
+  List.iter
+    (fun seed ->
+      let clauses = gen_3sat ~n ~m ~seed in
+      let seq_wall = ref 0. in
+      List.iter
+        (fun jobs ->
+          let budget = Taskalloc_sat.Budget.create ~timeout () in
+          let o, wall =
+            time (fun () ->
+                Portfolio.solve ~jobs ~budget
+                  ~build:(fun _ ->
+                    let s = Solver.create () in
+                    let vars = Array.init n (fun _ -> Solver.new_var s) in
+                    add_clauses s vars clauses;
+                    (s, s))
+                  ())
+          in
+          if jobs = 1 then seq_wall := wall;
+          let outcome =
+            match o.Portfolio.result with
+            | Solver.Sat -> "sat"
+            | Solver.Unsat -> "unsat"
+            | Solver.Unknown -> "unknown"
+          in
+          note_best "unsat3sat" ~jobs
+            (record ~workload:"unsat3sat" ~seed ~jobs ~wall ~seq_wall:!seq_wall
+               ~outcome ~winner:o.Portfolio.winner ~cost:None))
+        jobs_ladder)
+    seeds;
+  (* Optimization: minimize how many of the first k variables are true,
+     subject to a near-threshold random 3-SAT formula.  Probes are
+     themselves hard refutations, so the same hedge applies, and the
+     workers additionally share base-variable clauses across different
+     bound probes. *)
+  let n, k_track, seeds =
+    if quick then (120, 20, [ 1 ]) else (200, 30, [ 7; 2; 4 ])
+  in
+  let m = int_of_float (float_of_int n *. 4.2) in
+  Fmt.pr "  minvars: minimize true vars among first %d, n=%d m=%d@." k_track n m;
+  List.iter
+    (fun seed ->
+      let clauses = gen_3sat ~n ~m ~seed in
+      let build () =
+        let ctx = Bv.create () in
+        let s = Bv.solver ctx in
+        let vars = Array.init n (fun _ -> Solver.new_var s) in
+        add_clauses s vars clauses;
+        let cost =
+          Bv.sum ctx
+            (List.init k_track (fun i ->
+                 Bv.ite ctx
+                   (Taskalloc_pb.Circuits.of_lit (Lit.of_var vars.(i)))
+                   (Bv.const 1) Bv.zero))
+        in
+        (ctx, cost)
+      in
+      let seq_wall = ref 0. in
+      List.iter
+        (fun jobs ->
+          let budget = Opt.Budget.create ~timeout () in
+          let (any, _stats), wall =
+            time (fun () ->
+                Opt.minimize ~jobs ~budget ~build ~on_sat:(fun _ c -> c) ())
+          in
+          if jobs = 1 then seq_wall := wall;
+          let outcome = Fmt.str "%a" Opt.pp_resolution any.Opt.resolution in
+          let cost = Option.map fst any.Opt.incumbent in
+          note_best "minvars" ~jobs
+            (record ~workload:"minvars" ~seed ~jobs ~wall ~seq_wall:!seq_wall
+               ~outcome ~winner:(-1) ~cost))
+        jobs_ladder)
+    seeds;
+  let path =
+    Bench_json.write ~experiment:"portfolio" (Bench_json.List (List.rev !rows))
+  in
+  Hashtbl.iter
+    (fun w s -> Fmt.pr "  best speedup %-10s %.2fx at 4 workers@." w s)
+    best;
+  if not quick then
+    Hashtbl.iter
+      (fun w s ->
+        if s < 1.5 then
+          Fmt.pr "  shape check: VIOLATED: %s best speedup %.2fx < 1.5x@." w s)
+      best;
   Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
 
 (* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
@@ -439,6 +626,7 @@ let () =
       ("ablation-encoding", fun () -> ablation_encoding ~quick ());
       ("ablation-pb", fun () -> ablation_pb ~quick ());
       ("anytime", fun () -> anytime ~quick ());
+      ("portfolio", fun () -> portfolio ~quick ());
       ("micro", fun () -> micro ());
     ]
   in

@@ -85,4 +85,78 @@ out=$(dune exec bin/taskalloc.exe -- fuzz --iters 200 --seed 1)
 echo "$out" | grep -q " 0 failures" || {
     echo "FAIL: fuzz campaign found discrepancies"; echo "$out"; exit 1; }
 
+# ---- parallel portfolio -------------------------------------------------
+
+# the same allocation solved sequentially and by a 4-worker portfolio
+# must agree on the optimum
+echo "== CLI smoke: solve with --jobs 4 =="
+out=$(dune exec bin/taskalloc.exe -- solve --workload small --jobs 4)
+echo "$out" | grep -q "resolution: optimal" || {
+    echo "FAIL: portfolio solve not optimal"; exit 1; }
+
+# certifying interlock under parallelism: with --jobs 4 + --proof every
+# worker records its own self-contained trace (clause import is
+# disabled) and the winner's trace must still verify
+echo "== CLI smoke: parallel proof round-trip =="
+cnf=$(mktemp /tmp/ci-php53-XXXXXX.cnf)
+proof=$(mktemp /tmp/ci-php53-XXXXXX.drup)
+cat > "$cnf" <<'EOF'
+p cnf 15 35
+1 2 3 0
+4 5 6 0
+7 8 9 0
+10 11 12 0
+13 14 15 0
+-1 -4 0
+-1 -7 0
+-1 -10 0
+-1 -13 0
+-4 -7 0
+-4 -10 0
+-4 -13 0
+-7 -10 0
+-7 -13 0
+-10 -13 0
+-2 -5 0
+-2 -8 0
+-2 -11 0
+-2 -14 0
+-5 -8 0
+-5 -11 0
+-5 -14 0
+-8 -11 0
+-8 -14 0
+-11 -14 0
+-3 -6 0
+-3 -9 0
+-3 -12 0
+-3 -15 0
+-6 -9 0
+-6 -12 0
+-6 -15 0
+-9 -12 0
+-9 -15 0
+-12 -15 0
+EOF
+rc=0
+dune exec bin/dimacs_solve.exe -- --jobs 4 --proof "$proof" "$cnf" > /dev/null || rc=$?
+[ "$rc" -eq 20 ] || { echo "FAIL: expected Unsat (exit 20), got $rc"; exit 1; }
+out=$(dune exec bin/dimacs_solve.exe -- --check "$proof" "$cnf")
+echo "$out" | grep -q "s VERIFIED" || {
+    echo "FAIL: parallel proof did not verify"; exit 1; }
+rm -f "$cnf" "$proof"
+
+# differential fuzz with a 2-worker portfolio: oracle agreement and
+# winner-trace certification must survive racing
+echo "== CLI smoke: fuzz campaign with --jobs 2 =="
+out=$(dune exec bin/taskalloc.exe -- fuzz --iters 60 --seed 2 --jobs 2)
+echo "$out" | grep -q " 0 failures" || {
+    echo "FAIL: parallel fuzz campaign found discrepancies"; echo "$out"; exit 1; }
+
+# bench smoke: the portfolio experiment end to end on toy instances
+# (generates BENCH_portfolio.json; speedups are not meaningful at this
+# scale, only that the harness runs clean)
+echo "== bench smoke: quick portfolio =="
+dune exec bench/main.exe -- quick portfolio > /dev/null
+
 echo "CI OK"

@@ -1,19 +1,26 @@
 (* Standalone DIMACS CNF solver built on the taskalloc CDCL engine.
 
-   Usage:  dimacs_solve [--proof FILE [--binary]] FILE.cnf
+   Usage:  dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] FILE.cnf
            dimacs_solve --check PROOF FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
    in the conventional SAT-competition output format (exit 20 on Unsat,
    30 on Unknown).  With --proof, an Unsat run also writes a DRUP trace;
    --check replays such a trace through the independent RUP checker and
-   prints "s VERIFIED" (exit 0) or "s NOT VERIFIED" (exit 1). *)
+   prints "s VERIFIED" (exit 0) or "s NOT VERIFIED" (exit 1).
+
+   --jobs N races N diversified solvers on OCaml domains; the first
+   conclusive worker wins.  With --proof, every worker records its own
+   trace and clause import is disabled for them, so the winning trace
+   stays self-contained and still verifies.  --stats prints learnt-DB
+   and LBD statistics (per worker in portfolio mode). *)
 
 open Taskalloc_sat
 module Proof = Taskalloc_proof.Proof
+module Portfolio = Taskalloc_portfolio.Portfolio
 
 let usage () =
   prerr_endline
-    "usage: dimacs_solve [--proof FILE [--binary]] FILE.cnf\n\
+    "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] FILE.cnf\n\
     \       dimacs_solve --check PROOF [--binary] FILE.cnf";
   exit 2
 
@@ -21,11 +28,15 @@ type opts = {
   mutable proof : string option;
   mutable check : string option;
   mutable binary : bool;
+  mutable jobs : int;
+  mutable stats : bool;
   mutable cnf : string option;
 }
 
 let parse_args () =
-  let o = { proof = None; check = None; binary = false; cnf = None } in
+  let o =
+    { proof = None; check = None; binary = false; jobs = 1; stats = false; cnf = None }
+  in
   let rec go = function
     | [] -> ()
     | "--proof" :: file :: rest ->
@@ -37,6 +48,15 @@ let parse_args () =
     | "--binary" :: rest ->
       o.binary <- true;
       go rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        o.jobs <- n;
+        go rest
+      | _ -> usage ())
+    | "--stats" :: rest ->
+      o.stats <- true;
+      go rest
     | arg :: rest when o.cnf = None && String.length arg > 0 && arg.[0] <> '-' ->
       o.cnf <- Some arg;
       go rest
@@ -46,22 +66,45 @@ let parse_args () =
   if o.proof <> None && o.check <> None then usage ();
   o
 
-let solve cnf_path proof_path binary =
+let print_solver_stats ~prefix s =
+  Printf.printf "c %sconflicts=%d decisions=%d propagations=%d restarts=%d\n"
+    prefix (Solver.n_conflicts s) (Solver.n_decisions s)
+    (Solver.n_propagations s) (Solver.n_restarts s);
+  let { Solver.live; glue; avg_lbd; max_lbd } = Solver.lbd_summary s in
+  Printf.printf
+    "c %slearnts: total=%d live=%d glue=%d avg_lbd=%.2f max_lbd=%d \
+     reduce_dbs=%d imported=%d\n"
+    prefix (Solver.n_learnt_total s) live glue avg_lbd max_lbd
+    (Solver.n_reduce_dbs s) (Solver.n_imported s)
+
+let solve cnf_path proof_path binary jobs stats =
   let cnf = Dimacs.parse_file cnf_path in
-  let solver = Solver.create () in
-  let trace =
-    match proof_path with
-    | None -> fun () -> []
-    | Some _ -> Proof.record solver
+  let build _i =
+    let solver = Solver.create () in
+    let trace =
+      match proof_path with
+      | None -> fun () -> []
+      | Some _ -> Proof.record solver
+    in
+    for _ = 1 to cnf.Dimacs.num_vars do
+      ignore (Solver.new_var solver)
+    done;
+    List.iter
+      (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
+      cnf.Dimacs.clauses;
+    ((solver, trace), solver)
   in
-  for _ = 1 to cnf.Dimacs.num_vars do
-    ignore (Solver.new_var solver)
-  done;
-  List.iter
-    (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
-    cnf.Dimacs.clauses;
-  match Solver.solve solver with
-  | Solver.Sat ->
+  let outcome = Portfolio.solve ~jobs ~build () in
+  if jobs > 1 then
+    Printf.printf "c portfolio: %d workers, winner=%d\n" jobs outcome.Portfolio.winner;
+  if stats then
+    Array.iter
+      (fun (w : Portfolio.worker_stats) ->
+        let prefix = if jobs > 1 then Printf.sprintf "w%d " w.worker else "" in
+        Printf.printf "c %sshared: out=%d in=%d\n" prefix w.shared_out w.shared_in)
+      outcome.Portfolio.workers;
+  match (outcome.Portfolio.result, outcome.Portfolio.payload) with
+  | Solver.Sat, Some (solver, _) ->
     print_endline "s SATISFIABLE";
     let buf = Buffer.create 256 in
     Buffer.add_string buf "v";
@@ -74,8 +117,9 @@ let solve cnf_path proof_path binary =
     print_endline (Buffer.contents buf);
     Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
       (Solver.n_conflicts solver) (Solver.n_decisions solver)
-      (Solver.n_propagations solver)
-  | Solver.Unsat ->
+      (Solver.n_propagations solver);
+    if stats then print_solver_stats ~prefix:"" solver
+  | Solver.Unsat, Some (solver, trace) ->
     (match proof_path with
     | None -> ()
     | Some path ->
@@ -86,9 +130,10 @@ let solve cnf_path proof_path binary =
           if binary then Proof.write_binary oc (trace ())
           else Proof.write_text oc (trace ()));
       Printf.printf "c proof written to %s\n" path);
+    if stats then print_solver_stats ~prefix:"" solver;
     print_endline "s UNSATISFIABLE";
     exit 20
-  | Solver.Unknown ->
+  | _ ->
     print_endline "s UNKNOWN";
     exit 30
 
@@ -106,5 +151,5 @@ let () =
   let o = parse_args () in
   match (o.cnf, o.check) with
   | Some cnf_path, Some proof_path -> check proof_path cnf_path o.binary
-  | Some cnf_path, None -> solve cnf_path o.proof o.binary
+  | Some cnf_path, None -> solve cnf_path o.proof o.binary o.jobs o.stats
   | None, _ -> usage ()

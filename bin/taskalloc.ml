@@ -106,6 +106,16 @@ let no_fallback_arg =
           "Disable the heuristic fallback: report UNKNOWN when the budget \
            expires before any incumbent exists.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Race N diversified solver workers as a parallel portfolio (on \
+           OCaml domains).  1 (the default) is exactly the sequential \
+           solver.")
+
 let budget_of ~timeout ~max_conflicts =
   match (timeout, max_conflicts) with
   | None, None -> None
@@ -144,7 +154,7 @@ let heuristic_objective = function
   | `Max_util -> Heuristics.Max_util
 
 let solve_cmd =
-  let run file workload seed objective mode timeout max_conflicts gap_tol
+  let run file workload seed objective mode jobs timeout max_conflicts gap_tol
       no_fallback =
     let problem = lookup_workload ?file workload seed in
     let label = match file with Some f -> f | None -> workload in
@@ -155,7 +165,7 @@ let solve_cmd =
       (List.length problem.Model.arch.Model.media);
     let budget = budget_of ~timeout ~max_conflicts in
     match
-      Allocator.solve ~mode ?budget ~gap_tol ~fallback:(not no_fallback)
+      Allocator.solve ~mode ~jobs ?budget ~gap_tol ~fallback:(not no_fallback)
         problem (to_objective problem objective)
     with
     | Allocator.Infeasible ->
@@ -184,7 +194,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg
-      $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg)
+      $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg)
 
 let check_cmd =
   let run workload seed =
@@ -326,9 +336,9 @@ let dump_cmd =
     Term.(const run $ workload_arg $ seed_arg)
 
 let fuzz_cmd =
-  let run iters seed max_vars verbose =
+  let run iters seed max_vars jobs verbose =
     let log = if verbose then fun s -> Fmt.pr "c %s@." s else ignore in
-    let report = Taskalloc_fuzz.Fuzz.run ~max_vars ~log ~iters ~seed () in
+    let report = Taskalloc_fuzz.Fuzz.run ~max_vars ~jobs ~log ~iters ~seed () in
     Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_report report;
     if report.Taskalloc_fuzz.Fuzz.failures <> [] then exit 1
   in
@@ -360,7 +370,7 @@ let fuzz_cmd =
          "Differential-fuzz the solver against a brute-force oracle, certifying \
           every Unsat answer with the DRUP checker; exits non-zero on any \
           discrepancy and prints a minimized reproducer")
-    Term.(const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ verbose_arg)
+    Term.(const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg $ verbose_arg)
 
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in

@@ -69,26 +69,36 @@ let heuristic_objective : Encode.objective -> Heuristics.objective = function
   | Encode.Min_max_util | Encode.Feasible -> Heuristics.Max_util
 
 let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
-    ?max_conflicts ?budget ?(gap_tol = 0.) ?(validate = true)
+    ?(jobs = 1) ?max_conflicts ?budget ?(gap_tol = 0.) ?(validate = true)
     ?(fallback = true) (problem : Model.problem) (objective : Encode.objective)
     : outcome =
   let last_size = ref (0, 0) in
   (* thread the encoding through on_sat so extraction sees the matching
-     selector handles even in Fresh mode, where every probe re-encodes *)
-  let current_enc = ref None in
+     selector handles even in Fresh mode, where every probe re-encodes.
+     In portfolio mode ([jobs > 1]) build/on_sat run concurrently on
+     several domains, so the association is keyed by context under a
+     lock rather than kept in a single "current" ref. *)
+  let lock = Mutex.create () in
+  let encs : (Taskalloc_bv.Bv.ctx * Encode.t) list ref = ref [] in
   let build () =
     let enc = Encode.encode ~options problem objective in
+    let ctx = Encode.context enc in
+    Mutex.lock lock;
+    encs := (ctx, enc) :: !encs;
     last_size := (Encode.n_bool_vars enc, Encode.n_literals enc);
-    current_enc := Some enc;
-    (Encode.context enc, Encode.cost_term enc)
+    Mutex.unlock lock;
+    (ctx, Encode.cost_term enc)
+  in
+  let on_sat ctx _cost =
+    Mutex.lock lock;
+    let enc = List.assq_opt ctx !encs in
+    Mutex.unlock lock;
+    match enc with
+    | Some enc -> Encode.extract enc
+    | None -> assert false
   in
   let anytime, stats =
-    Opt.minimize ~mode ?max_conflicts ?budget ~gap_tol ~build
-      ~on_sat:(fun _ctx _cost ->
-        match !current_enc with
-        | Some enc -> Encode.extract enc
-        | None -> assert false)
-      ()
+    Opt.minimize ~mode ~jobs ?max_conflicts ?budget ~gap_tol ~build ~on_sat ()
   in
   let solved quality (cost, allocation) =
     (* anytime incumbents and optima alike are re-checked by the
@@ -128,9 +138,9 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     end
 
 (* Feasibility without optimization. *)
-let find_feasible ?(options = Encode.default_options) ?max_conflicts ?budget
-    ?(validate = true) ?fallback (problem : Model.problem) : outcome =
-  solve ~options ~mode:Opt.Incremental ?max_conflicts ?budget ~validate
+let find_feasible ?(options = Encode.default_options) ?jobs ?max_conflicts
+    ?budget ?(validate = true) ?fallback (problem : Model.problem) : outcome =
+  solve ~options ~mode:Opt.Incremental ?jobs ?max_conflicts ?budget ~validate
     ?fallback problem Encode.Feasible
 
 (* -- incremental integration (§6) -------------------------------------- *)
@@ -142,9 +152,9 @@ let find_feasible ?(options = Encode.default_options) ?max_conflicts ?budget
    admissible set is narrowed to the existing placement) and only the
    new tasks are free.  Routes and slots are re-optimized globally so
    the new traffic is accommodated. *)
-let solve_incremental ?options ?mode ?max_conflicts ?budget ?gap_tol ?validate
-    ?fallback ~(existing : Model.allocation) (problem : Model.problem)
-    (objective : Encode.objective) : outcome =
+let solve_incremental ?options ?mode ?jobs ?max_conflicts ?budget ?gap_tol
+    ?validate ?fallback ~(existing : Model.allocation)
+    (problem : Model.problem) (objective : Encode.objective) : outcome =
   let n_existing = Array.length existing.Model.task_ecu in
   let tasks =
     Array.to_list problem.Model.tasks
@@ -161,8 +171,8 @@ let solve_incremental ?options ?mode ?max_conflicts ?budget ?gap_tol ?validate
            else task)
   in
   let pinned = Model.make_problem ~arch:problem.Model.arch ~tasks in
-  solve ?options ?mode ?max_conflicts ?budget ?gap_tol ?validate ?fallback
-    pinned objective
+  solve ?options ?mode ?jobs ?max_conflicts ?budget ?gap_tol ?validate
+    ?fallback pinned objective
 
 (* -- infeasibility diagnosis ------------------------------------------- *)
 

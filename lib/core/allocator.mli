@@ -51,6 +51,7 @@ val pp_quality : Format.formatter -> quality -> unit
 val solve :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
+  ?jobs:int ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->
@@ -65,10 +66,16 @@ val solve :
     within tolerance.  [validate] (default true) re-checks every
     returned allocation — including anytime incumbents and heuristic
     fallbacks — with {!Taskalloc_rt.Check}.  [fallback] (default true)
-    enables the heuristic rung.  Never raises on budget expiry. *)
+    enables the heuristic rung.  Never raises on budget expiry.
+
+    [jobs > 1] runs the underlying binary search as a parallel
+    portfolio ({!Taskalloc_opt.Opt.minimize} with [~jobs]): each worker
+    re-encodes the problem in its own solver, so encodings never cross
+    domains.  [jobs = 1] (default) is exactly the sequential solve. *)
 
 val find_feasible :
   ?options:Encode.options ->
+  ?jobs:int ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?validate:bool ->
@@ -82,6 +89,7 @@ val pp_result : Format.formatter -> result -> unit
 val solve_incremental :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
+  ?jobs:int ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->

@@ -10,6 +10,7 @@
 open Taskalloc_sat
 module Rng = Taskalloc_workloads.Rng
 module Proof = Taskalloc_proof.Proof
+module Portfolio = Taskalloc_portfolio.Portfolio
 
 type pb_instance = {
   pb_vars : int;
@@ -137,17 +138,38 @@ let checker_view = function
   | Pb { pb_vars; constraints } ->
     ({ Dimacs.num_vars = pb_vars; clauses = [] }, constraints)
 
-let check_case case =
-  let s, trace = load case in
+(* Solve a case sequentially or as a [jobs]-worker portfolio.  Every
+   worker records a proof (installed by [load] before the constraints),
+   so no worker ever imports shared clauses and the winner's trace is
+   self-contained — the certifying pipeline below is identical in both
+   modes.  Returns the deciding solver and its trace. *)
+let solve_case ~jobs case =
+  if jobs <= 1 then begin
+    let s, trace = load case in
+    (Solver.solve s, Some (s, trace))
+  end
+  else begin
+    let outcome =
+      Portfolio.solve ~jobs
+        ~build:(fun _i ->
+          let s, trace = load case in
+          ((s, trace), s))
+        ()
+    in
+    (outcome.Portfolio.result, outcome.Portfolio.payload)
+  end
+
+let check_case ?(jobs = 1) case =
   let expected = oracle case in
-  match Solver.solve s with
-  | Solver.Unknown -> Error "solver returned Unknown without a budget"
-  | Solver.Sat ->
+  match solve_case ~jobs case with
+  | Solver.Unknown, _ -> Error "solver returned Unknown without a budget"
+  | _, None -> Error "portfolio returned no winner"
+  | Solver.Sat, Some (s, _) ->
     if not expected then Error "solver says Sat, oracle says Unsat"
     else if not (eval case (model_mask case s)) then
       Error "Sat model does not satisfy the instance"
     else Ok ()
-  | Solver.Unsat ->
+  | Solver.Unsat, Some (_, trace) ->
     if expected then Error "solver says Unsat, oracle says Sat"
     else begin
       let cnf, pbs = checker_view case in
@@ -159,7 +181,7 @@ let check_case case =
 
 (* -- shrinking ---------------------------------------------------------- *)
 
-let fails case = Result.is_error (check_case case)
+let fails ?jobs case = Result.is_error (check_case ?jobs case)
 
 let without i xs = List.filteri (fun j _ -> j <> i) xs
 
@@ -229,8 +251,8 @@ let variants = function
                     terms))
            pb.constraints)
 
-let shrink case =
-  if not (fails case) then case
+let shrink ?jobs case =
+  if not (fails ?jobs case) then case
   else begin
     let fuel = ref 400 in
     let rec go case =
@@ -240,7 +262,7 @@ let shrink case =
           if !fuel <= 0 then None
           else begin
             decr fuel;
-            if fails v then Some v else first rest
+            if fails ?jobs v then Some v else first rest
           end
       in
       match first (variants case) with Some v -> go v | None -> case
@@ -263,7 +285,7 @@ type report = {
   failures : failure list;
 }
 
-let run ?(max_vars = 10) ?(log = ignore) ~iters ~seed () =
+let run ?(max_vars = 10) ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
   let max_vars = min 16 (max 2 max_vars) in
   let rng = Rng.create seed in
   let n_sat = ref 0 and n_unsat = ref 0 in
@@ -272,12 +294,12 @@ let run ?(max_vars = 10) ?(log = ignore) ~iters ~seed () =
     let case_seed = Rng.int rng 0x3FFFFFFF in
     let case = gen_case ~seed:case_seed ~max_vars in
     if oracle case then incr n_sat else incr n_unsat;
-    match check_case case with
+    match check_case ~jobs case with
     | Ok () -> ()
     | Error e ->
       log (Fmt.str "iter %d (seed %d): %s" i case_seed e);
       failures :=
-        { fail_seed = case_seed; fail_case = shrink case; fail_error = e }
+        { fail_seed = case_seed; fail_case = shrink ~jobs case; fail_error = e }
         :: !failures
   done;
   { iters; n_sat = !n_sat; n_unsat = !n_unsat; failures = List.rev !failures }

@@ -50,11 +50,15 @@ val oracle : case -> bool
 (** Brute-force satisfiability by enumerating all assignments.  Only
     use on instances from the generators ([max_vars] small). *)
 
-val check_case : case -> (unit, string) result
+val check_case : ?jobs:int -> case -> (unit, string) result
 (** Solve, cross-check against {!oracle}, re-evaluate Sat models, and
-    certify Unsat answers with the proof checker. *)
+    certify Unsat answers with the proof checker.  With [jobs > 1] the
+    case is solved by a parallel portfolio; every worker records its
+    own proof (so none imports shared clauses) and the {e winner's}
+    Unsat trace is the one certified — the certifying interlock holds
+    in both modes. *)
 
-val shrink : case -> case
+val shrink : ?jobs:int -> case -> case
 (** Greedily minimize a failing case (drop constraints, then literals
     and degrees) while {!check_case} still fails.  Returns the case
     unchanged if it does not fail. *)
@@ -75,10 +79,16 @@ type report = {
 }
 
 val run :
-  ?max_vars:int -> ?log:(string -> unit) -> iters:int -> seed:int -> unit ->
+  ?max_vars:int ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  iters:int ->
+  seed:int ->
+  unit ->
   report
 (** Run [iters] generated cases derived deterministically from [seed].
     [max_vars] (default 10, clamped to [2..16]) bounds instance size;
-    [log] receives progress lines. *)
+    [jobs > 1] solves every case with a portfolio of that many workers
+    (see {!check_case}); [log] receives progress lines. *)
 
 val pp_report : Format.formatter -> report -> unit

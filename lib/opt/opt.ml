@@ -108,11 +108,33 @@ let probe stats ?(assumptions = []) ?max_conflicts ~budget ctx =
   | Solver.Unknown -> stats.interrupted_probes <- stats.interrupted_probes + 1);
   result
 
+(* Probe-point selection strategies for the search loop.  Bisection is
+   the paper's reference; the others exist for portfolio diversity —
+   racing them changes the *total* number of probes, not just luck, so
+   a portfolio can win even on a single core:
+   - [Top_down] probes best-1 and proves optimality in one Unsat probe
+     whenever the current incumbent is already optimal;
+   - [Low_quartile] bisects pessimistically, trading larger Sat
+     improvements for more Unsat probes (fast lower-bound growth). *)
+type strategy = Bisect | Top_down | Low_quartile
+
+let strategy_of_worker i =
+  match i mod 3 with 1 -> Top_down | 2 -> Low_quartile | _ -> Bisect
+
+(* next probe point in [lower, best-1]; precondition lower < best *)
+let next_m strategy ~lower ~best =
+  match strategy with
+  | Bisect -> (lower + best) / 2
+  | Top_down -> best - 1
+  | Low_quartile -> lower + ((best - lower) / 4)
+
 (* Minimize the cost term produced by [build].  [on_sat ctx cost] is
    invoked on every improving model so the caller can extract its
-   solution; the last extraction corresponds to the incumbent. *)
-let minimize ?(mode = Incremental) ?max_conflicts
-    ?(budget = Budget.unlimited ()) ?(gap_tol = 0.)
+   solution; the last extraction corresponds to the incumbent.
+   [config], when given, diversifies every solver this run constructs
+   (portfolio workers pass their own). *)
+let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
+    ?max_conflicts ?(budget = Budget.unlimited ()) ?(gap_tol = 0.)
     ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   let stats = empty_stats () in
   let t0 = Unix.gettimeofday () in
@@ -138,7 +160,7 @@ let minimize ?(mode = Incremental) ?max_conflicts
       || float_of_int (!best_cost - !lower) <= gap_tol *. float_of_int !best_cost
     in
     while (not !interrupted) && not (converged ()) do
-      let m = (!lower + !best_cost) / 2 in
+      let m = next_m strategy ~lower:!lower ~best:!best_cost in
       match reprobe !lower m with
       | `Sat (k, payload) ->
         best_cost := k;
@@ -156,9 +178,15 @@ let minimize ?(mode = Incremental) ?max_conflicts
       resolution;
     }
   in
+  let apply_config ctx =
+    match config with
+    | None -> ()
+    | Some c -> Solver.set_config (Bv.solver ctx) c
+  in
   match mode with
   | Incremental -> (
     let ctx, cost = build () in
+    apply_config ctx;
     let s = Bv.solver ctx in
     match probe stats ?max_conflicts ~budget ctx with
     | Solver.Unsat -> finish infeasible
@@ -192,6 +220,7 @@ let minimize ?(mode = Incremental) ?max_conflicts
   | Fresh -> (
     (* first probe: unconstrained *)
     let ctx0, cost0 = build () in
+    apply_config ctx0;
     match probe stats ?max_conflicts ~budget ctx0 with
     | Solver.Unsat -> finish infeasible
     | Solver.Unknown -> finish unknown
@@ -200,6 +229,7 @@ let minimize ?(mode = Incremental) ?max_conflicts
       let first_payload = on_sat ctx0 first_cost in
       let reprobe lower m =
         let ctx, cost = build () in
+        apply_config ctx;
         Bv.assert_ ctx (Bv.ge_const ctx cost lower);
         Bv.assert_ ctx (Bv.le_const ctx cost m);
         match probe stats ?max_conflicts ~budget ctx with
@@ -210,6 +240,172 @@ let minimize ?(mode = Incremental) ?max_conflicts
         | Solver.Unknown -> `Unknown
       in
       finish (run_search ~first_cost ~first_payload ~reprobe))
+
+(* -- portfolio mode ---------------------------------------------------- *)
+
+module Portfolio = Taskalloc_portfolio.Portfolio
+
+(* Merge the anytime answers of workers that all ran to completion (or
+   cancellation) without any one concluding: bounds combine soundly —
+   every proved lower bound holds, every incumbent is feasible. *)
+let combine_anytime results =
+  let lb = ref 0 and best = ref None and any_infeasible = ref false in
+  Array.iter
+    (function
+      | None -> ()
+      | Some ((a : _ anytime), _) ->
+        if a.resolution = Infeasible then any_infeasible := true;
+        if a.lower_bound > !lb then lb := a.lower_bound;
+        (match a.incumbent with
+        | Some (c, p) when (match !best with Some (c', _) -> c < c' | None -> true)
+          ->
+          best := Some (c, p)
+        | _ -> ()))
+    results;
+  if !any_infeasible then
+    { incumbent = None; lower_bound = !lb; upper_bound = None; resolution = Infeasible }
+  else
+    match !best with
+    | None ->
+      { incumbent = None; lower_bound = !lb; upper_bound = None; resolution = Unknown }
+    | Some (c, _) when !lb >= c ->
+      { incumbent = !best; lower_bound = c; upper_bound = Some c; resolution = Optimal }
+    | Some (c, _) ->
+      {
+        incumbent = !best;
+        lower_bound = !lb;
+        upper_bound = Some c;
+        resolution = Feasible_budget_exhausted;
+      }
+
+let combine_stats results =
+  let acc = empty_stats () in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (_, (s : stats)) ->
+        acc.probes <- acc.probes + s.probes;
+        acc.sat_probes <- acc.sat_probes + s.sat_probes;
+        acc.unsat_probes <- acc.unsat_probes + s.unsat_probes;
+        acc.interrupted_probes <- acc.interrupted_probes + s.interrupted_probes;
+        acc.conflicts <- acc.conflicts + s.conflicts;
+        acc.decisions <- acc.decisions + s.decisions;
+        acc.propagations <- acc.propagations + s.propagations;
+        acc.bool_vars <- max acc.bool_vars s.bool_vars;
+        acc.literals <- max acc.literals s.literals;
+        acc.time_s <- max acc.time_s s.time_s)
+    results;
+  acc
+
+(* Clause sharing across optimization workers.  Every worker builds
+   the same base formula (the [build] contract), so variables below the
+   post-[build] count mean the same thing in all of them, and three
+   kinds of clauses range over those variables only:
+   - resolvents of the shared base formula (always sound to exchange);
+   - consequences of a proved lower bound [cost >= l] — sound too,
+     because the bound proof shows no model of the base formula sits
+     below [l], hence such clauses hold in every model;
+   - nothing else: a learnt clause that depends on some worker's
+     *upper-bound* probe carries that probe's negated activation
+     literal (activation variables are allocated after [build], and
+     resolution never eliminates a literal whose variable occurs in
+     one polarity only), so the variable filter rejects it.
+   Filtering exports to literals below the base-variable count is
+   therefore a sound sharing criterion, even though workers probe
+   different bounds at different times. *)
+let install_sharing pool ~share_lbd ~origin ctx =
+  let s = Bv.solver ctx in
+  let threshold = Solver.n_vars s in
+  Solver.set_export_hook s
+    (Some
+       (fun lits ~lbd ->
+         if
+           (lbd <= share_lbd || Array.length lits <= 2)
+           && Array.for_all (fun l -> Lit.var l < threshold) lits
+         then ignore (Portfolio.Pool.export pool ~origin lits ~lbd)));
+  if not (Solver.proof_on s) then begin
+    let cursor = ref 0 in
+    Solver.set_import_hook s
+      (Some
+         (fun () ->
+           let n, cs = Portfolio.Pool.import pool ~origin ~cursor:!cursor in
+           cursor := n;
+           cs))
+  end
+
+(* Public entry point.  [jobs <= 1] is exactly the sequential search.
+   [jobs > 1] races workers that differ in solver configuration (via
+   {!Portfolio.diversify}) *and* in probe-point strategy, because on a
+   bounded number of cores strategy diversity is what reduces total
+   work: a top-down prober certifies an already-optimal first model in
+   a single Unsat probe where bisection needs the whole ladder.
+   The first worker to prove optimality or infeasibility (or to reach
+   the gap tolerance) wins and cancels the rest; if no one concludes,
+   the workers' bounds are merged — every proved bound holds for the
+   shared problem, so the combined answer can be strictly stronger
+   than any single worker's.
+
+   With [jobs > 1], [build] and [on_sat] are invoked concurrently from
+   several domains and must be thread-safe. *)
+let minimize ?mode ?(jobs = 1) ?max_conflicts ?budget ?(gap_tol = 0.)
+    ?(share = true) ?(share_lbd = 4) ~(build : unit -> Bv.ctx * Bv.t)
+    ~(on_sat : Bv.ctx -> int -> 'a) () =
+  if jobs <= 1 then
+    minimize_seq ?mode ?max_conflicts ?budget ~gap_tol ~build ~on_sat ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let pool = Portfolio.Pool.create () in
+    let build_for i =
+      if not share then build
+      else fun () ->
+        let ctx, cost = build () in
+        install_sharing pool ~share_lbd ~origin:i ctx;
+        (ctx, cost)
+    in
+    let acceptable (a : _ anytime) =
+      match a.resolution with
+      | Optimal | Infeasible -> true
+      | Feasible_budget_exhausted | Unknown -> (
+        (* a gap-tolerance convergence is as final as optimality *)
+        gap_tol > 0.
+        &&
+        match a.incumbent with
+        | Some (ub, _) ->
+          float_of_int (ub - a.lower_bound) <= gap_tol *. float_of_int ub
+        | None -> false)
+    in
+    let outcome =
+      Portfolio.race ~jobs ?budget
+        ~worker:(fun i config ~budget ->
+          minimize_seq ?mode ~strategy:(strategy_of_worker i) ~config
+            ?max_conflicts ?budget ~gap_tol ~build:(build_for i) ~on_sat ())
+        ~conclusive:(fun (a, _) -> acceptable a)
+        ()
+    in
+    let stats = combine_stats outcome.results in
+    stats.time_s <- Unix.gettimeofday () -. t0;
+    (* charge the parent with the maximum worker spend: the workers
+       raced concurrently, so the max mirrors the sequential shape *)
+    (match budget with
+    | None -> ()
+    | Some b ->
+      let fold f =
+        Array.fold_left
+          (fun m -> function None -> m | Some (_, s) -> max m (f s))
+          0 outcome.results
+      in
+      Budget.charge b
+        ~conflicts:(fold (fun s -> s.conflicts))
+        ~propagations:(fold (fun s -> s.propagations)));
+    let answer =
+      if outcome.winner >= 0 then
+        match outcome.results.(outcome.winner) with
+        | Some (a, _) -> a
+        | None -> combine_anytime outcome.results
+      else combine_anytime outcome.results
+    in
+    (answer, stats)
+  end
 
 (* Single feasibility check (no optimization). *)
 type 'a feasibility = Feasible of 'a | No_solution | Undecided

@@ -71,9 +71,12 @@ val gap : 'a anytime -> float option
 
 val minimize :
   ?mode:mode ->
+  ?jobs:int ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->
+  ?share:bool ->
+  ?share_lbd:int ->
   build:(unit -> Bv.ctx * Bv.t) ->
   on_sat:(Bv.ctx -> int -> 'a) ->
   unit ->
@@ -88,7 +91,30 @@ val minimize :
     total spend; [max_conflicts] caps each individual probe.  A
     [gap_tol] > 0 stops the search as soon as the relative gap is
     within the tolerance (reported as [Feasible_budget_exhausted]).
-    This function never raises on exhaustion. *)
+    This function never raises on exhaustion.
+
+    [jobs > 1] switches to portfolio mode: that many workers race the
+    whole search on separate domains, diversified both in solver
+    configuration ({!Taskalloc_portfolio.Portfolio.diversify}) and in
+    probe-point strategy (bisection, top-down certification, pessimistic
+    quartile probing).  The first worker to prove optimality or
+    infeasibility (or reach [gap_tol]) wins and cancels the rest; if
+    none concludes, the workers' proved bounds and incumbents are
+    merged, so the combined anytime answer dominates each worker's.
+    [build] and [on_sat] are then called concurrently from several
+    domains and must be thread-safe; only the coordinator polls
+    [budget] and its user hook.  [jobs = 1] is exactly the sequential
+    search, bit for bit.
+
+    With [share] (default on) portfolio workers also exchange learnt
+    clauses of LBD at most [share_lbd] (default 4) or binary size,
+    restricted to variables of the base encoding — such clauses are
+    consequences of the shared formula and of already-proved lower
+    bounds, so they transfer soundly even between workers probing
+    different cost bounds.  This relies on [build] constructing the
+    same formula with the same variable numbering in every worker (the
+    same contract [Fresh] mode already imposes across probes); pass
+    [~share:false] if [build] is not deterministic. *)
 
 (** Outcome of a single feasibility check. *)
 type 'a feasibility =

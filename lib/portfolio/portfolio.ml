@@ -1,0 +1,276 @@
+(* Parallel portfolio solving on OCaml 5 domains.
+
+   N diversified workers race on the same problem; the first conclusive
+   answer wins and cancels the rest cooperatively through their budget
+   [should_stop] hooks (an atomic flag — workers notice it at their
+   next budget checkpoint and unwind to a clean, resumable state).
+
+   Two entry points:
+   - [race] is the generic combinator: it only manages domains, budgets
+     and the cancellation protocol, and is reused by the optimizer for
+     strategy-diverse bound probes.
+   - [solve] is the SAT-level portfolio: each worker builds its own
+     solver on the shared instance, gets a diversified [Solver.config],
+     and optionally exchanges low-LBD learnt clauses through a
+     lock-light shared pool.
+
+   Budget discipline: the caller's budget is polled only by the
+   coordinator (user hooks need not be thread-safe); each worker runs
+   on a [Budget.derive]d child whose hook reads the cancel flag.  The
+   parent is charged once, with the maximum worker spend — the
+   portfolio's wall-clock shape — so budget accounting composes with
+   the sequential code above it.
+
+   Proof interlock: clause sharing would poison DRUP traces (a foreign
+   clause is not RUP-derivable from the local trace), so a worker whose
+   solver has a proof sink installed gets no import hook; its trace
+   stays self-contained and an Unsat winner still passes
+   [Proof.verify].  Exporting from such a worker is sound and remains
+   enabled. *)
+
+open Taskalloc_sat
+
+(* -- diversification --------------------------------------------------- *)
+
+(* Worker 0 always runs the reference configuration, so a 1-worker
+   portfolio is the sequential solver and every portfolio contains the
+   default strategy.  The others sweep phase polarity, branching
+   randomness, VSIDS decay and restart cadence.  The first presets are
+   the ones small portfolios get, so they are ordered to complement the
+   default most: slow-restart/high-decay configs first (the opposite
+   corner of the strategy space from the default's rapid Luby cadence
+   — on crafted and near-threshold-random families whichever cadence
+   fits can be several times faster), then noisy rapid-restart
+   variants. *)
+let diversify i : Solver.config =
+  let d = Solver.default_config in
+  if i = 0 then d
+  else
+    let presets =
+      [|
+        { d with init_polarity = true; var_decay = 0.99; restart_first = 500 };
+        { d with var_decay = 0.99; restart_first = 1000 };
+        { d with random_freq = 0.02; init_polarity = true; restart_first = 50 };
+        { d with var_decay = 0.90; restart_first = 300 };
+        { d with random_freq = 0.05; var_decay = 0.97; init_polarity = true };
+        { d with random_freq = 0.1; var_decay = 0.85; restart_first = 30 };
+      |]
+    in
+    let p = presets.((i - 1) mod Array.length presets) in
+    { p with seed = i }
+
+(* -- shared clause pool ------------------------------------------------ *)
+
+(* Append-only array of (origin, lits, lbd) under a mutex.  Exporters
+   use [try_lock] and drop the clause on contention — losing a shared
+   clause is always sound, stalling a hot propagation loop is not.
+   Importers track a cursor and read only the suffix that is new to
+   them, skipping their own contributions. *)
+type pool = {
+  lock : Mutex.t;
+  mutable entries : (int * int array * int) array;
+  mutable n : int;
+  capacity : int;
+}
+
+let pool_create ?(capacity = 65536) () =
+  { lock = Mutex.create (); entries = Array.make 256 (0, [||], 0); n = 0; capacity }
+
+let pool_export p ~origin lits lbd =
+  if Mutex.try_lock p.lock then begin
+    let accepted = p.n < p.capacity in
+    if accepted then begin
+      if p.n = Array.length p.entries then begin
+        let bigger = Array.make (2 * p.n) (0, [||], 0) in
+        Array.blit p.entries 0 bigger 0 p.n;
+        p.entries <- bigger
+      end;
+      p.entries.(p.n) <- (origin, Array.copy lits, lbd);
+      p.n <- p.n + 1
+    end;
+    Mutex.unlock p.lock;
+    accepted
+  end
+  else false
+
+let pool_import p ~origin ~cursor =
+  Mutex.lock p.lock;
+  let n = p.n in
+  let out = ref [] in
+  for k = n - 1 downto cursor do
+    let o, lits, lbd = p.entries.(k) in
+    if o <> origin then out := (lits, lbd) :: !out
+  done;
+  Mutex.unlock p.lock;
+  (n, !out)
+
+(* Public face of the pool, for layers that wire their own hooks (the
+   optimizer shares clauses across probe sequences with an extra
+   variable filter that only it can compute). *)
+module Pool = struct
+  type t = pool
+
+  let create = pool_create
+  let export p ~origin lits ~lbd = pool_export p ~origin lits lbd
+  let import = pool_import
+end
+
+(* -- generic race ------------------------------------------------------ *)
+
+type 'r race_outcome = {
+  results : 'r option array;
+      (** per-worker results; [None] if the worker died on an exception
+          (the first exception is re-raised, so user code only sees
+          [None] transiently) *)
+  winner : int;  (** index of the first conclusive worker, or -1 *)
+}
+
+let race ?(jobs = 1) ?budget ~worker ~conclusive () =
+  if jobs <= 1 then begin
+    (* inline: no domains, no derived budget, reference config — the
+       sequential path, bit for bit *)
+    let r = worker 0 Solver.default_config ~budget in
+    { results = [| Some r |]; winner = (if conclusive r then 0 else -1) }
+  end
+  else begin
+    let cancel = Atomic.make false in
+    let winner = Atomic.make (-1) in
+    let finished = Atomic.make 0 in
+    let stop () = Atomic.get cancel in
+    let run i () =
+      let outcome =
+        try
+          let wbudget =
+            match budget with
+            | Some b -> Budget.derive ~should_stop:stop b
+            | None -> Budget.create ~should_stop:stop ~check_every:16 ()
+          in
+          let r = worker i (diversify i) ~budget:(Some wbudget) in
+          if conclusive r then
+            if Atomic.compare_and_set winner (-1) i then Atomic.set cancel true;
+          Ok r
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set cancel true;
+          Error (e, bt)
+      in
+      Atomic.incr finished;
+      outcome
+    in
+    let domains = List.init jobs (fun i -> Domain.spawn (run i)) in
+    (* The coordinator owns the parent budget: poll it (and its user
+       hook) from this one thread and translate exhaustion into the
+       cancel flag the workers watch. *)
+    (match budget with
+    | None -> ()
+    | Some b ->
+      while Atomic.get finished < jobs do
+        if (not (Atomic.get cancel)) && Budget.exhausted b then
+          Atomic.set cancel true;
+        Unix.sleepf 0.0005
+      done);
+    let outcomes = List.map Domain.join domains in
+    let results = Array.make jobs None in
+    let first_error = ref None in
+    List.iteri
+      (fun i -> function
+        | Ok r -> results.(i) <- Some r
+        | Error eb -> if !first_error = None then first_error := Some eb)
+      outcomes;
+    (match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    { results; winner = Atomic.get winner }
+  end
+
+(* -- SAT-level portfolio ----------------------------------------------- *)
+
+type worker_stats = {
+  worker : int;
+  result : Solver.result;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_total : int;
+  shared_out : int;
+  shared_in : int;
+}
+
+type 'a outcome = {
+  result : Solver.result;
+  winner : int;  (** winning worker index; 0 when [jobs = 1], -1 if none *)
+  payload : 'a option;  (** the winner's payload *)
+  workers : worker_stats array;
+}
+
+let stats_of ~worker ~result ~shared_out ~shared_in s =
+  {
+    worker;
+    result;
+    conflicts = Solver.n_conflicts s;
+    decisions = Solver.n_decisions s;
+    propagations = Solver.n_propagations s;
+    restarts = Solver.n_restarts s;
+    learnt_total = Solver.n_learnt_total s;
+    shared_out;
+    shared_in;
+  }
+
+let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4) ~build () =
+  let pool = pool_create () in
+  let race_outcome =
+    race ~jobs ?budget
+      ~worker:(fun i config ~budget:wbudget ->
+        let payload, s = build i in
+        let exported = ref 0 in
+        if jobs > 1 then begin
+          Solver.set_config s config;
+          if share then begin
+            Solver.set_export_hook s
+              (Some
+                 (fun lits ~lbd ->
+                   if lbd <= share_lbd || Array.length lits <= 2 then
+                     if pool_export pool ~origin:i lits lbd then incr exported));
+            (* the import side of sharing is forbidden for proof-logging
+               solvers: their DRUP trace must stay self-contained *)
+            if not (Solver.proof_on s) then begin
+              let cursor = ref 0 in
+              Solver.set_import_hook s
+                (Some
+                   (fun () ->
+                     let n, cs = pool_import pool ~origin:i ~cursor:!cursor in
+                     cursor := n;
+                     cs))
+            end
+          end
+        end;
+        let result = Solver.solve ?budget:wbudget s in
+        ( payload,
+          stats_of ~worker:i ~result ~shared_out:!exported
+            ~shared_in:(Solver.n_imported s) s ))
+      ~conclusive:(fun (_, st) -> st.result <> Solver.Unknown)
+      ()
+  in
+  let workers =
+    race_outcome.results |> Array.to_list
+    |> List.filter_map (Option.map snd)
+    |> Array.of_list
+  in
+  (* Charge the caller's budget with the portfolio's aggregate shape:
+     the maximum conflict/propagation spend across workers (they ran
+     concurrently racing the same limits, so the max — not the sum —
+     mirrors what a sequential solve would have charged).  The jobs=1
+     inline path already charged the budget directly in the solver. *)
+  if jobs > 1 then
+    (match budget with
+    | None -> ()
+    | Some b ->
+      let mc = Array.fold_left (fun m w -> max m w.conflicts) 0 workers in
+      let mp = Array.fold_left (fun m w -> max m w.propagations) 0 workers in
+      Budget.charge b ~conflicts:mc ~propagations:mp);
+  let winner = race_outcome.winner in
+  match (if winner >= 0 then race_outcome.results.(winner) else None) with
+  | Some (payload, st) ->
+    { result = st.result; winner; payload = Some payload; workers }
+  | None -> { result = Solver.Unknown; winner = -1; payload = None; workers }

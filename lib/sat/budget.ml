@@ -72,6 +72,24 @@ let spent_conflicts t = t.conflicts
 let spent_propagations t = t.propagations
 let elapsed t = Unix.gettimeofday () -. t.started
 
+(* Child budget with the parent's remaining headroom.  The parent's
+   [should_stop] hook is deliberately NOT inherited: user hooks are not
+   required to be thread-safe, so in a portfolio the coordinator alone
+   polls the parent while each worker polls its own [should_stop]
+   (typically an atomic cancellation flag). *)
+let derive ?(should_stop = no_hook) t =
+  if t.tripped then create ~max_conflicts:0 ~check_every:t.check_every ()
+  else
+    let timeout =
+      if t.deadline = infinity then None
+      else Some (max 0. (t.deadline -. Unix.gettimeofday ()))
+    in
+    let remaining armed spent = if armed = max_int then max_int else max 0 (armed - spent) in
+    create ?timeout
+      ~max_conflicts:(remaining t.max_conflicts t.conflicts)
+      ~max_propagations:(remaining t.max_propagations t.propagations)
+      ~should_stop ~check_every:t.check_every ()
+
 let pp ppf t =
   if is_unlimited t then Fmt.string ppf "unlimited"
   else begin

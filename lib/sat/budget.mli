@@ -58,4 +58,15 @@ val spent_propagations : t -> int
 val elapsed : t -> float
 (** Wall-clock seconds since the budget was created. *)
 
+val derive : ?should_stop:(unit -> bool) -> t -> t
+(** [derive ?should_stop parent] is a fresh budget armed with the
+    parent's {e remaining} wall-clock, conflict and propagation
+    headroom (an already-tripped parent yields an immediately exhausted
+    child).  The parent's [should_stop] hook is {b not} inherited —
+    user hooks need not be thread-safe, so in a portfolio only the
+    coordinator polls the parent while each worker polls the
+    [should_stop] given here (typically an atomic cancel flag).
+    Charges to the child are not propagated back; the caller accounts
+    work to the parent explicitly. *)
+
 val pp : Format.formatter -> t -> unit

@@ -20,7 +20,13 @@ type clause = {
   learnt : bool;
   mutable activity : float;
   mutable deleted : bool;
+  mutable lbd : int; (* literal block distance; 0 for problem clauses *)
 }
+
+(* Watch-list entry with a blocking literal (Glucose-style): if
+   [blocker] is true the clause is satisfied and the cache-missing
+   clause dereference is skipped entirely. *)
+type watcher = { blocker : int; wcl : clause }
 
 type pb = {
   coeffs : int array; (* positive, parallel to [plits] *)
@@ -47,9 +53,34 @@ type proof_step =
   | Step_pb of int array
   | Step_delete of int array
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = true }
+let dummy_clause =
+  { lits = [||]; learnt = false; activity = 0.; deleted = true; lbd = 0 }
+
+let dummy_watcher = { blocker = 0; wcl = dummy_clause }
 let dummy_pb = { coeffs = [||]; plits = [||]; degree = 0; slack = 0; max_coeff = 0 }
 let dummy_pbw = { pbc = dummy_pb; w_coeff = 0 }
+
+(* Diversification knobs.  [default_config] reproduces the historical
+   hard-wired behavior exactly, so applying it is observationally a
+   no-op — portfolio workers rely on this for jobs=1 determinism. *)
+type config = {
+  seed : int;
+  random_freq : float; (* probability of a random branching decision *)
+  var_decay : float; (* VSIDS activity decay, e.g. 0.95 *)
+  clause_decay : float;
+  restart_first : int; (* Luby restart unit, in conflicts *)
+  init_polarity : bool; (* phase-saving default for unassigned vars *)
+}
+
+let default_config =
+  {
+    seed = 0;
+    random_freq = 0.;
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart_first = 100;
+    init_polarity = false;
+  }
 
 type t = {
   mutable ok : bool;
@@ -64,7 +95,7 @@ type t = {
   activity : float array ref;
   order : Order_heap.t;
   (* per-literal watch lists *)
-  mutable watches : clause Vec.t array;
+  mutable watches : watcher Vec.t array;
   mutable pb_watches : pb_watch Vec.t array;
   (* constraint database *)
   clauses : clause Vec.t;
@@ -74,18 +105,31 @@ type t = {
   trail : Veci.t;
   trail_lim : Veci.t;
   mutable qhead : int;
-  (* heuristics *)
+  (* heuristics (see [config]) *)
   mutable var_inc : float;
-  var_decay : float;
+  mutable var_decay : float;
   mutable cla_inc : float;
-  cla_decay : float;
+  mutable cla_decay : float;
   mutable max_learnts : float;
+  mutable restart_first : int;
+  mutable random_freq : float;
+  mutable rng : int; (* xorshift state; only consulted when random_freq > 0 *)
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
   mutable lit_count : int; (* total input literal occurrences, for reporting *)
+  mutable learnt_total : int; (* cumulative learnt clauses, incl. deleted *)
+  mutable reduce_dbs : int;
+  mutable imported : int; (* clauses accepted through the import hook *)
+  (* LBD computation scratch: level stamps, see [compute_lbd] *)
+  mutable lbd_stamp : int array;
+  mutable lbd_tick : int;
+  (* clause-sharing hooks (portfolio layer); [export] observes every
+     learnt clause, [import] is polled between restart episodes *)
+  mutable export : (int array -> lbd:int -> unit) option;
+  mutable import : (unit -> (int array * int) list) option;
   (* model of the last Sat answer *)
   mutable model : bool array;
   (* optional proof sink; see [set_proof_sink] *)
@@ -108,7 +152,7 @@ let create () =
     seen = Array.make 16 false;
     activity;
     order = Order_heap.create activity;
-    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    watches = Array.init 32 (fun _ -> Vec.create dummy_watcher);
     pb_watches = Array.init 32 (fun _ -> Vec.create dummy_pbw);
     clauses = Vec.create dummy_clause;
     learnts = Vec.create dummy_clause;
@@ -121,11 +165,21 @@ let create () =
     cla_inc = 1.0;
     cla_decay = 1.0 /. 0.999;
     max_learnts = 0.;
+    restart_first = 100;
+    random_freq = 0.;
+    rng = 0x9e3779b9;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
     restarts = 0;
     lit_count = 0;
+    learnt_total = 0;
+    reduce_dbs = 0;
+    imported = 0;
+    lbd_stamp = Array.make 17 0;
+    lbd_tick = 0;
+    export = None;
+    import = None;
     model = [||];
     proof = None;
     explain_buf = Veci.create ();
@@ -141,7 +195,66 @@ let n_decisions t = t.decisions
 let n_propagations t = t.propagations
 let n_restarts t = t.restarts
 let n_literals t = t.lit_count
+let n_learnt_total t = t.learnt_total
+let n_reduce_dbs t = t.reduce_dbs
+let n_imported t = t.imported
 let ok t = t.ok
+
+(* Summary of the LBD distribution over the live learnt clauses. *)
+type lbd_summary = { live : int; glue : int; avg_lbd : float; max_lbd : int }
+
+let lbd_summary t =
+  let n = ref 0 and glue = ref 0 and sum = ref 0 and mx = ref 0 in
+  Vec.iter
+    (fun (c : clause) ->
+      if not c.deleted then begin
+        incr n;
+        sum := !sum + c.lbd;
+        if c.lbd <= 2 then incr glue;
+        if c.lbd > !mx then mx := c.lbd
+      end)
+    t.learnts;
+  {
+    live = !n;
+    glue = !glue;
+    avg_lbd = (if !n = 0 then 0. else float_of_int !sum /. float_of_int !n);
+    max_lbd = !mx;
+  }
+
+(* -- diversification -------------------------------------------------- *)
+
+(* Mix the seed so that nearby seeds yield unrelated streams; keep the
+   state positive and nonzero (xorshift has a fixed point at 0). *)
+let seed_state seed =
+  let h = (seed * 0x9e3779b9) lxor (seed lsr 16) lxor 0x2545f491 in
+  let h = h land max_int in
+  if h = 0 then 0x9e3779b9 else h
+
+let set_seed t seed = t.rng <- seed_state seed
+
+let rng_next t =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.rng <- (if x = 0 then 0x9e3779b9 else x);
+  t.rng
+
+let rng_float t = float_of_int (rng_next t) /. float_of_int max_int
+
+let set_config t (c : config) =
+  set_seed t c.seed;
+  t.random_freq <- c.random_freq;
+  t.var_decay <- 1.0 /. c.var_decay;
+  t.cla_decay <- 1.0 /. c.clause_decay;
+  t.restart_first <- max 1 c.restart_first;
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) = 0 then t.polarity.(v) <- c.init_polarity
+  done
+
+let set_export_hook t hook = t.export <- hook
+let set_import_hook t hook = t.import <- hook
 
 let grow_arrays t cap =
   let old = Array.length t.assigns in
@@ -159,9 +272,12 @@ let grow_arrays t cap =
     t.polarity <- (let b = Array.make n false in Array.blit t.polarity 0 b 0 old; b);
     t.seen <- (let b = Array.make n false in Array.blit t.seen 0 b 0 old; b);
     (let b = Array.make n 0. in Array.blit !(t.activity) 0 b 0 old; t.activity := b);
+    (* decision levels range over [0, nvars], hence the +1 *)
+    t.lbd_stamp <- Array.make (n + 1) 0;
+    t.lbd_tick <- 0;
     let oldw = Array.length t.watches in
     if 2 * n > oldw then begin
-      let w = Array.init (2 * n) (fun i -> if i < oldw then t.watches.(i) else Vec.create dummy_clause) in
+      let w = Array.init (2 * n) (fun i -> if i < oldw then t.watches.(i) else Vec.create dummy_watcher) in
       t.watches <- w;
       let pw = Array.init (2 * n) (fun i -> if i < oldw then t.pb_watches.(i) else Vec.create dummy_pbw) in
       t.pb_watches <- pw
@@ -313,18 +429,25 @@ let propagate t : reason option =
        let i = ref 0 and j = ref 0 in
        (try
           while !i < Vec.size ws do
-            let c = Vec.get ws !i in
+            let w = Vec.get ws !i in
             incr i;
-            if c.deleted then () (* drop lazily *)
+            if w.wcl.deleted then () (* drop lazily *)
+            else if value_lit t w.blocker = 1 then begin
+              (* satisfied through the blocking literal: keep as-is
+                 without touching the clause *)
+              Vec.set ws !j w;
+              incr j
+            end
             else begin
+              let c = w.wcl in
               let np = p lxor 1 in
               if c.lits.(0) = np then begin
                 c.lits.(0) <- c.lits.(1);
                 c.lits.(1) <- np
               end;
               let first = c.lits.(0) in
-              if value_lit t first = 1 then begin
-                Vec.set ws !j c;
+              if first <> w.blocker && value_lit t first = 1 then begin
+                Vec.set ws !j { blocker = first; wcl = c };
                 incr j
               end
               else begin
@@ -335,10 +458,10 @@ let propagate t : reason option =
                 if !k < n then begin
                   c.lits.(1) <- c.lits.(!k);
                   c.lits.(!k) <- np;
-                  Vec.push t.watches.(c.lits.(1) lxor 1) c
+                  Vec.push t.watches.(c.lits.(1) lxor 1) { blocker = first; wcl = c }
                 end
                 else begin
-                  Vec.set ws !j c;
+                  Vec.set ws !j { blocker = first; wcl = c };
                   incr j;
                   if value_lit t first = -1 then begin
                     (* conflict: flush the rest of the list and stop *)
@@ -370,13 +493,14 @@ let propagate t : reason option =
 (* -- adding constraints ---------------------------------------------- *)
 
 let attach_clause t c =
-  Vec.push t.watches.(c.lits.(0) lxor 1) c;
-  Vec.push t.watches.(c.lits.(1) lxor 1) c
+  Vec.push t.watches.(c.lits.(0) lxor 1) { blocker = c.lits.(1); wcl = c };
+  Vec.push t.watches.(c.lits.(1) lxor 1) { blocker = c.lits.(0); wcl = c }
 
 let detach_clause t c =
-  let eq a b = a == b in
-  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(0) lxor 1) c);
-  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(1) lxor 1) c)
+  let eq (a : watcher) (b : watcher) = a.wcl == b.wcl in
+  let probe = { blocker = 0; wcl = c } in
+  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(0) lxor 1) probe);
+  ignore (Vec.swap_remove ~eq t.watches.(c.lits.(1) lxor 1) probe)
 
 (* Add a problem clause.  Only legal at decision level 0.  Performs
    level-0 simplification: drops false literals, ignores satisfied and
@@ -410,7 +534,13 @@ let add_clause t lits =
           log_refutation t r)
       | _ ->
         let c =
-          { lits = Array.of_list lits; learnt = false; activity = 0.; deleted = false }
+          {
+            lits = Array.of_list lits;
+            learnt = false;
+            activity = 0.;
+            deleted = false;
+            lbd = 0;
+          }
         in
         Vec.push t.clauses c;
         attach_clause t c
@@ -540,8 +670,25 @@ let lit_redundant t q =
       t.explain_buf;
     !ok
 
+(* Literal block distance: the number of distinct non-zero decision
+   levels among [lits].  Computed with a stamp array so repeated calls
+   stay allocation-free. *)
+let compute_lbd t lits =
+  t.lbd_tick <- t.lbd_tick + 1;
+  let tick = t.lbd_tick in
+  let n = ref 0 in
+  Veci.iter
+    (fun q ->
+      let lv = t.level.(q lsr 1) in
+      if lv > 0 && t.lbd_stamp.(lv) <> tick then begin
+        t.lbd_stamp.(lv) <- tick;
+        incr n
+      end)
+    lits;
+  !n
+
 (* First-UIP conflict analysis.  Returns the learnt clause (UIP literal
-   first) and the backtrack level. *)
+   first), the backtrack level and the clause's LBD. *)
 let analyze t confl =
   let learnt = t.learnt_buf in
   Veci.clear learnt;
@@ -600,13 +747,18 @@ let analyze t confl =
   in
   (* clear seen flags *)
   Veci.iter (fun q -> t.seen.(q lsr 1) <- false) learnt;
-  (Veci.to_array kept, bt)
+  let lbd = compute_lbd t kept in
+  (Veci.to_array kept, bt, lbd)
 
-let record_learnt t lits =
+let record_learnt t lits lbd =
+  t.learnt_total <- t.learnt_total + 1;
   log_step t (Step_rup (Array.copy lits));
+  (match t.export with
+  | None -> ()
+  | Some f -> f lits ~lbd (* the hook must copy if it retains [lits] *));
   if Array.length lits = 1 then enqueue t lits.(0) No_reason
   else begin
-    let c = { lits; learnt = true; activity = 0.; deleted = false } in
+    let c = { lits; learnt = true; activity = 0.; deleted = false; lbd } in
     Vec.push t.learnts c;
     attach_clause t c;
     cla_bump t c;
@@ -622,19 +774,32 @@ let locked t c =
   | Reason_clause c' -> c' == c && value_lit t c.lits.(0) = 1
   | _ -> false
 
+(* Glucose-style reduction: sort worst-first (high LBD, then low
+   activity) and delete half, but never glue clauses (lbd <= 2),
+   binaries or locked clauses — LBD predicts reuse far better than
+   activity alone, so glue stays resident for the whole search. *)
 let reduce_db t =
+  t.reduce_dbs <- t.reduce_dbs + 1;
   let xs = Vec.to_list t.learnts in
-  let xs = List.sort (fun (a : clause) b -> Float.compare a.activity b.activity) xs in
-  let n = List.length xs in
-  let limit = t.cla_inc /. float_of_int (max n 1) in
-  List.iteri
-    (fun i c ->
+  let xs =
+    List.sort
+      (fun (a : clause) b ->
+        if a.lbd <> b.lbd then Int.compare b.lbd a.lbd
+        else Float.compare a.activity b.activity)
+      xs
+  in
+  let target = List.length xs / 2 in
+  let removed = ref 0 in
+  List.iter
+    (fun c ->
       if
-        Array.length c.lits > 2
-        && (not (locked t c))
-        && (i < n / 2 || c.activity < limit)
+        !removed < target
+        && Array.length c.lits > 2
+        && c.lbd > 2
+        && not (locked t c)
       then begin
         c.deleted <- true;
+        incr removed;
         log_step t (Step_delete (Array.copy c.lits));
         detach_clause t c
       end)
@@ -643,14 +808,33 @@ let reduce_db t =
 
 (* -- search ------------------------------------------------------------ *)
 
-let pick_branch_var t =
-  let rec go () =
-    if Order_heap.is_empty t.order then -1
+(* A few random probes for an unassigned variable; -1 on failure.  The
+   variable is left in the heap — assigned variables are skipped when
+   popped, so a later pop of the same variable is harmless. *)
+let random_branch_var t =
+  let rec go k =
+    if k = 0 || t.nvars = 0 then -1
     else
-      let v = Order_heap.remove_max t.order in
-      if t.assigns.(v) = 0 then v else go ()
+      let v = rng_next t mod t.nvars in
+      if t.assigns.(v) = 0 then v else go (k - 1)
   in
-  go ()
+  go 4
+
+let pick_branch_var t =
+  let rv =
+    if t.random_freq > 0. && rng_float t < t.random_freq then
+      random_branch_var t
+    else -1
+  in
+  if rv >= 0 then rv
+  else
+    let rec go () =
+      if Order_heap.is_empty t.order then -1
+      else
+        let v = Order_heap.remove_max t.order in
+        if t.assigns.(v) = 0 then v else go ()
+    in
+    go ()
 
 exception Found of result
 
@@ -677,10 +861,10 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
          if decision_level t <= Array.length assumptions then
            (* conflict under assumptions only *)
            raise (Found Unsat);
-         let learnt, bt = analyze t confl in
+         let learnt, bt, lbd = analyze t confl in
          let bt = max bt (min (decision_level t - 1) (Array.length assumptions)) in
          cancel_until t bt;
-         record_learnt t learnt;
+         record_learnt t learnt lbd;
          var_decay_activity t;
          cla_decay_activity t;
          incr since_check;
@@ -722,6 +906,37 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
      done
    with Found r -> result := r);
   !result
+
+(* -- clause import (portfolio sharing) --------------------------------- *)
+
+(* Install a clause learnt elsewhere on the same instance.  Must be
+   called at decision level 0.  The clause is entailed by the shared
+   instance, so simplifying against level-0 values is sound. *)
+let import_clause t (lits, lbd) =
+  if t.ok && not (Array.exists (fun l -> value_lit t l = 1) lits) then begin
+    let lits = Array.to_list lits in
+    let lits = List.filter (fun l -> value_lit t l <> -1) lits in
+    match lits with
+    | [] -> t.ok <- false
+    | [ l ] -> (
+      enqueue t l No_reason;
+      match propagate t with None -> () | Some _ -> t.ok <- false)
+    | _ ->
+      let c =
+        { lits = Array.of_list lits; learnt = true; activity = 0.; deleted = false; lbd }
+      in
+      Vec.push t.learnts c;
+      attach_clause t c;
+      t.imported <- t.imported + 1
+  end
+
+(* Imported clauses are not derivable by RUP from this solver's own
+   trace, so a proof-logging solver never imports — the portfolio layer
+   enforces the same rule; this guard makes it local too. *)
+let do_import t =
+  match t.import with
+  | Some f when not (proof_on t) -> List.iter (import_clause t) (f ())
+  | _ -> ()
 
 let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
   if not t.ok then Unsat
@@ -774,13 +989,19 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
         let result = ref Unknown in
         let i = ref 0 in
         while !result = Unknown && !conflicts_left > 0 && not (stopped ()) do
-          let limit = min !conflicts_left (100 * Luby.get !i) in
-          incr i;
-          t.restarts <- t.restarts + 1;
-          let r = search t assumptions limit ~check_every ~checkpoint in
-          conflicts_left := !conflicts_left - limit;
-          if r <> Unknown then result := r
-          else t.max_learnts <- t.max_learnts *. 1.1
+          (* between episodes the trail is at level 0: adopt clauses
+             shared by other portfolio workers, if any *)
+          do_import t;
+          if not t.ok then result := Unsat
+          else begin
+            let limit = min !conflicts_left (t.restart_first * Luby.get !i) in
+            incr i;
+            t.restarts <- t.restarts + 1;
+            let r = search t assumptions limit ~check_every ~checkpoint in
+            conflicts_left := !conflicts_left - limit;
+            if r <> Unknown then result := r
+            else t.max_learnts <- t.max_learnts *. 1.1
+          end
         done;
         commit ();
         (match !result with

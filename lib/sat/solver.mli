@@ -1,8 +1,10 @@
 (** CDCL SAT solver with native pseudo-Boolean constraints.
 
-    The clause engine follows MiniSat: two-watched literals, first-UIP
+    The clause engine follows MiniSat with Glucose-style hot-path
+    upgrades: two-watched literals with blocking literals, first-UIP
     learning, VSIDS branching with phase saving, Luby restarts and
-    activity-based deletion of learnt clauses.  Pseudo-Boolean
+    LBD-aware deletion of learnt clauses (glue clauses — literal block
+    distance at most 2 — are never deleted).  Pseudo-Boolean
     constraints [sum a_i * l_i >= b] are propagated natively with the
     counter (slack) method and explained clausally to the conflict
     analyzer, in the style of the GOBLIN engine used by the paper.
@@ -29,6 +31,38 @@ type result = Sat | Unsat | Unknown
     later [solve] with a larger (or no) budget resumes the search. *)
 
 val create : unit -> t
+
+(** {1 Diversification}
+
+    Portfolio workers differentiate themselves through [config]:
+    branching randomness, VSIDS/clause-activity decay, the Luby restart
+    unit and the phase-saving default.  [default_config] reproduces the
+    solver's built-in behavior exactly, so
+    [set_config t default_config] is observationally a no-op — this is
+    what makes a 1-worker portfolio bit-for-bit identical to the plain
+    sequential solver. *)
+
+type config = {
+  seed : int;  (** RNG seed; only consulted when [random_freq > 0] *)
+  random_freq : float;
+      (** probability that a branching decision picks a random
+          unassigned variable instead of the VSIDS maximum *)
+  var_decay : float;  (** VSIDS activity decay factor (default 0.95) *)
+  clause_decay : float;  (** learnt-clause activity decay (default 0.999) *)
+  restart_first : int;  (** Luby restart unit in conflicts (default 100) *)
+  init_polarity : bool;
+      (** phase-saving default assumed for unassigned variables *)
+}
+
+val default_config : config
+
+val set_config : t -> config -> unit
+(** Apply a diversification config.  May be called at any point between
+    [solve] calls; only the saved phase of currently unassigned
+    variables is rewritten. *)
+
+val set_seed : t -> int -> unit
+(** Reseed the branching RNG only, leaving other knobs untouched. *)
 
 val new_var : t -> int
 (** Allocate a fresh Boolean variable and return its index. *)
@@ -98,8 +132,28 @@ val set_proof_sink : t -> (proof_step -> unit) option -> unit
     constraints: level-0 simplification during [add_clause] /
     [add_pb_geq] can already refute the instance and must be logged. *)
 
+val proof_on : t -> bool
+(** Is a proof sink currently installed?  The portfolio layer uses
+    this to disable clause import into proof-logging workers. *)
+
 val ok : t -> bool
 (** [false] once the instance has been proved unsatisfiable at level 0. *)
+
+(** {1 Clause sharing}
+
+    Hooks used by the portfolio layer to exchange learnt clauses
+    between workers solving the same instance.  The export hook
+    observes every learnt clause as it is recorded (the array must be
+    copied if retained — the solver owns it).  The import hook is
+    polled at decision level 0 between restart episodes and returns
+    [(lits, lbd)] pairs to adopt; imported clauses enter the learnt
+    database (units are enqueued, falsified clauses refute the
+    instance).  A proof-logging solver never imports: a foreign clause
+    is not RUP-derivable from the local trace, and the importing side
+    is where soundness of the DRUP interlock is enforced. *)
+
+val set_export_hook : t -> (Lit.t array -> lbd:int -> unit) option -> unit
+val set_import_hook : t -> (unit -> (Lit.t array * int) list) option -> unit
 
 (** {1 Constraint database inspection} *)
 
@@ -122,6 +176,25 @@ val n_conflicts : t -> int
 val n_decisions : t -> int
 val n_propagations : t -> int
 val n_restarts : t -> int
+
+val n_learnt_total : t -> int
+(** Cumulative count of clauses ever learnt, including deleted ones. *)
+
+val n_reduce_dbs : t -> int
+(** Number of learnt-database reductions performed. *)
+
+val n_imported : t -> int
+(** Clauses adopted through the import hook (portfolio sharing). *)
+
+type lbd_summary = {
+  live : int;  (** learnt clauses currently in the database *)
+  glue : int;  (** of which glue ([lbd <= 2]) *)
+  avg_lbd : float;
+  max_lbd : int;
+}
+
+val lbd_summary : t -> lbd_summary
+(** Summary of the LBD distribution over the live learnt clauses. *)
 
 val n_literals : t -> int
 (** Total number of input literal occurrences (clauses after level-0

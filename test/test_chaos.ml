@@ -180,6 +180,47 @@ let test_chaos_infeasible () =
   let problem = Model.make_problem ~arch ~tasks:[ task 0 [ 1 ]; task 1 [] ] in
   sweep ~name:"infeasible/separation" ~feasible:false problem Encode.Feasible
 
+let test_chaos_portfolio () =
+  (* parallel counterpart of the sweeps above: the budget trips at the
+     nth poll *of some worker* while 3 diversified workers race the
+     binary search.  Whatever the interleaving of expiry and
+     cancellation, the allocator must return a validated result or a
+     clean Unknown — no deadlock, no torn state, no exception.  Points
+     past the sequential poll count exercise expiry racing the
+     winner's cancellation broadcast. *)
+  let problem = Workloads.small ~seed:3 ~n_ecus:2 ~n_tasks:4 () in
+  let objective = Encode.Min_trt 0 in
+  let optimum =
+    match Allocator.solve problem objective with
+    | Allocator.Solved r -> Some r.Allocator.cost
+    | _ -> Alcotest.fail "portfolio chaos: reference run failed"
+  in
+  (* user hooks are not inherited by derived budgets, so the chaos
+     hook fires only in the coordinator's poll loop: the trip lands at
+     a wall-clock point unrelated to any worker's progress, racing the
+     cancellation broadcast against workers at arbitrary stages of the
+     search — that is the race under test *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun fallback ->
+          let label = Printf.sprintf "portfolio N=%d fallback=%b" n fallback in
+          match
+            Allocator.solve ~jobs:3 ~budget:(chaos_budget n) ~fallback problem
+              objective
+          with
+          | Allocator.Solved r -> check_solved ~label ~optimum problem r
+          | Allocator.Infeasible ->
+            Alcotest.fail (label ^ ": spurious infeasibility")
+          | Allocator.Unknown ->
+            (* clean pause: acceptable whenever the heuristic rung is
+               off or could not complete *)
+            ()
+          | exception e ->
+            Alcotest.failf "%s: escaped exception %s" label (Printexc.to_string e))
+        [ true; false ])
+    [ 1; 2; 3; 5; 8; 13; 21; 40; 80; 200; 1000; 5000 ]
+
 let test_chaos_find_feasible () =
   (* the feasibility entry point degrades the same way *)
   let problem = Workloads.small ~seed:7 ~n_ecus:2 ~n_tasks:4 () in
@@ -210,4 +251,5 @@ let suite =
     Alcotest.test_case "chaos sweep: CAN bus load" `Slow test_chaos_can_bus_load;
     Alcotest.test_case "chaos sweep: infeasible" `Quick test_chaos_infeasible;
     Alcotest.test_case "chaos sweep: find_feasible" `Quick test_chaos_find_feasible;
+    Alcotest.test_case "chaos sweep: 3-worker portfolio" `Slow test_chaos_portfolio;
   ]

@@ -53,6 +53,15 @@ let test_campaign_clean () =
     (report.Fuzz.n_sat > 0 && report.Fuzz.n_unsat > 0);
   Alcotest.(check int) "no discrepancies" 0 (List.length report.Fuzz.failures)
 
+let test_campaign_portfolio () =
+  (* the certifying interlock under parallel solving: every case is
+     raced by 2 workers, the winner's Unsat trace must still certify *)
+  let report = Fuzz.run ~jobs:2 ~iters:40 ~seed:3 () in
+  Alcotest.(check int) "all iterations ran" 40 report.Fuzz.iters;
+  Alcotest.(check bool) "both polarities exercised" true
+    (report.Fuzz.n_sat > 0 && report.Fuzz.n_unsat > 0);
+  Alcotest.(check int) "no discrepancies" 0 (List.length report.Fuzz.failures)
+
 let test_campaign_large_instances () =
   (* push to the 16-var oracle limit to stress PB propagation depth *)
   let report = Fuzz.run ~max_vars:14 ~iters:25 ~seed:2 () in
@@ -69,4 +78,6 @@ let suite =
         Fuzz.Pb (Fuzz.gen_pb ~seed ~max_vars:10));
     Alcotest.test_case "campaign 60 iters clean" `Slow test_campaign_clean;
     Alcotest.test_case "campaign large instances" `Slow test_campaign_large_instances;
+    Alcotest.test_case "campaign with 2-worker portfolio" `Slow
+      test_campaign_portfolio;
   ]

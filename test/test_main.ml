@@ -28,4 +28,5 @@ let () =
          ("workloads", Test_workloads.suite);
          ("proof", Test_proof.suite);
          ("fuzz", Test_fuzz.suite);
+        ("portfolio", Test_portfolio.suite);
        ])
