@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
                    ablation-incremental ablation-encoding ablation-pb
-                   anytime portfolio micro)
+                   anytime portfolio explain micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -551,6 +551,186 @@ let portfolio ~quick () =
       best;
   Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
 
+(* ---- explanation engine: MUS extraction and incremental what-if ---------- *)
+
+let explain ~quick () =
+  let module Solver = Taskalloc_sat.Solver in
+  let module Bv = Taskalloc_bv.Bv in
+  let module Explain = Taskalloc_explain.Explain in
+  section "Explain: incremental MUS extraction and what-if re-solving";
+  let rows = ref [] in
+
+  (* Part 1: MUS extraction on a pigeonhole-infeasible allocation — n
+     tasks of WCET 15 and deadline 20 on n-1 ECUs, padded with light
+     tasks.  The incremental engine (one encoding, learnt clauses
+     shared across all shrink probes) vs the naive deletion loop that
+     re-encodes and solves from scratch for every probe. *)
+  let pigeonhole n =
+    let n_ecus = n - 1 in
+    let arch =
+      {
+        Model.n_ecus;
+        media =
+          [
+            {
+              Model.med_id = 0;
+              med_name = "ring";
+              kind = Model.Tdma;
+              ecus = List.init n_ecus Fun.id;
+              byte_time = 1;
+              frame_overhead = 2;
+            };
+          ];
+        mem_capacity = Array.make n_ecus 1000;
+        gateway_service = 0;
+        barred = [];
+      }
+    in
+    let on_all w = List.init n_ecus (fun e -> (e, w)) in
+    let heavy i =
+      {
+        Model.task_id = i;
+        task_name = Printf.sprintf "heavy%d" i;
+        period = 100;
+        wcets = on_all 15;
+        deadline = 20;
+        memory = 1;
+        separation = [];
+        messages = [];
+        jitter = 0;
+        blocking = 0;
+      }
+    in
+    let light i =
+      { (heavy i) with task_name = Printf.sprintf "light%d" (i - n);
+                       deadline = 90; wcets = on_all 2 }
+    in
+    Model.make_problem ~arch
+      ~tasks:(List.init (2 * n) (fun i -> if i < n then heavy i else light i))
+  in
+  let naive_mus problem =
+    (* every probe pays a full re-encode and a cold solver *)
+    let solves = ref 0 in
+    let solve_with ids =
+      incr solves;
+      let enc = Encode.encode ~groups:true problem Encode.Feasible in
+      let solver = Bv.solver (Encode.context enc) in
+      let sel id =
+        match List.find_opt (fun g -> Encode.group_id g = id) (Encode.groups enc) with
+        | Some g -> g.Encode.selector
+        | None -> assert false
+      in
+      let r = Solver.solve ~assumptions:(List.map sel ids) solver in
+      let core () =
+        let back = Hashtbl.create 16 in
+        List.iter (fun id -> Hashtbl.replace back (sel id) id) ids;
+        List.filter_map (fun l -> Hashtbl.find_opt back l) (Solver.unsat_core solver)
+      in
+      (r, core)
+    in
+    let all =
+      List.map Encode.group_id
+        (Encode.groups (Encode.encode ~groups:true problem Encode.Feasible))
+    in
+    match solve_with all with
+    | Solver.Unsat, core ->
+      let work = ref (core ()) in
+      let rec shrink tested =
+        match List.find_opt (fun id -> not (List.mem id tested)) !work with
+        | None -> ()
+        | Some id -> (
+          let rest = List.filter (fun x -> x <> id) !work in
+          match solve_with rest with
+          | Solver.Unsat, core ->
+            work := core ();
+            shrink tested
+          | _ -> shrink (id :: tested))
+      in
+      shrink [];
+      (List.length !work, !solves)
+    | _ -> Fmt.failwith "explain bench: pigeonhole instance not unsat"
+  in
+  let n = if quick then 5 else 8 in
+  let problem = pigeonhole n in
+  (* max_relaxations:0 keeps the comparison MUS-only (no correction
+     sets), matching what the naive loop computes *)
+  let report, t_mus = time (fun () -> Explain.explain ~max_relaxations:0 problem) in
+  let mus_size =
+    match report.Explain.status with
+    | Explain.Explained { core; minimal } ->
+      if not minimal then Fmt.failwith "explain bench: unbudgeted MUS not minimal";
+      List.length core
+    | _ -> Fmt.failwith "explain bench: pigeonhole instance not explained"
+  in
+  let (naive_size, naive_solves), t_naive = time (fun () -> naive_mus problem) in
+  if naive_size <> mus_size then
+    Fmt.failwith "explain bench: naive and incremental MUS sizes disagree (%d vs %d)"
+      naive_size mus_size;
+  let mus_speedup = t_naive /. Float.max t_mus 1e-6 in
+  Fmt.pr
+    "  MUS (pigeonhole n=%d): incremental %a / %d solves   naive re-encode %a / %d \
+     solves   speedup %.2fx@."
+    n pp_time t_mus report.Explain.solves pp_time t_naive naive_solves mus_speedup;
+  rows :=
+    Bench_json.Obj
+      [
+        ("part", Bench_json.Str "mus");
+        ("instance", Bench_json.Str (Printf.sprintf "pigeonhole%d" n));
+        ("core_size", Bench_json.Int mus_size);
+        ("incremental_s", Bench_json.Float t_mus);
+        ("incremental_solves", Bench_json.Int report.Explain.solves);
+        ("naive_s", Bench_json.Float t_naive);
+        ("naive_solves", Bench_json.Int naive_solves);
+        ("speedup", Bench_json.Float mus_speedup);
+      ]
+    :: !rows;
+
+  (* Part 2: what-if queries at Table-1 scale — one live session
+     answering Q deadline tightenings vs a fresh encode+solve per
+     query. *)
+  let wname, problem =
+    if quick then ("tasks20", Workloads.task_scaling ~n:20 ())
+    else ("tindell43", Workloads.tindell43 ())
+  in
+  let tasks = problem.Model.tasks in
+  let queries =
+    List.init (min 6 (Array.length tasks)) (fun i ->
+        [ Explain.Whatif.Set_deadline { task = i; deadline = tasks.(i).Model.deadline - 1 } ])
+  in
+  let run_incremental () =
+    let w = Explain.Whatif.create problem in
+    List.iter (fun q -> ignore (Explain.Whatif.query w q)) queries
+  in
+  let run_fresh () =
+    List.iter
+      (fun q ->
+        let w = Explain.Whatif.create problem in
+        ignore (Explain.Whatif.query w q))
+      queries
+  in
+  let (), t_inc = time run_incremental in
+  let (), t_fresh = time run_fresh in
+  let whatif_speedup = t_fresh /. Float.max t_inc 1e-6 in
+  Fmt.pr "  what-if (%s, %d queries): incremental %a   fresh %a   speedup %.2fx@."
+    wname (List.length queries) pp_time t_inc pp_time t_fresh whatif_speedup;
+  if whatif_speedup < 2. then
+    Fmt.pr "  shape check: VIOLATED: incremental what-if speedup %.2fx < 2x@."
+      whatif_speedup
+  else Fmt.pr "  shape check: OK (>= 2x, matching the paper's reuse ablation)@.";
+  rows :=
+    Bench_json.Obj
+      [
+        ("part", Bench_json.Str "whatif");
+        ("workload", Bench_json.Str wname);
+        ("queries", Bench_json.Int (List.length queries));
+        ("incremental_s", Bench_json.Float t_inc);
+        ("fresh_s", Bench_json.Float t_fresh);
+        ("speedup", Bench_json.Float whatif_speedup);
+      ]
+    :: !rows;
+  let path = Bench_json.write ~experiment:"explain" (Bench_json.List (List.rev !rows)) in
+  Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
+
 (* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
 
 let micro () =
@@ -627,6 +807,7 @@ let () =
       ("ablation-pb", fun () -> ablation_pb ~quick ());
       ("anytime", fun () -> anytime ~quick ());
       ("portfolio", fun () -> portfolio ~quick ());
+      ("explain", fun () -> explain ~quick ());
       ("micro", fun () -> micro ());
     ]
   in

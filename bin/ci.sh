@@ -153,10 +153,54 @@ out=$(dune exec bin/taskalloc.exe -- fuzz --iters 60 --seed 2 --jobs 2)
 echo "$out" | grep -q " 0 failures" || {
     echo "FAIL: parallel fuzz campaign found discrepancies"; echo "$out"; exit 1; }
 
-# bench smoke: the portfolio experiment end to end on toy instances
-# (generates BENCH_portfolio.json; speedups are not meaningful at this
-# scale, only that the harness runs clean)
+# ---- infeasibility explanation ------------------------------------------
+
+# the over-constrained example must be diagnosed with a named deadline
+# core (exit 1 = infeasible by CLI convention)
+echo "== CLI smoke: explain an over-constrained instance =="
+rc=0
+out=$(dune exec bin/taskalloc.exe -- explain --file examples/overconstrained.prob) || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: expected infeasible (exit 1), got $rc"; exit 1; }
+echo "$out" | grep -q "INFEASIBLE" || {
+    echo "FAIL: explain did not report infeasibility"; echo "$out"; exit 1; }
+echo "$out" | grep -q "deadline of" || {
+    echo "FAIL: explain core did not name a deadline group"; echo "$out"; exit 1; }
+
+# what-if round trip on one live session: the baseline is infeasible,
+# dropping one fusion deadline is feasible, and the baseline re-asked
+# afterwards is infeasible again (assumption state fully cleared)
+echo "== CLI smoke: what-if round trip =="
+out=$(dune exec bin/taskalloc.exe -- whatif --file examples/overconstrained.prob \
+    --query "" --query "drop deadline fusion-a" --query "")
+echo "$out" | grep -q "query 1 \[baseline\]: INFEASIBLE" || {
+    echo "FAIL: baseline what-if not infeasible"; echo "$out"; exit 1; }
+echo "$out" | grep -q "query 2 \[drop deadline fusion-a\]: FEASIBLE" || {
+    echo "FAIL: relaxed what-if not feasible"; echo "$out"; exit 1; }
+echo "$out" | grep -c "INFEASIBLE" | grep -q "^2$" || {
+    echo "FAIL: repeated baseline did not return to infeasible"; echo "$out"; exit 1; }
+
+# assumption cores over the DIMACS front end: assuming 1 and 2 against
+# (~1 | ~2) is Unsat with a "c core" line naming the culprits
+echo "== CLI smoke: dimacs_solve --assume core =="
+cnf=$(mktemp /tmp/ci-assume-XXXXXX.cnf)
+assume=$(mktemp /tmp/ci-assume-XXXXXX.lits)
+printf 'p cnf 3 2\n-1 -2 0\n1 3 0\n' > "$cnf"
+printf '1 2\n' > "$assume"
+rc=0
+out=$(dune exec bin/dimacs_solve.exe -- --assume "$assume" "$cnf") || rc=$?
+[ "$rc" -eq 20 ] || { echo "FAIL: expected Unsat (exit 20), got $rc"; exit 1; }
+echo "$out" | grep -q "^c core .*0$" || {
+    echo "FAIL: no failed-assumption core printed"; echo "$out"; exit 1; }
+rm -f "$cnf" "$assume"
+
+# bench smoke: the portfolio and explain experiments end to end on toy
+# instances (generate BENCH_portfolio.json / BENCH_explain.json;
+# speedups are not meaningful at this scale, only that the harnesses
+# run clean)
 echo "== bench smoke: quick portfolio =="
 dune exec bench/main.exe -- quick portfolio > /dev/null
+
+echo "== bench smoke: quick explain =="
+dune exec bench/main.exe -- quick explain > /dev/null
 
 echo "CI OK"

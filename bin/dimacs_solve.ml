@@ -1,12 +1,21 @@
 (* Standalone DIMACS CNF solver built on the taskalloc CDCL engine.
 
-   Usage:  dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] FILE.cnf
+   Usage:  dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats]
+                        [--assume FILE] FILE.cnf
            dimacs_solve --check PROOF FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
    in the conventional SAT-competition output format (exit 20 on Unsat,
    30 on Unknown).  With --proof, an Unsat run also writes a DRUP trace;
    --check replays such a trace through the independent RUP checker and
    prints "s VERIFIED" (exit 0) or "s NOT VERIFIED" (exit 1).
+
+   --assume FILE solves under the assumptions listed in FILE
+   (whitespace-separated DIMACS literals; zeros and "c"-comment lines
+   are ignored).  An Unsat answer then prints the failed-assumption
+   core as a "c core" line: a subset of the assumptions that is already
+   jointly inconsistent with the formula (empty when the formula is
+   unsatisfiable outright).  Assumption solving is sequential and
+   incompatible with --jobs and --proof.
 
    --jobs N races N diversified solvers on OCaml domains; the first
    conclusive worker wins.  With --proof, every worker records its own
@@ -20,7 +29,8 @@ module Portfolio = Taskalloc_portfolio.Portfolio
 
 let usage () =
   prerr_endline
-    "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] FILE.cnf\n\
+    "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] \
+     [--assume FILE] FILE.cnf\n\
     \       dimacs_solve --check PROOF [--binary] FILE.cnf";
   exit 2
 
@@ -30,12 +40,14 @@ type opts = {
   mutable binary : bool;
   mutable jobs : int;
   mutable stats : bool;
+  mutable assume : string option;
   mutable cnf : string option;
 }
 
 let parse_args () =
   let o =
-    { proof = None; check = None; binary = false; jobs = 1; stats = false; cnf = None }
+    { proof = None; check = None; binary = false; jobs = 1; stats = false;
+      assume = None; cnf = None }
   in
   let rec go = function
     | [] -> ()
@@ -44,6 +56,9 @@ let parse_args () =
       go rest
     | "--check" :: file :: rest ->
       o.check <- Some file;
+      go rest
+    | "--assume" :: file :: rest ->
+      o.assume <- Some file;
       go rest
     | "--binary" :: rest ->
       o.binary <- true;
@@ -64,7 +79,45 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   if o.proof <> None && o.check <> None then usage ();
+  if o.assume <> None && (o.jobs > 1 || o.proof <> None || o.check <> None) then begin
+    prerr_endline "dimacs_solve: --assume is incompatible with --jobs, --proof and --check";
+    exit 2
+  end;
   o
+
+(* Whitespace-separated DIMACS literals; zeros (clause terminators, if
+   any) and "c" comment lines are ignored. *)
+let parse_assumptions ~num_vars path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lits = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if not (String.length line > 0 && line.[0] = 'c') then
+             String.split_on_char ' ' line
+             |> List.concat_map (String.split_on_char '\t')
+             |> List.iter (fun tok ->
+                    match String.trim tok with
+                    | "" | "0" -> ()
+                    | tok -> (
+                      match int_of_string_opt tok with
+                      | Some n when abs n <= num_vars ->
+                        lits := Lit.of_dimacs n :: !lits
+                      | Some n ->
+                        Printf.eprintf
+                          "dimacs_solve: %s: assumption literal %d out of range \
+                           (formula has %d variables)\n"
+                          path n num_vars;
+                        exit 2
+                      | None ->
+                        Printf.eprintf "dimacs_solve: %s: bad literal %S\n" path tok;
+                        exit 2))
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !lits))
 
 let print_solver_stats ~prefix s =
   Printf.printf "c %sconflicts=%d decisions=%d propagations=%d restarts=%d\n"
@@ -76,6 +129,48 @@ let print_solver_stats ~prefix s =
      reduce_dbs=%d imported=%d\n"
     prefix (Solver.n_learnt_total s) live glue avg_lbd max_lbd
     (Solver.n_reduce_dbs s) (Solver.n_imported s)
+
+let solve_assume cnf_path assume_path stats =
+  let cnf = Dimacs.parse_file cnf_path in
+  let assumptions = parse_assumptions ~num_vars:cnf.Dimacs.num_vars assume_path in
+  let solver = Solver.create () in
+  for _ = 1 to cnf.Dimacs.num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter
+    (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
+    cnf.Dimacs.clauses;
+  Printf.printf "c %d assumptions from %s\n" (Array.length assumptions) assume_path;
+  match Solver.solve ~assumptions:(Array.to_list assumptions) solver with
+  | Solver.Sat ->
+    print_endline "s SATISFIABLE";
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "v";
+    for v = 0 to cnf.Dimacs.num_vars - 1 do
+      let value = Solver.model_value solver (Lit.of_var v) in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
+    done;
+    Buffer.add_string buf " 0";
+    print_endline (Buffer.contents buf);
+    if stats then print_solver_stats ~prefix:"" solver
+  | Solver.Unsat ->
+    let core = Solver.unsat_core solver in
+    if stats then print_solver_stats ~prefix:"" solver;
+    print_endline "s UNSATISFIABLE";
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "c core";
+    List.iter
+      (fun l ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (Lit.to_dimacs l)))
+      core;
+    Buffer.add_string buf " 0";
+    print_endline (Buffer.contents buf);
+    exit 20
+  | Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 30
 
 let solve cnf_path proof_path binary jobs stats =
   let cnf = Dimacs.parse_file cnf_path in
@@ -149,7 +244,8 @@ let check proof_path cnf_path binary =
 
 let () =
   let o = parse_args () in
-  match (o.cnf, o.check) with
-  | Some cnf_path, Some proof_path -> check proof_path cnf_path o.binary
-  | Some cnf_path, None -> solve cnf_path o.proof o.binary o.jobs o.stats
-  | None, _ -> usage ()
+  match (o.cnf, o.check, o.assume) with
+  | Some cnf_path, Some proof_path, None -> check proof_path cnf_path o.binary
+  | Some cnf_path, None, Some assume_path -> solve_assume cnf_path assume_path o.stats
+  | Some cnf_path, None, None -> solve cnf_path o.proof o.binary o.jobs o.stats
+  | _ -> usage ()

@@ -5,6 +5,8 @@
      check    -- analyze a workload under a greedy heuristic placement
      compare  -- optimal allocator vs the heuristic baselines
      closures -- print the path closures of a named architecture
+     explain  -- diagnose an infeasible workload (minimal unsat core)
+     whatif   -- incremental what-if queries on one live solver session
 
    Example:
      taskalloc solve --workload tindell43 --objective trt
@@ -372,6 +374,114 @@ let fuzz_cmd =
           discrepancy and prints a minimized reproducer")
     Term.(const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg $ verbose_arg)
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let explain_cmd =
+  let run file workload seed jobs timeout max_conflicts max_relax json =
+    let problem = lookup_workload ?file workload seed in
+    let budget = budget_of ~timeout ~max_conflicts in
+    let report =
+      Taskalloc_explain.Explain.explain ~jobs ?budget ~max_relaxations:max_relax
+        problem
+    in
+    if json then print_endline (Taskalloc_explain.Explain.report_to_json report)
+    else Fmt.pr "%a@." Taskalloc_explain.Explain.pp_report report;
+    match report.Taskalloc_explain.Explain.status with
+    | Taskalloc_explain.Explain.Feasible -> ()
+    | Taskalloc_explain.Explain.Explained _ -> exit 1
+    | Taskalloc_explain.Explain.Unknown -> exit 4
+  in
+  let max_relax_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "relaxations" ] ~docv:"K"
+          ~doc:
+            "Report up to K minimal correction sets (group sets whose removal \
+             restores feasibility).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Diagnose an infeasible workload: extract a minimal unsatisfiable set \
+          of named constraint groups (deadlines, separations, placements, \
+          capacities) and the minimal relaxations that restore feasibility")
+    Term.(
+      const run $ file_arg $ workload_arg $ seed_arg $ jobs_arg $ timeout_arg
+      $ max_conflicts_arg $ max_relax_arg $ json_arg)
+
+let whatif_cmd =
+  let run file workload seed timeout max_conflicts queries json =
+    let problem = lookup_workload ?file workload seed in
+    let module W = Taskalloc_explain.Explain.Whatif in
+    (* Parse everything up front so a typo in query 3 does not waste the
+       solve for queries 1 and 2. *)
+    let deltas =
+      List.mapi
+        (fun i q ->
+          match W.parse_deltas problem q with
+          | Ok ds -> (q, ds)
+          | Error msg ->
+            Fmt.epr "query %d %S: %s@." (i + 1) q msg;
+            exit 2)
+        queries
+    in
+    let session = W.create problem in
+    let tasks = problem.Model.tasks in
+    List.iteri
+      (fun i (q, ds) ->
+        let budget = budget_of ~timeout ~max_conflicts in
+        let verdict = W.query ?budget session ds in
+        let label = if q = "" then "baseline" else q in
+        if json then Fmt.pr "%s@." (W.verdict_to_json session verdict)
+        else
+          match verdict with
+          | W.Feasible { allocation; relaxed } ->
+            Fmt.pr "query %d [%s]: FEASIBLE%s@." (i + 1) label
+              (if relaxed then " (under relaxed constraints)" else "");
+            Fmt.pr "  placement:%t@." (fun ppf ->
+                Array.iteri
+                  (fun t e ->
+                    Fmt.pf ppf " %s->ECU%d" tasks.(t).Model.task_name e)
+                  allocation.Model.task_ecu)
+          | W.Infeasible { groups; deltas } ->
+            Fmt.pr "query %d [%s]: INFEASIBLE@." (i + 1) label;
+            List.iter
+              (fun g -> Fmt.pr "  - %s@." g.Encode.descr)
+              groups;
+            List.iter
+              (fun d -> Fmt.pr "  - query delta: %s@." (W.describe session d))
+              deltas
+          | W.Unknown -> Fmt.pr "query %d [%s]: UNKNOWN (budget expired)@." (i + 1) label)
+      deltas;
+    if not json then
+      Fmt.pr "session: %d queries, %d solver calls, one encoding@."
+        (W.queries session) (W.solves session)
+  in
+  let query_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:
+            "What-if query (repeatable; answered in order on one live solver \
+             session).  Comma-separated deltas: 'pin <task> <ecu>', 'forbid \
+             <task> <ecu>', 'deadline <task> <d>', 'drop deadline <task>', \
+             'drop separation <t1> <t2>', 'drop placement <task>', 'drop \
+             capacity <ecu>', 'drop msg-deadline <id>'.  An empty query \
+             re-solves the unmodified instance.")
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Interrogate a workload incrementally: re-solve a sequence of \
+          deadline/placement/relaxation deltas on one live solver session \
+          without re-encoding")
+    Term.(
+      const run $ file_arg $ workload_arg $ seed_arg $ timeout_arg
+      $ max_conflicts_arg $ query_arg $ json_arg)
+
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd; explain_cmd; whatif_cmd ]))

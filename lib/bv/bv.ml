@@ -165,7 +165,7 @@ let select_const ctx sel values =
 (* Assert a linear PB constraint over boolean bits directly (used for
    cost functions that are linear in selector bits, e.g. memory
    capacities and utilization sums). *)
-let assert_pb_le ctx terms bound =
+let assert_pb_le ?guard ctx terms bound =
   let terms =
     List.filter_map
       (fun (a, b) ->
@@ -179,7 +179,18 @@ let assert_pb_le ctx terms bound =
     List.fold_left (fun acc (a, b) -> if b = None then acc + a else acc) 0 terms
   in
   let lits = List.filter_map (fun (a, b) -> Option.map (fun l -> (a, l)) b) terms in
-  Pb.add_leq ~mode:ctx.mode ctx.solver lits (bound - const_part)
+  let k = bound - const_part in
+  match guard with
+  | None | Some Circuits.One -> Pb.add_leq ~mode:ctx.mode ctx.solver lits k
+  | Some Circuits.Zero -> ()
+  | Some (Circuits.Lit g) ->
+    (* [g -> sum a_i l_i <= k] as one PB constraint via a big-M term:
+       [sum a_i l_i + M*g <= k + M] with [M = total - k], trivially true
+       when [g] is false and exactly the original bound when true *)
+    let total = List.fold_left (fun acc (a, _) -> acc + a) 0 lits in
+    if k < 0 then Solver.add_clause ctx.solver [ Lit.neg g ]
+    else if total > k then
+      Pb.add_leq ~mode:ctx.mode ctx.solver ((total - k, g) :: lits) total
 
 (* -- model extraction --------------------------------------------------- *)
 

@@ -98,9 +98,13 @@ val select_const : ctx -> bit array -> int array -> t
 (** The constant selected by a one-hot vector, encoded without
     multipliers (the WCET selection of eq. 5). *)
 
-val assert_pb_le : ctx -> (int * bit) list -> int -> unit
+val assert_pb_le : ?guard:bit -> ctx -> (int * bit) list -> int -> unit
 (** Linear pseudo-Boolean [sum a_i * bit_i <= bound] over wires (memory
-    capacities, utilization sums). *)
+    capacities, utilization sums).  With [~guard:g] the constraint is
+    conditional — [g -> sum <= bound] — encoded as a single PB
+    constraint with a big-M slack term on [not g], so it participates
+    in native PB propagation instead of being clausified.  A false (or
+    [Zero]) guard asserts nothing. *)
 
 (** {1 Model inspection} *)
 

@@ -68,6 +68,28 @@ let default_options =
     max_slot = 0;
   }
 
+(* Soft-constraint families the grouped mode tags with selector guards
+   (see [encode ~groups:true]): assuming a group's selector true
+   enforces the family, leaving it free (or assuming it false) relaxes
+   it.  Everything else — the structural allocation, routing, and
+   response-time definitions — stays hard. *)
+type group_kind =
+  | G_deadline of int (* task id: eq. 13 *)
+  | G_msg_deadline of int (* message id: end-to-end budget *)
+  | G_separation of int * int (* task pair, i < j: eq. 4 second conjunct *)
+  | G_placement of int (* task id: eq. 4 admissible-set restriction *)
+  | G_capacity of int (* ECU id: memory capacity *)
+
+type group = { selector : Lit.t; kind : group_kind; descr : string }
+
+let group_id g =
+  match g.kind with
+  | G_deadline i -> Printf.sprintf "deadline:%d" i
+  | G_msg_deadline m -> Printf.sprintf "msg-deadline:%d" m
+  | G_separation (i, j) -> Printf.sprintf "separation:%d:%d" i j
+  | G_placement i -> Printf.sprintf "placement:%d" i
+  | G_capacity e -> Printf.sprintf "capacity:%d" e
+
 (* Candidate route of a message. *)
 type candidate = C_local | C_path of int list
 
@@ -95,6 +117,7 @@ type t = {
   slot_vars : (int * int, Bv.t) Hashtbl.t; (* (medium, ecu) -> slot *)
   rounds : (int, Bv.t) Hashtbl.t; (* TDMA medium -> Lambda *)
   cost : Bv.t;
+  groups : group list; (* selector registry; [] unless encoded with ~groups *)
 }
 
 let ceil_div a b = if a <= 0 then 0 else ((a - 1) / b) + 1
@@ -116,22 +139,73 @@ let same_ecu_bit t i j =
   Bv.bor_list ctx
     (List.map (fun e -> Bv.band ctx (sel_on t i e) (sel_on t j e)) commons)
 
-let encode ?(options = default_options) (problem : Model.problem) (objective : objective)
-    : t =
+let encode ?(options = default_options) ?(groups = false) (problem : Model.problem)
+    (objective : objective) : t =
+  let grouped = groups in
   let ctx = Bv.create ~mode:options.pb_mode () in
   let arch = problem.Model.arch in
   let tasks = problem.Model.tasks in
   let topo = problem.Model.topology in
+  (* selector-guard registry (grouped mode only) *)
+  let reg = ref [] in
+  let new_group kind descr =
+    let g = Circuits.fresh (Bv.solver ctx) in
+    reg := { selector = g; kind; descr } :: !reg;
+    g
+  in
+  let tname i = tasks.(i).Model.task_name in
+  let ename e = Printf.sprintf "ECU%d" e in
+  (* In grouped mode every deadline-derived variable width is widened
+     to the period: deadlines are baked into preemption-counter and
+     response-time bounds, so without widening a dropped deadline guard
+     would leave the relaxed response time clamped by the variables
+     themselves and the relaxation would be vacuous.  Relaxing a
+     deadline group therefore means "extend the deadline up to the
+     period". *)
+  let task_horizon (task : Model.task) =
+    if grouped then max task.Model.deadline task.Model.period
+    else task.Model.deadline
+  in
+  let msg_horizon (msg : Model.message) =
+    if grouped then max msg.Model.msg_deadline (Model.message_period problem msg)
+    else msg.Model.msg_deadline
+  in
+  (* WCET lookup tolerant of the extended domains of grouped mode:
+     ECUs outside a task's declared set get the task's best (smallest)
+     declared WCET — optimistic, so a relaxed placement never looks
+     worse than reality *)
+  let wcet_of (task : Model.task) e =
+    match List.assoc_opt e task.Model.wcets with
+    | Some c -> c
+    | None -> List.fold_left (fun m (_, c) -> min m c) max_int task.Model.wcets
+  in
 
   (* ---- allocation selectors (eq. 4) ------------------------------- *)
-  let allowed =
+  let admissible =
     Array.map (fun task -> Array.of_list (Model.allowed_ecus problem task)) tasks
   in
   Array.iteri
     (fun i a ->
       if Array.length a = 0 then
         Model.invalid "task %d has no admissible ECU (all barred?)" i)
-    allowed;
+    admissible;
+  (* grouped mode extends every task's domain to all non-barred ECUs
+     (admissible first, extras after) so the eq. 4 restriction becomes
+     relaxable; the extras are forbidden under the task's placement
+     selector below *)
+  let allowed =
+    if not grouped then admissible
+    else
+      Array.map
+        (fun adm ->
+          let extras =
+            List.init arch.Model.n_ecus Fun.id
+            |> List.filter (fun e ->
+                   (not (List.mem e arch.Model.barred)) && not (Array.mem e adm))
+          in
+          Array.append adm (Array.of_list extras))
+        admissible
+  in
   let sel =
     match options.alloc_encoding with
     | One_hot -> Array.map (fun a -> Bv.one_hot ctx (Array.length a)) allowed
@@ -147,6 +221,30 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
           bits)
         allowed
   in
+  (* placement-restriction guards over the extended domains: the extra
+     ECUs are only reachable when the task's placement group is off *)
+  if grouped then
+    Array.iteri
+      (fun i adm ->
+        let n_adm = Array.length adm in
+        if Array.length allowed.(i) > n_adm then begin
+          let adm_names =
+            Array.to_list adm |> List.map ename |> String.concat ", "
+          in
+          let g =
+            new_group (G_placement i)
+              (Printf.sprintf "placement restriction of %s (allowed: %s)"
+                 (tname i) adm_names)
+          in
+          for idx = n_adm to Array.length allowed.(i) - 1 do
+            match sel.(i).(idx) with
+            | Circuits.Lit l ->
+              Solver.add_clause (Bv.solver ctx) [ Lit.neg g; Lit.neg l ]
+            | Circuits.One -> Solver.add_clause (Bv.solver ctx) [ Lit.neg g ]
+            | Circuits.Zero -> ()
+          done
+        end)
+      admissible;
   (* priority relation p_i^j (eqs. 9-10): constants from the deadline
      order, free (but transitively consistent) bits on ties *)
   let tie_bits = Hashtbl.create 8 in
@@ -212,19 +310,43 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
       slot_vars = Hashtbl.create 16;
       rounds = Hashtbl.create 4;
       cost = Bv.const 0;
+      groups = [];
     }
   in
 
-  (* separation delta_i (second conjunct of eq. 4) *)
+  (* separation delta_i (second conjunct of eq. 4); one selector per
+     unordered pair in grouped mode (declarations may be symmetric) *)
+  let sep_groups = Hashtbl.create 8 in
   Array.iteri
     (fun i task ->
       List.iter
         (fun j ->
+          let gbit =
+            if not grouped then None
+            else begin
+              let key = (min i j, max i j) in
+              match Hashtbl.find_opt sep_groups key with
+              | Some g -> Some g
+              | None ->
+                let g =
+                  new_group
+                    (G_separation (min i j, max i j))
+                    (Printf.sprintf "separation of %s and %s"
+                       (tname (min i j)) (tname (max i j)))
+                in
+                Hashtbl.replace sep_groups key g;
+                Some g
+            end
+          in
           Array.iter
             (fun e ->
               match (sel_on t_partial i e, sel_on t_partial j e) with
               | Circuits.Lit a, Circuits.Lit b ->
-                Solver.add_clause (Bv.solver ctx) [ Lit.neg a; Lit.neg b ]
+                let cl = [ Lit.neg a; Lit.neg b ] in
+                let cl =
+                  match gbit with None -> cl | Some g -> Lit.neg g :: cl
+                in
+                Solver.add_clause (Bv.solver ctx) cl
               | _ -> ())
             allowed.(i))
         task.Model.separation)
@@ -240,7 +362,18 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
                let b = sel_on t_partial task.Model.task_id e in
                if b = Circuits.Zero then None else Some (task.Model.memory, b))
       in
-      if terms <> [] then Bv.assert_pb_le ctx terms cap
+      if terms <> [] then begin
+        let guard =
+          if not grouped then None
+          else
+            Some
+              (Circuits.Lit
+                 (new_group (G_capacity e)
+                    (Printf.sprintf "memory capacity of %s (%d units)"
+                       (ename e) cap)))
+        in
+        Bv.assert_pb_le ?guard ctx terms cap
+      end
     end
   done;
 
@@ -249,7 +382,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
     Array.mapi
       (fun i task ->
         (* wcet_i (eq. 5) by one-hot selection over the allowed ECUs *)
-        let wcet_values = Array.map (fun e -> Model.wcet_on task e) allowed.(i) in
+        let wcet_values = Array.map (fun e -> wcet_of task e) allowed.(i) in
         let wcet_i = Bv.select_const ctx sel.(i) wcet_values in
         (* blocking factor B_i is allocation-independent: a constant *)
         let blocking_i = Bv.const task.Model.blocking in
@@ -270,12 +403,12 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
                    of the interferer (eqs. 7-10) *)
                 let guard = Bv.band ctx same p_bit in
                 let i_hi =
-                  ceil_div (task.Model.deadline + other.Model.jitter)
+                  ceil_div (task_horizon task + other.Model.jitter)
                     other.Model.period
                 in
                 let i_var = Bv.var ctx ~hi:i_hi in
-                let pc_hi = i_hi * List.fold_left (fun m e -> max m (Model.wcet_on other e)) 0 commons in
-                let pc_var = Bv.var ctx ~hi:(min pc_hi task.Model.deadline) in
+                let pc_hi = i_hi * List.fold_left (fun m e -> max m (wcet_of other e)) 0 commons in
+                let pc_var = Bv.var ctx ~hi:(min pc_hi (task_horizon task)) in
                 (* eq. 8 / eq. 12: no co-location or lower priority *)
                 Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx i_var 0);
                 Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx pc_var 0);
@@ -285,7 +418,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
                 let by_value = Hashtbl.create 4 in
                 List.iter
                   (fun e ->
-                    let v = Model.wcet_on other e in
+                    let v = wcet_of other e in
                     let prev = try Hashtbl.find by_value v with Not_found -> [] in
                     Hashtbl.replace by_value v (e :: prev))
                   commons;
@@ -310,9 +443,20 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
         (* eq. 6: r_i = wcet_i + B_i + sum pc *)
         let r_i = Bv.sum ctx (wcet_i :: blocking_i :: !r_refs) in
         (* eq. 13, with the task's own release jitter consuming part of
-           the deadline budget *)
-        Bv.assert_ ctx
-          (Bv.le_const ctx r_i (task.Model.deadline - task.Model.jitter));
+           the deadline budget; guarded by the task's deadline selector
+           in grouped mode *)
+        let slack = task.Model.deadline - task.Model.jitter in
+        if grouped then begin
+          let g =
+            new_group (G_deadline i)
+              (Printf.sprintf "deadline of %s (d=%d)" task.Model.task_name
+                 task.Model.deadline)
+          in
+          if slack < 0 then Solver.add_clause (Bv.solver ctx) [ Lit.neg g ]
+          else
+            Bv.assert_implies ctx [ Circuits.Lit g ] (Bv.le_const ctx r_i slack)
+        end
+        else Bv.assert_ ctx (Bv.le_const ctx r_i slack);
         (* eq. 11: the two-sided bound making I the ceiling of
            (r + J_j)/t_j — the interferer's release jitter inflates its
            preemption count *)
@@ -516,14 +660,16 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
           in
           Hashtbl.replace enc.station k bits)
         media_of_candidates;
-      (* local deadlines, jitter, response variables per usable medium *)
+      (* local deadlines, jitter, response variables per usable medium;
+         widths follow the (possibly widened) message horizon *)
       let delta = msg.Model.msg_deadline in
+      let hor = msg_horizon msg in
       List.iter
         (fun k ->
           let u = Hashtbl.find enc.use k in
-          let d_k = Bv.var ctx ~hi:delta in
-          let j_k = Bv.var ctx ~hi:delta in
-          let r_k = Bv.var ctx ~hi:delta in
+          let d_k = Bv.var ctx ~hi:hor in
+          let j_k = Bv.var ctx ~hi:hor in
+          let r_k = Bv.var ctx ~hi:hor in
           Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx d_k 0);
           Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx j_k 0);
           Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx r_k 0);
@@ -579,7 +725,16 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
           (serv
           :: List.map (fun k -> Hashtbl.find enc.local_deadline k) media_of_candidates)
       in
-      Bv.assert_ ctx (Bv.le_const ctx d_total delta))
+      if grouped then begin
+        let g =
+          new_group
+            (G_msg_deadline msg.Model.msg_id)
+            (Printf.sprintf "end-to-end deadline of message %d (%s -> %s, D=%d)"
+               msg.Model.msg_id (tname src) (tname dst) delta)
+        in
+        Bv.assert_implies ctx [ Circuits.Lit g ] (Bv.le_const ctx d_total delta)
+      end
+      else Bv.assert_ ctx (Bv.le_const ctx d_total delta))
     msg_encs;
 
   (* per-medium response-time equations, with cross-message interference *)
@@ -595,7 +750,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
           let u = Hashtbl.find enc.use k in
           let r_k = Hashtbl.find enc.response k in
           let rho = Model.frame_time medium msg in
-          let delta = msg.Model.msg_deadline in
+          let hor = msg_horizon msg in
           (* interference variables from higher-priority users *)
           let interference_terms = ref [] in
           List.iter
@@ -621,7 +776,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
                     in
                     Bv.band ctx (Bv.band ctx u u') same_station
                 in
-                let i_hi = ceil_div delta t_m' in
+                let i_hi = ceil_div hor t_m' in
                 let i_var = Bv.var ctx ~hi:(max i_hi 1) in
                 Bv.assert_implies ctx [ Bv.bnot cond ] (Bv.eq_const ctx i_var 0);
                 let j' = Hashtbl.find enc'.jitter k in
@@ -652,7 +807,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
               Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx osl 0);
               let diff = Bv.sub_asserting ctx lambda osl in
               let n_stations = List.length medium.Model.ecus in
-              let imb_hi = max 1 (ceil_div delta n_stations) in
+              let imb_hi = max 1 (ceil_div hor n_stations) in
               let imb = Bv.var ctx ~hi:imb_hi in
               Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx imb 0);
               let prod = Bv.mul ctx imb lambda in
@@ -710,7 +865,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
                  let b = sel_on t task.Model.task_id e in
                  if b = Circuits.Zero then None
                  else begin
-                   let u = Model.wcet_on task e * 1000 / task.Model.period in
+                   let u = wcet_of task e * 1000 / task.Model.period in
                    Some (Bv.ite ctx b (Bv.const (max u 1)) (Bv.const 0))
                  end)
         in
@@ -719,7 +874,7 @@ let encode ?(options = default_options) (problem : Model.problem) (objective : o
       done;
       cost
   in
-  { t with cost }
+  { t with cost; groups = List.rev !reg }
 
 (* ---- model extraction ---------------------------------------------------- *)
 
@@ -779,6 +934,13 @@ let extract t : Model.allocation =
 
 let cost_term t = t.cost
 let context t = t.ctx
+let groups t = t.groups
+let find_group t kind = List.find_opt (fun g -> g.kind = kind) t.groups
+
+(* selector bit of task [i] on ECU [e] for what-if pinning; [Zero] when
+   the ECU is outside the task's (possibly extended) domain *)
+let task_selector t ~task ~ecu = sel_on t task ecu
+let response_time t i = t.response_times.(i)
 
 (* Formula-size statistics, as reported in the paper's tables. *)
 let n_bool_vars t = Bv.n_bool_vars t.ctx

@@ -54,11 +54,47 @@ type t
 (** An encoded problem: the constraint system plus the handles needed
     to extract an allocation from a model. *)
 
-val encode : ?options:options -> Model.problem -> objective -> t
-(** Build the constraint system.  Raises {!Model.Invalid_model} when
-    the problem admits no encoding (e.g. a task with no admissible ECU,
-    a message with no admissible route, or a TRT objective on a
-    priority bus). *)
+(** {1 Constraint groups} (grouped mode, [encode ~groups:true])
+
+    Soft-constraint families tagged with named selector literals so the
+    explanation engine ([lib/explain]) can enforce or relax them per
+    solve call through assumptions: assuming a group's selector true
+    enforces the family; leaving it free (or assuming its negation)
+    relaxes it.  With every selector assumed true the grouped system is
+    equisatisfiable with the plain encoding.  Relaxation is made
+    non-vacuous by widening deadline-derived variable bounds to the
+    period and extending placement domains to all non-barred ECUs
+    (extras forbidden under the placement selector, with optimistic
+    best-known WCETs). *)
+
+type group_kind =
+  | G_deadline of int  (** task id: eq. 13 deadline check *)
+  | G_msg_deadline of int  (** message id: end-to-end deadline budget *)
+  | G_separation of int * int  (** task pair [(i, j)], [i < j]: eq. 4 *)
+  | G_placement of int  (** task id: eq. 4 admissible-set restriction *)
+  | G_capacity of int  (** ECU id: memory capacity *)
+
+type group = {
+  selector : Taskalloc_sat.Lit.t;  (** assume true to enforce the family *)
+  kind : group_kind;
+  descr : string;  (** model-level description, e.g. ["deadline of brake (d=20)"] *)
+}
+
+val group_id : group -> string
+(** Stable machine-readable id, e.g. ["deadline:3"], ["separation:1:4"]. *)
+
+val groups : t -> group list
+(** The selector registry, in deterministic encoding order; [[]] unless
+    encoded with [~groups:true]. *)
+
+val find_group : t -> group_kind -> group option
+
+val encode : ?options:options -> ?groups:bool -> Model.problem -> objective -> t
+(** Build the constraint system.  [~groups:true] (default false)
+    selects the grouped mode described above.  Raises
+    {!Model.Invalid_model} when the problem admits no encoding (e.g. a
+    task with no admissible ECU, a message with no admissible route, or
+    a TRT objective on a priority bus). *)
 
 val context : t -> Taskalloc_bv.Bv.ctx
 val cost_term : t -> Taskalloc_bv.Bv.t
@@ -66,7 +102,20 @@ val cost_term : t -> Taskalloc_bv.Bv.t
 val extract : t -> Model.allocation
 (** Read a complete allocation (placement, routes, slots, priority
     order) out of the solver's current model.  Only valid right after a
-    [Sat] answer. *)
+    [Sat] answer.  Under grouped-mode relaxations the placement may use
+    ECUs outside a task's declared WCET domain — such allocations are
+    design suggestions ("allow t3 on ECU2"), not checkable schedules. *)
+
+(** {1 What-if handles} (grouped mode) *)
+
+val task_selector : t -> task:int -> ecu:int -> Taskalloc_pb.Circuits.bit
+(** Selector bit of a task on an ECU, for pin/forbid assumptions;
+    [Zero] when the ECU is outside the task's (possibly extended)
+    domain. *)
+
+val response_time : t -> int -> Taskalloc_bv.Bv.t
+(** The response-time term r_i of a task, for what-if deadline
+    tightenings reified against it. *)
 
 (** {1 Formula-size statistics} (the paper's Var./Lit. columns) *)
 

@@ -1,0 +1,110 @@
+(** Infeasibility explanation: turn a bare [Infeasible] answer into a
+    diagnosis an engineer can act on.
+
+    The engine works on the grouped encoding
+    ({!Taskalloc_core.Encode.encode}[ ~groups:true]), where every soft
+    constraint family — per-task deadlines (eq. 13), per-pair
+    separation, per-task placement restrictions (eq. 4), per-ECU memory
+    capacities and per-message end-to-end deadlines — is guarded by a
+    named selector literal.  Solving under the assumption that all
+    selectors hold reproduces the original instance; an Unsat answer
+    then yields a failed-assumption core ({!Taskalloc_sat.Solver.unsat_core})
+    over whole constraint families, which is
+
+    - shrunk to a minimal unsatisfiable subset (MUS) by deletion with
+      clause-set refinement, optionally racing [~jobs] candidate
+      deletions in parallel over diversified sessions
+      ({!Taskalloc_portfolio.Portfolio.race});
+    - complemented by up to K minimal correction sets: smallest group
+      sets whose relaxation restores feasibility, verified by
+      re-solving and enumerated with selector blocking clauses.
+
+    All probes run on incremental solver sessions — the encoding is
+    built once per session and every learnt clause prunes later probes.
+    The whole pass is anytime: with an exhausted {!Budget.t} the
+    current (valid, possibly non-minimal) core is returned. *)
+
+open Taskalloc_rt
+open Taskalloc_core
+module Budget = Taskalloc_sat.Budget
+
+type status =
+  | Feasible  (** nothing to explain: all groups are satisfiable together *)
+  | Explained of { core : Encode.group list; minimal : bool }
+      (** jointly unsatisfiable groups; [minimal] is false when the
+          budget expired mid-shrink (the core is still a valid unsat
+          core).  An empty core means the instance is infeasible
+          regardless of the tagged groups (structural infeasibility). *)
+  | Unknown  (** budget exhausted before the first answer *)
+
+type report = {
+  status : status;
+  relaxations : Encode.group list list;
+      (** minimal correction sets: dropping all groups of any one set
+          restores feasibility (verified by re-solving) *)
+  solves : int;  (** solver calls across all sessions *)
+  time_s : float;
+}
+
+val explain :
+  ?options:Encode.options ->
+  ?jobs:int ->
+  ?budget:Budget.t ->
+  ?max_relaxations:int ->
+  Model.problem ->
+  report
+(** Diagnose a problem.  [jobs] (default 1) races that many candidate
+    deletions per MUS round on diversified sessions;
+    [max_relaxations] (default 3) caps the correction sets reported. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string
+
+(** Incremental what-if sessions: one grouped encoding and one solver
+    kept alive across queries, each query a set of deltas installed as
+    assumptions — no re-encoding, and clauses learnt answering one
+    query prune the next. *)
+module Whatif : sig
+  type t
+
+  type delta =
+    | Pin of { task : int; ecu : int }  (** force a task onto an ECU *)
+    | Forbid of { task : int; ecu : int }
+    | Set_deadline of { task : int; deadline : int }
+        (** tighten (or, together with dropping the original deadline
+            group, loosen) a task's deadline *)
+    | Drop of Encode.group_kind  (** relax a tagged constraint group *)
+
+  type verdict =
+    | Feasible of { allocation : Model.allocation; relaxed : bool }
+        (** [relaxed] when the query disabled at least one group: the
+            placement may then use ECUs outside declared WCET domains
+            and is a design suggestion, not a checkable schedule *)
+    | Infeasible of { groups : Encode.group list; deltas : delta list }
+        (** the failed-assumption core, mapped back to constraint
+            groups and to the query's own deltas *)
+    | Unknown
+
+  val create : ?options:Encode.options -> Model.problem -> t
+  (** Build the session: one grouped encoding, one solver. *)
+
+  val query : ?budget:Budget.t -> t -> delta list -> verdict
+  (** Re-solve under the deltas.  Queries are independent: deltas do
+      not accumulate, and the session is reusable after any verdict.  A
+      [Set_deadline] beyond the declared deadline automatically drops
+      the task's original deadline group. *)
+
+  val solves : t -> int
+  val queries : t -> int
+  val describe : t -> delta -> string
+
+  val parse_deltas : Model.problem -> string -> (delta list, string) result
+  (** Parse a CLI query: comma/semicolon-separated clauses of
+      ["pin <task> <ecu>"], ["forbid <task> <ecu>"],
+      ["deadline <task> <d>"], ["drop deadline <task>"],
+      ["drop separation <t1> <t2>"], ["drop placement <task>"],
+      ["drop capacity <ecu>"], ["drop msg-deadline <id>"].  Tasks may
+      be named or numbered. *)
+
+  val verdict_to_json : t -> verdict -> string
+end

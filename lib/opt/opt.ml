@@ -187,21 +187,41 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
   | Incremental -> (
     let ctx, cost = build () in
     apply_config ctx;
-    let s = Bv.solver ctx in
     match probe stats ?max_conflicts ~budget ctx with
     | Solver.Unsat -> finish infeasible
     | Solver.Unknown -> finish unknown
     | Solver.Sat ->
       let first_cost = Bv.model_int ctx cost in
       let first_payload = on_sat ctx first_cost in
+      (* one incremental bound-probe session for the whole descent:
+         each probed upper bound [cost <= m] is a reified comparator
+         assumed for that probe only, cached so a revisited bound costs
+         nothing to re-install.  No per-probe activation variable and no
+         retirement clause — every clause learnt in one probe keeps
+         pruning all later ones, and the comparator circuits stay
+         reusable across probes (and across what-if queries driving the
+         same session). *)
+      let bound_bits = Hashtbl.create 16 in
+      let bound_bit m =
+        match Hashtbl.find_opt bound_bits m with
+        | Some b -> b
+        | None ->
+          let b = Bv.le_const ctx cost m in
+          Hashtbl.replace bound_bits m b;
+          b
+      in
       let reprobe lower m =
         ignore lower;
-        (* activation literal guarding [cost <= m] for this probe only *)
-        let g = Circuits.fresh s in
-        let le_bit = Bv.le_const ctx cost m in
-        Bv.assert_implies ctx [ Circuits.Lit g ] le_bit;
-        let r =
-          match probe stats ~assumptions:[ g ] ?max_conflicts ~budget ctx with
+        match bound_bit m with
+        | Circuits.Zero ->
+          (* the comparator is constant-false: no solve needed *)
+          Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
+          `Unsat
+        | (Circuits.One | Circuits.Lit _) as b -> (
+          let assumptions =
+            match b with Circuits.Lit g -> [ g ] | _ -> []
+          in
+          match probe stats ~assumptions ?max_conflicts ~budget ctx with
           | Solver.Sat ->
             let k = Bv.model_int ctx cost in
             assert (k <= m);
@@ -210,11 +230,7 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
             (* the lower bound is entailed from now on: add permanently *)
             Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
             `Unsat
-          | Solver.Unknown -> `Unknown
-        in
-        (* retire the activation literal *)
-        Solver.add_clause s [ Lit.neg g ];
-        r
+          | Solver.Unknown -> `Unknown)
       in
       finish (run_search ~first_cost ~first_payload ~reprobe))
   | Fresh -> (

@@ -5,11 +5,12 @@
 
     - [Fresh] rebuilds the formula for every probe in a fresh solver
       (the paper's baseline);
-    - [Incremental] builds once and guards each upper-bound probe
-      [cost <= M] with an activation literal assumed for that probe
-      only; all learned clauses survive across probes.  Monotone lower
-      bounds are added permanently.  This is the configuration the
-      paper reports as >= 2x faster.
+    - [Incremental] builds once and runs every probe through one
+      incremental session: each upper bound [cost <= M] is a reified
+      comparator bit, cached per bound and assumed for that probe only;
+      all learned clauses survive across probes.  Monotone lower bounds
+      are added permanently.  This is the configuration the paper
+      reports as >= 2x faster.
 
     The loop is {e anytime}: pass a {!Budget.t} (or [max_conflicts])
     and budget expiry yields the best model found so far together with

@@ -132,6 +132,9 @@ type t = {
   mutable import : (unit -> (int array * int) list) option;
   (* model of the last Sat answer *)
   mutable model : bool array;
+  (* failed-assumption core of the last Unsat answer; [None] while the
+     last answer is anything else (Sat, Unknown, or no solve yet) *)
+  mutable core : int array option;
   (* optional proof sink; see [set_proof_sink] *)
   mutable proof : (proof_step -> unit) option;
   (* scratch buffers *)
@@ -181,6 +184,7 @@ let create () =
     export = None;
     import = None;
     model = [||];
+    core = None;
     proof = None;
     explain_buf = Veci.create ();
     learnt_buf = Veci.create ();
@@ -670,6 +674,50 @@ let lit_redundant t q =
       t.explain_buf;
     !ok
 
+(* -- final-conflict analysis (failed assumptions) --------------------- *)
+
+(* MiniSat's analyzeFinal: compute the subset of the installed
+   assumptions responsible for an Unsat-under-assumptions answer.
+   [seed] is either the conflicting constraint or a single assumption
+   literal that arrived already false.  Seed literals assigned above
+   level 0 are marked, then the trail is walked top-down: a marked
+   pseudo-decision (reason [No_reason]) is an assumption and enters the
+   core; a marked propagated literal is replaced by its reason's
+   literals.  Only called when the conflict is confined to assumption
+   levels, so every decision encountered is an assumption.  The proof
+   sink is muted for the walk: reason explanations replayed here are
+   inspection, not derivation, and must not emit lemmas. *)
+let analyze_final t seed =
+  let saved_proof = t.proof in
+  t.proof <- None;
+  let core = ref [] in
+  let mark q =
+    let v = q lsr 1 in
+    if (not t.seen.(v)) && t.level.(v) > 0 then t.seen.(v) <- true
+  in
+  (match seed with
+  | `Conflict r ->
+    explain t t.explain_buf r (-1);
+    Veci.iter mark t.explain_buf
+  | `False_lit p -> mark p);
+  if Veci.size t.trail_lim > 0 then begin
+    let bound = Veci.get t.trail_lim 0 in
+    for i = Veci.size t.trail - 1 downto bound do
+      let l = Veci.get t.trail i in
+      let v = l lsr 1 in
+      if t.seen.(v) then begin
+        t.seen.(v) <- false;
+        match t.reason.(v) with
+        | No_reason -> core := l :: !core
+        | r ->
+          explain t t.explain_buf r l;
+          Veci.iter mark t.explain_buf
+      end
+    done
+  end;
+  t.proof <- saved_proof;
+  !core
+
 (* Literal block distance: the number of distinct non-zero decision
    levels among [lits].  Computed with a stamp array so repeated calls
    stay allocation-free. *)
@@ -858,9 +906,11 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
            log_refutation t confl;
            raise (Found Unsat)
          end;
-         if decision_level t <= Array.length assumptions then
-           (* conflict under assumptions only *)
-           raise (Found Unsat);
+         if decision_level t <= Array.length assumptions then begin
+           (* conflict under assumptions only: record which failed *)
+           t.core <- Some (Array.of_list (analyze_final t (`Conflict confl)));
+           raise (Found Unsat)
+         end;
          let learnt, bt, lbd = analyze t confl in
          let bt = max bt (min (decision_level t - 1) (Array.length assumptions)) in
          cancel_until t bt;
@@ -889,7 +939,11 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
            let p = assumptions.(decision_level t) in
            match value_lit t p with
            | 1 -> new_decision_level t (* already satisfied: dummy level *)
-           | -1 -> raise (Found Unsat)
+           | -1 ->
+             (* the assumption is already falsified: the core is [p]
+                plus whichever earlier assumptions forced [not p] *)
+             t.core <- Some (Array.of_list (p :: analyze_final t (`False_lit p)));
+             raise (Found Unsat)
            | _ ->
              new_decision_level t;
              enqueue t p No_reason
@@ -939,13 +993,21 @@ let do_import t =
   | _ -> ()
 
 let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
-  if not t.ok then Unsat
+  (* clear the previous answer's assumption state up front so an
+     interleaved plain [solve] never sees a stale failed-assumption
+     core from an earlier assumption-Unsat call *)
+  t.core <- None;
+  if not t.ok then begin
+    t.core <- Some [||];
+    Unsat
+  end
   else begin
     cancel_until t 0;
     match propagate t with
     | Some r ->
       t.ok <- false;
       log_refutation t r;
+      t.core <- Some [||];
       Unsat
     | None ->
       let assumptions = Array.of_list assumptions in
@@ -1011,7 +1073,12 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
           for v = 0 to t.nvars - 1 do
             t.model.(v) <- t.assigns.(v) = 1
           done
-        | Unsat | Unknown -> ());
+        | Unsat ->
+          (* Unsat without a recorded failed-assumption core means the
+             instance itself is inconsistent (level-0 conflict or a
+             falsifying clause import): the empty core *)
+          if t.core = None then t.core <- Some [||]
+        | Unknown -> ());
         cancel_until t 0;
         !result
       end
@@ -1021,6 +1088,12 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
 let model_value t l =
   let b = t.model.(l lsr 1) in
   if l land 1 = 0 then b else not b
+
+(* Failed assumptions of the most recent Unsat answer. *)
+let unsat_core t =
+  match t.core with
+  | Some c -> Array.to_list c
+  | None -> invalid_arg "Solver.unsat_core: the last solve did not return Unsat"
 
 (* -- constraint database inspection ------------------------------------ *)
 

@@ -103,6 +103,17 @@ val model_value : t -> Lit.t -> bool
     meaningful directly after [solve] returned [Sat], and only for
     variables that existed at that point. *)
 
+val unsat_core : t -> Lit.t list
+(** Failed-assumption core of the most recent [solve] that returned
+    [Unsat]: a subset of the [~assumptions] passed to that call which is
+    already inconsistent with the instance (computed by final-conflict
+    analysis, MiniSat's [analyzeFinal]).  The empty list means the
+    instance is unsatisfiable regardless of assumptions.  The core is a
+    sound over-approximation of a minimal one — callers wanting
+    minimality must shrink it (see [lib/explain]).  Any later [solve]
+    clears it; calling this when the last answer was not [Unsat] raises
+    [Invalid_argument]. *)
+
 (** {1 Proof logging}
 
     With a proof sink installed the solver emits a DRUP-style trace:

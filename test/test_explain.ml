@@ -1,0 +1,324 @@
+(* Tests for the infeasibility explanation engine: MUS extraction over
+   constraint groups, correction sets, and incremental what-if sessions.
+
+   The workhorse instance is a pigeonhole-flavoured allocation problem:
+   three tasks of WCET 15 with deadline 20 on two ECUs.  Some pair must
+   share an ECU and its lower-priority member then sees 15 + 15 = 30 >
+   20, so the instance is infeasible and the unique MUS is the set of
+   the three deadline groups. *)
+
+open Taskalloc_rt
+open Taskalloc_core
+module Explain = Taskalloc_explain.Explain
+module Solver = Taskalloc_sat.Solver
+module Budget = Taskalloc_sat.Budget
+module Bv = Taskalloc_bv.Bv
+
+let arch2 =
+  {
+    Model.n_ecus = 2;
+    media =
+      [
+        {
+          Model.med_id = 0;
+          med_name = "bus";
+          kind = Model.Tdma;
+          ecus = [ 0; 1 ];
+          byte_time = 1;
+          frame_overhead = 2;
+        };
+      ];
+    mem_capacity = [| 32; 32 |];
+    gateway_service = 0;
+    barred = [];
+  }
+
+let mk_task id name period deadline wcets =
+  {
+    Model.task_id = id;
+    task_name = name;
+    period;
+    wcets;
+    deadline;
+    memory = 1;
+    separation = [];
+    messages = [];
+    jitter = 0;
+    blocking = 0;
+  }
+
+let overconstrained () =
+  Model.make_problem ~arch:arch2
+    ~tasks:
+      [
+        mk_task 0 "fusion-a" 100 20 [ (0, 15); (1, 15) ];
+        mk_task 1 "fusion-b" 100 20 [ (0, 15); (1, 15) ];
+        mk_task 2 "fusion-c" 100 20 [ (0, 15); (1, 15) ];
+        mk_task 3 "logger" 200 150 [ (0, 20); (1, 20) ];
+        mk_task 4 "watchdog" 100 90 [ (0, 5); (1, 5) ];
+      ]
+
+let feasible_problem () =
+  Model.make_problem ~arch:arch2
+    ~tasks:
+      [
+        mk_task 0 "a" 100 50 [ (0, 15); (1, 15) ];
+        mk_task 1 "b" 100 50 [ (0, 15); (1, 15) ];
+        mk_task 2 "c" 100 90 [ (0, 5); (1, 5) ];
+      ]
+
+let core_ids status =
+  match status with
+  | Explain.Explained { core; _ } -> List.map Encode.group_id core
+  | _ -> Alcotest.fail "expected an Explained status"
+
+(* Oracle: re-check a reported core against a fresh grouped encoding.
+   The group ids are stable across encodings of the same problem, so we
+   can look the selectors up by id. *)
+let fresh_session problem =
+  let enc = Encode.encode ~groups:true problem Encode.Feasible in
+  let solver = Bv.solver (Encode.context enc) in
+  let selector_of id =
+    match
+      List.find_opt (fun g -> Encode.group_id g = id) (Encode.groups enc)
+    with
+    | Some g -> g.Encode.selector
+    | None -> Alcotest.fail ("group not found in fresh encoding: " ^ id)
+  in
+  (solver, selector_of)
+
+let assume_groups solver selector_of ids =
+  Solver.solve ~assumptions:(List.map selector_of ids) solver
+
+let test_explain_feasible () =
+  let report = Explain.explain (feasible_problem ()) in
+  (match report.Explain.status with
+  | Explain.Feasible -> ()
+  | _ -> Alcotest.fail "expected Feasible");
+  Alcotest.(check (list (list string))) "no relaxations" []
+    (List.map (List.map Encode.group_id) report.Explain.relaxations)
+
+let test_explain_core_is_deadlines () =
+  let problem = overconstrained () in
+  let report = Explain.explain problem in
+  match report.Explain.status with
+  | Explain.Explained { core; minimal } ->
+    Alcotest.(check bool) "minimal" true minimal;
+    Alcotest.(check int) "three groups" 3 (List.length core);
+    List.iter
+      (fun g ->
+        match g.Encode.kind with
+        | Encode.G_deadline _ -> ()
+        | _ -> Alcotest.fail ("unexpected group in core: " ^ Encode.group_id g))
+      core
+  | _ -> Alcotest.fail "expected Explained"
+
+let test_core_unsat_in_isolation () =
+  let problem = overconstrained () in
+  let report = Explain.explain problem in
+  let ids = core_ids report.Explain.status in
+  let solver, selector_of = fresh_session problem in
+  Alcotest.(check bool) "core unsat in a fresh session" true
+    (assume_groups solver selector_of ids = Solver.Unsat)
+
+let test_core_minimality () =
+  (* deletion oracle: dropping any single group from the MUS is Sat *)
+  let problem = overconstrained () in
+  let report = Explain.explain problem in
+  let ids = core_ids report.Explain.status in
+  let solver, selector_of = fresh_session problem in
+  List.iter
+    (fun dropped ->
+      let rest = List.filter (fun id -> id <> dropped) ids in
+      Alcotest.(check bool)
+        ("sat without " ^ dropped)
+        true
+        (assume_groups solver selector_of rest = Solver.Sat))
+    ids
+
+let test_relaxations_restore_feasibility () =
+  let problem = overconstrained () in
+  let report = Explain.explain ~max_relaxations:3 problem in
+  Alcotest.(check bool) "some relaxation reported" true
+    (report.Explain.relaxations <> []);
+  let all = Encode.groups (Encode.encode ~groups:true problem Encode.Feasible) in
+  List.iter
+    (fun relax ->
+      let relax_ids = List.map Encode.group_id relax in
+      let keep =
+        List.filter_map
+          (fun g ->
+            let id = Encode.group_id g in
+            if List.mem id relax_ids then None else Some id)
+          all
+      in
+      let solver, selector_of = fresh_session problem in
+      Alcotest.(check bool)
+        ("feasible after dropping " ^ String.concat "," relax_ids)
+        true
+        (assume_groups solver selector_of keep = Solver.Sat))
+    report.Explain.relaxations
+
+let test_parallel_shrink_agrees () =
+  let problem = overconstrained () in
+  let seq = Explain.explain problem in
+  let par = Explain.explain ~jobs:2 problem in
+  let sort = List.sort compare in
+  Alcotest.(check (list string))
+    "same core set" (sort (core_ids seq.Explain.status))
+    (sort (core_ids par.Explain.status))
+
+let test_budget_expiry_mid_shrink () =
+  (* chaos: starve the engine at various conflict budgets; it must
+     never raise, and any Explained answer must be a genuine unsat
+     core (possibly non-minimal) *)
+  let problem = overconstrained () in
+  List.iter
+    (fun max_conflicts ->
+      let budget = Budget.create ~max_conflicts () in
+      let report = Explain.explain ~budget problem in
+      match report.Explain.status with
+      | Explain.Unknown | Explain.Feasible -> ()
+      | Explain.Explained { core = []; _ } ->
+        (* an empty core claims unconditional infeasibility, which is
+           false for this instance *)
+        Alcotest.fail "empty core under budget starvation"
+      | Explain.Explained { core; _ } ->
+        let solver, selector_of = fresh_session problem in
+        Alcotest.(check bool)
+          (Printf.sprintf "valid core at budget %d" max_conflicts)
+          true
+          (assume_groups solver selector_of (List.map Encode.group_id core)
+          = Solver.Unsat))
+    [ 1; 5; 20; 100; 1000 ]
+
+let test_whatif_session_reuse () =
+  let problem = overconstrained () in
+  let w = Explain.Whatif.create problem in
+  let expect_infeasible label v =
+    match v with
+    | Explain.Whatif.Infeasible { groups; _ } ->
+      Alcotest.(check bool) (label ^ ": named groups") true (groups <> [])
+    | _ -> Alcotest.fail (label ^ ": expected Infeasible")
+  in
+  expect_infeasible "baseline" (Explain.Whatif.query w []);
+  (match Explain.Whatif.query w [ Explain.Whatif.Drop (Encode.G_deadline 0) ] with
+  | Explain.Whatif.Feasible { relaxed; allocation } ->
+    Alcotest.(check bool) "marked relaxed" true relaxed;
+    Alcotest.(check int) "placement covers all tasks" 5
+      (Array.length allocation.Model.task_ecu)
+  | _ -> Alcotest.fail "drop deadline should be feasible");
+  (* deltas must not leak into later queries *)
+  expect_infeasible "baseline again" (Explain.Whatif.query w []);
+  (* pinning two fusion tasks together is also infeasible, but the
+     baseline core (the three deadlines) already suffices, so the
+     reported core need not mention the pins *)
+  expect_infeasible "two pins on one ECU"
+    (Explain.Whatif.query w
+       [
+         Explain.Whatif.Pin { task = 0; ecu = 0 };
+         Explain.Whatif.Pin { task = 1; ecu = 0 };
+       ]);
+  Alcotest.(check int) "queries counted" 4 (Explain.Whatif.queries w)
+
+let test_whatif_deadline_delta () =
+  let problem = feasible_problem () in
+  let w = Explain.Whatif.create problem in
+  (match Explain.Whatif.query w [] with
+  | Explain.Whatif.Feasible { relaxed; _ } ->
+    Alcotest.(check bool) "baseline not relaxed" false relaxed
+  | _ -> Alcotest.fail "baseline should be feasible");
+  (* tightening all three deadlines to 15 recreates the pigeonhole:
+     every task then needs an ECU to itself *)
+  let tighten task = Explain.Whatif.Set_deadline { task; deadline = 15 } in
+  (match Explain.Whatif.query w [ tighten 0; tighten 1; tighten 2 ] with
+  | Explain.Whatif.Infeasible { deltas; _ } ->
+    Alcotest.(check bool) "tightenings blamed in core" true (deltas <> [])
+  | _ -> Alcotest.fail "three tightened deadlines should be infeasible");
+  match Explain.Whatif.query w [ tighten 0 ] with
+  | Explain.Whatif.Feasible _ -> ()
+  | _ -> Alcotest.fail "one tightened deadline should stay feasible"
+
+let test_parse_deltas () =
+  let problem = overconstrained () in
+  let ok s =
+    match Explain.Whatif.parse_deltas problem s with
+    | Ok ds -> ds
+    | Error m -> Alcotest.fail (s ^ ": " ^ m)
+  in
+  Alcotest.(check int) "empty query" 0 (List.length (ok ""));
+  (match ok "pin fusion-a 1, forbid 2 0" with
+  | [ Explain.Whatif.Pin { task = 0; ecu = 1 }; Explain.Whatif.Forbid { task = 2; ecu = 0 } ]
+    -> ()
+  | _ -> Alcotest.fail "pin/forbid parse");
+  (match ok "drop deadline fusion-b; deadline watchdog 40" with
+  | [
+      Explain.Whatif.Drop (Encode.G_deadline 1);
+      Explain.Whatif.Set_deadline { task = 4; deadline = 40 };
+    ] -> ()
+  | _ -> Alcotest.fail "drop/deadline parse");
+  (match Explain.Whatif.parse_deltas problem "pin nosuch 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown task must be rejected");
+  match Explain.Whatif.parse_deltas problem "frobnicate 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb must be rejected"
+
+(* Random instances on two ECUs: whenever the engine explains one, the
+   core must re-solve to Unsat in a fresh session and, when claimed
+   minimal, lose unsatisfiability on every single-group deletion. *)
+let prop_explained_cores_check =
+  let gen =
+    QCheck.Gen.(
+      let* n_tasks = int_range 2 5 in
+      let task_gen i =
+        let* w = int_range 5 20 in
+        let* slack = int_range 0 25 in
+        let deadline = w + slack in
+        let* extra = int_range 0 60 in
+        return (mk_task i (Printf.sprintf "t%d" i) (deadline + extra) deadline
+                  [ (0, w); (1, w) ])
+      in
+      let rec tasks i =
+        if i = n_tasks then return []
+        else
+          let* t = task_gen i in
+          let* rest = tasks (i + 1) in
+          return (t :: rest)
+      in
+      let* ts = tasks 0 in
+      return (Model.make_problem ~arch:arch2 ~tasks:ts))
+  in
+  QCheck.Test.make ~count:40 ~name:"explained cores verify against the oracle"
+    (QCheck.make gen)
+    (fun problem ->
+      let report = Explain.explain problem in
+      match report.Explain.status with
+      | Explain.Feasible | Explain.Unknown -> true
+      | Explain.Explained { core; minimal } ->
+        let ids = List.map Encode.group_id core in
+        let solver, selector_of = fresh_session problem in
+        assume_groups solver selector_of ids = Solver.Unsat
+        && ((not minimal)
+           || List.for_all
+                (fun dropped ->
+                  let rest = List.filter (fun id -> id <> dropped) ids in
+                  assume_groups solver selector_of rest = Solver.Sat)
+                ids))
+
+let suite =
+  [
+    Alcotest.test_case "feasible problem" `Quick test_explain_feasible;
+    Alcotest.test_case "core is the three deadlines" `Quick
+      test_explain_core_is_deadlines;
+    Alcotest.test_case "core unsat in isolation" `Quick test_core_unsat_in_isolation;
+    Alcotest.test_case "core minimality" `Quick test_core_minimality;
+    Alcotest.test_case "relaxations restore feasibility" `Quick
+      test_relaxations_restore_feasibility;
+    Alcotest.test_case "parallel shrink agrees" `Quick test_parallel_shrink_agrees;
+    Alcotest.test_case "budget expiry mid-shrink" `Quick test_budget_expiry_mid_shrink;
+    Alcotest.test_case "whatif session reuse" `Quick test_whatif_session_reuse;
+    Alcotest.test_case "whatif deadline deltas" `Quick test_whatif_deadline_delta;
+    Alcotest.test_case "parse deltas" `Quick test_parse_deltas;
+    QCheck_alcotest.to_alcotest prop_explained_cores_check;
+  ]

@@ -29,4 +29,5 @@ let () =
          ("proof", Test_proof.suite);
          ("fuzz", Test_fuzz.suite);
         ("portfolio", Test_portfolio.suite);
+         ("explain", Test_explain.suite);
        ])

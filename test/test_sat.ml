@@ -98,6 +98,93 @@ let test_assumption_reuse () =
   Alcotest.check check_result "assume both" Solver.Unsat
     (Solver.solve ~assumptions:[ lit a; nlit a ] s)
 
+let test_unsat_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ nlit a; nlit b ];
+  Alcotest.check check_result "assume a b c" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a; lit b; lit c ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l [ lit a; lit b; lit c ]) core);
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "c not needed" true (not (List.mem (lit c) core));
+  (* the core must be unsat when re-assumed in isolation *)
+  Alcotest.check check_result "core re-solves to unsat" Solver.Unsat
+    (Solver.solve ~assumptions:core s)
+
+let test_unsat_core_falsified_assumption () =
+  (* an assumption already false by propagation must appear in the core *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ nlit c ];
+  Alcotest.check check_result "assume a c" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a; lit c ] s);
+  Alcotest.(check bool) "core is [c]" true (Solver.unsat_core s = [ lit c ])
+
+let test_unsat_core_unconditional () =
+  (* a formula unsat on its own yields an empty core *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit a ];
+  Solver.add_clause s [ nlit a ];
+  Alcotest.check check_result "unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit b ] s);
+  Alcotest.(check bool) "empty core" true (Solver.unsat_core s = [])
+
+let test_unsat_core_cleared () =
+  (* unsat_core is only available right after an Unsat answer, and an
+     assumption-Unsat episode must not poison the next plain solve *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ nlit a; lit b ];
+  (match Solver.unsat_core s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat_core before any solve should raise");
+  Alcotest.check check_result "assumption unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a; nlit b ] s);
+  Alcotest.(check bool) "core available" true (Solver.unsat_core s <> []);
+  Alcotest.check check_result "plain solve recovers" Solver.Sat (Solver.solve s);
+  (match Solver.unsat_core s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat_core after Sat should raise")
+
+let prop_unsat_core_valid =
+  (* on random CNF + random assumptions: whenever the solver answers
+     Unsat with a non-empty core, re-assuming just the core is Unsat *)
+  let gen =
+    QCheck.Gen.(
+      let* num_vars = int_range 2 8 in
+      let* num_clauses = int_range 1 14 in
+      let clause_gen =
+        let* n = int_range 1 3 in
+        list_size (return n)
+          (let* v = int_range 1 num_vars in
+           let* s = bool in
+           return (if s then v else -v))
+      in
+      let* clauses = list_size (return num_clauses) clause_gen in
+      let* n_assum = int_range 1 num_vars in
+      let* signs = list_size (return n_assum) bool in
+      let assumptions = List.mapi (fun i s -> if s then i + 1 else -(i + 1)) signs in
+      return (num_vars, clauses, assumptions))
+  in
+  QCheck.Test.make ~count:300 ~name:"failed-assumption cores re-solve to unsat"
+    (QCheck.make gen)
+    (fun (num_vars, clauses, assumptions) ->
+      let s = Solver.create () in
+      for _ = 1 to num_vars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) clauses;
+      let assumptions = List.map Lit.of_dimacs assumptions in
+      match Solver.solve ~assumptions s with
+      | Solver.Sat | Solver.Unknown -> true
+      | Solver.Unsat ->
+        let core = Solver.unsat_core s in
+        List.for_all (fun l -> List.mem l assumptions) core
+        && Solver.solve ~assumptions:core s = Solver.Unsat)
+
 let test_pb_basic () =
   (* 2a + b + c >= 3 forces a *)
   let s = Solver.create () in
@@ -569,6 +656,11 @@ let suite =
     Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
     Alcotest.test_case "assumptions" `Quick test_assumptions;
     Alcotest.test_case "assumption reuse" `Quick test_assumption_reuse;
+    Alcotest.test_case "unsat core" `Quick test_unsat_core;
+    Alcotest.test_case "unsat core falsified assumption" `Quick
+      test_unsat_core_falsified_assumption;
+    Alcotest.test_case "unsat core unconditional" `Quick test_unsat_core_unconditional;
+    Alcotest.test_case "unsat core cleared" `Quick test_unsat_core_cleared;
     Alcotest.test_case "pb basic" `Quick test_pb_basic;
     Alcotest.test_case "pb conflict" `Quick test_pb_conflict;
     Alcotest.test_case "pb infeasible degree" `Quick test_pb_infeasible_degree;
@@ -591,4 +683,5 @@ let suite =
     Alcotest.test_case "order heap" `Quick test_order_heap;
     QCheck_alcotest.to_alcotest prop_matches_brute_force;
     QCheck_alcotest.to_alcotest prop_pb_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_unsat_core_valid;
   ]
