@@ -90,6 +90,19 @@ let repo_root () =
   match up (Sys.getcwd ()) with Some d -> d | None -> Sys.getcwd ()
 
 let write ~experiment v =
+  (* attach the end-to-end phase breakdown of the producing run when the
+     observability registry has one (the driver enables metrics per
+     experiment) *)
+  let v =
+    match Taskalloc_obs.Obs.phase_breakdown () with
+    | [] -> v
+    | phases ->
+      Obj
+        [
+          ("phases", Obj (List.map (fun (n, s) -> (n, Float s)) phases));
+          ("rows", v);
+        ]
+  in
   let path = Filename.concat (repo_root ()) ("BENCH_" ^ experiment ^ ".json") in
   let oc = open_out path in
   Fun.protect

@@ -19,4 +19,8 @@ val to_string : t -> string
 
 val write : experiment:string -> t -> string
 (** Write [BENCH_<experiment>.json] at the repo root and return the
-    path written. *)
+    path written.  When the observability registry holds span timings
+    (the bench driver runs every experiment with metrics enabled), the
+    payload is wrapped as [{"phases": {<span>: seconds, ...}, "rows":
+    <value>}] so every bench file carries the end-to-end phase
+    breakdown of the run that produced it. *)

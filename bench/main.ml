@@ -22,8 +22,44 @@ open Taskalloc_core
 open Taskalloc_workloads
 open Taskalloc_heuristics
 
+module Obs = Taskalloc_obs.Obs
+
 let section title =
   Fmt.pr "@.=== %s ===@." title
+
+(* Reproducible random 3-SAT from a fixed xorshift stream — the
+   refutation-heavy workload shared by the portfolio and observability
+   experiments. *)
+let xs_next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x9e3779b9 else x in
+  st := x;
+  x
+
+let gen_3sat ~n ~m ~seed =
+  let st = ref (seed * 2654435761) in
+  List.init m (fun _ ->
+      let rec pick acc k =
+        if k = 0 then acc
+        else
+          let v = xs_next st mod n in
+          if List.exists (fun (v', _) -> v' = v) acc then pick acc k
+          else pick ((v, xs_next st land 1 = 0) :: acc) (k - 1)
+      in
+      pick [] 3)
+
+let add_clauses s vars clauses =
+  let module Solver = Taskalloc_sat.Solver in
+  let module Lit = Taskalloc_sat.Lit in
+  List.iter
+    (fun c ->
+      Solver.add_clause s
+        (List.map (fun (v, sign) -> Lit.of_var ~sign vars.(v)) c))
+    clauses
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -390,35 +426,6 @@ let portfolio ~quick () =
   let module Bv = Taskalloc_bv.Bv in
   let module Opt = Taskalloc_opt.Opt in
   let module Portfolio = Taskalloc_portfolio.Portfolio in
-  let xs_next st =
-    let x = !st in
-    let x = x lxor (x lsl 13) in
-    let x = x lxor (x lsr 7) in
-    let x = x lxor (x lsl 17) in
-    let x = x land max_int in
-    let x = if x = 0 then 0x9e3779b9 else x in
-    st := x;
-    x
-  in
-  let gen_3sat ~n ~m ~seed =
-    let st = ref (seed * 2654435761) in
-    List.init m (fun _ ->
-        let rec pick acc k =
-          if k = 0 then acc
-          else
-            let v = xs_next st mod n in
-            if List.exists (fun (v', _) -> v' = v) acc then pick acc k
-            else pick ((v, xs_next st land 1 = 0) :: acc) (k - 1)
-        in
-        pick [] 3)
-  in
-  let add_clauses s vars clauses =
-    List.iter
-      (fun c ->
-        Solver.add_clause s
-          (List.map (fun (v, sign) -> Lit.of_var ~sign vars.(v)) c))
-      clauses
-  in
   let jobs_ladder = if quick then [ 1; 4 ] else [ 1; 2; 4 ] in
   let timeout = if quick then 30. else 180. in
   let rows = ref [] in
@@ -731,6 +738,78 @@ let explain ~quick () =
   let path = Bench_json.write ~experiment:"explain" (Bench_json.List (List.rev !rows)) in
   Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
 
+(* ---- observability overhead ---------------------------------------------- *)
+
+(* Solve the same refutation-heavy 3-SAT instances with observability
+   fully off and with tracing+metrics fully on, and compare min-of-N
+   wall clocks.  The budget is unlimited but present in both runs, so
+   the checkpoint cadence (where progress sampling rides) is identical;
+   the only difference is the sink state.  The disabled run also
+   re-checks the null-sink invariant: zero samples of the injected
+   clock. *)
+let obs_overhead ~quick () =
+  section "Observability: tracing+metrics overhead on solver-bound work";
+  let module Solver = Taskalloc_sat.Solver in
+  let n = if quick then 120 else 150 in
+  let m = int_of_float (float_of_int n *. 4.45) in
+  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4 ] in
+  let solve_once seed =
+    let clauses = gen_3sat ~n ~m ~seed in
+    let s = Solver.create () in
+    let vars = Array.init n (fun _ -> Solver.new_var s) in
+    add_clauses s vars clauses;
+    ignore (Solver.solve ~budget:(Taskalloc_sat.Budget.create ()) s)
+  in
+  let run_all () = List.iter solve_once seeds in
+  let reps = 5 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let (), dt = time f in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Obs.clear ();
+  run_all () (* warm-up: allocator and code paths touched once *);
+  let t_off = min_time run_all in
+  let null_samples = Obs.clock_samples () in
+  Obs.clear ();
+  Obs.enable ~tracing:true ~metrics:true ();
+  let t_on = min_time run_all in
+  Obs.disable ();
+  let samples = Obs.Metrics.get_counter "solver.progress_samples" in
+  let overhead = (t_on -. t_off) /. Float.max t_off 1e-9 in
+  Fmt.pr "  disabled: %a (min of %d; %d clock samples while off)@." pp_time
+    t_off reps null_samples;
+  Fmt.pr "  enabled:  %a (min of %d; %d progress samples, %d trace events)@."
+    pp_time t_on reps samples
+    (List.length (Obs.events ()));
+  if null_samples <> 0 then
+    Fmt.pr "  shape check: VIOLATED: disabled run sampled the clock %d times@."
+      null_samples
+  else if overhead <= 0.05 then
+    Fmt.pr "  shape check: overhead %.1f%% <= 5%%  OK@." (100. *. overhead)
+  else
+    Fmt.pr "  shape check: VIOLATED: overhead %.1f%% > 5%%@." (100. *. overhead);
+  let path =
+    Bench_json.write ~experiment:"obs"
+      (Bench_json.List
+         [
+           Bench_json.Obj
+             [
+               ("workload", Bench_json.Str (Printf.sprintf "3sat n=%d m=%d x%d" n m (List.length seeds)));
+               ("reps", Bench_json.Int reps);
+               ("disabled_s", Bench_json.Float t_off);
+               ("enabled_s", Bench_json.Float t_on);
+               ("overhead", Bench_json.Float overhead);
+               ("progress_samples", Bench_json.Int samples);
+               ("clock_samples_while_off", Bench_json.Int null_samples);
+             ];
+         ])
+  in
+  Fmt.pr "  wrote %s@." path
+
 (* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
 
 let micro () =
@@ -808,6 +887,7 @@ let () =
       ("anytime", fun () -> anytime ~quick ());
       ("portfolio", fun () -> portfolio ~quick ());
       ("explain", fun () -> explain ~quick ());
+      ("obs", fun () -> obs_overhead ~quick ());
       ("micro", fun () -> micro ());
     ]
   in
@@ -827,5 +907,13 @@ let () =
         names
   in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) selected;
+  (* each experiment runs with a fresh metrics registry so the phase
+     breakdown embedded in its BENCH file is its own *)
+  List.iter
+    (fun (_, f) ->
+      Obs.clear ();
+      Obs.enable ~metrics:true ();
+      f ();
+      Obs.disable ())
+    selected;
   Fmt.pr "@.total bench time: %a@." pp_time (Unix.gettimeofday () -. t0)

@@ -193,6 +193,33 @@ echo "$out" | grep -q "^c core .*0$" || {
     echo "FAIL: no failed-assumption core printed"; echo "$out"; exit 1; }
 rm -f "$cnf" "$assume"
 
+# ---- observability -------------------------------------------------------
+
+# tracing + metrics on a parallel solve: both files must materialise,
+# the trace must carry encode-family and per-worker spans, and the
+# metrics snapshot must record per-family encode counts and solver
+# progress samples
+echo "== CLI smoke: --trace/--metrics on a portfolio solve =="
+trace=$(mktemp /tmp/ci-trace-XXXXXX.json)
+metrics=$(mktemp /tmp/ci-metrics-XXXXXX.json)
+out=$(dune exec bin/taskalloc.exe -- solve --workload small --jobs 2 \
+    --trace "$trace" --metrics "$metrics")
+echo "$out" | grep -q "resolution: optimal" || {
+    echo "FAIL: traced solve not optimal"; exit 1; }
+grep -q '"traceEvents"' "$trace" || {
+    echo "FAIL: trace file missing traceEvents"; exit 1; }
+grep -q '"encode"' "$trace" || {
+    echo "FAIL: trace file missing encode span"; exit 1; }
+grep -q '"portfolio.worker"' "$trace" || {
+    echo "FAIL: trace file missing per-worker spans"; exit 1; }
+grep -q '"encode.alloc.vars"' "$metrics" || {
+    echo "FAIL: metrics missing per-family encode counts"; exit 1; }
+grep -q '"solver.progress_samples"' "$metrics" || {
+    echo "FAIL: metrics missing solver progress samples"; exit 1; }
+[ -s "${trace%.json}.jsonl" ] || {
+    echo "FAIL: JSONL sibling of the trace not written"; exit 1; }
+rm -f "$trace" "${trace%.json}.jsonl" "$metrics"
+
 # bench smoke: the portfolio and explain experiments end to end on toy
 # instances (generate BENCH_portfolio.json / BENCH_explain.json;
 # speedups are not meaningful at this scale, only that the harnesses
@@ -202,5 +229,14 @@ dune exec bench/main.exe -- quick portfolio > /dev/null
 
 echo "== bench smoke: quick explain =="
 dune exec bench/main.exe -- quick explain > /dev/null
+
+# enabled-vs-disabled observability overhead must stay within 5% and
+# the disabled run must make zero clock reads (null-sink invariant)
+echo "== bench smoke: quick obs overhead =="
+out=$(dune exec bench/main.exe -- quick obs)
+echo "$out" | grep -q "shape check: overhead .* OK" || {
+    echo "FAIL: observability overhead bound violated"; echo "$out"; exit 1; }
+[ -s BENCH_obs.json ] || {
+    echo "FAIL: BENCH_obs.json not written"; exit 1; }
 
 echo "CI OK"

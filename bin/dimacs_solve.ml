@@ -26,11 +26,13 @@
 open Taskalloc_sat
 module Proof = Taskalloc_proof.Proof
 module Portfolio = Taskalloc_portfolio.Portfolio
+module Obs = Taskalloc_obs.Obs
 
 let usage () =
   prerr_endline
     "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] \
-     [--assume FILE] FILE.cnf\n\
+     [--assume FILE]\n\
+    \                    [--trace FILE] [--metrics FILE] [--progress] FILE.cnf\n\
     \       dimacs_solve --check PROOF [--binary] FILE.cnf";
   exit 2
 
@@ -42,12 +44,16 @@ type opts = {
   mutable stats : bool;
   mutable assume : string option;
   mutable cnf : string option;
+  mutable trace : string option;
+  mutable metrics : string option;
+  mutable progress : bool;
 }
 
 let parse_args () =
   let o =
     { proof = None; check = None; binary = false; jobs = 1; stats = false;
-      assume = None; cnf = None }
+      assume = None; cnf = None; trace = None; metrics = None;
+      progress = false }
   in
   let rec go = function
     | [] -> ()
@@ -72,6 +78,15 @@ let parse_args () =
     | "--stats" :: rest ->
       o.stats <- true;
       go rest
+    | "--trace" :: file :: rest ->
+      o.trace <- Some file;
+      go rest
+    | "--metrics" :: file :: rest ->
+      o.metrics <- Some file;
+      go rest
+    | "--progress" :: rest ->
+      o.progress <- true;
+      go rest
     | arg :: rest when o.cnf = None && String.length arg > 0 && arg.[0] <> '-' ->
       o.cnf <- Some arg;
       go rest
@@ -84,6 +99,65 @@ let parse_args () =
     exit 2
   end;
   o
+
+(* Enable the observability sinks requested by the flags.  --stats also
+   turns the metrics registry on internally so the snapshot printed
+   after the standard stat lines has data to draw from.  Files are
+   written from [at_exit] so the Unsat (exit 20) path still flushes. *)
+let obs_setup o =
+  let tracing = o.trace <> None in
+  let want_metrics = o.metrics <> None || tracing || o.stats in
+  if tracing || want_metrics then begin
+    Obs.enable ~tracing ~metrics:want_metrics ();
+    at_exit (fun () ->
+        (match o.trace with
+        | Some f ->
+          Obs.write_trace f;
+          Obs.write_jsonl (Filename.remove_extension f ^ ".jsonl")
+        | None -> ());
+        match o.metrics with Some f -> Obs.write_metrics f | None -> ())
+  end;
+  if o.progress then
+    Obs.set_sample_hook
+      (Some
+         (fun name kvs ->
+           if name = "solver.progress" then begin
+             let get k = Option.value ~default:0. (List.assoc_opt k kvs) in
+             Printf.eprintf
+               "c progress: %.0f conflicts (%.0f/s), %.0f props/s, trail \
+                %.0f, lbd %.1f\n%!"
+               (get "conflicts") (get "conflicts_per_s")
+               (get "propagations_per_s") (get "trail") (get "avg_lbd")
+           end))
+
+(* Progress sampling rides on the budget checkpoint; an unlimited
+   budget arms no tripwire (and costs no syscalls) but gives the
+   sampler its cadence. *)
+let obs_budget () =
+  if Obs.on () || Obs.sample_hook_installed () then Some (Budget.create ())
+  else None
+
+(* Metrics snapshot appended after the classic stat lines (satellite of
+   the observability layer): solver throughput distributions and the
+   per-phase wall-clock breakdown. *)
+let print_obs_stats () =
+  let hist name label =
+    match Obs.Metrics.get_hist name with
+    | Some h when Obs.Hist.count h > 0 ->
+      Printf.printf "c %s: mean=%.0f min=%d max=%d (%d samples)\n" label
+        (Obs.Hist.mean h) (Obs.Hist.min_value h) (Obs.Hist.max_value h)
+        (Obs.Hist.count h)
+    | _ -> ()
+  in
+  hist "solver.conflicts_per_s" "conflicts/s";
+  hist "solver.propagations_per_s" "propagations/s";
+  hist "solver.trail_depth" "trail depth";
+  match Obs.phase_breakdown () with
+  | [] -> ()
+  | phases ->
+    Printf.printf "c time-in-phase:%s\n"
+      (String.concat ""
+         (List.map (fun (n, s) -> Printf.sprintf " %s=%.3fs" n s) phases))
 
 (* Whitespace-separated DIMACS literals; zeros (clause terminators, if
    any) and "c" comment lines are ignored. *)
@@ -131,7 +205,7 @@ let print_solver_stats ~prefix s =
     (Solver.n_reduce_dbs s) (Solver.n_imported s)
 
 let solve_assume cnf_path assume_path stats =
-  let cnf = Dimacs.parse_file cnf_path in
+  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
   let assumptions = parse_assumptions ~num_vars:cnf.Dimacs.num_vars assume_path in
   let solver = Solver.create () in
   for _ = 1 to cnf.Dimacs.num_vars do
@@ -141,7 +215,11 @@ let solve_assume cnf_path assume_path stats =
     (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
     cnf.Dimacs.clauses;
   Printf.printf "c %d assumptions from %s\n" (Array.length assumptions) assume_path;
-  match Solver.solve ~assumptions:(Array.to_list assumptions) solver with
+  match
+    Obs.span "solve" (fun () ->
+        Solver.solve ?budget:(obs_budget ())
+          ~assumptions:(Array.to_list assumptions) solver)
+  with
   | Solver.Sat ->
     print_endline "s SATISFIABLE";
     let buf = Buffer.create 256 in
@@ -153,10 +231,16 @@ let solve_assume cnf_path assume_path stats =
     done;
     Buffer.add_string buf " 0";
     print_endline (Buffer.contents buf);
-    if stats then print_solver_stats ~prefix:"" solver
+    if stats then begin
+      print_solver_stats ~prefix:"" solver;
+      print_obs_stats ()
+    end
   | Solver.Unsat ->
     let core = Solver.unsat_core solver in
-    if stats then print_solver_stats ~prefix:"" solver;
+    if stats then begin
+      print_solver_stats ~prefix:"" solver;
+      print_obs_stats ()
+    end;
     print_endline "s UNSATISFIABLE";
     let buf = Buffer.create 64 in
     Buffer.add_string buf "c core";
@@ -173,7 +257,7 @@ let solve_assume cnf_path assume_path stats =
     exit 30
 
 let solve cnf_path proof_path binary jobs stats =
-  let cnf = Dimacs.parse_file cnf_path in
+  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
   let build _i =
     let solver = Solver.create () in
     let trace =
@@ -189,7 +273,10 @@ let solve cnf_path proof_path binary jobs stats =
       cnf.Dimacs.clauses;
     ((solver, trace), solver)
   in
-  let outcome = Portfolio.solve ~jobs ~build () in
+  let outcome =
+    Obs.span "solve" (fun () ->
+        Portfolio.solve ?budget:(obs_budget ()) ~jobs ~build ())
+  in
   if jobs > 1 then
     Printf.printf "c portfolio: %d workers, winner=%d\n" jobs outcome.Portfolio.winner;
   if stats then
@@ -213,7 +300,10 @@ let solve cnf_path proof_path binary jobs stats =
     Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
       (Solver.n_conflicts solver) (Solver.n_decisions solver)
       (Solver.n_propagations solver);
-    if stats then print_solver_stats ~prefix:"" solver
+    if stats then begin
+      print_solver_stats ~prefix:"" solver;
+      print_obs_stats ()
+    end
   | Solver.Unsat, Some (solver, trace) ->
     (match proof_path with
     | None -> ()
@@ -225,7 +315,10 @@ let solve cnf_path proof_path binary jobs stats =
           if binary then Proof.write_binary oc (trace ())
           else Proof.write_text oc (trace ()));
       Printf.printf "c proof written to %s\n" path);
-    if stats then print_solver_stats ~prefix:"" solver;
+    if stats then begin
+      print_solver_stats ~prefix:"" solver;
+      print_obs_stats ()
+    end;
     print_endline "s UNSATISFIABLE";
     exit 20
   | _ ->
@@ -244,6 +337,7 @@ let check proof_path cnf_path binary =
 
 let () =
   let o = parse_args () in
+  obs_setup o;
   match (o.cnf, o.check, o.assume) with
   | Some cnf_path, Some proof_path, None -> check proof_path cnf_path o.binary
   | Some cnf_path, None, Some assume_path -> solve_assume cnf_path assume_path o.stats

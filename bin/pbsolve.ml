@@ -5,39 +5,91 @@
      +2 x1 +3 x2 -1 x3 >= 2 ;
      +1 x1 +1 x4 = 1 ;
 
-   Usage:  pbsolve FILE.opb *)
+   Usage:  pbsolve [--trace FILE] [--metrics FILE] [--progress] FILE.opb *)
 
 open Taskalloc_sat
 open Taskalloc_pb
+module Obs = Taskalloc_obs.Obs
+
+let usage () =
+  prerr_endline "usage: pbsolve [--trace FILE] [--metrics FILE] [--progress] FILE.opb";
+  exit 2
 
 let () =
-  match Sys.argv with
-  | [| _; path |] -> (
-    let solver, vars =
-      try Opb.parse_file path
-      with Opb.Parse_error { line; message } ->
-        Printf.eprintf "%s:%d: %s\n" path line message;
-        exit 2
+  let trace = ref None and metrics = ref None and progress = ref false in
+  let path = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--trace" :: f :: rest ->
+      trace := Some f;
+      go rest
+    | "--metrics" :: f :: rest ->
+      metrics := Some f;
+      go rest
+    | "--progress" :: rest ->
+      progress := true;
+      go rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
+      path := Some arg;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> usage () in
+  let tracing = !trace <> None in
+  let want_metrics = !metrics <> None || tracing in
+  if tracing || want_metrics then begin
+    Obs.enable ~tracing ~metrics:want_metrics ();
+    (* at_exit so the Unsat (exit 20) path still flushes the files *)
+    at_exit (fun () ->
+        (match !trace with
+        | Some f ->
+          Obs.write_trace f;
+          Obs.write_jsonl (Filename.remove_extension f ^ ".jsonl")
+        | None -> ());
+        match !metrics with Some f -> Obs.write_metrics f | None -> ())
+  end;
+  if !progress then
+    Obs.set_sample_hook
+      (Some
+         (fun name kvs ->
+           if name = "solver.progress" then begin
+             let get k = Option.value ~default:0. (List.assoc_opt k kvs) in
+             Printf.eprintf
+               "c progress: %.0f conflicts (%.0f/s), %.0f props/s, trail %.0f\n%!"
+               (get "conflicts") (get "conflicts_per_s")
+               (get "propagations_per_s") (get "trail")
+           end))
+  ;
+  let solver, vars =
+    Obs.span "parse" (fun () ->
+        try Opb.parse_file path
+        with Opb.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" path line message;
+          exit 2)
+  in
+  (* an unlimited budget arms no tripwire but gives progress sampling
+     its checkpoint cadence *)
+  let budget =
+    if Obs.on () || Obs.sample_hook_installed () then Some (Budget.create ())
+    else None
+  in
+  match Obs.span "solve" (fun () -> Solver.solve ?budget solver) with
+  | Solver.Sat ->
+    print_endline "s SATISFIABLE";
+    let entries =
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) vars []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
-    match Solver.solve solver with
-    | Solver.Sat ->
-      print_endline "s SATISFIABLE";
-      let entries =
-        Hashtbl.fold (fun name v acc -> (name, v) :: acc) vars []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
-      in
-      List.iter
-        (fun (name, v) ->
-          Printf.printf "v %s%s\n"
-            (if Solver.model_value solver (Lit.of_var v) then "" else "-")
-            name)
-        entries
-    | Solver.Unsat ->
-      print_endline "s UNSATISFIABLE";
-      exit 20
-    | Solver.Unknown ->
-      print_endline "s UNKNOWN";
-      exit 30)
-  | _ ->
-    prerr_endline "usage: pbsolve FILE.opb";
-    exit 2
+    List.iter
+      (fun (name, v) ->
+        Printf.printf "v %s%s\n"
+          (if Solver.model_value solver (Lit.of_var v) then "" else "-")
+          name)
+      entries
+  | Solver.Unsat ->
+    print_endline "s UNSATISFIABLE";
+    exit 20
+  | Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 30

@@ -118,9 +118,75 @@ let jobs_arg =
            OCaml domains).  1 (the default) is exactly the sequential \
            solver.")
 
-let budget_of ~timeout ~max_conflicts =
+(* -- observability ------------------------------------------------------ *)
+
+module Obs = Taskalloc_obs.Obs
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event (Perfetto-compatible) trace of the run \
+           to FILE, plus a line-oriented JSONL copy next to it.  Implies \
+           metrics collection.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON metrics snapshot (per-constraint-family encode \
+           counts, solver progress gauges, phase-time histograms) to FILE.")
+
+let progress_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print one-line live solver progress to stderr at budget \
+           checkpoint ticks.")
+
+(* Enable the requested sinks and register the output writers with
+   [at_exit], so traces are flushed even on the non-zero exit paths
+   (INFEASIBLE, UNKNOWN, validation failure). *)
+let obs_setup ~trace ~metrics ~progress =
+  let tracing = trace <> None in
+  let want_metrics = metrics <> None || tracing in
+  if tracing || want_metrics then begin
+    Obs.enable ~tracing ~metrics:want_metrics ();
+    at_exit (fun () ->
+        (match trace with
+        | Some f ->
+          Obs.write_trace f;
+          Obs.write_jsonl (Filename.remove_extension f ^ ".jsonl")
+        | None -> ());
+        match metrics with Some f -> Obs.write_metrics f | None -> ())
+  end;
+  if progress then
+    Obs.set_sample_hook
+      (Some
+         (fun name kvs ->
+           if name = "solver.progress" then begin
+             let get k = Option.value ~default:0. (List.assoc_opt k kvs) in
+             Fmt.epr
+               "progress: %.0f conflicts (%.0f/s), %.0f props/s, trail %.0f, \
+                lvl %.0f, lbd %.1f, %.0f restarts@."
+               (get "conflicts") (get "conflicts_per_s")
+               (get "propagations_per_s") (get "trail") (get "decision_level")
+               (get "avg_lbd") (get "restarts")
+           end))
+
+(* Observability needs the solver's checkpoint to tick even when the
+   user set no limits: an unlimited budget arms no tripwire and costs
+   no syscalls, but gives progress sampling its cadence. *)
+let budget_of ?(obs = false) ~timeout ~max_conflicts () =
   match (timeout, max_conflicts) with
-  | None, None -> None
+  | None, None ->
+    if obs then Some (Taskalloc_core.Allocator.Budget.create ()) else None
   | _ -> Some (Taskalloc_core.Allocator.Budget.create ?timeout ?max_conflicts ())
 
 let lookup_workload ?file name seed =
@@ -157,7 +223,8 @@ let heuristic_objective = function
 
 let solve_cmd =
   let run file workload seed objective mode jobs timeout max_conflicts gap_tol
-      no_fallback =
+      no_fallback trace metrics progress =
+    obs_setup ~trace ~metrics ~progress;
     let problem = lookup_workload ?file workload seed in
     let label = match file with Some f -> f | None -> workload in
     Fmt.pr "workload %s: %d tasks, %d ECUs, %d messages, %d media@." label
@@ -165,7 +232,9 @@ let solve_cmd =
       problem.Model.arch.Model.n_ecus
       (Array.length (Model.all_messages problem))
       (List.length problem.Model.arch.Model.media);
-    let budget = budget_of ~timeout ~max_conflicts in
+    let budget =
+      budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
+    in
     match
       Allocator.solve ~mode ~jobs ?budget ~gap_tol ~fallback:(not no_fallback)
         problem (to_objective problem objective)
@@ -196,7 +265,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg
-      $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg)
+      $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg
+      $ trace_arg $ metrics_arg $ progress_arg)
 
 let check_cmd =
   let run workload seed =
@@ -378,9 +448,13 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
 
 let explain_cmd =
-  let run file workload seed jobs timeout max_conflicts max_relax json =
+  let run file workload seed jobs timeout max_conflicts max_relax json trace
+      metrics progress =
+    obs_setup ~trace ~metrics ~progress;
     let problem = lookup_workload ?file workload seed in
-    let budget = budget_of ~timeout ~max_conflicts in
+    let budget =
+      budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
+    in
     let report =
       Taskalloc_explain.Explain.explain ~jobs ?budget ~max_relaxations:max_relax
         problem
@@ -409,10 +483,13 @@ let explain_cmd =
           capacities) and the minimal relaxations that restore feasibility")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ jobs_arg $ timeout_arg
-      $ max_conflicts_arg $ max_relax_arg $ json_arg)
+      $ max_conflicts_arg $ max_relax_arg $ json_arg $ trace_arg $ metrics_arg
+      $ progress_arg)
 
 let whatif_cmd =
-  let run file workload seed timeout max_conflicts queries json =
+  let run file workload seed timeout max_conflicts queries json trace metrics
+      progress =
+    obs_setup ~trace ~metrics ~progress;
     let problem = lookup_workload ?file workload seed in
     let module W = Taskalloc_explain.Explain.Whatif in
     (* Parse everything up front so a typo in query 3 does not waste the
@@ -431,7 +508,9 @@ let whatif_cmd =
     let tasks = problem.Model.tasks in
     List.iteri
       (fun i (q, ds) ->
-        let budget = budget_of ~timeout ~max_conflicts in
+        let budget =
+          budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
+        in
         let verdict = W.query ?budget session ds in
         let label = if q = "" then "baseline" else q in
         if json then Fmt.pr "%s@." (W.verdict_to_json session verdict)
@@ -480,7 +559,8 @@ let whatif_cmd =
           without re-encoding")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ timeout_arg
-      $ max_conflicts_arg $ query_arg $ json_arg)
+      $ max_conflicts_arg $ query_arg $ json_arg $ trace_arg $ metrics_arg
+      $ progress_arg)
 
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in

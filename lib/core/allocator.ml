@@ -23,6 +23,7 @@ open Taskalloc_rt
 open Taskalloc_opt
 open Taskalloc_heuristics
 module Budget = Taskalloc_sat.Budget
+module Obs = Taskalloc_obs.Obs
 
 (* Provenance of a returned allocation. *)
 type quality =
@@ -94,16 +95,22 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     let enc = List.assq_opt ctx !encs in
     Mutex.unlock lock;
     match enc with
-    | Some enc -> Encode.extract enc
+    | Some enc -> Obs.span "decode" (fun () -> Encode.extract enc)
     | None -> assert false
   in
   let anytime, stats =
-    Opt.minimize ~mode ~jobs ?max_conflicts ?budget ~gap_tol ~build ~on_sat ()
+    Obs.span "solve"
+      ~attrs:[ ("jobs", string_of_int jobs) ]
+      (fun () ->
+        Opt.minimize ~mode ~jobs ?max_conflicts ?budget ~gap_tol ~build ~on_sat ())
   in
   let solved quality (cost, allocation) =
     (* anytime incumbents and optima alike are re-checked by the
        independent analyzer before being handed out *)
-    let violations = if validate then Check.check problem allocation else [] in
+    let violations =
+      if validate then Obs.span "validate" (fun () -> Check.check problem allocation)
+      else []
+    in
     let bool_vars, literals = !last_size in
     Solved { allocation; cost; quality; stats; violations; bool_vars; literals }
   in
@@ -118,11 +125,16 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     (* no incumbent at all: last rung of the ladder *)
     if not fallback then Unknown
     else begin
-      match Heuristics.best_effort problem (heuristic_objective objective) with
+      match
+        Obs.span "heuristic" (fun () ->
+            Heuristics.best_effort problem (heuristic_objective objective))
+      with
       | None -> Unknown
       | Some (name, allocation, cost) ->
         let violations =
-          if validate then Check.check problem allocation else []
+          if validate then
+            Obs.span "validate" (fun () -> Check.check problem allocation)
+          else []
         in
         let bool_vars, literals = !last_size in
         Solved

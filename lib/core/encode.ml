@@ -139,8 +139,8 @@ let same_ecu_bit t i j =
   Bv.bor_list ctx
     (List.map (fun e -> Bv.band ctx (sel_on t i e) (sel_on t j e)) commons)
 
-let encode ?(options = default_options) ?(groups = false) (problem : Model.problem)
-    (objective : objective) : t =
+let encode_sections ?(options = default_options) ?(groups = false)
+    (problem : Model.problem) (objective : objective) : t =
   let grouped = groups in
   let ctx = Bv.create ~mode:options.pb_mode () in
   let arch = problem.Model.arch in
@@ -179,8 +179,49 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
     | Some c -> c
     | None -> List.fold_left (fun m (_, c) -> min m c) max_int task.Model.wcets
   in
+  (* Per-constraint-family telemetry (DESIGN §4e): [obs_family name]
+     closes the previous section and opens [name], charging the
+     formula-size deltas (clauses / PB constraints / vars / literals)
+     and the elapsed encode time to the closed family.  [""] closes
+     without opening.  With observability off this is a single branch
+     per section boundary. *)
+  let obs_family =
+    let module Obs = Taskalloc_obs.Obs in
+    let s = Bv.solver ctx in
+    let open_name = ref None in
+    let mark = ref (0, 0, 0, 0, 0.) in
+    fun name ->
+      if Obs.on () then begin
+        let c = Solver.n_clauses s
+        and p = Solver.n_pbs s
+        and v = Solver.n_vars s
+        and l = Solver.n_literals s in
+        let tnow = Obs.now () in
+        (match !open_name with
+        | None -> ()
+        | Some prev ->
+          let c0, p0, v0, l0, t0 = !mark in
+          if Obs.metrics_on () then begin
+            Obs.Metrics.incr ~by:(c - c0) ("encode." ^ prev ^ ".clauses");
+            Obs.Metrics.incr ~by:(p - p0) ("encode." ^ prev ^ ".pbs");
+            Obs.Metrics.incr ~by:(v - v0) ("encode." ^ prev ^ ".vars");
+            Obs.Metrics.incr ~by:(l - l0) ("encode." ^ prev ^ ".lits")
+          end;
+          Obs.complete ("encode." ^ prev) ~start:t0 ~stop:tnow
+            ~attrs:
+              [
+                ("clauses", string_of_int (c - c0));
+                ("pbs", string_of_int (p - p0));
+                ("vars", string_of_int (v - v0));
+                ("lits", string_of_int (l - l0));
+              ]);
+        open_name := (if name = "" then None else Some name);
+        mark := (c, p, v, l, tnow)
+      end
+  in
 
   (* ---- allocation selectors (eq. 4) ------------------------------- *)
+  obs_family "alloc";
   let admissible =
     Array.map (fun task -> Array.of_list (Model.allowed_ecus problem task)) tasks
   in
@@ -247,6 +288,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
       admissible;
   (* priority relation p_i^j (eqs. 9-10): constants from the deadline
      order, free (but transitively consistent) bits on ties *)
+  obs_family "priorities";
   let tie_bits = Hashtbl.create 8 in
   let n_tasks = Array.length tasks in
   (match options.tie_breaking with
@@ -316,6 +358,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
 
   (* separation delta_i (second conjunct of eq. 4); one selector per
      unordered pair in grouped mode (declarations may be symmetric) *)
+  obs_family "separation";
   let sep_groups = Hashtbl.create 8 in
   Array.iteri
     (fun i task ->
@@ -353,6 +396,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
     tasks;
 
   (* memory capacities (pseudo-Boolean, per ECU) *)
+  obs_family "capacities";
   for e = 0 to arch.Model.n_ecus - 1 do
     let cap = arch.Model.mem_capacity.(e) in
     if cap < max_int then begin
@@ -378,6 +422,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
   done;
 
   (* ---- task response times (eqs. 5-13) ------------------------------ *)
+  obs_family "response_times";
   let response_times =
     Array.mapi
       (fun i task ->
@@ -475,6 +520,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
   in
 
   (* ---- TDMA rounds and slots ------------------------------------------ *)
+  obs_family "tdma";
   let max_slot =
     if options.max_slot > 0 then options.max_slot
     else begin
@@ -510,6 +556,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
     arch.Model.media;
 
   (* ---- message routing and per-medium analysis (§4) ------------------- *)
+  obs_family "routing";
   let msgs = Model.all_messages problem in
   let all_paths = Topology.simple_paths topo in
   let msg_encs =
@@ -829,6 +876,7 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
     arch.Model.media;
 
   (* ---- objective -------------------------------------------------------- *)
+  obs_family "objective";
   let cost =
     match objective with
     | Feasible -> Bv.const 0
@@ -874,7 +922,21 @@ let encode ?(options = default_options) ?(groups = false) (problem : Model.probl
       done;
       cost
   in
+  obs_family "";
   { t with cost; groups = List.rev !reg }
+
+let encode ?options ?groups problem objective =
+  let module Obs = Taskalloc_obs.Obs in
+  Obs.span "encode" (fun () ->
+      let t = encode_sections ?options ?groups problem objective in
+      if Obs.metrics_on () then begin
+        Obs.Metrics.set "encode.bool_vars" (Bv.n_bool_vars t.ctx);
+        Obs.Metrics.set "encode.literals" (Bv.n_literals t.ctx);
+        Obs.Metrics.set "encode.int_vars" (Bv.n_int_vars t.ctx);
+        Obs.Metrics.incr ~by:(List.length t.groups) "encode.groups";
+        Obs.Metrics.incr "encode.count"
+      end;
+      t)
 
 (* ---- model extraction ---------------------------------------------------- *)
 

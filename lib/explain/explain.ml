@@ -18,6 +18,7 @@ open Taskalloc_rt
 open Taskalloc_core
 module Portfolio = Taskalloc_portfolio.Portfolio
 module Budget = Taskalloc_sat.Budget
+module Obs = Taskalloc_obs.Obs
 
 (* -- sessions ----------------------------------------------------------- *)
 
@@ -68,6 +69,15 @@ let rec take n = function
    set and whether it was proven minimal. *)
 let shrink ?budget ~sessions core0 =
   let work = ref core0 in
+  (* core-size trajectory of the deletion loop *)
+  let trajectory () =
+    if Obs.on () then begin
+      let n = List.length !work in
+      Obs.Metrics.observe "explain.core_size" n;
+      Obs.instant "explain.core" ~attrs:[ ("size", string_of_int n) ]
+    end
+  in
+  trajectory ();
   let critical = ref [] in
   let minimal = ref true in
   let running = ref true in
@@ -77,12 +87,17 @@ let shrink ?budget ~sessions core0 =
     match untested with
     | [] -> running := false
     | g :: _ when n_sessions = 1 || List.length untested = 1 -> (
-      match solve_groups ?budget sessions.(0) (remove g !work) with
+      match
+        Obs.span "explain.candidate"
+          ~attrs:[ ("group", string_of_int g) ]
+          (fun () -> solve_groups ?budget sessions.(0) (remove g !work))
+      with
       | Solver.Sat -> critical := g :: !critical
       | Solver.Unsat ->
         let c = core_indices sessions.(0) in
         work := c;
-        critical := List.filter (fun x -> List.mem x c) !critical
+        critical := List.filter (fun x -> List.mem x c) !critical;
+        trajectory ()
       | Solver.Unknown ->
         minimal := false;
         running := false)
@@ -99,7 +114,11 @@ let shrink ?budget ~sessions core0 =
           ~worker:(fun i _config ~budget ->
             let s = sessions.(i) in
             let g = batch.(i) in
-            let r = solve_groups ?budget s (remove g snapshot) in
+            let r =
+              Obs.span "explain.candidate"
+                ~attrs:[ ("group", string_of_int g) ]
+                (fun () -> solve_groups ?budget s (remove g snapshot))
+            in
             let c = if r = Solver.Unsat then core_indices s else [] in
             (g, r, c))
           ~conclusive:(fun (_, r, _) -> r = Solver.Unsat)
@@ -126,6 +145,7 @@ let shrink ?budget ~sessions core0 =
         | Some (_, _, c) ->
           work := c;
           critical := List.filter (fun x -> List.mem x c) !critical;
+          trajectory ();
           Array.iter
             (function
               | Some (g, Solver.Sat, _) when List.mem g c -> mark_critical g
@@ -223,8 +243,15 @@ let explain ?options ?(jobs = 1) ?budget ?(max_relaxations = 3) problem =
             if i = 0 then main
             else make_sess ?options ~config:(Portfolio.diversify i) problem)
     in
-    let core, minimal = shrink ?budget ~sessions core0 in
-    let relaxations = correction_sets ?budget main all ~k:max_relaxations in
+    let core, minimal =
+      Obs.span "explain.shrink"
+        ~attrs:[ ("core0", string_of_int (List.length core0)) ]
+        (fun () -> shrink ?budget ~sessions core0)
+    in
+    let relaxations =
+      Obs.span "explain.correction_sets" (fun () ->
+          correction_sets ?budget main all ~k:max_relaxations)
+    in
     let to_groups = List.map (fun i -> main.groups.(i)) in
     finish
       (Explained { core = to_groups core; minimal })
@@ -382,7 +409,7 @@ module Whatif = struct
 
   exception Trivially_infeasible of delta
 
-  let query ?budget t deltas =
+  let query_run ?budget t deltas =
     t.queries <- t.queries + 1;
     let sess = t.sess in
     let disabled = disabled_kinds t deltas in
@@ -425,6 +452,11 @@ module Whatif = struct
           List.filter_map (fun l -> List.assoc_opt l delta_lits) core
         in
         Infeasible { groups; deltas = core_deltas })
+
+  let query ?budget t deltas =
+    Obs.span "whatif.query"
+      ~attrs:[ ("deltas", string_of_int (List.length deltas)) ]
+      (fun () -> query_run ?budget t deltas)
 
   (* -- CLI query language ------------------------------------------- *)
 

@@ -278,11 +278,14 @@ type failure = {
   fail_error : string;
 }
 
+module Obs = Taskalloc_obs.Obs
+
 type report = {
   iters : int;
   n_sat : int;
   n_unsat : int;
   failures : failure list;
+  solve_us : Obs.Hist.t;
 }
 
 let run ?(max_vars = 10) ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
@@ -290,11 +293,20 @@ let run ?(max_vars = 10) ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
   let rng = Rng.create seed in
   let n_sat = ref 0 and n_unsat = ref 0 in
   let failures = ref [] in
+  (* per-iteration solve-time histogram (µs): the campaign doubles as a
+     perf canary — a regression shifts the distribution even when every
+     differential check still passes.  Iteration granularity, so the
+     two clock samples per case are nowhere near any hot loop. *)
+  let solve_us = Obs.Hist.create () in
   for i = 0 to iters - 1 do
     let case_seed = Rng.int rng 0x3FFFFFFF in
     let case = gen_case ~seed:case_seed ~max_vars in
     if oracle case then incr n_sat else incr n_unsat;
-    match check_case ~jobs case with
+    let t0 = Unix.gettimeofday () in
+    let checked = check_case ~jobs case in
+    Obs.Hist.add solve_us
+      (int_of_float (Float.max 0. ((Unix.gettimeofday () -. t0) *. 1e6)));
+    match checked with
     | Ok () -> ()
     | Error e ->
       log (Fmt.str "iter %d (seed %d): %s" i case_seed e);
@@ -302,12 +314,20 @@ let run ?(max_vars = 10) ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
         { fail_seed = case_seed; fail_case = shrink ~jobs case; fail_error = e }
         :: !failures
   done;
-  { iters; n_sat = !n_sat; n_unsat = !n_unsat; failures = List.rev !failures }
+  {
+    iters;
+    n_sat = !n_sat;
+    n_unsat = !n_unsat;
+    failures = List.rev !failures;
+    solve_us;
+  }
 
 let pp_report ppf r =
   Fmt.pf ppf "%d cases: %d sat, %d unsat, %d failures@." r.iters r.n_sat
     r.n_unsat
     (List.length r.failures);
+  if Obs.Hist.count r.solve_us > 0 then
+    Fmt.pf ppf "solve time per case: %a us@." Obs.Hist.pp r.solve_us;
   List.iter
     (fun f ->
       Fmt.pf ppf "FAILURE (seed %d): %s@.minimized reproducer:@.%a" f.fail_seed

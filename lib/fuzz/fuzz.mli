@@ -76,6 +76,10 @@ type report = {
   n_sat : int;
   n_unsat : int;
   failures : failure list;
+  solve_us : Taskalloc_obs.Obs.Hist.t;
+      (** per-iteration differential-check wall time (µs) — the
+          campaign's perf-canary distribution, printed by
+          {!pp_report} *)
 }
 
 val run :

@@ -1,0 +1,391 @@
+(* Observability substrate.  See obs.mli for the design contract; the
+   load-bearing invariant is that with both sinks off and no sample
+   hook installed, no entry point samples the clock or takes the
+   mutex. *)
+
+(* ---- clock ------------------------------------------------------------- *)
+
+let default_clock () = Unix.gettimeofday ()
+let clock : (unit -> float) ref = ref default_clock
+let samples = Atomic.make 0
+let set_clock f = clock := f
+let clock_samples () = Atomic.get samples
+
+let now () =
+  Atomic.incr samples;
+  !clock ()
+
+(* ---- switches ---------------------------------------------------------- *)
+
+let tracing = Atomic.make false
+let metrics = Atomic.make false
+let t0 = ref 0.
+let tracing_on () = Atomic.get tracing
+let metrics_on () = Atomic.get metrics
+let on () = tracing_on () || metrics_on ()
+
+(* ---- mergeable integer histograms -------------------------------------- *)
+
+module Hist = struct
+  let n_buckets = 64
+
+  type t = {
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+    buckets : int array;
+  }
+
+  let create () =
+    { count = 0; sum = 0; min_v = 0; max_v = 0; buckets = Array.make n_buckets 0 }
+
+  (* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i *)
+  let bucket_index v =
+    if v <= 0 then 0
+    else begin
+      let i = ref 0 and v = ref v in
+      while !v > 0 do
+        incr i;
+        v := !v lsr 1
+      done;
+      min !i (n_buckets - 1)
+    end
+
+  let add t v =
+    if t.count = 0 then begin
+      t.min_v <- v;
+      t.max_v <- v
+    end
+    else begin
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v
+    end;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    let i = bucket_index v in
+    t.buckets.(i) <- t.buckets.(i) + 1
+
+  let merge_into ~into src =
+    if src.count > 0 then begin
+      if into.count = 0 then begin
+        into.min_v <- src.min_v;
+        into.max_v <- src.max_v
+      end
+      else begin
+        if src.min_v < into.min_v then into.min_v <- src.min_v;
+        if src.max_v > into.max_v then into.max_v <- src.max_v
+      end;
+      into.count <- into.count + src.count;
+      into.sum <- into.sum + src.sum;
+      Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets
+    end
+
+  let copy t =
+    {
+      count = t.count;
+      sum = t.sum;
+      min_v = t.min_v;
+      max_v = t.max_v;
+      buckets = Array.copy t.buckets;
+    }
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = if t.count = 0 then 0 else t.min_v
+  let max_value t = if t.count = 0 then 0 else t.max_v
+  let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+  let buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then
+        let hi = if i = 0 then 0 else (1 lsl i) - 1 in
+        acc := (hi, t.buckets.(i)) :: !acc
+    done;
+    !acc
+
+  let equal a b =
+    a.count = b.count && a.sum = b.sum
+    && min_value a = min_value b
+    && max_value a = max_value b
+    && a.buckets = b.buckets
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d sum=%d min=%d max=%d mean=%.1f" t.count t.sum
+      (min_value t) (max_value t) (mean t)
+end
+
+(* ---- shared sink state -------------------------------------------------- *)
+
+type event = {
+  ev_name : string;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_attrs : (string * string) list;
+}
+
+let mutex = Mutex.create ()
+let events_rev : event list ref = ref []
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauges_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let hists_tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 32
+
+let sample_hook : (string -> (string * float) list -> unit) option ref =
+  ref None
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let enable ?tracing:(tr = false) ?metrics:(me = false) () =
+  if (tr || me) && not (on ()) then t0 := now ();
+  Atomic.set tracing tr;
+  Atomic.set metrics me
+
+let disable () =
+  Atomic.set tracing false;
+  Atomic.set metrics false
+
+let clear () =
+  disable ();
+  locked (fun () ->
+      events_rev := [];
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset gauges_tbl;
+      Hashtbl.reset hists_tbl);
+  sample_hook := None;
+  clock := default_clock;
+  Atomic.set samples 0;
+  t0 := 0.
+
+let tid () = (Domain.self () :> int)
+
+let record ev = locked (fun () -> events_rev := ev :: !events_rev)
+
+(* ---- metrics ------------------------------------------------------------ *)
+
+module Metrics = struct
+  let find_ref tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+  let incr ?(by = 1) name =
+    if metrics_on () then
+      locked (fun () ->
+          let r = find_ref counters_tbl name in
+          r := !r + by)
+
+  let set name v =
+    if metrics_on () then locked (fun () -> find_ref gauges_tbl name := v)
+
+  let observe name v =
+    if metrics_on () then
+      locked (fun () ->
+          let h =
+            match Hashtbl.find_opt hists_tbl name with
+            | Some h -> h
+            | None ->
+              let h = Hist.create () in
+              Hashtbl.add hists_tbl name h;
+              h
+          in
+          Hist.add h v)
+
+  let get_counter name =
+    locked (fun () ->
+        match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0)
+
+  let get_gauge name =
+    locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt gauges_tbl name))
+
+  let get_hist name =
+    locked (fun () -> Option.map Hist.copy (Hashtbl.find_opt hists_tbl name))
+
+  let sorted tbl f =
+    locked (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+  let counters () = sorted counters_tbl ( ! )
+  let gauges () = sorted gauges_tbl ( ! )
+  let hists () = sorted hists_tbl Hist.copy
+end
+
+(* ---- spans -------------------------------------------------------------- *)
+
+let us_since_t0 t = (t -. !t0) *. 1e6
+
+let span ?(attrs = []) name f =
+  let tr = tracing_on () and me = metrics_on () in
+  if not (tr || me) then f ()
+  else begin
+    let start = now () in
+    let finish attrs =
+      let stop = now () in
+      let dur_us = Float.max 0. ((stop -. start) *. 1e6) in
+      if me then Metrics.observe ("span." ^ name ^ ".us") (int_of_float dur_us);
+      if tr then
+        record
+          {
+            ev_name = name;
+            ev_ts = us_since_t0 start;
+            ev_dur = dur_us;
+            ev_tid = tid ();
+            ev_attrs = attrs;
+          }
+    in
+    match f () with
+    | r ->
+      finish attrs;
+      r
+    | exception e ->
+      finish (attrs @ [ ("error", Printexc.to_string e) ]);
+      raise e
+  end
+
+let complete ?(attrs = []) name ~start ~stop =
+  let dur_us = Float.max 0. ((stop -. start) *. 1e6) in
+  if metrics_on () then Metrics.observe ("span." ^ name ^ ".us") (int_of_float dur_us);
+  if tracing_on () then
+    record
+      {
+        ev_name = name;
+        ev_ts = us_since_t0 start;
+        ev_dur = dur_us;
+        ev_tid = tid ();
+        ev_attrs = attrs;
+      }
+
+let instant ?(attrs = []) name =
+  if tracing_on () then
+    record
+      {
+        ev_name = name;
+        ev_ts = us_since_t0 (now ());
+        ev_dur = -1.;
+        ev_tid = tid ();
+        ev_attrs = attrs;
+      }
+
+let set_sample_hook h = sample_hook := h
+let sample_hook_installed () = !sample_hook <> None
+
+let emit_sample name kvs =
+  if tracing_on () then
+    record
+      {
+        ev_name = name;
+        ev_ts = us_since_t0 (now ());
+        ev_dur = -2.;
+        ev_tid = tid ();
+        ev_attrs = List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) kvs;
+      };
+  match !sample_hook with None -> () | Some h -> h name kvs
+
+(* ---- JSON emission ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let events () = List.rev !events_rev |> List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts)
+
+let attrs_json attrs =
+  String.concat ", "
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+       attrs)
+
+let event_json ev =
+  let common =
+    Printf.sprintf "\"name\": \"%s\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f"
+      (json_escape ev.ev_name) ev.ev_tid ev.ev_ts
+  in
+  let args = Printf.sprintf "\"args\": {%s}" (attrs_json ev.ev_attrs) in
+  if ev.ev_dur >= 0. then
+    Printf.sprintf "{%s, \"ph\": \"X\", \"dur\": %.3f, %s}" common ev.ev_dur args
+  else if ev.ev_dur = -1. then
+    Printf.sprintf "{%s, \"ph\": \"i\", \"s\": \"t\", %s}" common args
+  else Printf.sprintf "{%s, \"ph\": \"C\", %s}" common args
+
+let trace_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (event_json ev))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (event_json ev);
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let hist_json h =
+  Printf.sprintf
+    "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %.3f, \
+     \"buckets\": [%s]}"
+    (Hist.count h) (Hist.sum h) (Hist.min_value h) (Hist.max_value h)
+    (Hist.mean h)
+    (String.concat ", "
+       (List.map
+          (fun (hi, c) -> Printf.sprintf "{\"le\": %d, \"count\": %d}" hi c)
+          (Hist.buckets h)))
+
+let metrics_json () =
+  let kvs fmt l =
+    String.concat ",\n    "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (fmt v)) l)
+  in
+  Printf.sprintf
+    "{\n  \"counters\": {\n    %s\n  },\n  \"gauges\": {\n    %s\n  },\n  \
+     \"histograms\": {\n    %s\n  }\n}\n"
+    (kvs string_of_int (Metrics.counters ()))
+    (kvs string_of_int (Metrics.gauges ()))
+    (kvs hist_json (Metrics.hists ()))
+
+let phase_breakdown () =
+  List.filter_map
+    (fun (name, h) ->
+      let n = String.length name in
+      if n > 8 && String.sub name 0 5 = "span." && String.sub name (n - 3) 3 = ".us"
+      then Some (String.sub name 5 (n - 8), float_of_int (Hist.sum h) /. 1e6)
+      else None)
+    (Metrics.hists ())
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_trace path = write_file path (trace_json ())
+let write_jsonl path = write_file path (jsonl ())
+let write_metrics path = write_file path (metrics_json ())

@@ -34,6 +34,7 @@ open Taskalloc_sat
 open Taskalloc_pb
 open Taskalloc_bv
 module Budget = Taskalloc_sat.Budget
+module Obs = Taskalloc_obs.Obs
 
 type mode = Fresh | Incremental
 
@@ -91,17 +92,27 @@ let gap a =
     else Some (float_of_int (ub - a.lower_bound) /. float_of_int ub)
 
 (* One SAT probe; records statistics.  Never raises: budget expiry is
-   reported as [Solver.Unknown]. *)
+   reported as [Solver.Unknown].  Counters are charged from the
+   per-solve deltas ([Solver.last_solve_stats]), not by differencing
+   the solver's cumulative counters here: an incremental session
+   reused across minimize runs (or a what-if session) carries history,
+   and cumulative reads would cross-contaminate the probe totals. *)
 let probe stats ?(assumptions = []) ?max_conflicts ~budget ctx =
   stats.probes <- stats.probes + 1;
   let s = Bv.solver ctx in
-  let before = Solver.n_conflicts s in
-  let result = Solver.solve ~assumptions ?max_conflicts ~budget s in
-  stats.conflicts <- stats.conflicts + (Solver.n_conflicts s - before);
-  stats.decisions <- Solver.n_decisions s;
-  stats.propagations <- Solver.n_propagations s;
+  let result =
+    Obs.span "opt.probe" (fun () -> Solver.solve ~assumptions ?max_conflicts ~budget s)
+  in
+  let d = Solver.last_solve_stats s in
+  stats.conflicts <- stats.conflicts + d.Solver.d_conflicts;
+  stats.decisions <- stats.decisions + d.Solver.d_decisions;
+  stats.propagations <- stats.propagations + d.Solver.d_propagations;
   stats.bool_vars <- max stats.bool_vars (Solver.n_vars s);
   stats.literals <- max stats.literals (Solver.n_literals s);
+  if Obs.metrics_on () then begin
+    Obs.Metrics.observe "opt.probe_conflicts" d.Solver.d_conflicts;
+    Obs.Metrics.incr "opt.probes"
+  end;
   (match result with
   | Solver.Sat -> stats.sat_probes <- stats.sat_probes + 1
   | Solver.Unsat -> stats.unsat_probes <- stats.unsat_probes + 1
@@ -159,14 +170,35 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
       !lower >= !best_cost
       || float_of_int (!best_cost - !lower) <= gap_tol *. float_of_int !best_cost
     in
+    (* bound/incumbent/gap timeline: one marker per probe outcome *)
+    let timeline outcome =
+      if Obs.tracing_on () then
+        Obs.instant "opt.bound"
+          ~attrs:
+            [
+              ("outcome", outcome);
+              ("lower", string_of_int !lower);
+              ("incumbent", string_of_int !best_cost);
+              ( "gap",
+                Printf.sprintf "%g"
+                  (float_of_int (!best_cost - !lower)
+                  /. float_of_int (max !best_cost 1)) );
+            ]
+    in
+    timeline "first_sat";
     while (not !interrupted) && not (converged ()) do
       let m = next_m strategy ~lower:!lower ~best:!best_cost in
-      match reprobe !lower m with
+      (match reprobe !lower m with
       | `Sat (k, payload) ->
         best_cost := k;
-        best := payload
-      | `Unsat -> lower := m + 1
-      | `Unknown -> interrupted := true
+        best := payload;
+        timeline "sat"
+      | `Unsat ->
+        lower := m + 1;
+        timeline "unsat"
+      | `Unknown ->
+        interrupted := true;
+        timeline "interrupted")
     done;
     let resolution =
       if !lower >= !best_cost then Optimal else Feasible_budget_exhausted

@@ -30,6 +30,9 @@ type stats = {
   mutable interrupted_probes : int;
       (** probes that ran out of budget before an answer *)
   mutable conflicts : int;
+      (** summed per-probe deltas ({!Taskalloc_sat.Solver.last_solve_stats}),
+          so a reused incremental session's earlier history is never
+          double-counted; likewise [decisions] and [propagations] *)
   mutable decisions : int;
   mutable propagations : int;
   mutable bool_vars : int;

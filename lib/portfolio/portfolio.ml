@@ -29,6 +29,7 @@
    enabled. *)
 
 open Taskalloc_sat
+module Obs = Taskalloc_obs.Obs
 
 (* -- diversification --------------------------------------------------- *)
 
@@ -145,7 +146,12 @@ let race ?(jobs = 1) ?budget ~worker ~conclusive () =
             | Some b -> Budget.derive ~should_stop:stop b
             | None -> Budget.create ~should_stop:stop ~check_every:16 ()
           in
-          let r = worker i (diversify i) ~budget:(Some wbudget) in
+          let r =
+            (* per-worker span, recorded from the worker's own domain *)
+            Obs.span "portfolio.worker"
+              ~attrs:[ ("worker", string_of_int i) ]
+              (fun () -> worker i (diversify i) ~budget:(Some wbudget))
+          in
           if conclusive r then
             if Atomic.compare_and_set winner (-1) i then Atomic.set cancel true;
           Ok r
@@ -180,7 +186,12 @@ let race ?(jobs = 1) ?budget ~worker ~conclusive () =
     (match !first_error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    { results; winner = Atomic.get winner }
+    let w = Atomic.get winner in
+    (* winner attribution: which diversified configuration concluded *)
+    if w >= 0 then Obs.instant "portfolio.winner" ~attrs:[ ("worker", string_of_int w) ];
+    if Obs.metrics_on () && w >= 0 then
+      Obs.Metrics.incr (Printf.sprintf "portfolio.wins.worker%d" w);
+    { results; winner = w }
   end
 
 (* -- SAT-level portfolio ----------------------------------------------- *)
@@ -269,6 +280,13 @@ let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4) ~build () =
       let mc = Array.fold_left (fun m w -> max m w.conflicts) 0 workers in
       let mp = Array.fold_left (fun m w -> max m w.propagations) 0 workers in
       Budget.charge b ~conflicts:mc ~propagations:mp);
+  (* clause-exchange accounting, summed over workers *)
+  if Obs.metrics_on () then
+    Array.iter
+      (fun w ->
+        Obs.Metrics.incr ~by:w.shared_out "portfolio.shared_out";
+        Obs.Metrics.incr ~by:w.shared_in "portfolio.shared_in")
+      workers;
   let winner = race_outcome.winner in
   match (if winner >= 0 then race_outcome.results.(winner) else None) with
   | Some (payload, st) ->

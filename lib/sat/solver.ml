@@ -82,6 +82,25 @@ let default_config =
     init_polarity = false;
   }
 
+(* counter deltas of the most recent [solve] call; cumulative counters
+   persist across incremental solves, these do not (see mli) *)
+type solve_stats = {
+  d_conflicts : int;
+  d_decisions : int;
+  d_propagations : int;
+  d_restarts : int;
+  d_learnt : int;
+}
+
+let empty_solve_stats =
+  {
+    d_conflicts = 0;
+    d_decisions = 0;
+    d_propagations = 0;
+    d_restarts = 0;
+    d_learnt = 0;
+  }
+
 type t = {
   mutable ok : bool;
   mutable nvars : int;
@@ -123,6 +142,7 @@ type t = {
   mutable learnt_total : int; (* cumulative learnt clauses, incl. deleted *)
   mutable reduce_dbs : int;
   mutable imported : int; (* clauses accepted through the import hook *)
+  mutable last_stats : solve_stats; (* deltas of the latest solve call *)
   (* LBD computation scratch: level stamps, see [compute_lbd] *)
   mutable lbd_stamp : int array;
   mutable lbd_tick : int;
@@ -179,6 +199,7 @@ let create () =
     learnt_total = 0;
     reduce_dbs = 0;
     imported = 0;
+    last_stats = empty_solve_stats;
     lbd_stamp = Array.make 17 0;
     lbd_tick = 0;
     export = None;
@@ -992,7 +1013,54 @@ let do_import t =
   | Some f when not (proof_on t) -> List.iter (import_clause t) (f ())
   | _ -> ()
 
-let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
+(* Progress telemetry, polled at the budget-checkpoint cadence and once
+   at the end of a solve.  The guard is one atomic load when
+   observability is off — the search loop itself never samples a
+   clock. *)
+let obs_sample t ~last_t ~last_confl ~last_prop =
+  let module Obs = Taskalloc_obs.Obs in
+  if Obs.on () || Obs.sample_hook_installed () then begin
+    let tnow = Obs.now () in
+    let dt = if Float.is_nan !last_t then 0. else tnow -. !last_t in
+    let dc = t.conflicts - !last_confl and dp = t.propagations - !last_prop in
+    last_t := tnow;
+    last_confl := t.conflicts;
+    last_prop := t.propagations;
+    let l = lbd_summary t in
+    let trail = Veci.size t.trail in
+    let conflicts_per_s = if dt > 0. then float_of_int dc /. dt else 0. in
+    let propagations_per_s = if dt > 0. then float_of_int dp /. dt else 0. in
+    if Obs.metrics_on () then begin
+      Obs.Metrics.incr "solver.progress_samples";
+      Obs.Metrics.set "solver.conflicts" t.conflicts;
+      Obs.Metrics.set "solver.propagations" t.propagations;
+      Obs.Metrics.set "solver.restarts" t.restarts;
+      Obs.Metrics.set "solver.reduce_dbs" t.reduce_dbs;
+      Obs.Metrics.set "solver.learnts_live" l.live;
+      Obs.Metrics.observe "solver.trail_depth" trail;
+      if dt > 0. then begin
+        Obs.Metrics.observe "solver.conflicts_per_s" (int_of_float conflicts_per_s);
+        Obs.Metrics.observe "solver.propagations_per_s"
+          (int_of_float propagations_per_s)
+      end
+    end;
+    Obs.emit_sample "solver.progress"
+      [
+        ("conflicts", float_of_int t.conflicts);
+        ("conflicts_per_s", conflicts_per_s);
+        ("propagations", float_of_int t.propagations);
+        ("propagations_per_s", propagations_per_s);
+        ("trail", float_of_int trail);
+        ("decision_level", float_of_int (Veci.size t.trail_lim));
+        ("restarts", float_of_int t.restarts);
+        ("learnts", float_of_int l.live);
+        ("glue", float_of_int l.glue);
+        ("avg_lbd", l.avg_lbd);
+        ("reduce_dbs", float_of_int t.reduce_dbs);
+      ]
+  end
+
+let solve_main ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
   (* clear the previous answer's assumption state up front so an
      interleaved plain [solve] never sees a stale failed-assumption
      core from an earlier assumption-Unsat call *)
@@ -1027,11 +1095,16 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
           last_confl := t.conflicts;
           last_prop := t.propagations
       in
+      let s_last_t = ref Float.nan
+      and s_last_confl = ref t.conflicts
+      and s_last_prop = ref t.propagations in
+      let sample () = obs_sample t ~last_t:s_last_t ~last_confl:s_last_confl ~last_prop:s_last_prop in
       let checkpoint () =
         match budget with
         | None -> false
         | Some b ->
           commit ();
+          sample ();
           Budget.exhausted b
       in
       let check_every =
@@ -1066,6 +1139,8 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
           end
         done;
         commit ();
+        (* one closing sample so short budgeted solves still report *)
+        sample ();
         (match !result with
         | Sat ->
           (* save the model before undoing the trail *)
@@ -1083,6 +1158,26 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
         !result
       end
   end
+
+let solve ?assumptions ?max_conflicts ?budget t =
+  let c0 = t.conflicts
+  and d0 = t.decisions
+  and p0 = t.propagations
+  and r0 = t.restarts
+  and l0 = t.learnt_total in
+  Fun.protect
+    ~finally:(fun () ->
+      t.last_stats <-
+        {
+          d_conflicts = t.conflicts - c0;
+          d_decisions = t.decisions - d0;
+          d_propagations = t.propagations - p0;
+          d_restarts = t.restarts - r0;
+          d_learnt = t.learnt_total - l0;
+        })
+    (fun () -> solve_main ?assumptions ?max_conflicts ?budget t)
+
+let last_solve_stats t = t.last_stats
 
 (* Value of a literal in the most recent satisfying model. *)
 let model_value t l =

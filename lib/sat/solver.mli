@@ -177,7 +177,16 @@ val fold_pbs : ('a -> (int * Lit.t) list * int -> 'a) -> 'a -> t -> 'a
 val level0_units : t -> Lit.t list
 (** Literals forced at decision level 0 (top-level units). *)
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    The counter accessors below ([n_conflicts], [n_decisions],
+    [n_propagations], [n_restarts], [n_learnt_total], …) are
+    {e cumulative over the solver's lifetime}: they persist across
+    incremental [solve] calls and are never reset.  Callers measuring
+    a single probe (Opt bound probes, Explain deletion candidates)
+    must use {!last_solve_stats}, which reports the deltas of the most
+    recent [solve] call only — differencing cumulative counters by
+    hand is how probe metrics get cross-contaminated. *)
 
 val n_vars : t -> int
 val n_clauses : t -> int
@@ -211,3 +220,18 @@ val n_literals : t -> int
 (** Total number of input literal occurrences (clauses after level-0
     simplification plus PB terms) — the "Lit." metric of the paper's
     tables. *)
+
+type solve_stats = {
+  d_conflicts : int;
+  d_decisions : int;
+  d_propagations : int;
+  d_restarts : int;
+  d_learnt : int;  (** clauses learnt (cumulative delta, incl. later deleted) *)
+}
+(** Counter deltas attributable to a single [solve] call. *)
+
+val last_solve_stats : t -> solve_stats
+(** Deltas of the most recent {!solve} call (all zero before the first
+    one).  Unlike the cumulative accessors above, this is overwritten
+    by every solve, making per-probe accounting safe under incremental
+    reuse. *)

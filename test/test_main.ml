@@ -16,6 +16,7 @@ let () =
   Alcotest.run "taskalloc"
     (List.map filter
        [
+         ("obs", Test_obs.suite);
          ("sat", Test_sat.suite);
          ("pb", Test_pb.suite);
          ("bv", Test_bv.suite);
