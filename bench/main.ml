@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
                    ablation-incremental ablation-encoding ablation-pb
-                   anytime portfolio explain micro)
+                   anytime portfolio explain repair micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -606,6 +606,7 @@ let explain ~quick () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       }
     in
     let light i =
@@ -747,6 +748,171 @@ let explain ~quick () =
    the only difference is the sink state.  The disabled run also
    re-checks the null-sink invariant: zero samples of the injected
    clock. *)
+(* ---- Online repair: warm-start vs fresh re-solve --------------------- *)
+
+let repair_bench ~quick () =
+  let module Repair = Taskalloc_repair.Repair in
+  section "Repair: warm-started incremental repair vs fresh re-solve";
+  (* On an ECU failure the repair engine reuses the live grouped
+     session: the failure is expressed as assumptions, so no
+     re-encoding happens at all, and the migration-count minimization
+     starts from a solver that has already learnt the instance.  The
+     cold baseline pays what any restart-from-scratch approach pays:
+     encode the disrupted problem and solve it fresh. *)
+  (* A dedicated online-repair workload.  The scaling workloads pin a
+     fraction of tasks to single ECUs and run their app ECUs near
+     saturation, so any loaded ECU is a single point of failure; a
+     system designed for repair keeps full placement domains and
+     spare capacity.  Chains of messaging tasks on one ring, every
+     task placeable everywhere, aggregate utilization ~2 ECUs' worth
+     short of the ring: failing any ECU is survivable. *)
+  let repair_workload ~n_ecus ~n_tasks =
+    let arch =
+      {
+        Model.n_ecus;
+        media =
+          [
+            {
+              Model.med_id = 0;
+              med_name = "ring";
+              kind = Model.Tdma;
+              ecus = List.init n_ecus Fun.id;
+              byte_time = 1;
+              frame_overhead = 2;
+            };
+          ];
+        mem_capacity = Array.make n_ecus max_int;
+        gateway_service = 0;
+        barred = [];
+      }
+    in
+    (* chains of 3: head -> mid -> tail, one message per hop *)
+    let task i =
+      let period = 100 * (1 + (i mod 3)) in
+      let wcet e = 8 + ((i + e) mod 5) in
+      let messages =
+        if i mod 3 = 2 || i + 1 >= n_tasks then []
+        else
+          [
+            {
+              Model.msg_id = i - (i / 3) - (if i mod 3 = 2 then 1 else 0);
+              src = i;
+              dst = i + 1;
+              bytes = 4;
+              msg_deadline = period;
+            };
+          ]
+      in
+      {
+        Model.task_id = i;
+        task_name = Printf.sprintf "t%02d" i;
+        period;
+        wcets = List.init n_ecus (fun e -> (e, wcet e));
+        deadline = period - (10 * (i mod 3));
+        memory = 1;
+        separation = [];
+        messages;
+        jitter = 0;
+        blocking = 0;
+        criticality = 0;
+      }
+    in
+    Model.make_problem ~arch ~tasks:(List.init n_tasks task)
+  in
+  let name, problem =
+    if quick then ("repair12", repair_workload ~n_ecus:4 ~n_tasks:12)
+    else ("repair18", repair_workload ~n_ecus:6 ~n_tasks:18)
+  in
+  let alloc =
+    match Allocator.find_feasible problem with
+    | Allocator.Solved r -> r.Allocator.allocation
+    | _ -> Fmt.failwith "repair bench: %s must be feasible" name
+  in
+  (* fail the first ECU whose loss dooms no task but evicts at least
+     one, so the warm assumption path is exercised *)
+  let event =
+    let rec pick e =
+      if e >= problem.Model.arch.Model.n_ecus then
+        Fmt.failwith "repair bench: no benign ECU failure on %s" name
+      else
+        let ev = Repair.Ecu_failure { ecu = e } in
+        let d = Repair.apply_event problem ev in
+        let evicted =
+          Array.exists (fun seat -> seat = e) alloc.Model.task_ecu
+        in
+        if d.Repair.d_doomed = [] && evicted then ev else pick (e + 1)
+    in
+    pick 0
+  in
+  let disrupted = (Repair.apply_event problem event).Repair.d_problem in
+  let trials = if quick then 3 else 5 in
+  let rows = ref [] in
+  let warm_total = ref 0. and fresh_total = ref 0. in
+  for trial = 1 to trials do
+    (* session construction (the steady-state cost, paid long before
+       the disruption) stays outside the timer on the warm path; the
+       cold path pays encode + solve inside it, as a restart would *)
+    let st = Repair.create problem alloc in
+    let outcome, warm_s =
+      time (fun () -> Repair.repair ~validate:false st event)
+    in
+    let migrations =
+      match outcome with
+      | Repair.Repaired r ->
+        if not r.Repair.warm then
+          Fmt.failwith "repair bench: expected the warm path";
+        List.length r.Repair.migrations
+      | _ -> Fmt.failwith "repair bench: repair failed"
+    in
+    let fresh_outcome, fresh_s =
+      time (fun () -> Allocator.find_feasible ~validate:false disrupted)
+    in
+    (match fresh_outcome with
+    | Allocator.Solved _ -> ()
+    | _ -> Fmt.failwith "repair bench: fresh re-solve failed");
+    warm_total := !warm_total +. warm_s;
+    fresh_total := !fresh_total +. fresh_s;
+    Fmt.pr "  trial %d: warm repair %.4fs (%d migrations)  fresh re-solve %.4fs@."
+      trial warm_s migrations fresh_s;
+    rows :=
+      Bench_json.Obj
+        [
+          ("workload", Bench_json.Str name);
+          ("trial", Bench_json.Int trial);
+          ("warm_s", Bench_json.Float warm_s);
+          ("fresh_s", Bench_json.Float fresh_s);
+          ("migrations", Bench_json.Int migrations);
+        ]
+      :: !rows
+  done;
+  let speedup = !fresh_total /. Float.max 1e-9 !warm_total in
+  (* a final validated repair: the speed must not come from skipping
+     correctness *)
+  let st = Repair.create problem alloc in
+  (match Repair.repair st event with
+  | Repair.Repaired r ->
+    if r.Repair.check_violations <> 0 || r.Repair.sim_misses <> 0 then
+      Fmt.failwith "repair bench: warm repair failed validation"
+  | _ -> Fmt.failwith "repair bench: validated repair failed");
+  Fmt.pr "  speedup: %.1fx (warm %.4fs vs fresh %.4fs, %d trials)@." speedup
+    (!warm_total /. float trials)
+    (!fresh_total /. float trials)
+    trials;
+  if quick then Fmt.pr "  shape check: skipped (quick mode)@."
+  else if speedup >= 2. then
+    Fmt.pr "  shape check: warm-start repair >= 2x faster than re-solve  OK@."
+  else Fmt.pr "  shape check:   VIOLATED: speedup %.1fx < 2x@." speedup;
+  let path =
+    Bench_json.write ~experiment:"repair"
+      (Bench_json.Obj
+         [
+           ("rows", Bench_json.List (List.rev !rows));
+           ("speedup", Bench_json.Float speedup);
+           ("shape_ok", Bench_json.Bool (quick || speedup >= 2.));
+         ])
+  in
+  Fmt.pr "  wrote %s@." path
+
 let obs_overhead ~quick () =
   section "Observability: tracing+metrics overhead on solver-bound work";
   let module Solver = Taskalloc_sat.Solver in
@@ -887,6 +1053,7 @@ let () =
       ("anytime", fun () -> anytime ~quick ());
       ("portfolio", fun () -> portfolio ~quick ());
       ("explain", fun () -> explain ~quick ());
+      ("repair", fun () -> repair_bench ~quick ());
       ("obs", fun () -> obs_overhead ~quick ());
       ("micro", fun () -> micro ());
     ]

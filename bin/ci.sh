@@ -193,6 +193,39 @@ echo "$out" | grep -q "^c core .*0$" || {
     echo "FAIL: no failed-assumption core printed"; echo "$out"; exit 1; }
 rm -f "$cnf" "$assume"
 
+# ---- online repair -------------------------------------------------------
+
+# the disruption walkthrough end to end: every event in the stream must
+# be repaired (degrading at the final failure), exit 0
+echo "== CLI smoke: repair a disruption scenario =="
+out=$(dune exec bin/taskalloc.exe -- repair --scenario examples/disruption.scen)
+echo "$out" | grep -q "REPAIRED" || {
+    echo "FAIL: scenario repair did not report a repair"; echo "$out"; exit 1; }
+echo "$out" | grep -q "shed" || {
+    echo "FAIL: final failure did not engage the degradation ladder"; echo "$out"; exit 1; }
+
+# with shedding disabled the last failure is irreparable (exit 1), and
+# a zero conflict budget yields a clean Unknown (exit 4) — never an
+# exception
+echo "== CLI smoke: repair --no-shed is irreparable =="
+rc=0
+dune exec bin/taskalloc.exe -- repair --scenario examples/disruption.scen \
+    --no-shed > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: expected irreparable (exit 1), got $rc"; exit 1; }
+
+echo "== CLI smoke: repair under a zero conflict budget =="
+rc=0
+dune exec bin/taskalloc.exe -- repair --scenario examples/disruption.scen \
+    --max-conflicts 0 > /dev/null || rc=$?
+[ "$rc" -eq 4 ] || { echo "FAIL: expected unknown (exit 4), got $rc"; exit 1; }
+
+# disruption campaigns: random repair streams cross-checked against the
+# brute-force minimal-migration oracle, spread over 2 domains
+echo "== CLI smoke: disruption fuzz with --jobs 2 =="
+out=$(dune exec bin/taskalloc.exe -- fuzz --disruptions --iters 15 --seed 3 --jobs 2)
+echo "$out" | grep -q " 0 failures" || {
+    echo "FAIL: disruption campaign found discrepancies"; echo "$out"; exit 1; }
+
 # ---- observability -------------------------------------------------------
 
 # tracing + metrics on a parallel solve: both files must materialise,

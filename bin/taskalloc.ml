@@ -408,11 +408,20 @@ let dump_cmd =
     Term.(const run $ workload_arg $ seed_arg)
 
 let fuzz_cmd =
-  let run iters seed max_vars jobs verbose =
+  let run iters seed max_vars jobs verbose disruptions =
     let log = if verbose then fun s -> Fmt.pr "c %s@." s else ignore in
-    let report = Taskalloc_fuzz.Fuzz.run ~max_vars ~jobs ~log ~iters ~seed () in
-    Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_report report;
-    if report.Taskalloc_fuzz.Fuzz.failures <> [] then exit 1
+    if disruptions then begin
+      let report =
+        Taskalloc_fuzz.Fuzz.run_disruptions ~jobs ~log ~iters ~seed ()
+      in
+      Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_disruption_report report;
+      if report.Taskalloc_fuzz.Fuzz.d_failures <> [] then exit 1
+    end
+    else begin
+      let report = Taskalloc_fuzz.Fuzz.run ~max_vars ~jobs ~log ~iters ~seed () in
+      Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_report report;
+      if report.Taskalloc_fuzz.Fuzz.failures <> [] then exit 1
+    end
   in
   let iters_arg =
     Arg.(
@@ -436,13 +445,27 @@ let fuzz_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print each discrepancy as it is found.")
   in
+  let disruptions_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "disruptions" ]
+          ~doc:
+            "Fuzz the online repair engine instead: random disruption \
+             campaigns (inject event, repair, simulate, assert deadlines, \
+             repeat), cross-checked against a brute-force minimal-migration \
+             oracle.  With this flag, $(b,--jobs) spreads campaigns over \
+             domains and $(b,--max-vars) is ignored.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential-fuzz the solver against a brute-force oracle, certifying \
           every Unsat answer with the DRUP checker; exits non-zero on any \
           discrepancy and prints a minimized reproducer")
-    Term.(const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg $ verbose_arg)
+    Term.(
+      const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg
+      $ verbose_arg $ disruptions_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
@@ -562,6 +585,166 @@ let whatif_cmd =
       $ max_conflicts_arg $ query_arg $ json_arg $ trace_arg $ metrics_arg
       $ progress_arg)
 
+let repair_cmd =
+  let module Repair = Taskalloc_repair.Repair in
+  let module Scenario = Taskalloc_repair.Scenario in
+  let run file workload seed scenario events no_shed explain timeout
+      max_conflicts json trace metrics progress =
+    obs_setup ~trace ~metrics ~progress;
+    (* the disruption stream: a scenario file, inline --event strings
+       (parsed with the same grammar, at tick 0), or both *)
+    let scen =
+      match scenario with
+      | None -> None
+      | Some path -> (
+        try Some (Scenario.parse_file path) with
+        | Scenario.Parse_error { line; message } ->
+          Fmt.epr "%s:%d: %s@." path line message;
+          exit 2
+        | Sys_error m ->
+          Fmt.epr "%s@." m;
+          exit 2)
+    in
+    let inline =
+      List.map
+        (fun s ->
+          match (Scenario.parse_string ("at 0 " ^ s)).Scenario.events with
+          | [ e ] -> e
+          | _ ->
+            Fmt.epr "--event %S: expected exactly one event@." s;
+            exit 2
+          | exception Scenario.Parse_error { message; _ } ->
+            Fmt.epr "--event %S: %s@." s message;
+            exit 2)
+        events
+    in
+    let stream =
+      (match scen with Some s -> s.Scenario.events | None -> []) @ inline
+    in
+    if stream = [] then begin
+      Fmt.epr "no disruption events: pass --scenario FILE or --event EV@.";
+      exit 2
+    end;
+    let problem =
+      match scen with
+      | Some { Scenario.problem_path = Some p; _ } when file = None ->
+        lookup_workload ~file:p workload seed
+      | _ -> lookup_workload ?file workload seed
+    in
+    (* the running system: solve the initial allocation first *)
+    let budget () =
+      budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
+    in
+    let alloc =
+      match Allocator.find_feasible ?budget:(budget ()) problem with
+      | Allocator.Solved r -> r.Allocator.allocation
+      | Allocator.Infeasible ->
+        Fmt.epr "initial problem is INFEASIBLE: nothing to keep running@.";
+        exit 1
+      | Allocator.Unknown ->
+        Fmt.epr "UNKNOWN: budget exhausted before an initial allocation@.";
+        exit 4
+    in
+    if not json then
+      Fmt.pr "running: %d tasks on %d ECUs@."
+        (Array.length problem.Model.tasks)
+        problem.Model.arch.Model.n_ecus;
+    let st = Repair.create problem alloc in
+    let any_irreparable = ref false and any_unknown = ref false in
+    List.iteri
+      (fun i { Scenario.at; spec } ->
+        let before = Repair.problem st in
+        let event =
+          try Scenario.resolve st spec with
+          | Repair.Invalid_event m ->
+            Fmt.epr "event %d: %s@." (i + 1) m;
+            exit 2
+        in
+        let outcome =
+          try
+            Repair.repair ?budget:(budget ()) ~allow_shed:(not no_shed)
+              ~explain st event
+          with Repair.Invalid_event m ->
+            Fmt.epr "event %d: %s@." (i + 1) m;
+            exit 2
+        in
+        if json then Fmt.pr "%s@." (Repair.outcome_to_json outcome)
+        else begin
+          Fmt.pr "@[<v>t=%d  %a@,%a@]@." at (Repair.pp_event before) event
+            (Repair.pp_outcome before) outcome
+        end;
+        match outcome with
+        | Repair.Repaired _ -> ()
+        | Repair.Irreparable _ -> any_irreparable := true
+        | Repair.Unknown -> any_unknown := true)
+      stream;
+    if not json then begin
+      let p = Repair.problem st in
+      let a = Repair.allocation st in
+      Fmt.pr "final: %d tasks running%s@."
+        (Array.length p.Model.tasks)
+        (match Repair.shed_so_far st with
+        | [] -> ""
+        | sheds -> Fmt.str ", shed: %s" (String.concat ", " sheds));
+      Array.iteri
+        (fun t e -> Fmt.pr "  %-10s ECU%d@." p.Model.tasks.(t).Model.task_name e)
+        a.Model.task_ecu
+    end;
+    if !any_unknown then exit 4;
+    if !any_irreparable then exit 1
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "scenario" ] ~docv:"FILE"
+          ~doc:
+            "Disruption scenario file: a $(b,problem) directive plus $(b,at \
+             TICK EVENT) lines (see lib/repair/scenario.mli for the \
+             grammar).")
+  in
+  let event_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "e"; "event" ] ~docv:"EVENT"
+          ~doc:
+            "Inline disruption event (repeatable, applied in order after the \
+             scenario's): 'fail-ecu <e>', 'wcet <task> <percent>', \
+             'degrade-bus <medium> <percent>', or 'arrive <name> <period> \
+             <deadline> <memory> [crit N] wcet <ecu> <w> ...'.")
+  in
+  let no_shed_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-shed" ]
+          ~doc:
+            "Disable the mixed-criticality degradation ladder: report \
+             IRREPARABLE instead of shedding low-criticality tasks.")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "explain" ]
+          ~doc:
+            "Attribute each migration and shed to the constraint groups that \
+             forced it (minimal unsat cores; extra solver probes).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Repair a running allocation through a stream of disruption events \
+          (ECU failures, WCET overruns, task arrivals, bus degradations), \
+          migrating as few tasks as possible and shedding low-criticality \
+          tasks only when nothing else fits; exits 0 when every event was \
+          repaired, 1 on an irreparable event, 4 when a budget expired")
+    Term.(
+      const run $ file_arg $ workload_arg $ seed_arg $ scenario_arg $ event_arg
+      $ no_shed_arg $ explain_arg $ timeout_arg $ max_conflicts_arg $ json_arg
+      $ trace_arg $ metrics_arg $ progress_arg)
+
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd; explain_cmd; whatif_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd; explain_cmd; whatif_cmd; repair_cmd ]))

@@ -57,6 +57,7 @@ let () =
       messages;
       jitter = 0;
       blocking = 0;
+      criticality = 0;
     }
   in
   let tasks =

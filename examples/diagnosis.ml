@@ -43,6 +43,7 @@ let () =
       messages = [];
       jitter = 0;
       blocking = 0;
+      criticality = 0;
     }
   in
   let problem = Model.make_problem ~arch ~tasks:(List.init 4 controller) in

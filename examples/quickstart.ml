@@ -48,6 +48,7 @@ let () =
         messages = [ sample ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -60,6 +61,7 @@ let () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 2;
@@ -72,6 +74,7 @@ let () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in

@@ -53,6 +53,7 @@ let () =
         messages = [ msg ~id:0 ~src:0 ~bytes:3 ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -65,6 +66,7 @@ let () =
         messages = [ msg ~id:1 ~src:1 ~bytes:3 ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 2;
@@ -77,6 +79,7 @@ let () =
         messages = [ msg ~id:2 ~src:2 ~bytes:3 ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       (* the voter consuming all three results *)
       {
@@ -90,6 +93,7 @@ let () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       (* background load *)
       {
@@ -103,6 +107,7 @@ let () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in

@@ -22,36 +22,58 @@ module Obs = Taskalloc_obs.Obs
 
 (* -- sessions ----------------------------------------------------------- *)
 
-type sess = {
+module Session = struct
+  type t = {
+    enc : Encode.t;
+    solver : Solver.t;
+    groups : Encode.group array;
+    index_of : (Lit.t, int) Hashtbl.t; (* selector -> group index *)
+    mutable solves : int;
+  }
+
+  let create ?options ?config problem =
+    let enc = Encode.encode ?options ~groups:true problem Encode.Feasible in
+    let solver = Bv.solver (Encode.context enc) in
+    (match config with None -> () | Some c -> Solver.set_config solver c);
+    let groups = Array.of_list (Encode.groups enc) in
+    let index_of = Hashtbl.create (max 8 (2 * Array.length groups)) in
+    Array.iteri (fun i g -> Hashtbl.replace index_of g.Encode.selector i) groups;
+    { enc; solver; groups; index_of; solves = 0 }
+
+  let encoding t = t.enc
+  let solver t = t.solver
+  let groups t = t.groups
+  let solves t = t.solves
+
+  (* solve with the groups of [on] enforced and every other group free *)
+  let solve ?budget ?(extra = []) sess on =
+    sess.solves <- sess.solves + 1;
+    let assumptions =
+      List.map (fun i -> sess.groups.(i).Encode.selector) on @ extra
+    in
+    Solver.solve ~assumptions ?budget sess.solver
+
+  let solve_all ?budget ?extra sess =
+    solve ?budget ?extra sess (List.init (Array.length sess.groups) Fun.id)
+
+  (* failed assumptions of the last Unsat answer, as group indices *)
+  let core_indices sess =
+    Solver.unsat_core sess.solver
+    |> List.filter_map (fun l -> Hashtbl.find_opt sess.index_of l)
+    |> List.sort_uniq Int.compare
+end
+
+type sess = Session.t = {
   enc : Encode.t;
   solver : Solver.t;
   groups : Encode.group array;
-  index_of : (Lit.t, int) Hashtbl.t; (* selector -> group index *)
+  index_of : (Lit.t, int) Hashtbl.t;
   mutable solves : int;
 }
 
-let make_sess ?options ?config problem =
-  let enc = Encode.encode ?options ~groups:true problem Encode.Feasible in
-  let solver = Bv.solver (Encode.context enc) in
-  (match config with None -> () | Some c -> Solver.set_config solver c);
-  let groups = Array.of_list (Encode.groups enc) in
-  let index_of = Hashtbl.create (max 8 (2 * Array.length groups)) in
-  Array.iteri (fun i g -> Hashtbl.replace index_of g.Encode.selector i) groups;
-  { enc; solver; groups; index_of; solves = 0 }
-
-(* solve with the groups of [on] enforced and every other group free *)
-let solve_groups ?budget ?(extra = []) sess on =
-  sess.solves <- sess.solves + 1;
-  let assumptions =
-    List.map (fun i -> sess.groups.(i).Encode.selector) on @ extra
-  in
-  Solver.solve ~assumptions ?budget sess.solver
-
-(* failed assumptions of the last Unsat answer, as group indices *)
-let core_indices sess =
-  Solver.unsat_core sess.solver
-  |> List.filter_map (fun l -> Hashtbl.find_opt sess.index_of l)
-  |> List.sort_uniq Int.compare
+let make_sess = Session.create
+let solve_groups = Session.solve
+let core_indices = Session.core_indices
 
 let remove x = List.filter (fun y -> y <> x)
 
@@ -67,7 +89,7 @@ let rec take n = function
    working set for everyone.  Sat losers still certify their candidate
    as critical (monotonicity, see header).  Returns the final working
    set and whether it was proven minimal. *)
-let shrink ?budget ~sessions core0 =
+let shrink ?budget ?(extra = []) ~sessions core0 =
   let work = ref core0 in
   (* core-size trajectory of the deletion loop *)
   let trajectory () =
@@ -90,7 +112,7 @@ let shrink ?budget ~sessions core0 =
       match
         Obs.span "explain.candidate"
           ~attrs:[ ("group", string_of_int g) ]
-          (fun () -> solve_groups ?budget sessions.(0) (remove g !work))
+          (fun () -> solve_groups ?budget ~extra sessions.(0) (remove g !work))
       with
       | Solver.Sat -> critical := g :: !critical
       | Solver.Unsat ->
@@ -117,7 +139,7 @@ let shrink ?budget ~sessions core0 =
             let r =
               Obs.span "explain.candidate"
                 ~attrs:[ ("group", string_of_int g) ]
-                (fun () -> solve_groups ?budget s (remove g snapshot))
+                (fun () -> solve_groups ?budget ~extra s (remove g snapshot))
             in
             let c = if r = Solver.Unsat then core_indices s else [] in
             (g, r, c))
@@ -339,12 +361,21 @@ module Whatif = struct
     | Infeasible of { groups : Encode.group list; deltas : delta list }
     | Unknown
 
+  (* The deadline-delta cache is bounded: a long-lived session fed a
+     stream of distinct [Set_deadline] deltas would otherwise grow its
+     table without limit.  Eviction is FIFO and purely a table matter —
+     the reified comparator circuits live in the solver either way, so
+     evicting an entry only means a revisited deadline re-reifies
+     (cheap) instead of re-using the cached literal. *)
+  let max_deadline_bits = 128
+
   type t = {
     sess : sess;
     problem : Model.problem;
     deadline_bits : (int * int, Circuits.bit) Hashtbl.t;
         (* (task, deadline) -> reified [r_i <= d - J_i], cached so a
            revisited tightening costs nothing to re-install *)
+    deadline_fifo : (int * int) Queue.t; (* insertion order, for eviction *)
     mutable queries : int;
   }
 
@@ -353,8 +384,11 @@ module Whatif = struct
       sess = make_sess ?options problem;
       problem;
       deadline_bits = Hashtbl.create 8;
+      deadline_fifo = Queue.create ();
       queries = 0;
     }
+
+  let cached_deadline_bits t = Hashtbl.length t.deadline_bits
 
   let solves t = t.sess.solves
   let queries t = t.queries
@@ -403,7 +437,12 @@ module Whatif = struct
               (Encode.response_time t.sess.enc task)
               (deadline - jitter)
         in
+        if Hashtbl.length t.deadline_bits >= max_deadline_bits then begin
+          let victim = Queue.pop t.deadline_fifo in
+          Hashtbl.remove t.deadline_bits victim
+        end;
         Hashtbl.replace t.deadline_bits key b;
+        Queue.push key t.deadline_fifo;
         b)
     | Drop _ -> Circuits.One (* expressed through the disabled groups *)
 

@@ -28,6 +28,62 @@ open Taskalloc_rt
 open Taskalloc_core
 module Budget = Taskalloc_sat.Budget
 
+(** Long-lived grouped-encoding solver sessions.  One session = one
+    grouped encoding + one incremental solver; every probe is an
+    assumption-only re-solve, so clauses learnt by any probe prune all
+    later ones.  This is the machinery {!explain}, {!Whatif} and the
+    online repair engine ([Taskalloc_repair.Repair]) all share. *)
+module Session : sig
+  type t
+
+  val create :
+    ?options:Encode.options ->
+    ?config:Taskalloc_sat.Solver.config ->
+    Model.problem ->
+    t
+  (** Build the grouped encoding and its solver.  [config] overrides
+      the solver configuration (portfolio diversification). *)
+
+  val encoding : t -> Encode.t
+  val solver : t -> Taskalloc_sat.Solver.t
+  val groups : t -> Encode.group array
+  val solves : t -> int
+
+  val solve :
+    ?budget:Budget.t ->
+    ?extra:Taskalloc_sat.Lit.t list ->
+    t ->
+    int list ->
+    Taskalloc_sat.Solver.result
+  (** Solve with the groups of the given indices enforced, every other
+      group free, and [extra] literals assumed. *)
+
+  val solve_all :
+    ?budget:Budget.t ->
+    ?extra:Taskalloc_sat.Lit.t list ->
+    t ->
+    Taskalloc_sat.Solver.result
+  (** {!solve} with every group enforced. *)
+
+  val core_indices : t -> int list
+  (** Failed-assumption groups of the last Unsat answer, as indices
+      into {!groups}, sorted. *)
+end
+
+val shrink :
+  ?budget:Budget.t ->
+  ?extra:Taskalloc_sat.Lit.t list ->
+  sessions:Session.t array ->
+  int list ->
+  int list * bool
+(** Deletion MUS with clause-set refinement over a working group set.
+    [sessions.(0)] is the caller's session; further sessions race
+    candidate deletions in parallel.  [extra] literals are assumed on
+    every probe, so the result is a MUS {e under those assumptions}
+    (the repair engine pins a task's old seat this way).  Returns the
+    shrunk set and whether it was proven minimal (false when the
+    budget tripped). *)
+
 type status =
   | Feasible  (** nothing to explain: all groups are satisfiable together *)
   | Explained of { core : Encode.group list; minimal : bool }
@@ -96,6 +152,13 @@ module Whatif : sig
 
   val solves : t -> int
   val queries : t -> int
+
+  val cached_deadline_bits : t -> int
+  (** Entries currently held in the deadline-delta bit cache.  The
+      cache is bounded (FIFO eviction), so this never exceeds a fixed
+      cap no matter how many distinct [Set_deadline] deltas a session
+      has answered. *)
+
   val describe : t -> delta -> string
 
   val parse_deltas : Model.problem -> string -> (delta list, string) result

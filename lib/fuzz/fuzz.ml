@@ -333,3 +333,273 @@ let pp_report ppf r =
       Fmt.pf ppf "FAILURE (seed %d): %s@.minimized reproducer:@.%a" f.fail_seed
         f.fail_error pp_case f.fail_case)
     r.failures
+
+(* -- disruption campaigns ----------------------------------------------- *)
+
+module Model = Taskalloc_rt.Model
+module Check = Taskalloc_rt.Check
+module Allocator = Taskalloc_core.Allocator
+module Heuristics = Taskalloc_heuristics.Heuristics
+module Repair = Taskalloc_repair.Repair
+
+type disruption_report = {
+  d_iters : int;
+  d_events : int;
+  d_repaired : int;
+  d_degraded : int;
+  d_irreparable : int;
+  d_unknown : int;
+  d_skipped : int;
+  d_oracle_checked : int;
+  d_failures : string list;
+}
+
+(* Small message-free instances with pairwise-distinct deadlines: the
+   deadline-monotonic priority order is then unique, so the analytical
+   checker and the SAT encoder agree exactly and "minimal migration
+   count" is well defined for the brute-force oracle. *)
+let gen_disruption_problem rng =
+  let n_ecus = Rng.range rng 2 3 in
+  let n_tasks = Rng.range rng 3 5 in
+  let task i =
+    {
+      Model.task_id = i;
+      task_name = Printf.sprintf "t%d" i;
+      period = 200;
+      wcets = List.init n_ecus (fun e -> (e, Rng.range rng 8 22));
+      deadline = (Rng.range rng 5 12 * 8) + i (* pairwise distinct *);
+      memory = 1;
+      separation = [];
+      messages = [];
+      jitter = 0;
+      blocking = 0;
+      criticality = Rng.int rng 2;
+    }
+  in
+  let arch =
+    {
+      Model.n_ecus;
+      media =
+        [
+          {
+            Model.med_id = 0;
+            med_name = "bus";
+            kind = Model.Tdma;
+            ecus = List.init n_ecus Fun.id;
+            byte_time = 1;
+            frame_overhead = 2;
+          };
+        ];
+      mem_capacity = Array.make n_ecus 64;
+      gateway_service = 0;
+      barred = [];
+    }
+  in
+  Model.make_problem ~arch ~tasks:(List.init n_tasks task)
+
+let gen_disruption_event rng st k =
+  let p = Repair.problem st in
+  let arch = p.Model.arch in
+  let alive =
+    List.filter
+      (fun e -> not (List.mem e arch.Model.barred))
+      (List.init arch.Model.n_ecus Fun.id)
+  in
+  let n_tasks = Array.length p.Model.tasks in
+  let kind = Rng.int rng 4 in
+  let kind = if kind = 0 && List.length alive <= 1 then 1 else kind in
+  match kind with
+  | 0 -> Repair.Ecu_failure { ecu = Rng.pick rng alive }
+  | 1 ->
+    Repair.Wcet_overrun
+      { task = Rng.int rng n_tasks; percent = Rng.range rng 110 250 }
+  | 2 ->
+    Repair.Task_arrival
+      {
+        name = Printf.sprintf "nu%d" k;
+        period = 200;
+        deadline = Rng.range rng 100 180;
+        memory = 1;
+        criticality = Rng.int rng 2;
+        wcets = List.init arch.Model.n_ecus (fun e -> (e, Rng.range rng 8 20));
+      }
+  | _ -> Repair.Bus_degradation { medium = 0; percent = Rng.range rng 120 300 }
+
+(* brute-force minimal-migration oracle: least Hamming distance from
+   the pre-event seats to any placement the analytical checker accepts *)
+let oracle_min_migrations old_alloc (d : Repair.disrupted) =
+  if d.Repair.d_doomed <> [] then None
+  else begin
+    let p = d.Repair.d_problem in
+    let domains =
+      Array.map
+        (fun t -> Array.of_list (Model.allowed_ecus p t))
+        p.Model.tasks
+    in
+    let n = Array.length domains in
+    let best = ref None in
+    let cur = Array.make n 0 in
+    let rec go i =
+      if i = n then begin
+        match Heuristics.try_complete p (Array.copy cur) with
+        | Some a when Check.check p a = [] ->
+          let dist = ref 0 in
+          Array.iteri
+            (fun j e ->
+              if e <> old_alloc.Model.task_ecu.(d.Repair.d_kept.(j)) then
+                incr dist)
+            cur;
+          best :=
+            Some (match !best with None -> !dist | Some b -> min b !dist)
+        | _ -> ()
+      end
+      else
+        Array.iter
+          (fun e ->
+            cur.(i) <- e;
+            go (i + 1))
+          domains.(i)
+    in
+    if Array.for_all (fun dom -> Array.length dom > 0) domains then go 0;
+    !best
+  end
+
+(* one campaign iteration, deterministic in (seed, i) *)
+let disruption_iter ~seed i =
+  let rng = Rng.create (seed lxor (i * 0x9E3779B1)) in
+  let fail = ref [] in
+  let failf fmt = Fmt.kstr (fun m -> fail := Fmt.str "iter %d: %s" i m :: !fail) fmt in
+  let events = ref 0
+  and repaired = ref 0
+  and degraded = ref 0
+  and irreparable = ref 0
+  and unknown = ref 0
+  and oracle_checked = ref 0 in
+  let problem = gen_disruption_problem rng in
+  let skipped =
+    match Allocator.find_feasible ~fallback:false problem with
+    | Allocator.Solved res ->
+      let alloc = res.Allocator.allocation in
+      (* phase 1: oracle cross-check of the first event (no shedding,
+         so minimality is a plain Hamming-distance question) *)
+      let st0 = Repair.create problem alloc in
+      let ev0 = gen_disruption_event rng st0 0 in
+      (match ev0 with
+      | Repair.Ecu_failure _ | Repair.Wcet_overrun _ -> (
+        incr oracle_checked;
+        let oracle =
+          oracle_min_migrations alloc (Repair.apply_event problem ev0)
+        in
+        match (Repair.repair ~allow_shed:false st0 ev0, oracle) with
+        | Repair.Repaired r, Some b ->
+          if List.length r.Repair.migrations <> b then
+            failf "repair migrated %d, oracle minimum %d (%a)"
+              (List.length r.Repair.migrations)
+              b
+              (Repair.pp_event problem)
+              ev0
+        | Repair.Repaired _, None ->
+          failf "repair succeeded where the oracle proves infeasibility"
+        | Repair.Irreparable _, Some b ->
+          failf "repair gave up, oracle repairs with %d migrations" b
+        | Repair.Irreparable _, None -> ()
+        | Repair.Unknown, _ -> failf "unbudgeted repair returned Unknown")
+      | _ -> ());
+      (* phase 2: multi-event campaign with the degradation ladder on *)
+      let st = Repair.create problem alloc in
+      let n_events = Rng.range rng 2 4 in
+      for k = 1 to n_events do
+        incr events;
+        let ev = gen_disruption_event rng st k in
+        let tasks_before = Array.length (Repair.problem st).Model.tasks in
+        let seats_before = Array.copy (Repair.allocation st).Model.task_ecu in
+        match Repair.repair st ev with
+        | Repair.Repaired r ->
+          incr repaired;
+          if r.Repair.degraded then incr degraded;
+          if r.Repair.check_violations <> 0 then
+            failf "event %d: analyzer found %d violations" k
+              r.Repair.check_violations;
+          if r.Repair.sim_misses <> 0 then
+            failf "event %d: %d deadline misses in simulation" k
+              r.Repair.sim_misses
+        | Repair.Irreparable _ ->
+          incr irreparable;
+          if
+            Array.length (Repair.problem st).Model.tasks <> tasks_before
+            || (Repair.allocation st).Model.task_ecu <> seats_before
+          then failf "event %d: irreparable repair mutated the state" k
+        | Repair.Unknown ->
+          incr unknown;
+          failf "event %d: unbudgeted repair returned Unknown" k
+      done;
+      0
+    | Allocator.Infeasible | Allocator.Unknown -> 1
+  in
+  {
+    d_iters = 1;
+    d_events = !events;
+    d_repaired = !repaired;
+    d_degraded = !degraded;
+    d_irreparable = !irreparable;
+    d_unknown = !unknown;
+    d_skipped = skipped;
+    d_oracle_checked = !oracle_checked;
+    d_failures = List.rev !fail;
+  }
+
+let merge_disruptions a b =
+  {
+    d_iters = a.d_iters + b.d_iters;
+    d_events = a.d_events + b.d_events;
+    d_repaired = a.d_repaired + b.d_repaired;
+    d_degraded = a.d_degraded + b.d_degraded;
+    d_irreparable = a.d_irreparable + b.d_irreparable;
+    d_unknown = a.d_unknown + b.d_unknown;
+    d_skipped = a.d_skipped + b.d_skipped;
+    d_oracle_checked = a.d_oracle_checked + b.d_oracle_checked;
+    d_failures = a.d_failures @ b.d_failures;
+  }
+
+let empty_disruption_report =
+  {
+    d_iters = 0;
+    d_events = 0;
+    d_repaired = 0;
+    d_degraded = 0;
+    d_irreparable = 0;
+    d_unknown = 0;
+    d_skipped = 0;
+    d_oracle_checked = 0;
+    d_failures = [];
+  }
+
+let run_disruptions ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
+  let results =
+    if jobs <= 1 then List.init iters (disruption_iter ~seed)
+    else begin
+      (* iterations are deterministic in (seed, i), so splitting them
+         round-robin over domains changes nothing but wall time *)
+      let chunks = Array.make (max 1 jobs) [] in
+      for i = iters - 1 downto 0 do
+        chunks.(i mod Array.length chunks) <- i :: chunks.(i mod Array.length chunks)
+      done;
+      Array.to_list chunks
+      |> List.map (fun idxs ->
+             Domain.spawn (fun () -> List.map (disruption_iter ~seed) idxs))
+      |> List.concat_map Domain.join
+    end
+  in
+  let report = List.fold_left merge_disruptions empty_disruption_report results in
+  List.iter log report.d_failures;
+  report
+
+let pp_disruption_report ppf r =
+  Fmt.pf ppf
+    "%d campaigns (%d skipped infeasible), %d events: %d repaired (%d \
+     degraded), %d irreparable, %d unknown; %d oracle cross-checks, %d \
+     failures@."
+    r.d_iters r.d_skipped r.d_events r.d_repaired r.d_degraded r.d_irreparable
+    r.d_unknown r.d_oracle_checked
+    (List.length r.d_failures);
+  List.iter (fun f -> Fmt.pf ppf "FAILURE: %s@." f) r.d_failures

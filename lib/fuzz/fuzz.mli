@@ -96,3 +96,43 @@ val run :
     (see {!check_case}); [log] receives progress lines. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Disruption campaigns}
+
+    Randomized online-repair fuzzing: generate a small feasible system,
+    inject a stream of disruption events (ECU failures, WCET overruns,
+    task arrivals, bus degradations), repair each with
+    {!Taskalloc_repair.Repair.repair}, and hold every outcome to its
+    contract — accepted repairs must pass the independent analyzer and
+    simulate without a single deadline miss, failed repairs must leave
+    the state untouched.  On message-free instances with distinct
+    deadlines the first event is additionally cross-checked against a
+    brute-force {e minimal-migration} oracle: the repair must migrate
+    exactly as few tasks as an exhaustive placement search, and report
+    [Irreparable] exactly when no feasible placement exists. *)
+
+type disruption_report = {
+  d_iters : int;
+  d_events : int;  (** campaign events injected (oracle phase aside) *)
+  d_repaired : int;
+  d_degraded : int;  (** repaired rungs that shed at least one task *)
+  d_irreparable : int;
+  d_unknown : int;
+  d_skipped : int;  (** generated instances with no initial allocation *)
+  d_oracle_checked : int;
+  d_failures : string list;
+}
+
+val run_disruptions :
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  iters:int ->
+  seed:int ->
+  unit ->
+  disruption_report
+(** Run [iters] disruption campaigns derived deterministically from
+    [seed]; 2–4 events each.  [jobs > 1] spreads iterations over that
+    many domains (results are independent of [jobs]).  [log] receives
+    one line per failure. *)
+
+val pp_disruption_report : Format.formatter -> disruption_report -> unit

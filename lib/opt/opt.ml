@@ -143,8 +143,20 @@ let next_m strategy ~lower ~best =
    invoked on every improving model so the caller can extract its
    solution; the last extraction corresponds to the incumbent.
    [config], when given, diversifies every solver this run constructs
-   (portfolio workers pass their own). *)
+   (portfolio workers pass their own).
+
+   [assumptions] are assumed on every probe: the minimum found is the
+   minimum *under those assumptions*.  [persist_bounds] (default true)
+   controls whether proved lower bounds [cost >= l] are asserted
+   permanently.  That assertion is sound for a dedicated solver, but
+   poison for a session shared with other clients (a what-if or repair
+   session probed under varying assumptions): a bound proved under
+   this run's assumptions need not hold without them.  Such callers
+   pass [~persist_bounds:false] — learnt clauses are still kept (they
+   never depend on assumptions), only the explicit bound assertions
+   are suppressed. *)
 let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
+    ?(assumptions = []) ?(persist_bounds = true)
     ?max_conflicts ?(budget = Budget.unlimited ()) ?(gap_tol = 0.)
     ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   let stats = empty_stats () in
@@ -219,7 +231,7 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
   | Incremental -> (
     let ctx, cost = build () in
     apply_config ctx;
-    match probe stats ?max_conflicts ~budget ctx with
+    match probe stats ~assumptions ?max_conflicts ~budget ctx with
     | Solver.Unsat -> finish infeasible
     | Solver.Unknown -> finish unknown
     | Solver.Sat ->
@@ -247,11 +259,11 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
         match bound_bit m with
         | Circuits.Zero ->
           (* the comparator is constant-false: no solve needed *)
-          Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
+          if persist_bounds then Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
           `Unsat
         | (Circuits.One | Circuits.Lit _) as b -> (
           let assumptions =
-            match b with Circuits.Lit g -> [ g ] | _ -> []
+            assumptions @ (match b with Circuits.Lit g -> [ g ] | _ -> [])
           in
           match probe stats ~assumptions ?max_conflicts ~budget ctx with
           | Solver.Sat ->
@@ -259,17 +271,21 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
             assert (k <= m);
             `Sat (k, on_sat ctx k)
           | Solver.Unsat ->
-            (* the lower bound is entailed from now on: add permanently *)
-            Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
+            (* the lower bound is entailed from now on (under this
+               run's assumptions): add permanently when allowed *)
+            if persist_bounds then
+              Bv.assert_ ctx (Bv.ge_const ctx cost (m + 1));
             `Unsat
           | Solver.Unknown -> `Unknown)
       in
       finish (run_search ~first_cost ~first_payload ~reprobe))
   | Fresh -> (
-    (* first probe: unconstrained *)
+    (* first probe: unconstrained.  [assumptions], if any, must refer
+       to variables [build] creates deterministically (the clause
+       sharing contract), so they mean the same in every rebuild. *)
     let ctx0, cost0 = build () in
     apply_config ctx0;
-    match probe stats ?max_conflicts ~budget ctx0 with
+    match probe stats ~assumptions ?max_conflicts ~budget ctx0 with
     | Solver.Unsat -> finish infeasible
     | Solver.Unknown -> finish unknown
     | Solver.Sat ->
@@ -280,7 +296,7 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
         apply_config ctx;
         Bv.assert_ ctx (Bv.ge_const ctx cost lower);
         Bv.assert_ ctx (Bv.le_const ctx cost m);
-        match probe stats ?max_conflicts ~budget ctx with
+        match probe stats ~assumptions ?max_conflicts ~budget ctx with
         | Solver.Sat ->
           let k = Bv.model_int ctx cost in
           `Sat (k, on_sat ctx k)
@@ -395,11 +411,12 @@ let install_sharing pool ~share_lbd ~origin ctx =
 
    With [jobs > 1], [build] and [on_sat] are invoked concurrently from
    several domains and must be thread-safe. *)
-let minimize ?mode ?(jobs = 1) ?max_conflicts ?budget ?(gap_tol = 0.)
-    ?(share = true) ?(share_lbd = 4) ~(build : unit -> Bv.ctx * Bv.t)
-    ~(on_sat : Bv.ctx -> int -> 'a) () =
+let minimize ?mode ?(jobs = 1) ?assumptions ?persist_bounds ?max_conflicts
+    ?budget ?(gap_tol = 0.) ?(share = true) ?(share_lbd = 4)
+    ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   if jobs <= 1 then
-    minimize_seq ?mode ?max_conflicts ?budget ~gap_tol ~build ~on_sat ()
+    minimize_seq ?mode ?assumptions ?persist_bounds ?max_conflicts ?budget
+      ~gap_tol ~build ~on_sat ()
   else begin
     let t0 = Unix.gettimeofday () in
     let pool = Portfolio.Pool.create () in
@@ -426,7 +443,8 @@ let minimize ?mode ?(jobs = 1) ?max_conflicts ?budget ?(gap_tol = 0.)
       Portfolio.race ~jobs ?budget
         ~worker:(fun i config ~budget ->
           minimize_seq ?mode ~strategy:(strategy_of_worker i) ~config
-            ?max_conflicts ?budget ~gap_tol ~build:(build_for i) ~on_sat ())
+            ?assumptions ?persist_bounds ?max_conflicts ?budget ~gap_tol
+            ~build:(build_for i) ~on_sat ())
         ~conclusive:(fun (a, _) -> acceptable a)
         ()
     in

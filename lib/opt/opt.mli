@@ -76,6 +76,8 @@ val gap : 'a anytime -> float option
 val minimize :
   ?mode:mode ->
   ?jobs:int ->
+  ?assumptions:Taskalloc_sat.Lit.t list ->
+  ?persist_bounds:bool ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->
@@ -90,6 +92,17 @@ val minimize :
     final call corresponds to the incumbent.  In [Fresh] mode [build]
     is called once per probe and must construct the same formula each
     time.
+
+    [assumptions] (default none) are assumed on every probe; the
+    minimum found is then the minimum {e under those assumptions}.
+    They must refer to variables [build] creates deterministically.
+    [persist_bounds] (default true) permanently asserts each proved
+    lower bound [cost >= l] into the incremental session.  Callers
+    driving a {e shared} session — one reused later under different
+    assumptions, such as a what-if or repair session — must pass
+    [~persist_bounds:false]: a bound proved under this run's
+    assumptions need not hold without them, while learnt clauses (kept
+    either way) are assumption-independent and remain sound.
 
     [budget] is shared across the whole probe sequence and governs the
     total spend; [max_conflicts] caps each individual probe.  A

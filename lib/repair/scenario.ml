@@ -1,0 +1,141 @@
+(* Disruption scenario files; see the interface for the grammar. *)
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+type spec_event =
+  | Fail_ecu of int
+  | Wcet of string * int
+  | Degrade_bus of string * int
+  | Arrive of {
+      a_name : string;
+      a_period : int;
+      a_deadline : int;
+      a_memory : int;
+      a_crit : int;
+      a_wcets : (int * int) list;
+    }
+
+type timed_event = { at : int; spec : spec_event }
+type t = { problem_path : string option; events : timed_event list }
+
+let pp_spec ppf = function
+  | Fail_ecu e -> Fmt.pf ppf "fail-ecu %d" e
+  | Wcet (t, p) -> Fmt.pf ppf "wcet %s %d" t p
+  | Degrade_bus (m, p) -> Fmt.pf ppf "degrade-bus %s %d" m p
+  | Arrive a ->
+    Fmt.pf ppf "arrive %s %d %d %d crit %d%a" a.a_name a.a_period a.a_deadline
+      a.a_memory a.a_crit
+      Fmt.(list ~sep:nop (fun ppf (e, w) -> Fmt.pf ppf " wcet %d %d" e w))
+      a.a_wcets
+
+let tokens_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_tok ln what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> parse_error ln "%s: expected an integer, got %S" what s
+
+(* [arrive <name> <period> <deadline> <memory> [crit N] (wcet <e> <w>)+] *)
+let parse_arrival ln name rest =
+  let rec go crit wcets = function
+    | [] ->
+      if wcets = [] then parse_error ln "arrive %s: no wcet clauses" name;
+      (crit, List.rev wcets)
+    | "crit" :: c :: rest -> go (int_tok ln "crit" c) wcets rest
+    | "wcet" :: e :: w :: rest ->
+      go crit ((int_tok ln "wcet ecu" e, int_tok ln "wcet" w) :: wcets) rest
+    | tok :: _ -> parse_error ln "arrive %s: unexpected token %S" name tok
+  in
+  match rest with
+  | period :: deadline :: memory :: attrs ->
+    let a_crit, a_wcets = go 0 [] attrs in
+    Arrive
+      {
+        a_name = name;
+        a_period = int_tok ln "period" period;
+        a_deadline = int_tok ln "deadline" deadline;
+        a_memory = int_tok ln "memory" memory;
+        a_crit;
+        a_wcets;
+      }
+  | _ -> parse_error ln "arrive %s: expected <period> <deadline> <memory>" name
+
+let parse_lines lines =
+  let problem_path = ref None in
+  let events = ref [] in
+  List.iteri
+    (fun idx line ->
+      let ln = idx + 1 in
+      match tokens_of_line line with
+      | [] -> ()
+      | [ "problem"; path ] -> problem_path := Some path
+      | "at" :: tick :: rest -> (
+        let at = int_tok ln "tick" tick in
+        let spec =
+          match rest with
+          | [ "fail-ecu"; e ] -> Fail_ecu (int_tok ln "ecu" e)
+          | [ "wcet"; task; pct ] -> Wcet (task, int_tok ln "percent" pct)
+          | [ "degrade-bus"; m; pct ] ->
+            Degrade_bus (m, int_tok ln "percent" pct)
+          | "arrive" :: name :: rest -> parse_arrival ln name rest
+          | tok :: _ -> parse_error ln "unknown event %S" tok
+          | [] -> parse_error ln "empty event after 'at %d'" at
+        in
+        events := { at; spec } :: !events)
+      | tok :: _ -> parse_error ln "unknown directive %S" tok)
+    lines;
+  {
+    problem_path = !problem_path;
+    events = List.stable_sort (fun a b -> Int.compare a.at b.at) (List.rev !events);
+  }
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let t = parse_string s in
+  {
+    t with
+    problem_path =
+      Option.map
+        (fun p ->
+          if Filename.is_relative p then Filename.concat (Filename.dirname path) p
+          else p)
+        t.problem_path;
+  }
+
+let resolve state = function
+  | Fail_ecu ecu -> Repair.Ecu_failure { ecu }
+  | Wcet (name, percent) -> (
+    match Repair.find_task state name with
+    | Some task -> Repair.Wcet_overrun { task; percent }
+    | None -> raise (Repair.Invalid_event (Printf.sprintf "unknown task %S" name)))
+  | Degrade_bus (name, percent) -> (
+    match Repair.find_medium state name with
+    | Some medium -> Repair.Bus_degradation { medium; percent }
+    | None ->
+      raise (Repair.Invalid_event (Printf.sprintf "unknown medium %S" name)))
+  | Arrive a ->
+    Repair.Task_arrival
+      {
+        name = a.a_name;
+        period = a.a_period;
+        deadline = a.a_deadline;
+        memory = a.a_memory;
+        criticality = a.a_crit;
+        wcets = a.a_wcets;
+      }

@@ -1,0 +1,51 @@
+(** Disruption scenario files: an initial problem plus a timed event
+    stream, so whole disruption campaigns can be described without
+    writing OCaml.  Line-based; ['#'] starts a comment:
+
+    {v
+    problem examples/quickstart.prob   # path, relative to the .scen file
+    at 100 fail-ecu 1
+    at 250 wcet sensor 150             # task, percent of declared WCETs
+    at 400 degrade-bus ring0 200       # medium name, percent byte time
+    at 600 arrive logger2 100 80 2 crit 1 wcet 0 10 wcet 2 12
+    v}
+
+    [arrive] takes [name period deadline memory], then optional
+    [crit N] and one or more [wcet <ecu> <w>] clauses.  Tasks and media
+    are referenced {e by name} because numeric ids shift as the repair
+    engine sheds tasks.  Timestamps order the stream (they are echoed
+    in reports; the steady-state analysis itself is time-free). *)
+
+exception Parse_error of { line : int; message : string }
+
+type spec_event =
+  | Fail_ecu of int
+  | Wcet of string * int  (** task name, percent *)
+  | Degrade_bus of string * int  (** medium name, percent *)
+  | Arrive of {
+      a_name : string;
+      a_period : int;
+      a_deadline : int;
+      a_memory : int;
+      a_crit : int;
+      a_wcets : (int * int) list;
+    }
+
+type timed_event = { at : int; spec : spec_event }
+
+type t = {
+  problem_path : string option;
+      (** from the [problem] directive, resolved against the scenario
+          file's directory by {!parse_file}; [None] when absent (the
+          caller must supply the problem) *)
+  events : timed_event list;  (** sorted by [at], stable *)
+}
+
+val parse_string : string -> t
+val parse_file : string -> t
+
+val resolve : Repair.t -> spec_event -> Repair.event
+(** Translate names to current ids against the repair state.  Raises
+    {!Repair.Invalid_event} on unknown task or medium names. *)
+
+val pp_spec : Format.formatter -> spec_event -> unit

@@ -51,6 +51,9 @@ type task = {
   jitter : int; (* release jitter J_i (>= 0) *)
   blocking : int; (* blocking factor B_i: longest lower-priority
                      non-preemptible section (>= 0) *)
+  criticality : int; (* mixed-criticality level (>= 0); 0 = lowest.
+                        Tasks below the highest level present may be
+                        shed by the repair degradation ladder. *)
 }
 
 type problem = {
@@ -76,6 +79,7 @@ let make_problem ~arch ~tasks =
       if task.wcets = [] then invalid "task %d: no allowed ECU" i;
       if task.jitter < 0 then invalid "task %d: negative jitter" i;
       if task.blocking < 0 then invalid "task %d: negative blocking" i;
+      if task.criticality < 0 then invalid "task %d: negative criticality" i;
       if task.jitter >= task.deadline then
         invalid "task %d: jitter %d leaves no room before deadline %d" i task.jitter
           task.deadline;

@@ -53,6 +53,10 @@ type task = {
                      J_i ticks after its nominal arrival *)
   blocking : int;  (** blocking factor B_i: longest non-preemptible
                        lower-priority section delaying the task *)
+  criticality : int;
+      (** mixed-criticality level, [>= 0]; [0] = lowest.  Tasks below
+          the highest level present are candidates for shedding on the
+          repair degradation ladder. *)
 }
 
 type problem = {

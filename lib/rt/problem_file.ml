@@ -36,6 +36,7 @@ type draft_task = {
   mutable d_messages : (string * int * int) list; (* dst, bytes, deadline *)
   mutable d_jitter : int;
   mutable d_blocking : int;
+  mutable d_crit : int;
 }
 
 type draft = {
@@ -124,6 +125,7 @@ let parse_lines lines =
               d_messages = [];
               d_jitter = 0;
               d_blocking = 0;
+              d_crit = 0;
             }
       | "jitter" :: [ j ] -> (
         match d.current with
@@ -133,6 +135,10 @@ let parse_lines lines =
         match d.current with
         | Some t -> t.d_blocking <- int_tok ln "blocking" b
         | None -> parse_error ln "blocking outside a task block")
+      | "crit" :: [ c ] -> (
+        match d.current with
+        | Some t -> t.d_crit <- int_tok ln "crit" c
+        | None -> parse_error ln "crit outside a task block")
       | "wcet" :: [ e; c ] -> (
         match d.current with
         | Some t -> t.d_wcets <- t.d_wcets @ [ (int_tok ln "wcet ecu" e, int_tok ln "wcet" c) ]
@@ -206,6 +212,7 @@ let to_problem d =
              separation = List.map index_of t.d_separate;
              jitter = t.d_jitter;
              blocking = t.d_blocking;
+             criticality = t.d_crit;
              messages =
                List.map
                  (fun (dst, bytes, deadline) ->
@@ -251,6 +258,7 @@ let print ppf (problem : problem) =
       Fmt.pf ppf "@.task %s %d %d %d@." t.task_name t.period t.deadline t.memory;
       if t.jitter > 0 then Fmt.pf ppf "  jitter %d@." t.jitter;
       if t.blocking > 0 then Fmt.pf ppf "  blocking %d@." t.blocking;
+      if t.criticality > 0 then Fmt.pf ppf "  crit %d@." t.criticality;
       List.iter (fun (e, c) -> Fmt.pf ppf "  wcet %d %d@." e c) t.wcets;
       List.iter
         (fun j -> Fmt.pf ppf "  separate %s@." problem.tasks.(j).task_name)

@@ -259,6 +259,7 @@ let generate ?(spec = default_spec) (arch : Model.arch) : Model.problem =
                  separation = proto.p_separation;
                  jitter = proto.p_jitter;
                  blocking = proto.p_blocking;
+                 criticality = 0;
                  messages =
                    List.map
                      (fun (id, dst, bytes) ->

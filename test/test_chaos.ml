@@ -175,6 +175,7 @@ let test_chaos_infeasible () =
       messages = [];
       jitter = 0;
       blocking = 0;
+      criticality = 0;
     }
   in
   let problem = Model.make_problem ~arch ~tasks:[ task 0 [ 1 ]; task 1 [] ] in
@@ -244,6 +245,116 @@ let test_chaos_find_feasible () =
       [ true; false ]
   done
 
+module Repair = Taskalloc_repair.Repair
+
+let test_chaos_repair () =
+  (* Fault injection for the online repair engine: the budget trips at
+     exactly the nth poll while a repair walks stay-pin probe ->
+     migration minimization -> degradation ladder.  At every injection
+     point the outcome must be a clean [Unknown] with the
+     pre-disruption problem and allocation bit-identical (the system
+     keeps running on the old allocation), or a fully validated
+     [Repaired] — never a torn state, never an exception.  The scenario
+     forces the deep path: the full repair is infeasible and one LO
+     task must be shed. *)
+  let task id name crit =
+    {
+      Model.task_id = id;
+      task_name = name;
+      period = 100;
+      wcets = [ (0, 40); (1, 40); (2, 40) ];
+      deadline = 50;
+      memory = 1;
+      separation = [];
+      messages = [];
+      jitter = 0;
+      blocking = 0;
+      criticality = crit;
+    }
+  in
+  let arch =
+    {
+      Model.n_ecus = 3;
+      media =
+        [
+          {
+            Model.med_id = 0;
+            med_name = "bus";
+            kind = Model.Tdma;
+            ecus = [ 0; 1; 2 ];
+            byte_time = 1;
+            frame_overhead = 2;
+          };
+        ];
+      mem_capacity = [| 64; 64; 64 |];
+      gateway_service = 0;
+      barred = [];
+    }
+  in
+  let problem =
+    Model.make_problem ~arch
+      ~tasks:[ task 0 "hi-a" 1; task 1 "hi-b" 1; task 2 "lo" 0 ]
+  in
+  let alloc =
+    match Allocator.find_feasible problem with
+    | Allocator.Solved r -> r.Allocator.allocation
+    | _ -> Alcotest.fail "chaos repair: fixture must be feasible"
+  in
+  let event = Repair.Ecu_failure { ecu = 2 } in
+  (* poll count of an uninterrupted repair bounds the sweep *)
+  let total_polls =
+    let polls = ref 0 in
+    let budget =
+      Budget.create ~check_every:1
+        ~should_stop:(fun () ->
+          incr polls;
+          false)
+        ()
+    in
+    let st = Repair.create problem alloc in
+    (match Repair.repair ~budget st event with
+    | Repair.Repaired r ->
+      Alcotest.(check bool) "reference repair degrades" true r.Repair.degraded
+    | _ -> Alcotest.fail "chaos repair: reference repair must succeed");
+    !polls
+  in
+  let points =
+    List.init (min total_polls 50) (fun i -> i + 1)
+    @ [ total_polls + 1; total_polls + 25 ]
+  in
+  List.iter
+    (fun n ->
+      let label = Printf.sprintf "repair N=%d" n in
+      let st = Repair.create problem alloc in
+      let before = Array.copy (Repair.allocation st).Model.task_ecu in
+      match Repair.repair ~budget:(chaos_budget n) st event with
+      | Repair.Unknown -> (
+        (* clean pause: nothing committed, nothing torn *)
+        Alcotest.(check int) (label ^ ": problem untouched") 3
+          (Array.length (Repair.problem st).Model.tasks);
+        Alcotest.(check (array int))
+          (label ^ ": allocation untouched")
+          before
+          (Repair.allocation st).Model.task_ecu;
+        Alcotest.(check (list string)) (label ^ ": no sheds") []
+          (Repair.shed_so_far st);
+        (* the interrupted state still accepts an unbudgeted retry of
+           the same event — no poisoned session survives the trip *)
+        match Repair.repair st event with
+        | Repair.Repaired _ -> ()
+        | Repair.Irreparable _ | Repair.Unknown ->
+          Alcotest.fail (label ^ ": state unusable after the trip"))
+      | Repair.Repaired r ->
+        (* finished before the trip: must be a fully valid repair *)
+        Alcotest.(check int) (label ^ ": analyzer clean") 0
+          r.Repair.check_violations;
+        Alcotest.(check int) (label ^ ": sim clean") 0 r.Repair.sim_misses
+      | Repair.Irreparable _ ->
+        Alcotest.fail (label ^ ": spurious irreparability under budget")
+      | exception e ->
+        Alcotest.failf "%s: escaped exception %s" label (Printexc.to_string e))
+    points
+
 let suite =
   [
     Alcotest.test_case "chaos sweep: small TRT" `Slow test_chaos_small_trt;
@@ -252,4 +363,5 @@ let suite =
     Alcotest.test_case "chaos sweep: infeasible" `Quick test_chaos_infeasible;
     Alcotest.test_case "chaos sweep: find_feasible" `Quick test_chaos_find_feasible;
     Alcotest.test_case "chaos sweep: 3-worker portfolio" `Slow test_chaos_portfolio;
+    Alcotest.test_case "chaos sweep: online repair" `Slow test_chaos_repair;
   ]

@@ -76,6 +76,7 @@ let quickstart_problem () =
         messages = [ msg ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -88,6 +89,7 @@ let quickstart_problem () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 2;
@@ -100,6 +102,7 @@ let quickstart_problem () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in
@@ -156,6 +159,7 @@ let test_infeasible_detected () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -168,6 +172,7 @@ let test_infeasible_detected () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in
@@ -304,6 +309,7 @@ let test_solver_ties_dominate () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -316,6 +322,7 @@ let test_solver_ties_dominate () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in
@@ -460,6 +467,7 @@ let test_message_forced_across_gateway () =
         messages = [ msg ];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
       {
         Model.task_id = 1;
@@ -472,6 +480,7 @@ let test_message_forced_across_gateway () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       };
     ]
   in
@@ -518,6 +527,7 @@ let plain_task ?(jitter = 0) ?(blocking = 0) ?(wcets = []) id ~period ~deadline 
     messages = [];
     jitter;
     blocking;
+    criticality = 0;
   }
 
 let test_blocking_forces_separation () =
@@ -698,6 +708,7 @@ let test_incremental_integration () =
         messages = [];
         jitter = 0;
         blocking = 0;
+        criticality = 0;
       }
     in
     let arch =
@@ -996,6 +1007,7 @@ let test_metamorphic_infeasible_invariant () =
           messages = [];
           jitter = 0;
           blocking = 0;
+          criticality = 0;
         };
         {
           Model.task_id = 1;
@@ -1008,6 +1020,7 @@ let test_metamorphic_infeasible_invariant () =
           messages = [];
           jitter = 0;
           blocking = 0;
+          criticality = 0;
         };
       ]
     in

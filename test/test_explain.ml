@@ -45,6 +45,7 @@ let mk_task id name period deadline wcets =
     messages = [];
     jitter = 0;
     blocking = 0;
+    criticality = 0;
   }
 
 let overconstrained () =
@@ -239,6 +240,37 @@ let test_whatif_deadline_delta () =
   | Explain.Whatif.Feasible _ -> ()
   | _ -> Alcotest.fail "one tightened deadline should stay feasible"
 
+let test_whatif_cache_bounded () =
+  (* regression: the per-(task, deadline) reification cache used to
+     grow without bound on long-lived sessions.  150 distinct deadline
+     deltas on one session must stay within the cache cap, and deltas
+     whose bits were evicted must still answer correctly when asked
+     again (re-reified, not corrupted). *)
+  let problem = feasible_problem () in
+  let w = Explain.Whatif.create problem in
+  let ask deadline =
+    Explain.Whatif.query w
+      [ Explain.Whatif.Set_deadline { task = 0; deadline } ]
+  in
+  (* task 0 runs in 15 ticks wherever it lands, and can always have an
+     ECU to itself: any deadline >= 15 is feasible *)
+  for d = 15 to 164 do
+    match ask d with
+    | Explain.Whatif.Feasible _ -> ()
+    | _ -> Alcotest.failf "deadline %d should be feasible" d
+  done;
+  Alcotest.(check bool) "cache bounded after 150 distinct deltas" true
+    (Explain.Whatif.cached_deadline_bits w <= 128);
+  (* the earliest delta has long been evicted; revisiting it must
+     re-reify and still answer correctly, on both polarities *)
+  (match ask 15 with
+  | Explain.Whatif.Feasible _ -> ()
+  | _ -> Alcotest.fail "evicted delta must still answer feasible");
+  (match ask 14 with
+  | Explain.Whatif.Infeasible _ -> ()
+  | _ -> Alcotest.fail "deadline below the WCET must stay infeasible");
+  Alcotest.(check int) "queries counted" 152 (Explain.Whatif.queries w)
+
 let test_parse_deltas () =
   let problem = overconstrained () in
   let ok s =
@@ -319,6 +351,8 @@ let suite =
     Alcotest.test_case "budget expiry mid-shrink" `Quick test_budget_expiry_mid_shrink;
     Alcotest.test_case "whatif session reuse" `Quick test_whatif_session_reuse;
     Alcotest.test_case "whatif deadline deltas" `Quick test_whatif_deadline_delta;
+    Alcotest.test_case "whatif deadline-bit cache stays bounded" `Quick
+      test_whatif_cache_bounded;
     Alcotest.test_case "parse deltas" `Quick test_parse_deltas;
     QCheck_alcotest.to_alcotest prop_explained_cores_check;
   ]

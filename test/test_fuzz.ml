@@ -67,6 +67,27 @@ let test_campaign_large_instances () =
   let report = Fuzz.run ~max_vars:14 ~iters:25 ~seed:2 () in
   Alcotest.(check int) "no discrepancies" 0 (List.length report.Fuzz.failures)
 
+let test_disruption_campaign () =
+  let report = Fuzz.run_disruptions ~iters:25 ~seed:5 () in
+  Alcotest.(check int) "all campaigns ran" 25 report.Fuzz.d_iters;
+  Alcotest.(check bool) "events injected" true (report.Fuzz.d_events > 0);
+  Alcotest.(check bool) "oracle exercised" true
+    (report.Fuzz.d_oracle_checked > 0);
+  Alcotest.(check int) "no unknowns without a budget" 0 report.Fuzz.d_unknown;
+  Alcotest.(check (list string)) "no failures" [] report.Fuzz.d_failures
+
+let test_disruption_campaign_parallel () =
+  (* results must be independent of how iterations are spread over
+     domains: only wall time may differ *)
+  let a = Fuzz.run_disruptions ~iters:12 ~seed:9 () in
+  let b = Fuzz.run_disruptions ~jobs:2 ~iters:12 ~seed:9 () in
+  Alcotest.(check (list string)) "no failures" [] b.Fuzz.d_failures;
+  Alcotest.(check bool) "jobs-invariant totals" true
+    (a.Fuzz.d_repaired = b.Fuzz.d_repaired
+    && a.Fuzz.d_degraded = b.Fuzz.d_degraded
+    && a.Fuzz.d_irreparable = b.Fuzz.d_irreparable
+    && a.Fuzz.d_events = b.Fuzz.d_events)
+
 let suite =
   [
     Alcotest.test_case "generator determinism" `Quick test_determinism;
@@ -80,4 +101,8 @@ let suite =
     Alcotest.test_case "campaign large instances" `Slow test_campaign_large_instances;
     Alcotest.test_case "campaign with 2-worker portfolio" `Slow
       test_campaign_portfolio;
+    Alcotest.test_case "disruption campaign vs oracle" `Slow
+      test_disruption_campaign;
+    Alcotest.test_case "disruption campaign over 2 domains" `Slow
+      test_disruption_campaign_parallel;
   ]

@@ -31,4 +31,5 @@ let () =
          ("fuzz", Test_fuzz.suite);
         ("portfolio", Test_portfolio.suite);
          ("explain", Test_explain.suite);
+         ("repair", Test_repair.suite);
        ])

@@ -34,6 +34,7 @@ let mk_task ?(memory = 1) ?(separation = []) ?(messages = []) id ~period ~wcet ~
     messages;
     jitter = 0;
     blocking = 0;
+    criticality = 0;
   }
 
 (* -- fixed-point analyses, hand-checked examples ----------------------- *)
@@ -300,6 +301,7 @@ let hier_problem () =
       messages = (if id = 0 then [ msg ] else []);
       jitter = 0;
       blocking = 0;
+      criticality = 0;
     }
   in
   Model.make_problem ~arch ~tasks:[ mk 0 ~e:0 ~wcet:5; mk 1 ~e:3 ~wcet:5 ]
@@ -485,6 +487,7 @@ let test_sim_can_arbitration () =
       messages = msgs;
       jitter = 0;
       blocking = 0;
+      criticality = 0;
     }
   in
   let m0 = { Model.msg_id = 0; src = 0; dst = 2; bytes = 4; msg_deadline = 30 } in
