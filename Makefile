@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench coverage clean
 
 all: build
 
@@ -14,6 +14,17 @@ check:
 
 bench:
 	dune exec bench/main.exe -- quick
+
+# line-coverage report via bisect_ppx, gated on the preprocessor being
+# installed (it is optional tooling, not a build dependency); see the
+# coverage baseline note in EXPERIMENTS.md
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  dune runtest --instrument-with bisect_ppx --force && \
+	  bisect-ppx-report summary --per-file; \
+	else \
+	  echo "coverage: bisect_ppx not installed; skipping (see EXPERIMENTS.md)"; \
+	fi
 
 clean:
 	dune clean

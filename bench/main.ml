@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
                    ablation-incremental ablation-encoding ablation-pb
-                   anytime portfolio explain repair micro)
+                   anytime portfolio explain repair cegar micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -976,6 +976,139 @@ let obs_overhead ~quick () =
   in
   Fmt.pr "  wrote %s@." path
 
+(* ---- CEGAR: lazy vs eager response-time encoding ----------------------- *)
+
+(* How much of the paper's formula (its Var./Lit. columns, Tables 2-3)
+   does the solver actually need?  The lazy encoding answers by
+   construction: it starts from the structural abstraction and installs
+   exact response-time machinery only where a candidate model
+   mispredicts it.  This experiment measures the abstraction's size and
+   encode time against the eager encoding on the scaling instances, and
+   checks that both modes prove the same optimum. *)
+let cegar ~quick () =
+  let module Opt = Taskalloc_opt.Opt in
+  section "CEGAR: lazy vs eager response-time encoding";
+  Fmt.pr "eager = the paper's full transformation up-front; lazy = structural@.";
+  Fmt.pr "abstraction + counterexample-guided refinement to the same optimum@.";
+  let instances =
+    if quick then
+      [ ("tasks12", Workloads.task_scaling ~n:12 ()); ("tasks20", Workloads.task_scaling ~n:20 ()) ]
+    else
+      [
+        ("tasks20", Workloads.task_scaling ~n:20 ());
+        ("tasks30", Workloads.task_scaling ~n:30 ());
+        ("tindell43", Workloads.tindell43 ());
+      ]
+  in
+  let rows = ref [] in
+  let last = ref None in
+  List.iter
+    (fun (name, problem) ->
+      let objective = Encode.Min_trt 0 in
+      (* encode-only, both modes: the size and time of the formula the
+         solver starts from (the paper's Var./Lit. columns) *)
+      let eager_opts = { Encode.default_options with Encode.lazy_mode = false } in
+      let lazy_opts = { Encode.default_options with Encode.lazy_mode = true } in
+      let e_enc, e_enc_s = time (fun () -> Encode.encode ~options:eager_opts problem objective) in
+      let e_vars = Encode.n_bool_vars e_enc and e_lits = Encode.n_literals e_enc in
+      let l_enc, l_enc_s = time (fun () -> Encode.encode ~options:lazy_opts problem objective) in
+      let a_vars = Encode.n_bool_vars l_enc and a_lits = Encode.n_literals l_enc in
+      (* end-to-end eager solve (reference optimum) *)
+      let e_res, e_solve_s =
+        time (fun () ->
+            match Allocator.solve ~options:eager_opts problem objective with
+            | Allocator.Solved r -> r
+            | _ -> Fmt.failwith "cegar: eager solve failed on %s" name)
+      in
+      (* end-to-end lazy solve, driven directly through Opt.minimize so
+         the encoding handle stays in scope for the refinement stats *)
+      let (anytime, _stats), l_solve_s =
+        time (fun () ->
+            Opt.minimize ~mode:Opt.Incremental
+              ~refine:(fun _ -> Encode.Lazy.refine l_enc)
+              ~build:(fun () -> (Encode.context l_enc, Encode.cost_term l_enc))
+              ~on_sat:(fun _ _ -> Encode.extract l_enc)
+              ())
+      in
+      let l_cost, l_alloc =
+        match (anytime.Opt.resolution, anytime.Opt.incumbent) with
+        | Opt.Optimal, Some (c, a) -> (c, a)
+        | _ -> Fmt.failwith "cegar: lazy solve failed on %s" name
+      in
+      if Check.check problem l_alloc <> [] then
+        Fmt.failwith "cegar: lazy allocation failed independent validation on %s" name;
+      let rounds = Encode.Lazy.rounds l_enc in
+      let rt = Encode.Lazy.refined_tasks l_enc
+      and rm = Encode.Lazy.refined_media l_enc in
+      let f_vars = Encode.n_bool_vars l_enc and f_lits = Encode.n_literals l_enc in
+      let size_ratio =
+        float_of_int (e_vars + e_lits) /. float_of_int (max 1 (a_vars + a_lits))
+      in
+      let enc_speedup = e_enc_s /. Float.max 1e-9 l_enc_s in
+      Fmt.pr "  %-10s eager: %dk vars %dk lits (%.3fs encode, %a solve, cost %d)@."
+        name (e_vars / 1000) (e_lits / 1000) e_enc_s pp_time e_solve_s
+        e_res.Allocator.cost;
+      Fmt.pr "  %-10s lazy:  %dk vars %dk lits abstraction (%.3fs encode, %a solve, cost %d)@."
+        "" (a_vars / 1000) (a_lits / 1000) l_enc_s pp_time l_solve_s l_cost;
+      Fmt.pr "  %-10s        %d rounds refined %d/%d tasks, %d media -> %dk vars %dk lits final@."
+        "" rounds rt (Array.length problem.Model.tasks) rm (f_vars / 1000)
+        (f_lits / 1000);
+      Fmt.pr "  %-10s        %.1fx smaller start, %.1fx faster encode%s@." ""
+        size_ratio enc_speedup
+        (if e_res.Allocator.cost = l_cost then "" else "  (! COST MISMATCH)");
+      if e_res.Allocator.cost <> l_cost then
+        Fmt.failwith "cegar: optimum mismatch on %s: eager %d, lazy %d" name
+          e_res.Allocator.cost l_cost;
+      last := Some (name, size_ratio, enc_speedup);
+      rows :=
+        Bench_json.Obj
+          [
+            ("workload", Bench_json.Str name);
+            ("eager_encode_s", Bench_json.Float e_enc_s);
+            ("lazy_encode_s", Bench_json.Float l_enc_s);
+            ("eager_vars", Bench_json.Int e_vars);
+            ("eager_lits", Bench_json.Int e_lits);
+            ("abstraction_vars", Bench_json.Int a_vars);
+            ("abstraction_lits", Bench_json.Int a_lits);
+            ("final_lazy_vars", Bench_json.Int f_vars);
+            ("final_lazy_lits", Bench_json.Int f_lits);
+            ("eager_solve_s", Bench_json.Float e_solve_s);
+            ("lazy_solve_s", Bench_json.Float l_solve_s);
+            ("cost", Bench_json.Int l_cost);
+            ("rounds", Bench_json.Int rounds);
+            ("refined_tasks", Bench_json.Int rt);
+            ("refined_media", Bench_json.Int rm);
+            ("size_ratio", Bench_json.Float size_ratio);
+            ("encode_speedup", Bench_json.Float enc_speedup);
+          ]
+        :: !rows)
+    instances;
+  let name, size_ratio, enc_speedup =
+    match !last with Some x -> x | None -> assert false
+  in
+  let shape_ok = size_ratio >= 5. && enc_speedup >= 2. in
+  if shape_ok then
+    Fmt.pr
+      "  shape check: %s abstraction %.1fx smaller (>= 5x) and encode %.1fx \
+       faster (>= 2x)  OK@."
+      name size_ratio enc_speedup
+  else
+    Fmt.pr
+      "  shape check: VIOLATED on %s: size ratio %.1fx (want >= 5x), encode \
+       speedup %.1fx (want >= 2x)@."
+      name size_ratio enc_speedup;
+  let path =
+    Bench_json.write ~experiment:"cegar"
+      (Bench_json.Obj
+         [
+           ("rows", Bench_json.List (List.rev !rows));
+           ("size_ratio", Bench_json.Float size_ratio);
+           ("encode_speedup", Bench_json.Float enc_speedup);
+           ("shape_ok", Bench_json.Bool shape_ok);
+         ])
+  in
+  Fmt.pr "  wrote %s@." path
+
 (* ---- micro-benchmarks of the solver substrate (bechamel) ----------------- *)
 
 let micro () =
@@ -1054,6 +1187,7 @@ let () =
       ("portfolio", fun () -> portfolio ~quick ());
       ("explain", fun () -> explain ~quick ());
       ("repair", fun () -> repair_bench ~quick ());
+      ("cegar", fun () -> cegar ~quick ());
       ("obs", fun () -> obs_overhead ~quick ());
       ("micro", fun () -> micro ());
     ]

@@ -272,4 +272,36 @@ echo "$out" | grep -q "shape check: overhead .* OK" || {
 [ -s BENCH_obs.json ] || {
     echo "FAIL: BENCH_obs.json not written"; exit 1; }
 
+# ---- lazy/CEGAR encoding -------------------------------------------------
+
+# differential campaign: every random instance solved by both the eager
+# and the lazy encoder, verdicts and optima must agree on all 200
+echo "== CLI smoke: lazy-vs-eager differential fuzz =="
+out=$(dune exec bin/taskalloc.exe -- fuzz --lazy --iters 200 --seed 5)
+echo "$out" | grep -q " 0 failures" || {
+    echo "FAIL: lazy differential campaign found discrepancies"; echo "$out"; exit 1; }
+
+# a lazy solve of a named workload must still prove optimality
+echo "== CLI smoke: solve --lazy =="
+out=$(dune exec bin/taskalloc.exe -- solve --workload tasks12 --lazy)
+echo "$out" | grep -q "encoding: lazy (CEGAR)" || {
+    echo "FAIL: --lazy did not engage the lazy encoder"; echo "$out"; exit 1; }
+echo "$out" | grep -q "resolution: optimal" || {
+    echo "FAIL: lazy solve not optimal"; echo "$out"; exit 1; }
+
+# abstraction shape: >= 5x smaller than eager, >= 2x faster to encode,
+# identical optima (asserted inside the harness)
+echo "== bench smoke: quick cegar =="
+out=$(dune exec bench/main.exe -- quick cegar)
+echo "$out" | grep -q "shape check: .*OK" || {
+    echo "FAIL: cegar shape check violated"; echo "$out"; exit 1; }
+[ -s BENCH_cegar.json ] || {
+    echo "FAIL: BENCH_cegar.json not written"; exit 1; }
+
+# the entire tier-1 suite again with the lazy encoder as the default
+# (dune runtest caches ignore the environment, so drive the test
+# executable directly)
+echo "== tier-1 under TASKALLOC_LAZY=1 =="
+TASKALLOC_LAZY=1 dune exec test/test_main.exe > /dev/null
+
 echo "CI OK"

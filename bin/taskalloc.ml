@@ -108,6 +108,31 @@ let no_fallback_arg =
           "Disable the heuristic fallback: report UNKNOWN when the budget \
            expires before any incumbent exists.")
 
+let lazy_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "lazy" ]
+              ~doc:
+                "CEGAR encoding: start from the structural abstraction \
+                 (allocation, capacities, routing, sound interference cuts) \
+                 and install exact response-time machinery lazily, per task \
+                 and per medium, only when a candidate model mispredicts it.  \
+                 Proves the same verdict and optimum as the eager encoding, \
+                 usually on a much smaller formula." );
+          ( Some false,
+            info [ "no-lazy" ]
+              ~doc:
+                "Force the eager (full up-front) encoding, overriding the \
+                 $(b,TASKALLOC_LAZY) environment variable." );
+        ])
+
+let options_of_lazy = function
+  | None -> Encode.default_options (* TASKALLOC_LAZY decides *)
+  | Some lazy_mode -> { Encode.default_options with Encode.lazy_mode }
+
 let jobs_arg =
   Arg.(
     value
@@ -222,8 +247,8 @@ let heuristic_objective = function
   | `Max_util -> Heuristics.Max_util
 
 let solve_cmd =
-  let run file workload seed objective mode jobs timeout max_conflicts gap_tol
-      no_fallback trace metrics progress =
+  let run file workload seed objective mode lazy_mode jobs timeout
+      max_conflicts gap_tol no_fallback trace metrics progress =
     obs_setup ~trace ~metrics ~progress;
     let problem = lookup_workload ?file workload seed in
     let label = match file with Some f -> f | None -> workload in
@@ -232,12 +257,14 @@ let solve_cmd =
       problem.Model.arch.Model.n_ecus
       (Array.length (Model.all_messages problem))
       (List.length problem.Model.arch.Model.media);
+    let options = options_of_lazy lazy_mode in
+    if options.Encode.lazy_mode then Fmt.pr "encoding: lazy (CEGAR)@.";
     let budget =
       budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
     in
     match
-      Allocator.solve ~mode ~jobs ?budget ~gap_tol ~fallback:(not no_fallback)
-        problem (to_objective problem objective)
+      Allocator.solve ~options ~mode ~jobs ?budget ~gap_tol
+        ~fallback:(not no_fallback) problem (to_objective problem objective)
     with
     | Allocator.Infeasible ->
       Fmt.pr "INFEASIBLE; probing constraint classes...@.";
@@ -265,8 +292,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg
-      $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg $ no_fallback_arg
-      $ trace_arg $ metrics_arg $ progress_arg)
+      $ lazy_arg $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg
+      $ no_fallback_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 let check_cmd =
   let run workload seed =
@@ -408,9 +435,14 @@ let dump_cmd =
     Term.(const run $ workload_arg $ seed_arg)
 
 let fuzz_cmd =
-  let run iters seed max_vars jobs verbose disruptions =
+  let run iters seed max_vars jobs verbose disruptions lazy_diff =
     let log = if verbose then fun s -> Fmt.pr "c %s@." s else ignore in
-    if disruptions then begin
+    if lazy_diff then begin
+      let report = Taskalloc_fuzz.Fuzz.run_lazy ~jobs ~log ~iters ~seed () in
+      Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_lazy_report report;
+      if report.Taskalloc_fuzz.Fuzz.l_failures <> [] then exit 1
+    end
+    else if disruptions then begin
       let report =
         Taskalloc_fuzz.Fuzz.run_disruptions ~jobs ~log ~iters ~seed ()
       in
@@ -457,6 +489,19 @@ let fuzz_cmd =
              oracle.  With this flag, $(b,--jobs) spreads campaigns over \
              domains and $(b,--max-vars) is ignored.")
   in
+  let lazy_diff_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "lazy" ]
+          ~doc:
+            "Differential lazy-vs-eager campaign instead: random allocation \
+             problems solved twice — once with the eager encoding, once with \
+             the CEGAR lazy encoding — requiring identical verdicts, \
+             identical proven optima, and analyzer-clean allocations on both \
+             sides.  With this flag, $(b,--jobs) spreads cases over domains \
+             and $(b,--max-vars) is ignored.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -465,7 +510,7 @@ let fuzz_cmd =
           discrepancy and prints a minimized reproducer")
     Term.(
       const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg
-      $ verbose_arg $ disruptions_arg)
+      $ verbose_arg $ disruptions_arg $ lazy_diff_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")

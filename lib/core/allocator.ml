@@ -90,19 +90,42 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     Mutex.unlock lock;
     (ctx, Encode.cost_term enc)
   in
-  let on_sat ctx _cost =
+  let enc_of ctx =
     Mutex.lock lock;
     let enc = List.assq_opt ctx !encs in
     Mutex.unlock lock;
-    match enc with
+    enc
+  in
+  let on_sat ctx _cost =
+    match enc_of ctx with
     | Some enc -> Obs.span "decode" (fun () -> Encode.extract enc)
     | None -> assert false
+  in
+  (* CEGAR driver: on lazy encodings every Sat probe is checked against
+     the exact analysis and refined until the model is genuine; on
+     eager encodings [Encode.Lazy.refine] is a constant 0 and the hook
+     is inert *)
+  let refine ctx =
+    match enc_of ctx with
+    | Some enc ->
+      let n = Encode.Lazy.refine enc in
+      if n > 0 then begin
+        (* keep the reported formula size honest: refinements grow it *)
+        Mutex.lock lock;
+        last_size :=
+          ( max (fst !last_size) (Encode.n_bool_vars enc),
+            max (snd !last_size) (Encode.n_literals enc) );
+        Mutex.unlock lock
+      end;
+      n
+    | None -> 0
   in
   let anytime, stats =
     Obs.span "solve"
       ~attrs:[ ("jobs", string_of_int jobs) ]
       (fun () ->
-        Opt.minimize ~mode ~jobs ?max_conflicts ?budget ~gap_tol ~build ~on_sat ())
+        Opt.minimize ~mode ~jobs ~refine ?max_conflicts ?budget ~gap_tol ~build
+          ~on_sat ())
   in
   let solved quality (cost, allocation) =
     (* anytime incumbents and optima alike are re-checked by the

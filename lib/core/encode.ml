@@ -58,7 +58,16 @@ type options = {
   alloc_encoding : alloc_encoding;
   tie_breaking : tie_breaking;
   max_slot : int; (* upper bound on TDMA slot-length variables *)
+  lazy_mode : bool; (* CEGAR: abstract eqs. 6-12, refine on demand *)
 }
+
+(* TASKALLOC_LAZY=1 flips the default encoder to the CEGAR abstraction
+   so the whole stack (CLI, tests, explain/repair sessions) can be
+   exercised on the lazy path without touching call sites. *)
+let env_lazy =
+  match Sys.getenv_opt "TASKALLOC_LAZY" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let default_options =
   {
@@ -66,6 +75,7 @@ let default_options =
     alloc_encoding = One_hot;
     tie_breaking = Solver_ties;
     max_slot = 0;
+    lazy_mode = env_lazy;
   }
 
 (* Soft-constraint families the grouped mode tags with selector guards
@@ -104,6 +114,19 @@ type msg_enc = {
   response : (int, Bv.t) Hashtbl.t; (* medium -> r^k_m *)
 }
 
+(* Mutable refinement state of a lazy (CEGAR) encoding.  The closures
+   are built by [encode_sections] and capture the section-local
+   machinery (selectors, tie bits, message encodings, slot variables)
+   so a refinement emits exactly the constraints the eager encoder
+   would have emitted for the same task or medium. *)
+type lazy_state = {
+  mutable lz_rounds : int; (* completed refinement rounds *)
+  lz_task_refined : bool array; (* task id -> exact eqs. 5-13 installed *)
+  lz_medium_refined : (int, unit) Hashtbl.t; (* med ids with exact eqs. 2-3 *)
+  lz_refine : unit -> int; (* check model, install refinements, count *)
+  lz_force_task : int -> unit; (* install one task's machinery eagerly *)
+}
+
 type t = {
   ctx : Bv.ctx;
   problem : Model.problem;
@@ -112,12 +135,15 @@ type t = {
   sel : Circuits.bit array array; (* task -> bit per allowed-ECU index *)
   tie_bits : (int * int, Circuits.bit) Hashtbl.t;
       (* (i, j) with i < j, equal deadlines: bit <=> i higher priority *)
-  response_times : Bv.t array; (* task response-time terms *)
+  response_times : Bv.t option array;
+      (* task response-time terms; [None] while a lazy task is
+         unrefined (eager encodings fill every slot) *)
   msg_encs : msg_enc array;
   slot_vars : (int * int, Bv.t) Hashtbl.t; (* (medium, ecu) -> slot *)
   rounds : (int, Bv.t) Hashtbl.t; (* TDMA medium -> Lambda *)
   cost : Bv.t;
   groups : group list; (* selector registry; [] unless encoded with ~groups *)
+  lazy_ : lazy_state option; (* [Some] iff encoded with [lazy_mode] *)
 }
 
 let ceil_div a b = if a <= 0 then 0 else ((a - 1) / b) + 1
@@ -142,6 +168,7 @@ let same_ecu_bit t i j =
 let encode_sections ?(options = default_options) ?(groups = false)
     (problem : Model.problem) (objective : objective) : t =
   let grouped = groups in
+  let lazy_on = options.lazy_mode in
   let ctx = Bv.create ~mode:options.pb_mode () in
   let arch = problem.Model.arch in
   let tasks = problem.Model.tasks in
@@ -353,6 +380,7 @@ let encode_sections ?(options = default_options) ?(groups = false)
       rounds = Hashtbl.create 4;
       cost = Bv.const 0;
       groups = [];
+      lazy_ = None;
     }
   in
 
@@ -423,101 +451,172 @@ let encode_sections ?(options = default_options) ?(groups = false)
 
   (* ---- task response times (eqs. 5-13) ------------------------------ *)
   obs_family "response_times";
-  let response_times =
-    Array.mapi
-      (fun i task ->
-        (* wcet_i (eq. 5) by one-hot selection over the allowed ECUs *)
-        let wcet_values = Array.map (fun e -> wcet_of task e) allowed.(i) in
-        let wcet_i = Bv.select_const ctx sel.(i) wcet_values in
-        (* blocking factor B_i is allocation-independent: a constant *)
-        let blocking_i = Bv.const task.Model.blocking in
-        (* preemption costs from every higher-priority co-locatable task *)
-        let pcs = ref [] in
-        let r_refs = ref [] in
-        Array.iteri
-          (fun j other ->
-            let p_bit = pr j i in
-            if j <> i && p_bit <> Circuits.Zero then begin
-              let commons =
-                Array.to_list allowed.(i)
-                |> List.filter (fun e -> Array.mem e allowed.(j))
-              in
-              if commons <> [] then begin
-                let same = same_ecu_bit t_partial i j in
-                (* interference requires co-location AND higher priority
-                   of the interferer (eqs. 7-10) *)
-                let guard = Bv.band ctx same p_bit in
-                let i_hi =
-                  ceil_div (task_horizon task + other.Model.jitter)
-                    other.Model.period
-                in
-                let i_var = Bv.var ctx ~hi:i_hi in
-                let pc_hi = i_hi * List.fold_left (fun m e -> max m (wcet_of other e)) 0 commons in
-                let pc_var = Bv.var ctx ~hi:(min pc_hi (task_horizon task)) in
-                (* eq. 8 / eq. 12: no co-location or lower priority *)
-                Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx i_var 0);
-                Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx pc_var 0);
-                (* eq. 7: pc = I * c_j(Pi(t_j)); the product collapses to
-                   per-WCET-value linear cases because co-location fixes
-                   the ECU and hence the constant c_j *)
-                let by_value = Hashtbl.create 4 in
-                List.iter
-                  (fun e ->
-                    let v = wcet_of other e in
-                    let prev = try Hashtbl.find by_value v with Not_found -> [] in
-                    Hashtbl.replace by_value v (e :: prev))
-                  commons;
-                Hashtbl.iter
-                  (fun v ecus ->
-                    let cond =
-                      Bv.bor_list ctx
-                        (List.map
-                           (fun e ->
-                             Bv.band ctx (sel_on t_partial i e) (sel_on t_partial j e))
-                           ecus)
-                    in
-                    Bv.assert_implies ctx
-                      [ Bv.band ctx cond p_bit ]
-                      (Bv.eq ctx pc_var (Bv.mul_const ctx v i_var)))
-                  by_value;
-                pcs := (guard, i_var, other.Model.period, other.Model.jitter) :: !pcs;
-                r_refs := pc_var :: !r_refs
-              end
-            end)
-          tasks;
-        (* eq. 6: r_i = wcet_i + B_i + sum pc *)
-        let r_i = Bv.sum ctx (wcet_i :: blocking_i :: !r_refs) in
-        (* eq. 13, with the task's own release jitter consuming part of
-           the deadline budget; guarded by the task's deadline selector
-           in grouped mode *)
-        let slack = task.Model.deadline - task.Model.jitter in
-        if grouped then begin
+  let response_times = Array.make n_tasks None in
+  (* deadline selectors (eq. 13 guards) exist up-front in grouped mode,
+     for eager and lazy encodings alike: the Explain/Repair group
+     registry must not depend on which tasks the CEGAR loop happens to
+     refine *)
+  let deadline_guard =
+    Array.map
+      (fun (task : Model.task) ->
+        if not grouped then None
+        else begin
+          let slack = task.Model.deadline - task.Model.jitter in
           let g =
-            new_group (G_deadline i)
+            new_group
+              (G_deadline task.Model.task_id)
               (Printf.sprintf "deadline of %s (d=%d)" task.Model.task_name
                  task.Model.deadline)
           in
-          if slack < 0 then Solver.add_clause (Bv.solver ctx) [ Lit.neg g ]
-          else
-            Bv.assert_implies ctx [ Circuits.Lit g ] (Bv.le_const ctx r_i slack)
-        end
-        else Bv.assert_ ctx (Bv.le_const ctx r_i slack);
-        (* eq. 11: the two-sided bound making I the ceiling of
-           (r + J_j)/t_j — the interferer's release jitter inflates its
-           preemption count *)
-        List.iter
-          (fun (guard, i_var, period, j_jitter) ->
-            let prod = Bv.mul_const ctx period i_var in
-            let r_plus_j =
-              if j_jitter = 0 then r_i else Bv.add ctx r_i (Bv.const j_jitter)
-            in
-            Bv.assert_implies ctx [ guard ] (Bv.ge ctx prod r_plus_j);
-            Bv.assert_implies ctx [ guard ]
-              (Bv.lt ctx prod (Bv.add ctx r_plus_j (Bv.const period))))
-          !pcs;
-        r_i)
+          if slack < 0 then Solver.add_clause (Bv.solver ctx) [ Lit.neg g ];
+          Some g
+        end)
       tasks
   in
+  (* Exact per-task machinery of eqs. 5-13.  Eager encodings install it
+     for every task here; lazy encodings call it from the refinement
+     loop for exactly the tasks a spurious model touches. *)
+  let install_task i =
+    let task = tasks.(i) in
+    (* wcet_i (eq. 5) by one-hot selection over the allowed ECUs *)
+    let wcet_values = Array.map (fun e -> wcet_of task e) allowed.(i) in
+    let wcet_i = Bv.select_const ctx sel.(i) wcet_values in
+    (* blocking factor B_i is allocation-independent: a constant *)
+    let blocking_i = Bv.const task.Model.blocking in
+    (* preemption costs from every higher-priority co-locatable task *)
+    let pcs = ref [] in
+    let r_refs = ref [] in
+    Array.iteri
+      (fun j other ->
+        let p_bit = pr j i in
+        if j <> i && p_bit <> Circuits.Zero then begin
+          let commons =
+            Array.to_list allowed.(i)
+            |> List.filter (fun e -> Array.mem e allowed.(j))
+          in
+          if commons <> [] then begin
+            let same = same_ecu_bit t_partial i j in
+            (* interference requires co-location AND higher priority
+               of the interferer (eqs. 7-10) *)
+            let guard = Bv.band ctx same p_bit in
+            let i_hi =
+              ceil_div (task_horizon task + other.Model.jitter)
+                other.Model.period
+            in
+            let i_var = Bv.var ctx ~hi:i_hi in
+            let pc_hi = i_hi * List.fold_left (fun m e -> max m (wcet_of other e)) 0 commons in
+            let pc_var = Bv.var ctx ~hi:(min pc_hi (task_horizon task)) in
+            (* eq. 8 / eq. 12: no co-location or lower priority *)
+            Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx i_var 0);
+            Bv.assert_implies ctx [ Bv.bnot guard ] (Bv.eq_const ctx pc_var 0);
+            (* eq. 7: pc = I * c_j(Pi(t_j)); the product collapses to
+               per-WCET-value linear cases because co-location fixes
+               the ECU and hence the constant c_j *)
+            let by_value = Hashtbl.create 4 in
+            List.iter
+              (fun e ->
+                let v = wcet_of other e in
+                let prev = try Hashtbl.find by_value v with Not_found -> [] in
+                Hashtbl.replace by_value v (e :: prev))
+              commons;
+            Hashtbl.iter
+              (fun v ecus ->
+                let cond =
+                  Bv.bor_list ctx
+                    (List.map
+                       (fun e ->
+                         Bv.band ctx (sel_on t_partial i e) (sel_on t_partial j e))
+                       ecus)
+                in
+                Bv.assert_implies ctx
+                  [ Bv.band ctx cond p_bit ]
+                  (Bv.eq ctx pc_var (Bv.mul_const ctx v i_var)))
+              by_value;
+            pcs := (guard, i_var, other.Model.period, other.Model.jitter) :: !pcs;
+            r_refs := pc_var :: !r_refs
+          end
+        end)
+      tasks;
+    (* eq. 6: r_i = wcet_i + B_i + sum pc *)
+    let r_i = Bv.sum ctx (wcet_i :: blocking_i :: !r_refs) in
+    (* eq. 13, with the task's own release jitter consuming part of
+       the deadline budget; guarded by the task's deadline selector
+       in grouped mode *)
+    let slack = task.Model.deadline - task.Model.jitter in
+    (match deadline_guard.(i) with
+    | Some g ->
+      (* slack < 0 already forced the guard off at creation *)
+      if slack >= 0 then
+        Bv.assert_implies ctx [ Circuits.Lit g ] (Bv.le_const ctx r_i slack)
+    | None -> Bv.assert_ ctx (Bv.le_const ctx r_i slack));
+    (* eq. 11: the two-sided bound making I the ceiling of
+       (r + J_j)/t_j — the interferer's release jitter inflates its
+       preemption count *)
+    List.iter
+      (fun (guard, i_var, period, j_jitter) ->
+        let prod = Bv.mul_const ctx period i_var in
+        let r_plus_j =
+          if j_jitter = 0 then r_i else Bv.add ctx r_i (Bv.const j_jitter)
+        in
+        Bv.assert_implies ctx [ guard ] (Bv.ge ctx prod r_plus_j);
+        Bv.assert_implies ctx [ guard ]
+          (Bv.lt ctx prod (Bv.add ctx r_plus_j (Bv.const period))))
+      !pcs;
+    response_times.(i) <- Some r_i
+  in
+  if not lazy_on then Array.iteri (fun i _ -> install_task i) tasks
+  else begin
+    (* Abstraction of eqs. 5-13: necessary conditions only, each one
+       implied by the eager formula, so the abstraction is a relaxation
+       and every Unsat answer (and every persisted lower bound) is
+       final.  (a) a seat whose WCET + blocking alone overruns the
+       slack is refuted under the task's deadline guard; *)
+    Array.iteri
+      (fun i (task : Model.task) ->
+        let slack = task.Model.deadline - task.Model.jitter in
+        Array.iteri
+          (fun idx e ->
+            if wcet_of task e + task.Model.blocking > slack then begin
+              let ants =
+                match deadline_guard.(i) with
+                | Some g -> [ Circuits.Lit g; sel.(i).(idx) ]
+                | None -> [ sel.(i).(idx) ]
+              in
+              Circuits.assert_implies (Bv.solver ctx) ants Circuits.Zero
+            end)
+          allowed.(i))
+      tasks;
+    (* (b) a per-ECU utilization cut, floor(1000 c/t) per task.  Sound
+       only under deadline <= period for every task (then any response
+       fixpoint within the horizon forces U <= 1; with deadline >
+       period a task may legally overrun its period and the cut would
+       refute feasible placements).  In grouped mode it additionally
+       holds only while the deadline guards of the tasks on the ECU
+       are enforced, so the cut is guarded by their conjunction. *)
+    if Array.for_all (fun (tk : Model.task) -> tk.Model.deadline <= tk.Model.period) tasks
+    then
+      for e = 0 to arch.Model.n_ecus - 1 do
+        let terms = ref [] and guards = ref [] in
+        Array.iter
+          (fun (task : Model.task) ->
+            let b = sel_on t_partial task.Model.task_id e in
+            if b <> Circuits.Zero then begin
+              (match deadline_guard.(task.Model.task_id) with
+              | Some g -> guards := Circuits.Lit g :: !guards
+              | None -> ());
+              let u = wcet_of task e * 1000 / task.Model.period in
+              if u > 0 then terms := (u, b) :: !terms
+            end)
+          tasks;
+        if !terms <> [] then begin
+          let guard =
+            if grouped then Some (Circuits.and_list (Bv.solver ctx) !guards)
+            else None
+          in
+          Bv.assert_pb_le ?guard ctx !terms 1000
+        end
+      done
+  end;
 
   (* ---- TDMA rounds and slots ------------------------------------------ *)
   obs_family "tdma";
@@ -722,6 +821,28 @@ let encode_sections ?(options = default_options) ?(groups = false)
           Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx r_k 0);
           (* schedulability on the medium: r <= local deadline *)
           Bv.assert_implies ctx [ u ] (Bv.le ctx r_k d_k);
+          let medium = Model.medium_by_id problem k in
+          let rho = Model.frame_time medium msg in
+          (* the response (eq. 2/3 right-hand side) starts at rho, so
+             rho is a hard lower bound on both r and d whether or not
+             the exact equations are installed yet — on the lazy path
+             this prunes routes through over-slow media upfront *)
+          if lazy_on then begin
+            Bv.assert_implies ctx [ u ] (Bv.ge_const ctx r_k rho);
+            Bv.assert_implies ctx [ u ] (Bv.ge_const ctx d_k rho)
+          end;
+          (* a TDMA station's slot must fit every frame it emits on the
+             medium — structural (slot sizing), not response analysis,
+             so it lives here in both eager and lazy encodings *)
+          (match medium.Model.kind with
+          | Model.Priority -> ()
+          | Model.Tdma ->
+            let st = Hashtbl.find enc.station k in
+            List.iteri
+              (fun idx e ->
+                let slot = Hashtbl.find slot_vars (k, e) in
+                Bv.assert_implies ctx [ st.(idx) ] (Bv.ge_const ctx slot rho))
+              medium.Model.ecus);
           Hashtbl.replace enc.local_deadline k d_k;
           Hashtbl.replace enc.jitter k j_k;
           Hashtbl.replace enc.response k r_k)
@@ -784,10 +905,58 @@ let encode_sections ?(options = default_options) ?(groups = false)
       else Bv.assert_ ctx (Bv.le_const ctx d_total delta))
     msg_encs;
 
-  (* per-medium response-time equations, with cross-message interference *)
-  List.iter
-    (fun medium ->
-      let k = medium.Model.med_id in
+  (* Bus counterpart of the utilization cut (lazy only): messages that
+     may share a priority bus must fit its bandwidth.  Sound because
+     r <= d <= horizon is hard even in grouped mode (d's width is the
+     horizon), provided every potential user's deadline is within its
+     period — the same busy-window argument as for ECUs.  TDMA media
+     are excluded: their capacity splits per station and the slot-fit
+     constraints above already bound them. *)
+  if lazy_on then
+    List.iter
+      (fun medium ->
+        match medium.Model.kind with
+        | Model.Tdma -> ()
+        | Model.Priority ->
+          let k = medium.Model.med_id in
+          let users =
+            Array.to_list msg_encs
+            |> List.filter (fun enc -> Hashtbl.mem enc.use k)
+          in
+          let bounded_deadlines =
+            List.for_all
+              (fun enc ->
+                enc.msg.Model.msg_deadline
+                <= Model.message_period problem enc.msg)
+              users
+          in
+          if bounded_deadlines then begin
+            let terms =
+              List.filter_map
+                (fun enc ->
+                  let u = Hashtbl.find enc.use k in
+                  let w =
+                    Model.frame_time medium enc.msg
+                    * 1000
+                    / Model.message_period problem enc.msg
+                  in
+                  if w > 0 && u <> Circuits.Zero then Some (w, u) else None)
+                users
+            in
+            if terms <> [] then Bv.assert_pb_le ctx terms 1000
+          end)
+      arch.Model.media;
+
+  (* Per-medium response-time equations, with cross-message
+     interference (eq. 2 for priority buses, eq. 3 for TDMA).  Eager
+     encodings install every medium here; lazy encodings install a
+     medium from the refinement loop the first time a candidate model
+     mispredicts a response on it. *)
+  let medium_installed : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let install_medium k =
+    if not (Hashtbl.mem medium_installed k) then begin
+      Hashtbl.replace medium_installed k ();
+      let medium = Model.medium_by_id problem k in
       let users =
         Array.to_list msg_encs |> List.filter (fun enc -> Hashtbl.mem enc.use k)
       in
@@ -847,9 +1016,9 @@ let encode_sections ?(options = default_options) ?(groups = false)
               Array.iteri
                 (fun idx e ->
                   let slot = Hashtbl.find slot_vars (k, e) in
-                  Bv.assert_implies ctx [ st.(idx) ] (Bv.eq ctx osl slot);
-                  (* the slot must fit this frame *)
-                  Bv.assert_implies ctx [ st.(idx) ] (Bv.ge_const ctx slot rho))
+                  (* slot-fit (slot >= rho) is asserted structurally in
+                     the routing section *)
+                  Bv.assert_implies ctx [ st.(idx) ] (Bv.eq ctx osl slot))
                 ecus;
               Bv.assert_implies ctx [ Bv.bnot u ] (Bv.eq_const ctx osl 0);
               let diff = Bv.sub_asserting ctx lambda osl in
@@ -872,8 +1041,11 @@ let encode_sections ?(options = default_options) ?(groups = false)
           in
           let rhs = Bv.sum ctx ((Bv.const rho :: !interference_terms) @ block_terms) in
           Bv.assert_implies ctx [ u ] (Bv.eq ctx r_k rhs))
-        users)
-    arch.Model.media;
+        users
+    end
+  in
+  if not lazy_on then
+    List.iter (fun medium -> install_medium medium.Model.med_id) arch.Model.media;
 
   (* ---- objective -------------------------------------------------------- *)
   obs_family "objective";
@@ -923,7 +1095,209 @@ let encode_sections ?(options = default_options) ?(groups = false)
       cost
   in
   obs_family "";
-  { t with cost; groups = List.rev !reg }
+  (* ---- CEGAR refinement state (lazy mode) ------------------------------ *)
+  (* The checker re-derives, from the candidate model alone, the exact
+     response-time fixpoints the eager formula would force — same
+     priorities (deadline order + model tie bits), same optimistic
+     WCETs, same variable caps, same deadline-guard semantics (a guard
+     false in the model relaxes the deadline to the horizon).  A task
+     or medium whose fixpoint the model cannot support is refined by
+     installing its exact constraints; everything installed is implied
+     by the eager formula, so refinement only ever shrinks the model
+     set towards the eager one. *)
+  let lazy_ =
+    if not lazy_on then None
+    else begin
+      let module Obs = Taskalloc_obs.Obs in
+      let task_refined = Array.make n_tasks false in
+      let model_bit b = Bv.model_bool ctx b in
+      let ecu_of i =
+        let chosen = ref (-1) in
+        Array.iteri
+          (fun idx b -> if model_bit b then chosen := allowed.(i).(idx))
+          sel.(i);
+        !chosen
+      in
+      let task_ok seats i =
+        let task = tasks.(i) in
+        let e = seats.(i) in
+        if e < 0 then false
+        else begin
+          let c = wcet_of task e and b = task.Model.blocking in
+          let slack = task.Model.deadline - task.Model.jitter in
+          let enforced =
+            match deadline_guard.(i) with
+            | None -> true
+            | Some g -> model_bit (Circuits.Lit g)
+          in
+          let limit = if enforced then slack else task_horizon task in
+          if limit < 0 then false
+          else begin
+            let intf = ref [] in
+            Array.iteri
+              (fun j (other : Model.task) ->
+                if j <> i && seats.(j) = e && model_bit (pr j i) then
+                  intf :=
+                    (wcet_of other e, other.Model.period, other.Model.jitter)
+                    :: !intf)
+              tasks;
+            let rec fix r =
+              let r' =
+                c + b
+                + List.fold_left
+                    (fun acc (cj, tj, jj) -> acc + (ceil_div (r + jj) tj * cj))
+                    0 !intf
+              in
+              if r' > limit then false else if r' = r then true else fix r'
+            in
+            fix (c + b)
+          end
+        end
+      in
+      let medium_ok (medium : Model.medium) =
+        let k = medium.Model.med_id in
+        let active =
+          Array.to_list msg_encs
+          |> List.filter (fun enc ->
+                 match Hashtbl.find_opt enc.use k with
+                 | Some u -> model_bit u
+                 | None -> false)
+        in
+        let station_idx enc =
+          match Hashtbl.find_opt enc.station k with
+          | None -> -1
+          | Some st ->
+            let r = ref (-1) in
+            Array.iteri (fun idx b -> if model_bit b then r := idx) st;
+            !r
+        in
+        List.for_all
+          (fun enc ->
+            let msg = enc.msg in
+            let rho = Model.frame_time medium msg in
+            let hor = msg_horizon msg in
+            let d = Bv.model_int ctx (Hashtbl.find enc.local_deadline k) in
+            let my_st = station_idx enc in
+            let intf =
+              List.filter_map
+                (fun enc' ->
+                  if
+                    enc'.msg.Model.msg_id <> msg.Model.msg_id
+                    && Model.msg_higher_prio enc'.msg msg
+                    && (match medium.Model.kind with
+                       | Model.Priority -> true
+                       | Model.Tdma -> my_st >= 0 && station_idx enc' = my_st)
+                  then begin
+                    let t_m' = Model.message_period problem enc'.msg in
+                    let rho' = Model.frame_time medium enc'.msg in
+                    let j' = Bv.model_int ctx (Hashtbl.find enc'.jitter k) in
+                    (* the eager counter's cap: exceeding it means no
+                       extension of this model satisfies eq. 11 *)
+                    let cap = max (ceil_div hor t_m') 1 in
+                    Some (rho', t_m', j', cap)
+                  end
+                  else None)
+                active
+            in
+            let tdma =
+              match medium.Model.kind with
+              | Model.Priority -> Some None
+              | Model.Tdma ->
+                if my_st < 0 then None (* no station: model inconsistent *)
+                else begin
+                  let lambda = Bv.model_int ctx (Hashtbl.find rounds k) in
+                  let ecus = Array.of_list medium.Model.ecus in
+                  let osl =
+                    Bv.model_int ctx (Hashtbl.find slot_vars (k, ecus.(my_st)))
+                  in
+                  let imb_cap =
+                    max 1 (ceil_div hor (List.length medium.Model.ecus))
+                  in
+                  Some (Some (lambda, osl, imb_cap))
+                end
+            in
+            match tdma with
+            | None -> false
+            | Some tdma ->
+              let step r =
+                let acc =
+                  List.fold_left
+                    (fun acc (rho', t_m', j', cap) ->
+                      match acc with
+                      | None -> None
+                      | Some a ->
+                        let i = ceil_div (r + j') t_m' in
+                        if i > cap then None else Some (a + (i * rho')))
+                    (Some rho) intf
+                in
+                match (tdma, acc) with
+                | Some (lambda, osl, imb_cap), Some a ->
+                  let imb = ceil_div r lambda in
+                  if imb > imb_cap then None
+                  else Some (a + (osl - 1) + (imb * (lambda - osl)))
+                | _ -> acc
+              in
+              let rec fix r =
+                match step r with
+                | None -> false
+                | Some r' ->
+                  if r' > d then false else if r' = r then true else fix r'
+              in
+              fix rho)
+          active
+      in
+      let refine_model () =
+        Obs.span "cegar.round" (fun () ->
+            let seats = Array.init n_tasks ecu_of in
+            let bad_tasks =
+              List.init n_tasks Fun.id
+              |> List.filter (fun i ->
+                     (not task_refined.(i)) && not (task_ok seats i))
+            in
+            let bad_media =
+              List.filter
+                (fun (medium : Model.medium) ->
+                  (not (Hashtbl.mem medium_installed medium.Model.med_id))
+                  && not (medium_ok medium))
+                arch.Model.media
+            in
+            (* all model reads above happen before any install below
+               grows the formula *)
+            List.iter
+              (fun i ->
+                install_task i;
+                task_refined.(i) <- true)
+              bad_tasks;
+            List.iter
+              (fun (m : Model.medium) -> install_medium m.Model.med_id)
+              bad_media;
+            let n = List.length bad_tasks + List.length bad_media in
+            if n > 0 && Obs.metrics_on () then begin
+              Obs.Metrics.incr "cegar.rounds";
+              Obs.Metrics.incr ~by:(List.length bad_tasks) "cegar.refined_tasks";
+              Obs.Metrics.incr ~by:(List.length bad_media) "cegar.refined_media";
+              Obs.Metrics.set "cegar.bool_vars" (Bv.n_bool_vars ctx);
+              Obs.Metrics.set "cegar.literals" (Bv.n_literals ctx)
+            end;
+            n)
+      in
+      let force_task i =
+        if not task_refined.(i) then begin
+          install_task i;
+          task_refined.(i) <- true
+        end
+      in
+      Some
+        {
+          lz_rounds = 0;
+          lz_task_refined = task_refined;
+          lz_medium_refined = medium_installed;
+          lz_refine = refine_model;
+          lz_force_task = force_task;
+        }
+    end
+  in
+  { t with cost; groups = List.rev !reg; lazy_ }
 
 let encode ?options ?groups problem objective =
   let module Obs = Taskalloc_obs.Obs in
@@ -934,7 +1308,12 @@ let encode ?options ?groups problem objective =
         Obs.Metrics.set "encode.literals" (Bv.n_literals t.ctx);
         Obs.Metrics.set "encode.int_vars" (Bv.n_int_vars t.ctx);
         Obs.Metrics.incr ~by:(List.length t.groups) "encode.groups";
-        Obs.Metrics.incr "encode.count"
+        Obs.Metrics.incr "encode.count";
+        if t.lazy_ <> None then begin
+          (* size of the CEGAR abstraction before any refinement *)
+          Obs.Metrics.set "encode.abstraction.bool_vars" (Bv.n_bool_vars t.ctx);
+          Obs.Metrics.set "encode.abstraction.literals" (Bv.n_literals t.ctx)
+        end
       end;
       t)
 
@@ -1002,7 +1381,43 @@ let find_group t kind = List.find_opt (fun g -> g.kind = kind) t.groups
 (* selector bit of task [i] on ECU [e] for what-if pinning; [Zero] when
    the ECU is outside the task's (possibly extended) domain *)
 let task_selector t ~task ~ecu = sel_on t task ecu
-let response_time t i = t.response_times.(i)
+
+(* In lazy mode a caller asking for a response-time term (e.g. a
+   what-if deadline delta) forces that task's exact machinery in. *)
+let response_time t i =
+  (match t.lazy_ with
+  | Some lz when not lz.lz_task_refined.(i) -> lz.lz_force_task i
+  | Some _ | None -> ());
+  match t.response_times.(i) with
+  | Some r -> r
+  | None -> assert false (* eager encodings fill every slot *)
+
+(* ---- CEGAR refinement interface ------------------------------------- *)
+
+module Lazy = struct
+  let is_lazy t = t.lazy_ <> None
+
+  let refine t =
+    match t.lazy_ with
+    | None -> 0
+    | Some lz ->
+      let n = lz.lz_refine () in
+      if n > 0 then lz.lz_rounds <- lz.lz_rounds + 1;
+      n
+
+  let rounds t = match t.lazy_ with None -> 0 | Some lz -> lz.lz_rounds
+
+  let refined_tasks t =
+    match t.lazy_ with
+    | None -> Array.length t.problem.Model.tasks
+    | Some lz ->
+      Array.fold_left (fun n r -> if r then n + 1 else n) 0 lz.lz_task_refined
+
+  let refined_media t =
+    match t.lazy_ with
+    | None -> List.length t.problem.Model.arch.Model.media
+    | Some lz -> Hashtbl.length lz.lz_medium_refined
+end
 
 (* Formula-size statistics, as reported in the paper's tables. *)
 let n_bool_vars t = Bv.n_bool_vars t.ctx

@@ -46,6 +46,12 @@ type options = {
   max_slot : int;
       (** upper bound on TDMA slot variables; [0] = derive from the
           largest possible frame *)
+  lazy_mode : bool;
+      (** CEGAR: encode only the structural constraints plus sound
+          necessary conditions on eqs. 6-12 up-front; exact
+          response-time machinery is installed per task/medium by
+          {!Lazy.refine} when a candidate model mispredicts it.  The
+          default follows the [TASKALLOC_LAZY] environment variable. *)
 }
 
 val default_options : options
@@ -115,7 +121,41 @@ val task_selector : t -> task:int -> ecu:int -> Taskalloc_pb.Circuits.bit
 
 val response_time : t -> int -> Taskalloc_bv.Bv.t
 (** The response-time term r_i of a task, for what-if deadline
-    tightenings reified against it. *)
+    tightenings reified against it.  On a lazy encoding this forces the
+    task's exact machinery in first (one-time refinement). *)
+
+(** {1 CEGAR refinement} (lazy mode, [options.lazy_mode])
+
+    The lazy abstraction is a relaxation of the eager formula: every
+    constraint it contains is implied by the eager encoding, so [Unsat]
+    answers, optimization lower bounds, and shared clauses over
+    abstraction variables remain sound.  A [Sat] answer is only
+    trustworthy once {!Lazy.refine} reports 0 — callers must loop
+    solve/refine until then.  Each task and each medium is refined at
+    most once, so the loop terminates after at most
+    [n_tasks + n_media] refinements with a formula no larger than the
+    eager one. *)
+
+module Lazy : sig
+  val is_lazy : t -> bool
+
+  val refine : t -> int
+  (** Check the solver's current model (valid only right after [Sat])
+      against exact response-time fixpoints and install the violated
+      tasks'/media's eager constraints.  Returns the number of
+      entities refined; [0] means the model is genuine (also on eager
+      encodings, which are always exact). *)
+
+  val rounds : t -> int
+  (** Completed refinement rounds (calls to {!refine} that installed
+      at least one entity). *)
+
+  val refined_tasks : t -> int
+  (** Tasks with exact machinery installed (eager: all of them). *)
+
+  val refined_media : t -> int
+  (** Media with exact response equations installed. *)
+end
 
 (** {1 Formula-size statistics} (the paper's Var./Lit. columns) *)
 

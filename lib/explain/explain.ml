@@ -45,13 +45,27 @@ module Session = struct
   let groups t = t.groups
   let solves t = t.solves
 
+  (* One assumption probe with the CEGAR interlock: on a lazy
+     encoding a Sat answer is re-checked against the exact analysis
+     and re-solved after each refinement round, so callers only ever
+     see genuine models.  Unsat (and its core) and Unknown are final
+     as-is: the lazy formula is a relaxation, and refinements only
+     ever grow it monotonically, so group/assumption semantics are
+     stable across the loop. *)
+  let rec solve_lits ?budget sess assumptions =
+    sess.solves <- sess.solves + 1;
+    match Solver.solve ~assumptions ?budget sess.solver with
+    | Solver.Sat ->
+      if Encode.Lazy.refine sess.enc > 0 then solve_lits ?budget sess assumptions
+      else Solver.Sat
+    | r -> r
+
   (* solve with the groups of [on] enforced and every other group free *)
   let solve ?budget ?(extra = []) sess on =
-    sess.solves <- sess.solves + 1;
     let assumptions =
       List.map (fun i -> sess.groups.(i).Encode.selector) on @ extra
     in
-    Solver.solve ~assumptions ?budget sess.solver
+    solve_lits ?budget sess assumptions
 
   let solve_all ?budget ?extra sess =
     solve ?budget ?extra sess (List.init (Array.length sess.groups) Fun.id)
@@ -363,19 +377,26 @@ module Whatif = struct
 
   (* The deadline-delta cache is bounded: a long-lived session fed a
      stream of distinct [Set_deadline] deltas would otherwise grow its
-     table without limit.  Eviction is FIFO and purely a table matter —
-     the reified comparator circuits live in the solver either way, so
-     evicting an entry only means a revisited deadline re-reifies
-     (cheap) instead of re-using the cached literal. *)
+     table without limit.  Eviction is least-recently-used, because
+     [Bv.le_const] is not cached at the circuit layer: evicting a delta
+     the caller is still re-applying would make every re-application
+     reify a fresh duplicate comparator into the solver, growing the
+     formula without bound.  LRU keeps live deltas pinned while cold
+     one-off deadlines age out. *)
   let max_deadline_bits = 128
 
   type t = {
     sess : sess;
     problem : Model.problem;
-    deadline_bits : (int * int, Circuits.bit) Hashtbl.t;
-        (* (task, deadline) -> reified [r_i <= d - J_i], cached so a
-           revisited tightening costs nothing to re-install *)
-    deadline_fifo : (int * int) Queue.t; (* insertion order, for eviction *)
+    deadline_bits : (int * int, Circuits.bit * int) Hashtbl.t;
+        (* (task, deadline) -> reified [r_i <= d - J_i] plus the
+           entry's latest recency stamp, cached so a revisited
+           tightening reuses (never re-reifies) its comparator *)
+    deadline_lru : ((int * int) * int) Queue.t;
+        (* recency order; an entry whose stamp no longer matches the
+           table is stale (the key was touched since) and is skipped
+           at eviction time *)
+    mutable deadline_stamp : int;
     mutable queries : int;
   }
 
@@ -384,11 +405,13 @@ module Whatif = struct
       sess = make_sess ?options problem;
       problem;
       deadline_bits = Hashtbl.create 8;
-      deadline_fifo = Queue.create ();
+      deadline_lru = Queue.create ();
+      deadline_stamp = 0;
       queries = 0;
     }
 
   let cached_deadline_bits t = Hashtbl.length t.deadline_bits
+  let session_vars t = Solver.n_vars t.sess.solver
 
   let solves t = t.sess.solves
   let queries t = t.queries
@@ -426,8 +449,18 @@ module Whatif = struct
       Circuits.bnot (Encode.task_selector t.sess.enc ~task ~ecu)
     | Set_deadline { task; deadline } -> (
       let key = (task, deadline) in
+      let touch b =
+        t.deadline_stamp <- t.deadline_stamp + 1;
+        Hashtbl.replace t.deadline_bits key (b, t.deadline_stamp);
+        Queue.push (key, t.deadline_stamp) t.deadline_lru
+      in
       match Hashtbl.find_opt t.deadline_bits key with
-      | Some b -> b
+      | Some (b, _) ->
+        (* refresh recency: a delta a caller keeps re-applying must
+           not be the eviction victim, or every re-application would
+           reify a duplicate comparator circuit into the solver *)
+        touch b;
+        b
       | None ->
         let jitter = t.problem.Model.tasks.(task).Model.jitter in
         let b =
@@ -438,11 +471,17 @@ module Whatif = struct
               (deadline - jitter)
         in
         if Hashtbl.length t.deadline_bits >= max_deadline_bits then begin
-          let victim = Queue.pop t.deadline_fifo in
-          Hashtbl.remove t.deadline_bits victim
+          (* evict the least recently used live entry; queue entries
+             whose stamp is outdated are leftovers of later touches *)
+          let rec evict () =
+            let victim, stamp = Queue.pop t.deadline_lru in
+            match Hashtbl.find_opt t.deadline_bits victim with
+            | Some (_, s) when s = stamp -> Hashtbl.remove t.deadline_bits victim
+            | _ -> evict ()
+          in
+          evict ()
         end;
-        Hashtbl.replace t.deadline_bits key b;
-        Queue.push key t.deadline_fifo;
+        touch b;
         b)
     | Drop _ -> Circuits.One (* expressed through the disabled groups *)
 
@@ -470,9 +509,8 @@ module Whatif = struct
     | exception Trivially_infeasible d ->
       Infeasible { groups = []; deltas = [ d ] }
     | delta_lits -> (
-      sess.solves <- sess.solves + 1;
       let assumptions = group_assumptions @ List.map fst delta_lits in
-      match Solver.solve ~assumptions ?budget sess.solver with
+      match Session.solve_lits ?budget sess assumptions with
       | Solver.Sat ->
         Feasible
           { allocation = Encode.extract sess.enc; relaxed = disabled <> [] }

@@ -155,9 +155,15 @@ module Whatif : sig
 
   val cached_deadline_bits : t -> int
   (** Entries currently held in the deadline-delta bit cache.  The
-      cache is bounded (FIFO eviction), so this never exceeds a fixed
+      cache is bounded (LRU eviction), so this never exceeds a fixed
       cap no matter how many distinct [Set_deadline] deltas a session
-      has answered. *)
+      has answered; deltas a caller keeps re-applying stay cached. *)
+
+  val session_vars : t -> int
+  (** Boolean variables in the session's solver.  Observability for
+      cache regression tests: re-applying a cached [Set_deadline]
+      delta must not grow the formula (the comparator is reified
+      once), even after the cache has seen eviction pressure. *)
 
   val describe : t -> delta -> string
 

@@ -603,3 +603,181 @@ let pp_disruption_report ppf r =
     r.d_unknown r.d_oracle_checked
     (List.length r.d_failures);
   List.iter (fun f -> Fmt.pf ppf "FAILURE: %s@." f) r.d_failures
+
+(* -- lazy-vs-eager differential campaigns -------------------------------- *)
+
+module Encode = Taskalloc_core.Encode
+
+type lazy_report = {
+  l_iters : int;
+  l_sat : int;
+  l_unsat : int;
+  l_unknown : int;
+  l_eager_vars : int;
+  l_lazy_vars : int;
+  l_failures : string list;
+}
+
+(* Small full-featured instances: distinct deadlines (unique DM order),
+   one bus of either kind, occasional messages, jitter and blocking.
+   Unlike the PB fuzzer above, the oracle here is the eager encoding
+   itself — any divergence of the CEGAR abstraction from it is a bug in
+   the refinement loop, the relaxation cuts, or the checker closures. *)
+let gen_lazy_problem rng =
+  let n_ecus = Rng.range rng 2 3 in
+  let n_tasks = Rng.range rng 3 6 in
+  let kind = if Rng.int rng 2 = 0 then Model.Tdma else Model.Priority in
+  let with_msg = n_tasks >= 2 && Rng.int rng 2 = 0 in
+  let task i =
+    let messages =
+      if with_msg && i = 0 then
+        [
+          {
+            Model.msg_id = 0;
+            src = 0;
+            dst = 1;
+            bytes = Rng.range rng 2 8;
+            msg_deadline = Rng.range rng 60 160;
+          };
+        ]
+      else []
+    in
+    {
+      Model.task_id = i;
+      task_name = Printf.sprintf "t%d" i;
+      period = 200;
+      wcets = List.init n_ecus (fun e -> (e, Rng.range rng 8 22));
+      deadline = (Rng.range rng 5 12 * 8) + i (* pairwise distinct *);
+      memory = 1;
+      separation = [];
+      messages;
+      jitter = Rng.int rng 3;
+      blocking = Rng.int rng 4;
+      criticality = 0;
+    }
+  in
+  let arch =
+    {
+      Model.n_ecus;
+      media =
+        [
+          {
+            Model.med_id = 0;
+            med_name = "bus";
+            kind;
+            ecus = List.init n_ecus Fun.id;
+            byte_time = 1;
+            frame_overhead = 2;
+          };
+        ];
+      mem_capacity = Array.make n_ecus 64;
+      gateway_service = 0;
+      barred = [];
+    }
+  in
+  (Model.make_problem ~arch ~tasks:(List.init n_tasks task), kind)
+
+let lazy_iter ~seed i =
+  let rng = Rng.create (seed lxor (i * 0x45D9F3B5)) in
+  let fail = ref [] in
+  let failf fmt =
+    Fmt.kstr (fun m -> fail := Fmt.str "iter %d: %s" i m :: !fail) fmt
+  in
+  let problem, kind = gen_lazy_problem rng in
+  let objective =
+    match (Rng.int rng 3, kind) with
+    | 0, Model.Tdma -> Encode.Min_trt 0
+    | 1, _ -> Encode.Min_max_util
+    | _ -> Encode.Feasible
+  in
+  let solve lazy_mode =
+    let options = { Encode.default_options with Encode.lazy_mode } in
+    Allocator.solve ~options ~fallback:false problem objective
+  in
+  let eager = solve false and lzy = solve true in
+  let verdict = function
+    | Allocator.Solved _ -> "SOLVED"
+    | Allocator.Infeasible -> "INFEASIBLE"
+    | Allocator.Unknown -> "UNKNOWN"
+  in
+  let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
+  let eager_vars = ref 0 and lazy_vars = ref 0 in
+  (match (eager, lzy) with
+  | Allocator.Solved e, Allocator.Solved l ->
+    incr sat;
+    eager_vars := e.Allocator.bool_vars;
+    lazy_vars := l.Allocator.bool_vars;
+    if e.Allocator.cost <> l.Allocator.cost then
+      failf "optimum mismatch: eager cost %d, lazy cost %d" e.Allocator.cost
+        l.Allocator.cost;
+    if l.Allocator.violations <> [] then
+      failf "lazy allocation rejected by the analytical checker";
+    if e.Allocator.violations <> [] then
+      failf "eager allocation rejected by the analytical checker"
+  | Allocator.Infeasible, Allocator.Infeasible -> incr unsat
+  | Allocator.Unknown, _ | _, Allocator.Unknown ->
+    incr unknown;
+    failf "unbudgeted solve returned UNKNOWN (eager=%s lazy=%s)"
+      (verdict eager) (verdict lzy)
+  | _ ->
+    failf "verdict mismatch: eager=%s lazy=%s" (verdict eager) (verdict lzy));
+  {
+    l_iters = 1;
+    l_sat = !sat;
+    l_unsat = !unsat;
+    l_unknown = !unknown;
+    l_eager_vars = !eager_vars;
+    l_lazy_vars = !lazy_vars;
+    l_failures = List.rev !fail;
+  }
+
+let merge_lazy a b =
+  {
+    l_iters = a.l_iters + b.l_iters;
+    l_sat = a.l_sat + b.l_sat;
+    l_unsat = a.l_unsat + b.l_unsat;
+    l_unknown = a.l_unknown + b.l_unknown;
+    l_eager_vars = a.l_eager_vars + b.l_eager_vars;
+    l_lazy_vars = a.l_lazy_vars + b.l_lazy_vars;
+    l_failures = a.l_failures @ b.l_failures;
+  }
+
+let empty_lazy_report =
+  {
+    l_iters = 0;
+    l_sat = 0;
+    l_unsat = 0;
+    l_unknown = 0;
+    l_eager_vars = 0;
+    l_lazy_vars = 0;
+    l_failures = [];
+  }
+
+let run_lazy ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
+  let results =
+    if jobs <= 1 then List.init iters (lazy_iter ~seed)
+    else begin
+      let chunks = Array.make (max 1 jobs) [] in
+      for i = iters - 1 downto 0 do
+        chunks.(i mod Array.length chunks) <- i :: chunks.(i mod Array.length chunks)
+      done;
+      Array.to_list chunks
+      |> List.map (fun idxs ->
+             Domain.spawn (fun () -> List.map (lazy_iter ~seed) idxs))
+      |> List.concat_map Domain.join
+    end
+  in
+  let report = List.fold_left merge_lazy empty_lazy_report results in
+  List.iter log report.l_failures;
+  report
+
+let pp_lazy_report ppf r =
+  Fmt.pf ppf
+    "%d lazy-vs-eager cases: %d solved, %d infeasible, %d unknown, %d failures@."
+    r.l_iters r.l_sat r.l_unsat r.l_unknown
+    (List.length r.l_failures);
+  if r.l_eager_vars > 0 then
+    Fmt.pf ppf "final formula vars (solved cases): eager %d, lazy %d (%.2fx)@."
+      r.l_eager_vars r.l_lazy_vars
+      (float_of_int r.l_eager_vars /. float_of_int (max 1 r.l_lazy_vars));
+  List.iter (fun f -> Fmt.pf ppf "FAILURE: %s@." f) r.l_failures

@@ -136,3 +136,38 @@ val run_disruptions :
     one line per failure. *)
 
 val pp_disruption_report : Format.formatter -> disruption_report -> unit
+
+(** {1 Lazy-vs-eager differential campaigns}
+
+    Randomized equivalence testing of the CEGAR encoding
+    ({!Taskalloc_core.Encode.options.lazy_mode}): generate small
+    full-featured allocation problems (both bus kinds, messages,
+    jitter, blocking), solve each twice — eager and lazy — and require
+    identical verdicts, identical proven optima, and analyzer-clean
+    allocations on both sides.  The eager encoding is the oracle: any
+    divergence is a bug in the abstraction, its refinement loop, or the
+    relaxation cuts. *)
+
+type lazy_report = {
+  l_iters : int;
+  l_sat : int;  (** cases both encodings solved (costs compared) *)
+  l_unsat : int;  (** cases both proved infeasible *)
+  l_unknown : int;  (** always a failure: these runs have no budget *)
+  l_eager_vars : int;  (** summed final formula vars over solved cases *)
+  l_lazy_vars : int;  (** same, lazy side (post-refinement size) *)
+  l_failures : string list;
+}
+
+val run_lazy :
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  iters:int ->
+  seed:int ->
+  unit ->
+  lazy_report
+(** Run [iters] lazy-vs-eager cases derived deterministically from
+    [seed].  [jobs > 1] spreads iterations over that many domains
+    (results are independent of [jobs]); [log] receives one line per
+    failure. *)
+
+val pp_lazy_report : Format.formatter -> lazy_report -> unit

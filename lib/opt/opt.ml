@@ -156,11 +156,30 @@ let next_m strategy ~lower ~best =
    never depend on assumptions), only the explicit bound assertions
    are suppressed. *)
 let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
-    ?(assumptions = []) ?(persist_bounds = true)
+    ?(assumptions = []) ?(persist_bounds = true) ?refine
     ?max_conflicts ?(budget = Budget.unlimited ()) ?(gap_tol = 0.)
     ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   let stats = empty_stats () in
   let t0 = Unix.gettimeofday () in
+  (* CEGAR interlock: on a lazy encoding a [Sat] probe is only final
+     once [refine] reports 0 — each refinement grows the formula in
+     place (or, in [Fresh] mode, in the probe's own rebuild), so the
+     same probe is simply re-run until the model survives the exact
+     check.  Unsat/Unknown answers pass through: the lazy formula is a
+     relaxation, so they are already final. *)
+  let probe stats ?assumptions ?max_conflicts ~budget ctx =
+    match refine with
+    | None -> probe stats ?assumptions ?max_conflicts ~budget ctx
+    | Some refine ->
+      let rec go () =
+        match probe stats ?assumptions ?max_conflicts ~budget ctx with
+        | Solver.Sat ->
+          if Obs.span "cegar.refine" (fun () -> refine ctx) > 0 then go ()
+          else Solver.Sat
+        | r -> r
+      in
+      go ()
+  in
   let finish outcome =
     stats.time_s <- Unix.gettimeofday () -. t0;
     (outcome, stats)
@@ -411,12 +430,12 @@ let install_sharing pool ~share_lbd ~origin ctx =
 
    With [jobs > 1], [build] and [on_sat] are invoked concurrently from
    several domains and must be thread-safe. *)
-let minimize ?mode ?(jobs = 1) ?assumptions ?persist_bounds ?max_conflicts
-    ?budget ?(gap_tol = 0.) ?(share = true) ?(share_lbd = 4)
+let minimize ?mode ?(jobs = 1) ?assumptions ?persist_bounds ?refine
+    ?max_conflicts ?budget ?(gap_tol = 0.) ?(share = true) ?(share_lbd = 4)
     ~(build : unit -> Bv.ctx * Bv.t) ~(on_sat : Bv.ctx -> int -> 'a) () =
   if jobs <= 1 then
-    minimize_seq ?mode ?assumptions ?persist_bounds ?max_conflicts ?budget
-      ~gap_tol ~build ~on_sat ()
+    minimize_seq ?mode ?assumptions ?persist_bounds ?refine ?max_conflicts
+      ?budget ~gap_tol ~build ~on_sat ()
   else begin
     let t0 = Unix.gettimeofday () in
     let pool = Portfolio.Pool.create () in
@@ -443,8 +462,8 @@ let minimize ?mode ?(jobs = 1) ?assumptions ?persist_bounds ?max_conflicts
       Portfolio.race ~jobs ?budget
         ~worker:(fun i config ~budget ->
           minimize_seq ?mode ~strategy:(strategy_of_worker i) ~config
-            ?assumptions ?persist_bounds ?max_conflicts ?budget ~gap_tol
-            ~build:(build_for i) ~on_sat ())
+            ?assumptions ?persist_bounds ?refine ?max_conflicts ?budget
+            ~gap_tol ~build:(build_for i) ~on_sat ())
         ~conclusive:(fun (a, _) -> acceptable a)
         ()
     in

@@ -78,6 +78,7 @@ val minimize :
   ?jobs:int ->
   ?assumptions:Taskalloc_sat.Lit.t list ->
   ?persist_bounds:bool ->
+  ?refine:(Bv.ctx -> int) ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->
@@ -92,6 +93,16 @@ val minimize :
     final call corresponds to the incumbent.  In [Fresh] mode [build]
     is called once per probe and must construct the same formula each
     time.
+
+    [refine] (default none) is the CEGAR interlock for lazy encodings:
+    after every [Sat] probe it is called with the probe's context and
+    may grow the formula (returning the number of refinements it
+    installed); the probe is re-run until it returns 0, so [on_sat]
+    only ever sees models that survived the exact check.  Unsat
+    answers and proved lower bounds need no interlock — the lazy
+    formula is a relaxation of the exact one.  In portfolio mode the
+    hook must be thread-safe and is called with each worker's own
+    context.
 
     [assumptions] (default none) are assumed on every probe; the
     minimum found is then the minimum {e under those assumptions}.

@@ -429,6 +429,7 @@ let attempt ?budget ~solves sess stay_seat ~n_tasks ~extra =
     let anytime, stats =
       Obs.span "repair.minimize" (fun () ->
           Opt.minimize ~mode:Opt.Incremental ~assumptions ~persist_bounds:false
+            ~refine:(fun _ -> Encode.Lazy.refine enc)
             ?budget
             ~build:(fun () -> (ctx, cost))
             ~on_sat:(fun _ _ -> Encode.extract enc)

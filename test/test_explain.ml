@@ -75,7 +75,10 @@ let core_ids status =
 
 (* Oracle: re-check a reported core against a fresh grouped encoding.
    The group ids are stable across encodings of the same problem, so we
-   can look the selectors up by id. *)
+   can look the selectors up by id.  The probe runs the solve/refine
+   loop so the oracle stays sound when the default encoding is lazy
+   (TASKALLOC_LAZY=1): an abstract Sat is provisional until refinement
+   reaches a fixpoint. *)
 let fresh_session problem =
   let enc = Encode.encode ~groups:true problem Encode.Feasible in
   let solver = Bv.solver (Encode.context enc) in
@@ -86,10 +89,18 @@ let fresh_session problem =
     | Some g -> g.Encode.selector
     | None -> Alcotest.fail ("group not found in fresh encoding: " ^ id)
   in
-  (solver, selector_of)
+  let assume ids =
+    let assumptions = List.map selector_of ids in
+    let rec go () =
+      match Solver.solve ~assumptions solver with
+      | Solver.Sat when Encode.Lazy.refine enc > 0 -> go ()
+      | r -> r
+    in
+    go ()
+  in
+  (assume, selector_of)
 
-let assume_groups solver selector_of ids =
-  Solver.solve ~assumptions:(List.map selector_of ids) solver
+let assume_groups assume _selector_of ids = assume ids
 
 let test_explain_feasible () =
   let report = Explain.explain (feasible_problem ()) in
@@ -118,24 +129,61 @@ let test_core_unsat_in_isolation () =
   let problem = overconstrained () in
   let report = Explain.explain problem in
   let ids = core_ids report.Explain.status in
-  let solver, selector_of = fresh_session problem in
+  let assume, selector_of = fresh_session problem in
   Alcotest.(check bool) "core unsat in a fresh session" true
-    (assume_groups solver selector_of ids = Solver.Unsat)
+    (assume_groups assume selector_of ids = Solver.Unsat)
 
 let test_core_minimality () =
   (* deletion oracle: dropping any single group from the MUS is Sat *)
   let problem = overconstrained () in
   let report = Explain.explain problem in
   let ids = core_ids report.Explain.status in
-  let solver, selector_of = fresh_session problem in
+  let assume, selector_of = fresh_session problem in
   List.iter
     (fun dropped ->
       let rest = List.filter (fun id -> id <> dropped) ids in
       Alcotest.(check bool)
         ("sat without " ^ dropped)
         true
-        (assume_groups solver selector_of rest = Solver.Sat))
+        (assume_groups assume selector_of rest = Solver.Sat))
     ids
+
+let lazy_opts = { Encode.default_options with Encode.lazy_mode = true }
+
+let test_core_minimality_lazy () =
+  (* the CEGAR encoding must reproduce the eager diagnosis: the same
+     unique MUS, proven minimal, with a lazy session as the deletion
+     oracle (Session.solve refines to a fixpoint before answering Sat,
+     so the oracle itself exercises the abstraction loop) *)
+  let problem = overconstrained () in
+  let report = Explain.explain ~options:lazy_opts problem in
+  (match report.Explain.status with
+  | Explain.Explained { minimal; _ } ->
+    Alcotest.(check bool) "minimal" true minimal
+  | _ -> Alcotest.fail "expected Explained");
+  let ids = core_ids report.Explain.status in
+  let eager = Explain.explain problem in
+  Alcotest.(check (list string))
+    "same MUS as eager"
+    (List.sort compare (core_ids eager.Explain.status))
+    (List.sort compare ids);
+  let sess = Explain.Session.create ~options:lazy_opts problem in
+  let groups = Explain.Session.groups sess in
+  let index_of id =
+    let found = ref (-1) in
+    Array.iteri (fun i g -> if Encode.group_id g = id then found := i) groups;
+    if !found < 0 then Alcotest.fail ("group not found: " ^ id);
+    !found
+  in
+  let idxs = List.map index_of ids in
+  Alcotest.(check bool) "core unsat in a fresh lazy session" true
+    (Explain.Session.solve sess idxs = Solver.Unsat);
+  List.iter
+    (fun dropped ->
+      let rest = List.filter (fun i -> i <> dropped) idxs in
+      Alcotest.(check bool) "sat without one group" true
+        (Explain.Session.solve sess rest = Solver.Sat))
+    idxs
 
 let test_relaxations_restore_feasibility () =
   let problem = overconstrained () in
@@ -153,11 +201,11 @@ let test_relaxations_restore_feasibility () =
             if List.mem id relax_ids then None else Some id)
           all
       in
-      let solver, selector_of = fresh_session problem in
+      let assume, selector_of = fresh_session problem in
       Alcotest.(check bool)
         ("feasible after dropping " ^ String.concat "," relax_ids)
         true
-        (assume_groups solver selector_of keep = Solver.Sat))
+        (assume_groups assume selector_of keep = Solver.Sat))
     report.Explain.relaxations
 
 let test_parallel_shrink_agrees () =
@@ -185,11 +233,11 @@ let test_budget_expiry_mid_shrink () =
            false for this instance *)
         Alcotest.fail "empty core under budget starvation"
       | Explain.Explained { core; _ } ->
-        let solver, selector_of = fresh_session problem in
+        let assume, selector_of = fresh_session problem in
         Alcotest.(check bool)
           (Printf.sprintf "valid core at budget %d" max_conflicts)
           true
-          (assume_groups solver selector_of (List.map Encode.group_id core)
+          (assume_groups assume selector_of (List.map Encode.group_id core)
           = Solver.Unsat))
     [ 1; 5; 20; 100; 1000 ]
 
@@ -329,13 +377,13 @@ let prop_explained_cores_check =
       | Explain.Feasible | Explain.Unknown -> true
       | Explain.Explained { core; minimal } ->
         let ids = List.map Encode.group_id core in
-        let solver, selector_of = fresh_session problem in
-        assume_groups solver selector_of ids = Solver.Unsat
+        let assume, selector_of = fresh_session problem in
+        assume_groups assume selector_of ids = Solver.Unsat
         && ((not minimal)
            || List.for_all
                 (fun dropped ->
                   let rest = List.filter (fun id -> id <> dropped) ids in
-                  assume_groups solver selector_of rest = Solver.Sat)
+                  assume_groups assume selector_of rest = Solver.Sat)
                 ids))
 
 let suite =
@@ -345,6 +393,8 @@ let suite =
       test_explain_core_is_deadlines;
     Alcotest.test_case "core unsat in isolation" `Quick test_core_unsat_in_isolation;
     Alcotest.test_case "core minimality" `Quick test_core_minimality;
+    Alcotest.test_case "core minimality (lazy encoding)" `Quick
+      test_core_minimality_lazy;
     Alcotest.test_case "relaxations restore feasibility" `Quick
       test_relaxations_restore_feasibility;
     Alcotest.test_case "parallel shrink agrees" `Quick test_parallel_shrink_agrees;

@@ -32,4 +32,5 @@ let () =
         ("portfolio", Test_portfolio.suite);
          ("explain", Test_explain.suite);
          ("repair", Test_repair.suite);
+         ("cegar", Test_cegar.suite);
        ])

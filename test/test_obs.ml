@@ -434,7 +434,10 @@ let test_encode_family_metrics () =
   Obs.clear ();
   Obs.enable ~metrics:true ();
   let problem = Workloads.small ~seed:42 () in
-  ignore (Encode.encode problem Encode.Feasible);
+  (* eager mode explicitly: this test checks the per-family charging of
+     the full encoding, which TASKALLOC_LAZY=1 would otherwise defer *)
+  let options = { Encode.default_options with Encode.lazy_mode = false } in
+  ignore (Encode.encode ~options problem Encode.Feasible);
   Alcotest.(check int) "one encode counted" 1 (Obs.Metrics.get_counter "encode.count");
   (* one-hot selectors land as at-most-one PB constraints, not clauses *)
   Alcotest.(check bool) "alloc family PBs charged" true

@@ -105,6 +105,29 @@ let test_ecu_failure_warm () =
   | Repair.Repaired _ -> Alcotest.fail "second failure must be irreparable"
   | Repair.Unknown -> Alcotest.fail "unbudgeted repair cannot pause"
 
+let test_ecu_failure_warm_lazy () =
+  (* same scenario over a CEGAR session: the warm (assumption-only)
+     path must survive lazy encoding — refinement clauses are ordinary
+     input clauses, so disabling an ECU by assumption composes with the
+     solve/refine loop — and reach the same minimal repair *)
+  let problem = spread_problem () in
+  let options = { Encode.default_options with Encode.lazy_mode = true } in
+  let st = Repair.create ~options problem (placed problem [| 0; 1; 2 |]) in
+  let r = repaired (Repair.repair st (Repair.Ecu_failure { ecu = 2 })) in
+  Alcotest.(check bool) "warm under lazy encoding" true r.warm;
+  Alcotest.(check bool) "optimal" true r.optimal;
+  Alcotest.(check bool) "not degraded" false r.degraded;
+  Alcotest.(check int) "exactly the evicted task migrates" 1
+    (List.length r.migrations);
+  Alcotest.(check int) "analyzer clean" 0 r.check_violations;
+  let a = Repair.allocation st in
+  Alcotest.(check int) "t0 stays" 0 a.Model.task_ecu.(0);
+  Alcotest.(check int) "t1 stays" 1 a.Model.task_ecu.(1);
+  match Repair.repair st (Repair.Ecu_failure { ecu = 1 }) with
+  | Repair.Irreparable _ -> ()
+  | Repair.Repaired _ -> Alcotest.fail "second failure must be irreparable"
+  | Repair.Unknown -> Alcotest.fail "unbudgeted repair cannot pause"
+
 let test_mild_overrun_zero_migrations () =
   let problem = spread_problem () in
   let st = Repair.create problem (placed problem [| 0; 1; 2 |]) in
@@ -485,6 +508,8 @@ let suite =
   [
     Alcotest.test_case "ECU failure: warm minimal repair" `Quick
       test_ecu_failure_warm;
+    Alcotest.test_case "ECU failure: warm repair over lazy encoding" `Quick
+      test_ecu_failure_warm_lazy;
     Alcotest.test_case "mild overrun: zero migrations" `Quick
       test_mild_overrun_zero_migrations;
     Alcotest.test_case "fatal overrun: irreparable at uniform criticality"
