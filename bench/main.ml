@@ -420,31 +420,43 @@ let anytime ~quick () =
    against strategy mismatch, not hardware parallelism — on a
    multi-core machine the two effects compound. *)
 let portfolio ~quick () =
-  section "Portfolio: diversified parallel solving vs sequential";
+  section "Portfolio: parallel solving vs sequential (honest multicore gate)";
   let module Solver = Taskalloc_sat.Solver in
   let module Lit = Taskalloc_sat.Lit in
   let module Bv = Taskalloc_bv.Bv in
   let module Opt = Taskalloc_opt.Opt in
   let module Portfolio = Taskalloc_portfolio.Portfolio in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "  cores available: %d@." cores;
   let jobs_ladder = if quick then [ 1; 4 ] else [ 1; 2; 4 ] in
   let timeout = if quick then 30. else 180. in
   let rows = ref [] in
-  let record ~workload ~seed ~jobs ~wall ~seq_wall ~outcome ~winner ~cost =
-    let speedup = if jobs = 1 then None else Some (seq_wall /. wall) in
-    Fmt.pr "  %-10s seed=%-3d jobs=%d  %-12s %a%s%s@." workload seed jobs
-      outcome pp_time wall
+  let record ~workload ~strategy ~seed ~jobs ~wall ~seq_wall ~outcome ~winner
+      ~cost =
+    (* a wall-clock speedup claim is only honest when each worker had a
+       core to run on; oversubscribed rows keep the measurement but
+       record no speedup *)
+    let speedup =
+      if jobs > 1 && jobs <= cores then Some (seq_wall /. wall) else None
+    in
+    Fmt.pr "  %-10s %-9s seed=%-3d jobs=%d  %-12s %a%s%s@." workload strategy
+      seed jobs outcome pp_time wall
       (match cost with Some c -> Printf.sprintf "  cost=%d" c | None -> "")
       (match speedup with
       | Some s when winner >= 0 ->
         Printf.sprintf "  speedup=%.2fx (winner w%d)" s winner
       | Some s -> Printf.sprintf "  speedup=%.2fx" s
+      | None when jobs > 1 && jobs > cores ->
+        Printf.sprintf "  (no speedup claim: %d jobs on %d cores)" jobs cores
       | None -> "");
     rows :=
       Bench_json.Obj
         [
           ("workload", Bench_json.Str workload);
+          ("strategy", Bench_json.Str strategy);
           ("seed", Bench_json.Int seed);
           ("jobs", Bench_json.Int jobs);
+          ("cores_available", Bench_json.Int cores);
           ("outcome", Bench_json.Str outcome);
           ("winner", Bench_json.Int winner);
           ( "cost",
@@ -466,7 +478,8 @@ let portfolio ~quick () =
       if s > cur then Hashtbl.replace best workload s
     | _ -> ()
   in
-  (* Unsat-heavy: near-threshold random 3-SAT, raced at the SAT level. *)
+  (* Unsat-heavy: near-threshold random 3-SAT, raced at the SAT level
+     both as a diversified portfolio and as cube-and-conquer. *)
   let n, m, seeds =
     if quick then (120, 534, [ 1 ]) else (240, 1068, [ 1; 2; 4 ])
   in
@@ -475,19 +488,18 @@ let portfolio ~quick () =
   List.iter
     (fun seed ->
       let clauses = gen_3sat ~n ~m ~seed in
+      let build_sat _ =
+        let s = Solver.create () in
+        let vars = Array.init n (fun _ -> Solver.new_var s) in
+        add_clauses s vars clauses;
+        (s, s)
+      in
       let seq_wall = ref 0. in
       List.iter
         (fun jobs ->
           let budget = Taskalloc_sat.Budget.create ~timeout () in
           let o, wall =
-            time (fun () ->
-                Portfolio.solve ~jobs ~budget
-                  ~build:(fun _ ->
-                    let s = Solver.create () in
-                    let vars = Array.init n (fun _ -> Solver.new_var s) in
-                    add_clauses s vars clauses;
-                    (s, s))
-                  ())
+            time (fun () -> Portfolio.solve ~jobs ~budget ~build:build_sat ())
           in
           if jobs = 1 then seq_wall := wall;
           let outcome =
@@ -497,15 +509,37 @@ let portfolio ~quick () =
             | Solver.Unknown -> "unknown"
           in
           note_best "unsat3sat" ~jobs
-            (record ~workload:"unsat3sat" ~seed ~jobs ~wall ~seq_wall:!seq_wall
-               ~outcome ~winner:o.Portfolio.winner ~cost:None))
-        jobs_ladder)
+            (record ~workload:"unsat3sat" ~strategy:"portfolio" ~seed ~jobs
+               ~wall ~seq_wall:!seq_wall ~outcome ~winner:o.Portfolio.winner
+               ~cost:None))
+        jobs_ladder;
+      List.iter
+        (fun jobs ->
+          let budget = Taskalloc_sat.Budget.create ~timeout () in
+          let o, wall =
+            time (fun () ->
+                Portfolio.solve_cubes ~jobs ~budget
+                  ~build:(fun ~proof:_ w -> build_sat w)
+                  ())
+          in
+          let outcome =
+            match o.Portfolio.c_result with
+            | Solver.Sat -> "sat"
+            | Solver.Unsat -> "unsat"
+            | Solver.Unknown -> "unknown"
+          in
+          Fmt.pr "    (cubes: %d generated, %d refuted)@." o.Portfolio.n_cubes
+            o.Portfolio.unsat_cubes;
+          note_best "unsat3sat-cubes" ~jobs
+            (record ~workload:"unsat3sat" ~strategy:"cubes" ~seed ~jobs ~wall
+               ~seq_wall:!seq_wall ~outcome ~winner:o.Portfolio.c_winner
+               ~cost:None))
+        (List.filter (fun j -> j > 1) jobs_ladder))
     seeds;
   (* Optimization: minimize how many of the first k variables are true,
      subject to a near-threshold random 3-SAT formula.  Probes are
-     themselves hard refutations, so the same hedge applies, and the
-     workers additionally share base-variable clauses across different
-     bound probes. *)
+     themselves hard refutations, so the same hedge applies; the cube
+     strategy splits on the tracked (cost-bearing) variables. *)
   let n, k_track, seeds =
     if quick then (120, 20, [ 1 ]) else (200, 30, [ 7; 2; 4 ])
   in
@@ -540,22 +574,147 @@ let portfolio ~quick () =
           let outcome = Fmt.str "%a" Opt.pp_resolution any.Opt.resolution in
           let cost = Option.map fst any.Opt.incumbent in
           note_best "minvars" ~jobs
-            (record ~workload:"minvars" ~seed ~jobs ~wall ~seq_wall:!seq_wall
-               ~outcome ~winner:(-1) ~cost))
-        jobs_ladder)
+            (record ~workload:"minvars" ~strategy:"portfolio" ~seed ~jobs ~wall
+               ~seq_wall:!seq_wall ~outcome ~winner:(-1) ~cost))
+        jobs_ladder;
+      List.iter
+        (fun jobs ->
+          let budget = Opt.Budget.create ~timeout () in
+          let (any, _stats), wall =
+            time (fun () ->
+                Opt.minimize ~jobs ~parallel:`Cubes
+                  ~split_vars:(List.init k_track Fun.id) ~budget ~build
+                  ~on_sat:(fun _ c -> c) ())
+          in
+          let outcome = Fmt.str "%a" Opt.pp_resolution any.Opt.resolution in
+          let cost = Option.map fst any.Opt.incumbent in
+          note_best "minvars-cubes" ~jobs
+            (record ~workload:"minvars" ~strategy:"cubes" ~seed ~jobs ~wall
+               ~seq_wall:!seq_wall ~outcome ~winner:(-1) ~cost))
+        (List.filter (fun j -> j > 1) jobs_ladder))
     seeds;
+  (* Allocation: a >= 30-task instance through the whole stack, so the
+     recorded speedups cover the encoder's decision-hint cube path, not
+     just synthetic CNF. *)
+  let alloc_tasks = 30 in
+  let alloc_problem = Workloads.task_scaling ~n:alloc_tasks () in
+  Fmt.pr "  tasks30: %d-task allocation, objective max-util@." alloc_tasks;
+  let alloc_seq_wall = ref 0. in
+  let alloc_run ~strategy ~jobs =
+    let budget = Taskalloc_sat.Budget.create ~timeout () in
+    let outcome, wall =
+      time (fun () ->
+          Allocator.solve
+            ~parallel:(if strategy = "cubes" then `Cubes else `Portfolio)
+            ~jobs ~budget ~fallback:false alloc_problem Encode.Min_max_util)
+    in
+    if jobs = 1 then alloc_seq_wall := wall;
+    let outcome_s, cost =
+      match outcome with
+      | Allocator.Solved r ->
+        ( (match r.Allocator.quality with
+          | Allocator.Optimal -> "optimal"
+          | Allocator.Anytime _ -> "anytime"
+          | Allocator.Heuristic _ -> "heuristic"),
+          Some r.Allocator.cost )
+      | Allocator.Infeasible -> ("infeasible", None)
+      | Allocator.Unknown -> ("unknown", None)
+    in
+    note_best
+      (if strategy = "cubes" then "tasks30-cubes" else "tasks30")
+      ~jobs
+      (record ~workload:"tasks30" ~strategy ~seed:42 ~jobs ~wall
+         ~seq_wall:!alloc_seq_wall ~outcome:outcome_s ~winner:(-1) ~cost)
+  in
+  List.iter (fun jobs -> alloc_run ~strategy:"portfolio" ~jobs) jobs_ladder;
+  List.iter
+    (fun jobs -> alloc_run ~strategy:"cubes" ~jobs)
+    (List.filter (fun j -> j > 1) jobs_ladder);
+  (* Inprocessing on the paper's workload: formula-size reduction from
+     one round of passes on the encoded instance, and the end-to-end
+     conflict count with the scheduler off vs on. *)
+  let t43 = Workloads.tindell43 () in
+  let enc = Encode.encode t43 (Encode.Min_trt 0) in
+  let s43 = Bv.solver (Encode.context enc) in
+  let clauses_before = Solver.n_clauses s43 in
+  let changes = Taskalloc_sat.Inprocess.run_passes s43 in
+  let clauses_after = Solver.n_clauses s43 in
+  Fmt.pr
+    "  tindell43 inprocess passes: %d clauses -> %d (%d changes, %.1f%% \
+     smaller)@."
+    clauses_before clauses_after changes
+    (100.
+    *. float_of_int (clauses_before - clauses_after)
+    /. float_of_int (max 1 clauses_before));
+  rows :=
+    Bench_json.Obj
+      [
+        ("workload", Bench_json.Str "tindell43");
+        ("strategy", Bench_json.Str "inprocess-passes");
+        ("cores_available", Bench_json.Int cores);
+        ("clauses_before", Bench_json.Int clauses_before);
+        ("clauses_after", Bench_json.Int clauses_after);
+        ("pass_changes", Bench_json.Int changes);
+      ]
+    :: !rows;
+  let solve_t43 inprocess =
+    let options =
+      { Encode.default_options with Encode.inprocess = Some inprocess }
+    in
+    let budget = Taskalloc_sat.Budget.create ~timeout () in
+    time (fun () ->
+        Allocator.solve ~options ~budget ~fallback:false t43 (Encode.Min_trt 0))
+  in
+  let conflicts_of = function
+    | Allocator.Solved r -> Some r.Allocator.stats.Opt.conflicts
+    | Allocator.Infeasible | Allocator.Unknown -> None
+  in
+  let r_off, wall_off = solve_t43 false in
+  let r_on, wall_on = solve_t43 true in
+  (match (conflicts_of r_off, conflicts_of r_on) with
+  | Some off, Some on ->
+    Fmt.pr
+      "  tindell43 end-to-end: conflicts %d -> %d with inprocessing (%a -> \
+       %a)@."
+      off on pp_time wall_off pp_time wall_on;
+    List.iter
+      (fun (label, conflicts, wall) ->
+        rows :=
+          Bench_json.Obj
+            [
+              ("workload", Bench_json.Str "tindell43");
+              ("strategy", Bench_json.Str label);
+              ("cores_available", Bench_json.Int cores);
+              ("conflicts", Bench_json.Int conflicts);
+              ("wall_s", Bench_json.Float wall);
+            ]
+          :: !rows)
+      [
+        ("inprocess-off", off, wall_off); ("inprocess-on", on, wall_on);
+      ]
+  | _ -> Fmt.pr "  tindell43 end-to-end: budget expired, no conflict totals@.");
   let path =
     Bench_json.write ~experiment:"portfolio" (Bench_json.List (List.rev !rows))
   in
   Hashtbl.iter
-    (fun w s -> Fmt.pr "  best speedup %-10s %.2fx at 4 workers@." w s)
+    (fun w s -> Fmt.pr "  best speedup %-14s %.2fx at 4 workers@." w s)
     best;
-  if not quick then
+  (* The gate: >= 2x at 4 workers is only a meaningful demand when 4
+     cores exist to run them; on smaller machines it reports skipped
+     rather than faking a pass or a failure. *)
+  if cores >= 4 then
     Hashtbl.iter
       (fun w s ->
-        if s < 1.5 then
-          Fmt.pr "  shape check: VIOLATED: %s best speedup %.2fx < 1.5x@." w s)
-      best;
+        if s < 2.0 then
+          Fmt.pr "  gate: VIOLATED: %s best speedup %.2fx < 2x at 4 workers@."
+            w s
+        else Fmt.pr "  gate: %s %.2fx >= 2x at 4 workers@." w s)
+      best
+  else
+    Fmt.pr
+      "  gate: skipped (needs >= 4 cores for the 2x-at-4-workers check; this \
+       machine has %d)@."
+      cores;
   Fmt.pr "  wrote %s (%d rows)@." path (List.length !rows)
 
 (* ---- explanation engine: MUS extraction and incremental what-if ---------- *)

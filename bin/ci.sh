@@ -153,6 +153,60 @@ out=$(dune exec bin/taskalloc.exe -- fuzz --iters 60 --seed 2 --jobs 2)
 echo "$out" | grep -q " 0 failures" || {
     echo "FAIL: parallel fuzz campaign found discrepancies"; echo "$out"; exit 1; }
 
+# ---- cube-and-conquer + inprocessing ------------------------------------
+
+# cube-and-conquer over 2 domains on an allocation instance: the
+# lookahead splitter partitions on the encoder's decision hints and the
+# optimum must match the sequential answer
+echo "== CLI smoke: solve with --jobs 2 --parallel cubes =="
+trace=$(mktemp /tmp/ci-cubes-XXXXXX.json)
+out=$(dune exec bin/taskalloc.exe -- solve --workload small --jobs 2 \
+    --parallel cubes --trace "$trace")
+echo "$out" | grep -q "resolution: optimal" || {
+    echo "FAIL: cube solve not optimal"; echo "$out"; exit 1; }
+grep -q '"cubes\.' "$trace" || {
+    echo "FAIL: trace file missing cube spans"; exit 1; }
+rm -f "$trace" "${trace%.json}.jsonl"
+
+# all-cubes-Unsat certification: the per-cube DRUP traces are stitched
+# into one refutation of the input, which the checker must accept
+# (PHP(5,4); tiny instances may be decided outright by the presolve,
+# which still yields a verifiable trace)
+echo "== CLI smoke: cubes proof round-trip =="
+cnf=$(mktemp /tmp/ci-php54-XXXXXX.cnf)
+proof=$(mktemp /tmp/ci-php54-XXXXXX.drup)
+{
+    echo "p cnf 20 45"
+    for p in 0 1 2 3 4; do
+        echo "$((4*p+1)) $((4*p+2)) $((4*p+3)) $((4*p+4)) 0"
+    done
+    for h in 1 2 3 4; do
+        for p1 in 0 1 2 3 4; do
+            for p2 in 0 1 2 3 4; do
+                if [ "$p2" -gt "$p1" ]; then
+                    echo "-$((4*p1+h)) -$((4*p2+h)) 0"
+                fi
+            done
+        done
+    done
+} > "$cnf"
+rc=0
+dune exec bin/dimacs_solve.exe -- --jobs 2 --parallel cubes --proof "$proof" "$cnf" \
+    > /dev/null || rc=$?
+[ "$rc" -eq 20 ] || { echo "FAIL: expected Unsat (exit 20), got $rc"; exit 1; }
+out=$(dune exec bin/dimacs_solve.exe -- --check "$proof" "$cnf")
+echo "$out" | grep -q "s VERIFIED" || {
+    echo "FAIL: stitched cube proof did not verify"; exit 1; }
+rm -f "$cnf" "$proof"
+
+# inprocessing differential fuzz through the CLI: with and without the
+# passes every verdict/optimum must agree and inprocessed Unsat traces
+# must certify
+echo "== CLI smoke: fuzz --inprocess =="
+out=$(dune exec bin/taskalloc.exe -- fuzz --inprocess --iters 15 --seed 7)
+echo "$out" | grep -q " 0 failures" || {
+    echo "FAIL: inprocessing campaign found discrepancies"; echo "$out"; exit 1; }
+
 # ---- infeasibility explanation ------------------------------------------
 
 # the over-constrained example must be diagnosed with a named deadline
@@ -235,8 +289,10 @@ echo "$out" | grep -q " 0 failures" || {
 echo "== CLI smoke: --trace/--metrics on a portfolio solve =="
 trace=$(mktemp /tmp/ci-trace-XXXXXX.json)
 metrics=$(mktemp /tmp/ci-metrics-XXXXXX.json)
+# --parallel auto picks cube-and-conquer on allocation problems, so pin
+# the portfolio strategy: this smoke asserts per-worker portfolio spans
 out=$(dune exec bin/taskalloc.exe -- solve --workload small --jobs 2 \
-    --trace "$trace" --metrics "$metrics")
+    --parallel portfolio --trace "$trace" --metrics "$metrics")
 echo "$out" | grep -q "resolution: optimal" || {
     echo "FAIL: traced solve not optimal"; exit 1; }
 grep -q '"traceEvents"' "$trace" || {
@@ -257,8 +313,19 @@ rm -f "$trace" "${trace%.json}.jsonl" "$metrics"
 # instances (generate BENCH_portfolio.json / BENCH_explain.json;
 # speedups are not meaningful at this scale, only that the harnesses
 # run clean)
-echo "== bench smoke: quick portfolio =="
-dune exec bench/main.exe -- quick portfolio > /dev/null
+# the multicore gate is honest: it must state the core count and either
+# enforce the 2x-at-4-workers bound (>= 4 cores) or say it skipped
+echo "== bench smoke: quick portfolio (multicore gate) =="
+out=$(dune exec bench/main.exe -- quick portfolio)
+echo "$out" | grep -q "cores available:" || {
+    echo "FAIL: portfolio bench did not report the core count"; exit 1; }
+echo "$out" | grep -q "gate:" || {
+    echo "FAIL: portfolio bench did not print a gate verdict"; echo "$out"; exit 1; }
+if echo "$out" | grep -q "gate: VIOLATED"; then
+    echo "FAIL: multicore speedup gate violated"; echo "$out"; exit 1
+fi
+[ -s BENCH_portfolio.json ] || {
+    echo "FAIL: BENCH_portfolio.json not written"; exit 1; }
 
 echo "== bench smoke: quick explain =="
 dune exec bench/main.exe -- quick explain > /dev/null
@@ -303,5 +370,10 @@ echo "$out" | grep -q "shape check: .*OK" || {
 # executable directly)
 echo "== tier-1 under TASKALLOC_LAZY=1 =="
 TASKALLOC_LAZY=1 dune exec test/test_main.exe > /dev/null
+
+# and once more with CDCL inprocessing on everywhere: vivification,
+# subsumption and BVE must be invisible to every tier-1 property
+echo "== tier-1 under TASKALLOC_INPROCESS=1 =="
+TASKALLOC_INPROCESS=1 dune exec test/test_main.exe > /dev/null
 
 echo "CI OK"

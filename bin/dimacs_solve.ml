@@ -1,6 +1,7 @@
 (* Standalone DIMACS CNF solver built on the taskalloc CDCL engine.
 
-   Usage:  dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats]
+   Usage:  dimacs_solve [--proof FILE [--binary]] [--jobs N|auto]
+                        [--parallel portfolio|cubes|auto] [--stats]
                         [--assume FILE] FILE.cnf
            dimacs_solve --check PROOF FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
@@ -14,14 +15,28 @@
    are ignored).  An Unsat answer then prints the failed-assumption
    core as a "c core" line: a subset of the assumptions that is already
    jointly inconsistent with the formula (empty when the formula is
-   unsatisfiable outright).  Assumption solving is sequential and
-   incompatible with --jobs and --proof.
+   unsatisfiable outright).  Assumptions compose with --jobs: every
+   portfolio worker solves under the same assumptions (their learnt
+   clauses mention the assumption negations explicitly, so sharing
+   stays sound) and the winner's core is reported.  They remain
+   incompatible with --proof (a trace under assumptions refutes the
+   formula plus the assumptions, not the formula the checker reads)
+   and with --parallel cubes (the cube partition replaces the
+   assumption mechanism).
 
-   --jobs N races N diversified solvers on OCaml domains; the first
-   conclusive worker wins.  With --proof, every worker records its own
-   trace and clause import is disabled for them, so the winning trace
-   stays self-contained and still verifies.  --stats prints learnt-DB
-   and LBD statistics (per worker in portfolio mode). *)
+   --jobs N ("auto" resolves to Domain.recommended_domain_count) runs
+   N workers on OCaml domains.  --parallel picks the strategy:
+   "portfolio" (the default, and what "auto" means for a raw CNF,
+   which carries no structural splitting hints) races diversified
+   solvers, first conclusive worker wins; "cubes" partitions the
+   instance by lookahead over the VSIDS leaders and drains the cube
+   queue with work stealing.  With --proof, portfolio workers record
+   self-contained traces (clause import is disabled for them) and the
+   winning trace verifies; in cube mode the per-cube refutations are
+   tagged with their cube and stitched into one trace ending in the
+   empty clause, which verifies against the original formula.
+   --stats prints learnt-DB and LBD statistics (per worker in
+   portfolio mode, per cube in cube mode). *)
 
 open Taskalloc_sat
 module Proof = Taskalloc_proof.Proof
@@ -30,8 +45,9 @@ module Obs = Taskalloc_obs.Obs
 
 let usage () =
   prerr_endline
-    "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N] [--stats] \
+    "usage: dimacs_solve [--proof FILE [--binary]] [--jobs N|auto] [--stats] \
      [--assume FILE]\n\
+    \                    [--parallel portfolio|cubes|auto]\n\
     \                    [--trace FILE] [--metrics FILE] [--progress] FILE.cnf\n\
     \       dimacs_solve --check PROOF [--binary] FILE.cnf";
   exit 2
@@ -41,6 +57,7 @@ type opts = {
   mutable check : string option;
   mutable binary : bool;
   mutable jobs : int;
+  mutable parallel : [ `Auto | `Portfolio | `Cubes ];
   mutable stats : bool;
   mutable assume : string option;
   mutable cnf : string option;
@@ -51,9 +68,9 @@ type opts = {
 
 let parse_args () =
   let o =
-    { proof = None; check = None; binary = false; jobs = 1; stats = false;
-      assume = None; cnf = None; trace = None; metrics = None;
-      progress = false }
+    { proof = None; check = None; binary = false; jobs = 1;
+      parallel = `Auto; stats = false; assume = None; cnf = None;
+      trace = None; metrics = None; progress = false }
   in
   let rec go = function
     | [] -> ()
@@ -69,11 +86,20 @@ let parse_args () =
     | "--binary" :: rest ->
       o.binary <- true;
       go rest
+    | "--jobs" :: "auto" :: rest ->
+      o.jobs <- Domain.recommended_domain_count ();
+      go rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
         o.jobs <- n;
         go rest
+      | _ -> usage ())
+    | "--parallel" :: p :: rest -> (
+      match p with
+      | "auto" -> o.parallel <- `Auto; go rest
+      | "portfolio" -> o.parallel <- `Portfolio; go rest
+      | "cubes" -> o.parallel <- `Cubes; go rest
       | _ -> usage ())
     | "--stats" :: rest ->
       o.stats <- true;
@@ -94,8 +120,18 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   if o.proof <> None && o.check <> None then usage ();
-  if o.assume <> None && (o.jobs > 1 || o.proof <> None || o.check <> None) then begin
-    prerr_endline "dimacs_solve: --assume is incompatible with --jobs, --proof and --check";
+  (* a DRUP trace recorded under assumptions refutes F plus the
+     assumptions, not the formula F the checker reads, so it would not
+     verify; cube mode replaces the assumption mechanism with the cube
+     partition (cubes ARE the per-worker assumptions) *)
+  if o.assume <> None && (o.proof <> None || o.check <> None) then begin
+    prerr_endline "dimacs_solve: --assume is incompatible with --proof and --check";
+    exit 2
+  end;
+  if o.assume <> None && o.parallel = `Cubes then begin
+    prerr_endline
+      "dimacs_solve: --assume requires --parallel portfolio (cube mode uses \
+       the cube partition as its assumptions)";
     exit 2
   end;
   o
@@ -204,38 +240,58 @@ let print_solver_stats ~prefix s =
     prefix (Solver.n_learnt_total s) live glue avg_lbd max_lbd
     (Solver.n_reduce_dbs s) (Solver.n_imported s)
 
-let solve_assume cnf_path assume_path stats =
-  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
-  let assumptions = parse_assumptions ~num_vars:cnf.Dimacs.num_vars assume_path in
+let print_model cnf solver =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "v";
+  for v = 0 to cnf.Dimacs.num_vars - 1 do
+    let value = Solver.model_value solver (Lit.of_var v) in
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
+  done;
+  Buffer.add_string buf " 0";
+  print_endline (Buffer.contents buf)
+
+let build_solver cnf ~proof _w =
   let solver = Solver.create () in
+  Solver.set_proof_sink solver proof;
   for _ = 1 to cnf.Dimacs.num_vars do
     ignore (Solver.new_var solver)
   done;
   List.iter
     (fun c -> Solver.add_clause solver (List.map Lit.of_dimacs c))
     cnf.Dimacs.clauses;
+  solver
+
+(* Assumption solving rides the same portfolio as plain solving:
+   every worker assumes the same literals ([Portfolio.solve]'s
+   contract makes clause sharing sound under them) and the winner's
+   failed-assumption core is the one reported.  jobs = 1 is the plain
+   sequential solver, bit for bit. *)
+let solve_assume cnf_path assume_path jobs stats =
+  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
+  let assumptions = parse_assumptions ~num_vars:cnf.Dimacs.num_vars assume_path in
   Printf.printf "c %d assumptions from %s\n" (Array.length assumptions) assume_path;
-  match
+  let build w =
+    let s = build_solver cnf ~proof:None w in
+    (s, s)
+  in
+  let outcome =
     Obs.span "solve" (fun () ->
-        Solver.solve ?budget:(obs_budget ())
-          ~assumptions:(Array.to_list assumptions) solver)
-  with
-  | Solver.Sat ->
+        Portfolio.solve ?budget:(obs_budget ()) ~jobs
+          ~assumptions:(Array.to_list assumptions) ~build ())
+  in
+  if jobs > 1 then
+    Printf.printf "c portfolio: %d workers, winner=%d\n" jobs
+      outcome.Portfolio.winner;
+  match (outcome.Portfolio.result, outcome.Portfolio.payload) with
+  | Solver.Sat, Some solver ->
     print_endline "s SATISFIABLE";
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf "v";
-    for v = 0 to cnf.Dimacs.num_vars - 1 do
-      let value = Solver.model_value solver (Lit.of_var v) in
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
-    done;
-    Buffer.add_string buf " 0";
-    print_endline (Buffer.contents buf);
+    print_model cnf solver;
     if stats then begin
       print_solver_stats ~prefix:"" solver;
       print_obs_stats ()
     end
-  | Solver.Unsat ->
+  | Solver.Unsat, Some solver ->
     let core = Solver.unsat_core solver in
     if stats then begin
       print_solver_stats ~prefix:"" solver;
@@ -252,12 +308,19 @@ let solve_assume cnf_path assume_path stats =
     Buffer.add_string buf " 0";
     print_endline (Buffer.contents buf);
     exit 20
-  | Solver.Unknown ->
+  | _ ->
     print_endline "s UNKNOWN";
     exit 30
 
-let solve cnf_path proof_path binary jobs stats =
-  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
+let write_proof path binary trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if binary then Proof.write_binary oc trace else Proof.write_text oc trace);
+  Printf.printf "c proof written to %s\n" path
+
+let solve_portfolio cnf proof_path binary jobs stats =
   let build _i =
     let solver = Solver.create () in
     let trace =
@@ -288,15 +351,7 @@ let solve cnf_path proof_path binary jobs stats =
   match (outcome.Portfolio.result, outcome.Portfolio.payload) with
   | Solver.Sat, Some (solver, _) ->
     print_endline "s SATISFIABLE";
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf "v";
-    for v = 0 to cnf.Dimacs.num_vars - 1 do
-      let value = Solver.model_value solver (Lit.of_var v) in
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int (if value then v + 1 else -(v + 1)))
-    done;
-    Buffer.add_string buf " 0";
-    print_endline (Buffer.contents buf);
+    print_model cnf solver;
     Printf.printf "c conflicts=%d decisions=%d propagations=%d\n"
       (Solver.n_conflicts solver) (Solver.n_decisions solver)
       (Solver.n_propagations solver);
@@ -307,14 +362,7 @@ let solve cnf_path proof_path binary jobs stats =
   | Solver.Unsat, Some (solver, trace) ->
     (match proof_path with
     | None -> ()
-    | Some path ->
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          if binary then Proof.write_binary oc (trace ())
-          else Proof.write_text oc (trace ()));
-      Printf.printf "c proof written to %s\n" path);
+    | Some path -> write_proof path binary (trace ()));
     if stats then begin
       print_solver_stats ~prefix:"" solver;
       print_obs_stats ()
@@ -324,6 +372,69 @@ let solve cnf_path proof_path binary jobs stats =
   | _ ->
     print_endline "s UNKNOWN";
     exit 30
+
+(* Cube-and-conquer: lookahead over the VSIDS leaders partitions the
+   instance, workers drain the cube queue with work stealing.  With
+   --proof the per-cube refutations arrive tagged with their negated
+   cube and the final merge tree closes the trace to the empty clause;
+   the sink below only collects (Portfolio serializes calls), so the
+   stitched trace verifies against the original formula. *)
+let solve_cubes cnf proof_path binary jobs stats =
+  let steps = ref [] in
+  let sink =
+    match proof_path with
+    | None -> None
+    | Some _ -> Some (fun st -> steps := Proof.of_solver_step st :: !steps)
+  in
+  let outcome =
+    Obs.span "solve" (fun () ->
+        Portfolio.solve_cubes ?budget:(obs_budget ()) ~jobs ?proof:sink
+          ~build:(fun ~proof w ->
+            let s = build_solver cnf ~proof w in
+            (s, s))
+          ())
+  in
+  Printf.printf "c cubes: %d generated, %d refuted, winner=%d\n"
+    outcome.Portfolio.n_cubes outcome.Portfolio.unsat_cubes
+    outcome.Portfolio.c_winner;
+  if stats then
+    List.iter
+      (fun (c : Portfolio.cube_stats) ->
+        Printf.printf "c cube %d: worker=%d %s conflicts=%d%s\n"
+          c.Portfolio.cube_index c.Portfolio.cube_worker
+          (match c.Portfolio.cube_result with
+          | Solver.Sat -> "SAT"
+          | Solver.Unsat -> "UNSAT"
+          | Solver.Unknown -> "UNKNOWN")
+          c.Portfolio.cube_conflicts
+          (if c.Portfolio.cube_stolen then " (stolen)" else ""))
+      outcome.Portfolio.cube_details;
+  match (outcome.Portfolio.c_result, outcome.Portfolio.c_payload) with
+  | Solver.Sat, Some solver ->
+    print_endline "s SATISFIABLE";
+    print_model cnf solver;
+    if stats then begin
+      print_solver_stats ~prefix:"" solver;
+      print_obs_stats ()
+    end
+  | Solver.Unsat, _ ->
+    (match proof_path with
+    | None -> ()
+    | Some path -> write_proof path binary (List.rev !steps));
+    if stats then print_obs_stats ();
+    print_endline "s UNSATISFIABLE";
+    exit 20
+  | _ ->
+    print_endline "s UNKNOWN";
+    exit 30
+
+let solve cnf_path proof_path binary jobs parallel stats =
+  let cnf = Obs.span "parse" (fun () -> Dimacs.parse_file cnf_path) in
+  match parallel with
+  (* a raw CNF exports no structural decision hints, so auto means the
+     portfolio (mirroring Allocator's rule: cubes only on hints) *)
+  | `Auto | `Portfolio -> solve_portfolio cnf proof_path binary jobs stats
+  | `Cubes -> solve_cubes cnf proof_path binary jobs stats
 
 let check proof_path cnf_path binary =
   let cnf = Dimacs.parse_file cnf_path in
@@ -340,6 +451,8 @@ let () =
   obs_setup o;
   match (o.cnf, o.check, o.assume) with
   | Some cnf_path, Some proof_path, None -> check proof_path cnf_path o.binary
-  | Some cnf_path, None, Some assume_path -> solve_assume cnf_path assume_path o.stats
-  | Some cnf_path, None, None -> solve cnf_path o.proof o.binary o.jobs o.stats
+  | Some cnf_path, None, Some assume_path ->
+    solve_assume cnf_path assume_path o.jobs o.stats
+  | Some cnf_path, None, None ->
+    solve cnf_path o.proof o.binary o.jobs o.parallel o.stats
   | _ -> usage ()

@@ -134,14 +134,38 @@ let options_of_lazy = function
   | Some lazy_mode -> { Encode.default_options with Encode.lazy_mode }
 
 let jobs_arg =
+  let jobs_conv =
+    let parse = function
+      | "auto" -> Ok (Domain.recommended_domain_count ())
+      | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error "expected a positive integer or 'auto'")
+    in
+    Arg.conv' ~docv:"N" (parse, Fmt.int)
+  in
   Arg.(
     value
-    & opt int 1
+    & opt jobs_conv 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Race N diversified solver workers as a parallel portfolio (on \
-           OCaml domains).  1 (the default) is exactly the sequential \
-           solver.")
+          "Run N parallel solver workers (on OCaml domains); 'auto' \
+           resolves to the machine's recommended domain count.  1 (the \
+           default) is exactly the sequential solver.")
+
+let parallel_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("auto", `Auto); ("portfolio", `Portfolio); ("cubes", `Cubes) ])
+        `Auto
+    & info [ "parallel" ] ~docv:"STRATEGY"
+        ~doc:
+          "Parallel strategy when $(b,--jobs) exceeds 1: 'portfolio' races \
+           diversified copies of the whole search, 'cubes' partitions the \
+           search space by cube-and-conquer over the encoder's allocation \
+           selectors, and 'auto' (the default) picks cubes whenever the \
+           encoder exports decision hints.")
 
 (* -- observability ------------------------------------------------------ *)
 
@@ -247,7 +271,7 @@ let heuristic_objective = function
   | `Max_util -> Heuristics.Max_util
 
 let solve_cmd =
-  let run file workload seed objective mode lazy_mode jobs timeout
+  let run file workload seed objective mode lazy_mode jobs parallel timeout
       max_conflicts gap_tol no_fallback trace metrics progress =
     obs_setup ~trace ~metrics ~progress;
     let problem = lookup_workload ?file workload seed in
@@ -263,7 +287,7 @@ let solve_cmd =
       budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
     in
     match
-      Allocator.solve ~options ~mode ~jobs ?budget ~gap_tol
+      Allocator.solve ~options ~mode ~jobs ~parallel ?budget ~gap_tol
         ~fallback:(not no_fallback) problem (to_objective problem objective)
     with
     | Allocator.Infeasible ->
@@ -292,8 +316,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Optimally allocate a named workload or problem file")
     Term.(
       const run $ file_arg $ workload_arg $ seed_arg $ objective_arg $ mode_arg
-      $ lazy_arg $ jobs_arg $ timeout_arg $ max_conflicts_arg $ gap_arg
-      $ no_fallback_arg $ trace_arg $ metrics_arg $ progress_arg)
+      $ lazy_arg $ jobs_arg $ parallel_arg $ timeout_arg $ max_conflicts_arg
+      $ gap_arg $ no_fallback_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 let check_cmd =
   let run workload seed =
@@ -435,9 +459,16 @@ let dump_cmd =
     Term.(const run $ workload_arg $ seed_arg)
 
 let fuzz_cmd =
-  let run iters seed max_vars jobs verbose disruptions lazy_diff =
+  let run iters seed max_vars jobs verbose disruptions lazy_diff inprocess =
     let log = if verbose then fun s -> Fmt.pr "c %s@." s else ignore in
-    if lazy_diff then begin
+    if inprocess then begin
+      let report =
+        Taskalloc_fuzz.Fuzz.run_inprocess ~max_vars ~jobs ~log ~iters ~seed ()
+      in
+      Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_inprocess_report report;
+      if report.Taskalloc_fuzz.Fuzz.i_failures <> [] then exit 1
+    end
+    else if lazy_diff then begin
       let report = Taskalloc_fuzz.Fuzz.run_lazy ~jobs ~log ~iters ~seed () in
       Fmt.pr "%a@?" Taskalloc_fuzz.Fuzz.pp_lazy_report report;
       if report.Taskalloc_fuzz.Fuzz.l_failures <> [] then exit 1
@@ -502,6 +533,19 @@ let fuzz_cmd =
              sides.  With this flag, $(b,--jobs) spreads cases over domains \
              and $(b,--max-vars) is ignored.")
   in
+  let inprocess_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "inprocess" ]
+          ~doc:
+            "Differential inprocessing campaign instead: every case is \
+             solved with and without the CDCL inprocessing passes \
+             (vivification, subsumption, bounded variable elimination), \
+             requiring identical verdicts and optima, DRUP-certified Unsat \
+             answers with the passes active, and analyzer-clean \
+             allocations.  $(b,--jobs) spreads cases over domains.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -510,7 +554,7 @@ let fuzz_cmd =
           discrepancy and prints a minimized reproducer")
     Term.(
       const run $ iters_arg $ fuzz_seed_arg $ max_vars_arg $ jobs_arg
-      $ verbose_arg $ disruptions_arg $ lazy_diff_arg)
+      $ verbose_arg $ disruptions_arg $ lazy_diff_arg $ inprocess_arg)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
@@ -555,9 +599,18 @@ let explain_cmd =
       $ progress_arg)
 
 let whatif_cmd =
-  let run file workload seed timeout max_conflicts queries json trace metrics
-      progress =
+  let run file workload seed jobs timeout max_conflicts queries json trace
+      metrics progress =
     obs_setup ~trace ~metrics ~progress;
+    (* one live incremental session is inherently sequential: queries
+       reuse each other's learnt clauses and cached comparators, which a
+       raced copy could not; accept --jobs for interface consistency but
+       say why it cannot help here *)
+    if jobs > 1 then
+      Fmt.epr
+        "note: what-if queries share one live incremental solver session and \
+         run sequentially; --jobs %d has no effect@."
+        jobs;
     let problem = lookup_workload ?file workload seed in
     let module W = Taskalloc_explain.Explain.Whatif in
     (* Parse everything up front so a typo in query 3 does not waste the
@@ -626,14 +679,14 @@ let whatif_cmd =
           deadline/placement/relaxation deltas on one live solver session \
           without re-encoding")
     Term.(
-      const run $ file_arg $ workload_arg $ seed_arg $ timeout_arg
+      const run $ file_arg $ workload_arg $ seed_arg $ jobs_arg $ timeout_arg
       $ max_conflicts_arg $ query_arg $ json_arg $ trace_arg $ metrics_arg
       $ progress_arg)
 
 let repair_cmd =
   let module Repair = Taskalloc_repair.Repair in
   let module Scenario = Taskalloc_repair.Scenario in
-  let run file workload seed scenario events no_shed explain timeout
+  let run file workload seed jobs scenario events no_shed explain timeout
       max_conflicts json trace metrics progress =
     obs_setup ~trace ~metrics ~progress;
     (* the disruption stream: a scenario file, inline --event strings
@@ -680,8 +733,10 @@ let repair_cmd =
     let budget () =
       budget_of ~obs:(Obs.on () || progress) ~timeout ~max_conflicts ()
     in
+    (* --jobs parallelizes the initial allocation solve; the repair
+       loop itself runs on one warm incremental session per event *)
     let alloc =
-      match Allocator.find_feasible ?budget:(budget ()) problem with
+      match Allocator.find_feasible ~jobs ?budget:(budget ()) problem with
       | Allocator.Solved r -> r.Allocator.allocation
       | Allocator.Infeasible ->
         Fmt.epr "initial problem is INFEASIBLE: nothing to keep running@.";
@@ -786,9 +841,9 @@ let repair_cmd =
           tasks only when nothing else fits; exits 0 when every event was \
           repaired, 1 on an irreparable event, 4 when a budget expired")
     Term.(
-      const run $ file_arg $ workload_arg $ seed_arg $ scenario_arg $ event_arg
-      $ no_shed_arg $ explain_arg $ timeout_arg $ max_conflicts_arg $ json_arg
-      $ trace_arg $ metrics_arg $ progress_arg)
+      const run $ file_arg $ workload_arg $ seed_arg $ jobs_arg $ scenario_arg
+      $ event_arg $ no_shed_arg $ explain_arg $ timeout_arg $ max_conflicts_arg
+      $ json_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in

@@ -21,7 +21,11 @@ type t
 
 type bit = Circuits.bit
 
-val create : ?mode:Pb.mode -> unit -> ctx
+(** [create ?mode ?inprocess ()] builds a fresh context.  [inprocess]
+    forces CDCL inprocessing on or off for this solver; when absent
+    the [TASKALLOC_INPROCESS] environment variable decides
+    ({!Taskalloc_sat.Inprocess.maybe_install_from_env}). *)
+val create : ?mode:Pb.mode -> ?inprocess:bool -> unit -> ctx
 val solver : ctx -> Taskalloc_sat.Solver.t
 val upper_bound : t -> int
 

@@ -70,9 +70,9 @@ let heuristic_objective : Encode.objective -> Heuristics.objective = function
   | Encode.Min_max_util | Encode.Feasible -> Heuristics.Max_util
 
 let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
-    ?(jobs = 1) ?max_conflicts ?budget ?(gap_tol = 0.) ?(validate = true)
-    ?(fallback = true) (problem : Model.problem) (objective : Encode.objective)
-    : outcome =
+    ?(jobs = 1) ?(parallel = `Auto) ?max_conflicts ?budget ?(gap_tol = 0.)
+    ?(validate = true) ?(fallback = true) (problem : Model.problem)
+    (objective : Encode.objective) : outcome =
   let last_size = ref (0, 0) in
   (* thread the encoding through on_sat so extraction sees the matching
      selector handles even in Fresh mode, where every probe re-encodes.
@@ -120,12 +120,39 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
       n
     | None -> 0
   in
+  (* Parallel strategy: cube-and-conquer splits on the allocation
+     selectors (the natural "task i on ECU j" decision structure), so
+     [`Auto] picks cubes whenever the encoder exports hints and there
+     is real parallelism to exploit, and falls back to the diversified
+     portfolio otherwise (e.g. every task pinned to one ECU). *)
+  let use_cubes, split_vars =
+    if jobs <= 1 || parallel = `Portfolio then (false, None)
+    else begin
+      (* one extra encode to read the decision structure; it goes
+         through [build] so size bookkeeping stays consistent *)
+      let ctx, _ = build () in
+      let hints =
+        match enc_of ctx with
+        | Some enc -> Encode.decision_hints enc
+        | None -> []
+      in
+      match (parallel, hints) with
+      | `Auto, [] -> (false, None)
+      | (`Auto | `Cubes), _ -> (true, (if hints = [] then None else Some hints))
+      | `Portfolio, _ -> (false, None)
+    end
+  in
   let anytime, stats =
     Obs.span "solve"
-      ~attrs:[ ("jobs", string_of_int jobs) ]
+      ~attrs:
+        [
+          ("jobs", string_of_int jobs);
+          ("parallel", (if use_cubes then "cubes" else "portfolio"));
+        ]
       (fun () ->
-        Opt.minimize ~mode ~jobs ~refine ?max_conflicts ?budget ~gap_tol ~build
-          ~on_sat ())
+        Opt.minimize ~mode ~jobs
+          ~parallel:(if use_cubes then `Cubes else `Portfolio)
+          ?split_vars ~refine ?max_conflicts ?budget ~gap_tol ~build ~on_sat ())
   in
   let solved quality (cost, allocation) =
     (* anytime incumbents and optima alike are re-checked by the
@@ -173,10 +200,11 @@ let solve ?(options = Encode.default_options) ?(mode = Opt.Incremental)
     end
 
 (* Feasibility without optimization. *)
-let find_feasible ?(options = Encode.default_options) ?jobs ?max_conflicts
-    ?budget ?(validate = true) ?fallback (problem : Model.problem) : outcome =
-  solve ~options ~mode:Opt.Incremental ?jobs ?max_conflicts ?budget ~validate
-    ?fallback problem Encode.Feasible
+let find_feasible ?(options = Encode.default_options) ?jobs ?parallel
+    ?max_conflicts ?budget ?(validate = true) ?fallback
+    (problem : Model.problem) : outcome =
+  solve ~options ~mode:Opt.Incremental ?jobs ?parallel ?max_conflicts ?budget
+    ~validate ?fallback problem Encode.Feasible
 
 (* -- incremental integration (§6) -------------------------------------- *)
 
@@ -187,8 +215,8 @@ let find_feasible ?(options = Encode.default_options) ?jobs ?max_conflicts
    admissible set is narrowed to the existing placement) and only the
    new tasks are free.  Routes and slots are re-optimized globally so
    the new traffic is accommodated. *)
-let solve_incremental ?options ?mode ?jobs ?max_conflicts ?budget ?gap_tol
-    ?validate ?fallback ~(existing : Model.allocation)
+let solve_incremental ?options ?mode ?jobs ?parallel ?max_conflicts ?budget
+    ?gap_tol ?validate ?fallback ~(existing : Model.allocation)
     (problem : Model.problem) (objective : Encode.objective) : outcome =
   let n_existing = Array.length existing.Model.task_ecu in
   let tasks =
@@ -206,8 +234,8 @@ let solve_incremental ?options ?mode ?jobs ?max_conflicts ?budget ?gap_tol
            else task)
   in
   let pinned = Model.make_problem ~arch:problem.Model.arch ~tasks in
-  solve ?options ?mode ?jobs ?max_conflicts ?budget ?gap_tol ?validate
-    ?fallback pinned objective
+  solve ?options ?mode ?jobs ?parallel ?max_conflicts ?budget ?gap_tol
+    ?validate ?fallback pinned objective
 
 (* -- infeasibility diagnosis ------------------------------------------- *)
 

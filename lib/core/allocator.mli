@@ -52,6 +52,7 @@ val solve :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
   ?jobs:int ->
+  ?parallel:[ `Auto | `Portfolio | `Cubes ] ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->
@@ -68,14 +69,20 @@ val solve :
     fallbacks — with {!Taskalloc_rt.Check}.  [fallback] (default true)
     enables the heuristic rung.  Never raises on budget expiry.
 
-    [jobs > 1] runs the underlying binary search as a parallel
-    portfolio ({!Taskalloc_opt.Opt.minimize} with [~jobs]): each worker
+    [jobs > 1] runs the underlying binary search in parallel
+    ({!Taskalloc_opt.Opt.minimize} with [~jobs]): each worker
     re-encodes the problem in its own solver, so encodings never cross
-    domains.  [jobs = 1] (default) is exactly the sequential solve. *)
+    domains.  [parallel] selects the strategy: [`Portfolio] races
+    diversified copies of the whole search, [`Cubes] partitions the
+    search space by cube-and-conquer over the allocation selectors
+    ({!Encode.decision_hints}), and [`Auto] (default) picks cubes
+    whenever the encoder exports hints, the portfolio otherwise.
+    [jobs = 1] (default) is exactly the sequential solve. *)
 
 val find_feasible :
   ?options:Encode.options ->
   ?jobs:int ->
+  ?parallel:[ `Auto | `Portfolio | `Cubes ] ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?validate:bool ->
@@ -90,6 +97,7 @@ val solve_incremental :
   ?options:Encode.options ->
   ?mode:Taskalloc_opt.Opt.mode ->
   ?jobs:int ->
+  ?parallel:[ `Auto | `Portfolio | `Cubes ] ->
   ?max_conflicts:int ->
   ?budget:Budget.t ->
   ?gap_tol:float ->

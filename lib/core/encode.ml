@@ -59,6 +59,7 @@ type options = {
   tie_breaking : tie_breaking;
   max_slot : int; (* upper bound on TDMA slot-length variables *)
   lazy_mode : bool; (* CEGAR: abstract eqs. 6-12, refine on demand *)
+  inprocess : bool option; (* force inprocessing; None = env decides *)
 }
 
 (* TASKALLOC_LAZY=1 flips the default encoder to the CEGAR abstraction
@@ -76,6 +77,7 @@ let default_options =
     tie_breaking = Solver_ties;
     max_slot = 0;
     lazy_mode = env_lazy;
+    inprocess = None;
   }
 
 (* Soft-constraint families the grouped mode tags with selector guards
@@ -169,7 +171,7 @@ let encode_sections ?(options = default_options) ?(groups = false)
     (problem : Model.problem) (objective : objective) : t =
   let grouped = groups in
   let lazy_on = options.lazy_mode in
-  let ctx = Bv.create ~mode:options.pb_mode () in
+  let ctx = Bv.create ~mode:options.pb_mode ?inprocess:options.inprocess () in
   let arch = problem.Model.arch in
   let tasks = problem.Model.tasks in
   let topo = problem.Model.topology in
@@ -1381,6 +1383,19 @@ let find_group t kind = List.find_opt (fun g -> g.kind = kind) t.groups
 (* selector bit of task [i] on ECU [e] for what-if pinning; [Zero] when
    the ECU is outside the task's (possibly extended) domain *)
 let task_selector t ~task ~ecu = sel_on t task ecu
+
+(* The allocation decision structure, for cube-and-conquer splitting:
+   solver variables of the a_{i,j} selector bits in task-major order.
+   Fixing these decides the whole placement, so cubes over them
+   partition the search space along the paper's Table 2/3 scaling
+   dimension. *)
+let decision_hints t =
+  Array.to_list t.sel
+  |> List.concat_map (fun row ->
+         Array.to_list row
+         |> List.filter_map (function
+              | Circuits.Lit l -> Some (Taskalloc_sat.Lit.var l)
+              | Circuits.Zero | Circuits.One -> None))
 
 (* In lazy mode a caller asking for a response-time term (e.g. a
    what-if deadline delta) forces that task's exact machinery in. *)

@@ -52,6 +52,10 @@ type options = {
           response-time machinery is installed per task/medium by
           {!Lazy.refine} when a candidate model mispredicts it.  The
           default follows the [TASKALLOC_LAZY] environment variable. *)
+  inprocess : bool option;
+      (** force CDCL inprocessing on or off for the encoded solver;
+          [None] (the default) follows the [TASKALLOC_INPROCESS]
+          environment variable (see {!Taskalloc_bv.Bv.create}). *)
 }
 
 val default_options : options
@@ -123,6 +127,13 @@ val response_time : t -> int -> Taskalloc_bv.Bv.t
 (** The response-time term r_i of a task, for what-if deadline
     tightenings reified against it.  On a lazy encoding this forces the
     task's exact machinery in first (one-time refinement). *)
+
+val decision_hints : t -> int list
+(** Solver variables of the allocation selector bits a_{i,j}, in
+    task-major encoding order — the decision structure cube-and-conquer
+    splits on ({!Taskalloc_portfolio.Portfolio.solve_cubes}'s
+    [split_vars]).  Fixing them decides the whole placement.  Stable
+    across re-encodings of the same problem with the same options. *)
 
 (** {1 CEGAR refinement} (lazy mode, [options.lazy_mode])
 

@@ -781,3 +781,154 @@ let pp_lazy_report ppf r =
       r.l_eager_vars r.l_lazy_vars
       (float_of_int r.l_eager_vars /. float_of_int (max 1 r.l_lazy_vars));
   List.iter (fun f -> Fmt.pf ppf "FAILURE: %s@." f) r.l_failures
+
+(* -- inprocessing differential campaigns -------------------------------- *)
+
+type inprocess_report = {
+  i_iters : int;
+  i_sat : int;
+  i_unsat : int;
+  i_certified : int;
+  i_alloc_solved : int;
+  i_alloc_infeasible : int;
+  i_failures : string list;
+}
+
+let result_name = function
+  | Solver.Sat -> "SAT"
+  | Solver.Unsat -> "UNSAT"
+  | Solver.Unknown -> "UNKNOWN"
+
+(* One iteration runs the differential at both ends of the stack: a raw
+   CNF/PB case solved with and without the passes (certifying the
+   inprocessed Unsat trace — vivification, subsumption and BVE all log
+   their derived clauses, so the DRUP pipeline must still close), and a
+   full allocation problem solved through encoder and optimizer both
+   ways (the selector literals the session assumes are frozen against
+   elimination; a verdict or optimum divergence would expose a BVE
+   soundness hole no SAT-level case can see). *)
+let inprocess_iter ~max_vars ~seed i =
+  let rng = Rng.create (seed lxor (i * 0x2545F491)) in
+  let fail = ref [] in
+  let failf fmt =
+    Fmt.kstr (fun m -> fail := Fmt.str "iter %d: %s" i m :: !fail) fmt
+  in
+  let sat = ref 0 and unsat = ref 0 and certified = ref 0 in
+  let solved = ref 0 and infeasible = ref 0 in
+  let case_seed = Rng.int rng 0x3FFFFFFF in
+  let case = gen_case ~seed:case_seed ~max_vars in
+  let s0, _ = load case in
+  let r0 = Solver.solve s0 in
+  let s1, trace = load case in
+  (* an aggressive cadence so even these tiny instances re-enter the
+     passes between restart episodes, not just the preprocessing shot *)
+  Inprocess.install ~every:32 s1;
+  let r1 = Solver.solve s1 in
+  (match (r0, r1) with
+  | Solver.Sat, Solver.Sat ->
+    incr sat;
+    if not (eval case (model_mask case s1)) then
+      failf "case seed %d: inprocessed Sat model does not satisfy the instance"
+        case_seed
+  | Solver.Unsat, Solver.Unsat -> (
+    incr unsat;
+    let cnf, pbs = checker_view case in
+    match Proof.verify ~pbs cnf (trace ()) with
+    | Proof.Valid -> incr certified
+    | Proof.Invalid { step; reason } ->
+      failf "case seed %d: inprocessed Unsat proof rejected at step %d: %s"
+        case_seed step reason)
+  | a, b ->
+    failf "case seed %d: verdict mismatch: plain=%s inprocessed=%s" case_seed
+      (result_name a) (result_name b));
+  let problem, kind = gen_lazy_problem rng in
+  let objective =
+    match (Rng.int rng 3, kind) with
+    | 0, Model.Tdma -> Encode.Min_trt 0
+    | 1, _ -> Encode.Min_max_util
+    | _ -> Encode.Feasible
+  in
+  let solve inprocess =
+    let options =
+      { Encode.default_options with Encode.inprocess = Some inprocess }
+    in
+    Allocator.solve ~options ~fallback:false problem objective
+  in
+  let plain = solve false and inpro = solve true in
+  let verdict = function
+    | Allocator.Solved _ -> "SOLVED"
+    | Allocator.Infeasible -> "INFEASIBLE"
+    | Allocator.Unknown -> "UNKNOWN"
+  in
+  (match (plain, inpro) with
+  | Allocator.Solved p, Allocator.Solved q ->
+    incr solved;
+    if p.Allocator.cost <> q.Allocator.cost then
+      failf "allocation optimum mismatch: plain %d, inprocessed %d"
+        p.Allocator.cost q.Allocator.cost;
+    if q.Allocator.violations <> [] then
+      failf "inprocessed allocation rejected by the analytical checker"
+  | Allocator.Infeasible, Allocator.Infeasible -> incr infeasible
+  | a, b ->
+    failf "allocation verdict mismatch: plain=%s inprocessed=%s" (verdict a)
+      (verdict b));
+  {
+    i_iters = 1;
+    i_sat = !sat;
+    i_unsat = !unsat;
+    i_certified = !certified;
+    i_alloc_solved = !solved;
+    i_alloc_infeasible = !infeasible;
+    i_failures = List.rev !fail;
+  }
+
+let merge_inprocess a b =
+  {
+    i_iters = a.i_iters + b.i_iters;
+    i_sat = a.i_sat + b.i_sat;
+    i_unsat = a.i_unsat + b.i_unsat;
+    i_certified = a.i_certified + b.i_certified;
+    i_alloc_solved = a.i_alloc_solved + b.i_alloc_solved;
+    i_alloc_infeasible = a.i_alloc_infeasible + b.i_alloc_infeasible;
+    i_failures = a.i_failures @ b.i_failures;
+  }
+
+let empty_inprocess_report =
+  {
+    i_iters = 0;
+    i_sat = 0;
+    i_unsat = 0;
+    i_certified = 0;
+    i_alloc_solved = 0;
+    i_alloc_infeasible = 0;
+    i_failures = [];
+  }
+
+let run_inprocess ?(max_vars = 10) ?(jobs = 1) ?(log = ignore) ~iters ~seed () =
+  let max_vars = min 16 (max 2 max_vars) in
+  let results =
+    if jobs <= 1 then List.init iters (inprocess_iter ~max_vars ~seed)
+    else begin
+      let chunks = Array.make (max 1 jobs) [] in
+      for i = iters - 1 downto 0 do
+        chunks.(i mod Array.length chunks) <- i :: chunks.(i mod Array.length chunks)
+      done;
+      Array.to_list chunks
+      |> List.map (fun idxs ->
+             Domain.spawn (fun () ->
+                 List.map (inprocess_iter ~max_vars ~seed) idxs))
+      |> List.concat_map Domain.join
+    end
+  in
+  let report = List.fold_left merge_inprocess empty_inprocess_report results in
+  List.iter log report.i_failures;
+  report
+
+let pp_inprocess_report ppf r =
+  Fmt.pf ppf
+    "%d inprocessing cases: %d sat, %d unsat (%d certified); %d allocations \
+     solved, %d infeasible, %d failures@."
+    r.i_iters r.i_sat r.i_unsat r.i_certified r.i_alloc_solved
+    r.i_alloc_infeasible
+    (List.length r.i_failures);
+  List.iter (fun f -> Fmt.pf ppf "FAILURE: %s@." f) r.i_failures

@@ -171,3 +171,42 @@ val run_lazy :
     failure. *)
 
 val pp_lazy_report : Format.formatter -> lazy_report -> unit
+
+(** {1 Inprocessing differential campaigns}
+
+    Randomized equivalence testing of the CDCL inprocessing passes
+    ({!Taskalloc_sat.Inprocess}): each iteration solves one CNF/PB case
+    with and without vivification/subsumption/BVE — requiring identical
+    verdicts, semantically valid Sat models, and a DRUP trace recorded
+    {e with the passes active} that the independent checker certifies —
+    and solves one small allocation problem through the whole stack
+    both ways, requiring identical verdicts, identical proven optima,
+    and analyzer-clean allocations (exercising the frozen-variable
+    interface: selector and assumption literals must survive
+    elimination). *)
+
+type inprocess_report = {
+  i_iters : int;
+  i_sat : int;  (** SAT-level cases both configurations solved *)
+  i_unsat : int;  (** cases both proved unsat *)
+  i_certified : int;  (** inprocessed Unsat traces the checker accepted *)
+  i_alloc_solved : int;  (** allocation cases solved (optima compared) *)
+  i_alloc_infeasible : int;  (** allocation cases both proved infeasible *)
+  i_failures : string list;
+}
+
+val run_inprocess :
+  ?max_vars:int ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  iters:int ->
+  seed:int ->
+  unit ->
+  inprocess_report
+(** Run [iters] inprocessing-vs-plain iterations derived
+    deterministically from [seed].  [max_vars] bounds the SAT-level
+    instance size (default 10, clamped to [2..16]); [jobs > 1] spreads
+    iterations over that many domains (results are independent of
+    [jobs]); [log] receives one line per failure. *)
+
+val pp_inprocess_report : Format.formatter -> inprocess_report -> unit

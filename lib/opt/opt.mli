@@ -76,6 +76,8 @@ val gap : 'a anytime -> float option
 val minimize :
   ?mode:mode ->
   ?jobs:int ->
+  ?parallel:[ `Portfolio | `Cubes ] ->
+  ?split_vars:int list ->
   ?assumptions:Taskalloc_sat.Lit.t list ->
   ?persist_bounds:bool ->
   ?refine:(Bv.ctx -> int) ->
@@ -121,11 +123,27 @@ val minimize :
     within the tolerance (reported as [Feasible_budget_exhausted]).
     This function never raises on exhaustion.
 
-    [jobs > 1] switches to portfolio mode: that many workers race the
-    whole search on separate domains, diversified both in solver
-    configuration ({!Taskalloc_portfolio.Portfolio.diversify}) and in
-    probe-point strategy (bisection, top-down certification, pessimistic
-    quartile probing).  The first worker to prove optimality or
+    [jobs > 1] switches to a parallel mode chosen by [parallel]:
+
+    [`Portfolio] (default): that many workers race the whole search on
+    separate domains, diversified both in solver configuration
+    ({!Taskalloc_portfolio.Portfolio.diversify}) and in probe-point
+    strategy (bisection, top-down certification, pessimistic quartile
+    probing).
+
+    [`Cubes]: the search space is partitioned up front by
+    {!Taskalloc_portfolio.Portfolio.Cube.generate} over [split_vars]
+    (the encoder's {!Taskalloc_core.Encode.decision_hints}; VSIDS
+    leaders when absent), workers drain the cube queue with work
+    stealing, and each claimed cube runs a complete binary search
+    under the cube literals as assumptions with bounds never persisted
+    — the global optimum is the minimum over cube optima, and
+    infeasibility requires every cube proved empty.  Workers prune
+    each other through a shared incumbent: a cube claimed while an
+    incumbent [c] exists is additionally probed under [cost <= c-1],
+    so dominated cubes close with one Unsat probe.  If the splitter's
+    presolve already decides the instance, the search falls back to
+    the sequential path (cube overhead cannot pay off there).  The first worker to prove optimality or
     infeasibility (or reach [gap_tol]) wins and cancels the rest; if
     none concludes, the workers' proved bounds and incumbents are
     merged, so the combined anytime answer dominates each worker's.

@@ -228,7 +228,8 @@ let stats_of ~worker ~result ~shared_out ~shared_in s =
     shared_in;
   }
 
-let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4) ~build () =
+let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4)
+    ?(assumptions = []) ~build () =
   let pool = pool_create () in
   let race_outcome =
     race ~jobs ?budget
@@ -256,7 +257,10 @@ let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4) ~build () =
             end
           end
         end;
-        let result = Solver.solve ?budget:wbudget s in
+        (* every worker takes the same assumptions; learnt clauses
+           mention their negations explicitly, so sharing stays sound
+           and the winner's failed-assumption core is meaningful *)
+        let result = Solver.solve ~assumptions ?budget:wbudget s in
         ( payload,
           stats_of ~worker:i ~result ~shared_out:!exported
             ~shared_in:(Solver.n_imported s) s ))
@@ -292,3 +296,386 @@ let solve ?(jobs = 1) ?budget ?(share = true) ?(share_lbd = 4) ~build () =
   | Some (payload, st) ->
     { result = st.result; winner; payload = Some payload; workers }
   | None -> { result = Solver.Unknown; winner = -1; payload = None; workers }
+
+(* -- cube-and-conquer --------------------------------------------------- *)
+
+(* Split the search space up front instead of racing duplicated
+   searches: a lookahead pass scores candidate decision variables by
+   the unit-propagation consequences of each polarity, the best d of
+   them span 2^d cubes (every sign pattern, so the cover is a tautology
+   by construction), and workers drain the cube queue with work
+   stealing.  The first Sat cancels everyone; all cubes Unsat means the
+   instance is Unsat because the cover is exhaustive.
+
+   Proof stitching: in proof mode each cube runs on a fresh solver with
+   the cube literals added as unit clauses (so learnt clauses never
+   mention them) and a step transformer appending the negated cube to
+   every trace step.  A clause C that is RUP under F + cube yields
+   C ∨ ¬cube RUP under F alone: assuming its negation asserts the cube,
+   under which every previously tagged clause propagates exactly as its
+   untagged original did in the cube solver.  Tagged deletions either
+   remove the cube's own tagged clauses or match nothing (the checker's
+   remove is permissive), never shared ones.  Each cube's refutation
+   (the tagged empty clause) therefore arrives as the cube-blocking
+   clause ¬c1 ∨ ... ∨ ¬cd, and once every cube is refuted a binary
+   resolution tree of prefix-negation clauses — each RUP from its two
+   children — stitches them down to the empty clause. *)
+
+module Cube = struct
+  type plan =
+    | Decided of Solver.result
+        (** presolve or probing settled the instance on the probe
+            solver itself (its model/conflict state is authoritative) *)
+    | Cubes of int list list  (** cube literals, over the split vars *)
+
+  (* Work-sharing queue over cube indexes: worker [w] owns indexes
+     congruent to [w mod jobs] and steals from the back once its own
+     run dry.  Per-cube claim flags make double execution impossible,
+     so the stealing policy is pure heuristic. *)
+  module Work = struct
+    type t = { claims : bool Atomic.t array; jobs : int }
+
+    let create ~jobs n =
+      { claims = Array.init n (fun _ -> Atomic.make false); jobs = max 1 jobs }
+
+    let claim t i = Atomic.compare_and_set t.claims.(i) false true
+
+    (* (cube index, stolen?) or [None] when the queue is drained *)
+    let next t ~worker =
+      let n = Array.length t.claims in
+      let rec own i =
+        if i >= n then None
+        else if claim t i then Some (i, false)
+        else own (i + t.jobs)
+      in
+      let rec steal i =
+        if i < 0 then None else if claim t i then Some (i, true) else steal (i - 1)
+      in
+      match own (worker mod t.jobs) with Some r -> Some r | None -> steal (n - 1)
+  end
+
+  let neg_cube cube = List.map (fun l -> l lxor 1) cube
+
+  (* Generate a splitting plan on [s] (at decision level 0).  A short
+     presolve may settle the instance outright; failed-literal probes
+     found along the way strengthen [s] with learnt units.  Candidates
+     come from [split_vars] (the encoder's decision hints) when given,
+     otherwise from the VSIDS top of [s]. *)
+  let generate ?(target = 16) ?(presolve_conflicts = 2000) ?split_vars s =
+    let presolved =
+      Obs.span "cubes.presolve" (fun () ->
+          Solver.solve ~max_conflicts:presolve_conflicts s)
+    in
+    match presolved with
+    | (Solver.Sat | Solver.Unsat) as r -> Decided r
+    | Solver.Unknown ->
+      let candidates =
+        match split_vars with
+        | Some vs ->
+          List.filter
+            (fun v ->
+              v >= 0 && v < Solver.n_vars s
+              && (not (Solver.is_assigned s v))
+              && not (Solver.is_eliminated s v))
+            vs
+        | None -> Solver.top_vars s 64
+      in
+      let refuted = ref false in
+      let scored =
+        Obs.span "cubes.lookahead" (fun () ->
+            List.filter_map
+              (fun v ->
+                if !refuted || Solver.is_assigned s v then None
+                else
+                  match Solver.probe_var s v with
+                  | Solver.Probe { pos_gain; neg_gain } ->
+                    (* product score favors balanced splits: a variable
+                       that simplifies both branches beats one that only
+                       helps one side *)
+                    Some (v, (pos_gain + 1) * (neg_gain + 1))
+                  | Solver.Probe_failed_lit -> None (* unit learnt instead *)
+                  | Solver.Probe_refuted ->
+                    refuted := true;
+                    None)
+              candidates)
+      in
+      if !refuted || not (Solver.ok s) then Decided Solver.Unsat
+      else begin
+        let ranked =
+          List.sort (fun (_, a) (_, b) -> Int.compare b a) scored |> List.map fst
+        in
+        let depth =
+          let rec need k span = if span >= target then k else need (k + 1) (2 * span) in
+          min (need 0 1) (min (List.length ranked) 10)
+        in
+        if depth = 0 then Cubes [ [] ] (* no splittable vars: one cube *)
+        else begin
+          let vars = List.filteri (fun i _ -> i < depth) ranked in
+          (* all 2^depth sign patterns over [vars]: the cover property *)
+          let rec expand = function
+            | [] -> [ [] ]
+            | v :: rest ->
+              let tails = expand rest in
+              List.map (fun t -> (2 * v) :: t) tails
+              @ List.map (fun t -> ((2 * v) + 1) :: t) tails
+          in
+          Cubes (expand vars)
+        end
+      end
+end
+
+type cube_stats = {
+  cube_index : int;  (** index into the generated cube list *)
+  cube_worker : int;
+  cube_result : Solver.result;
+  cube_conflicts : int;
+  cube_stolen : bool;
+}
+
+type 'a cube_outcome = {
+  c_result : Solver.result;
+  c_payload : 'a option;
+      (** the deciding build's payload: the Sat cube's solver, or the
+          probe solver when the presolve already decided *)
+  c_winner : int;  (** deciding worker, or -1 *)
+  n_cubes : int;  (** 0 when the plan was [Decided] *)
+  unsat_cubes : int;
+  cube_details : cube_stats list;
+}
+
+(* A worker's aggregate over the cubes it ran. *)
+type 'a cube_worker_result = {
+  w_sat : 'a option;
+  w_unknown : bool;
+  w_stats : cube_stats list;
+  w_conflicts : int;
+  w_propagations : int;
+}
+
+(* [build ~proof w] must construct the same instance for every call —
+   cubes are generated on worker 0's solver and reuse its variable
+   numbering everywhere.  The builder must install [proof] (when given)
+   before adding constraints, so build-time refutations reach the
+   trace. *)
+let solve_cubes ?(jobs = 1) ?budget ?split_vars ?target ?presolve_conflicts
+    ?(share = true) ?(share_lbd = 4)
+    ?(proof : (Solver.proof_step -> unit) option) ~build () =
+  let target = match target with Some t -> t | None -> max 16 (4 * jobs) in
+  let decided r payload w =
+    {
+      c_result = r;
+      c_payload = Some payload;
+      c_winner = w;
+      n_cubes = 0;
+      unsat_cubes = 0;
+      cube_details = [];
+    }
+  in
+  (* The probe solver carries the real proof sink: its presolve and
+     lookahead derivations are consequences of the shared formula, so
+     they enter the trace untagged. *)
+  let payload0, s0 = build ~proof 0 in
+  if not (Solver.ok s0) then decided Solver.Unsat payload0 0
+  else
+    match Cube.generate ~target ?presolve_conflicts ?split_vars s0 with
+    | Cube.Decided r -> decided r payload0 0
+    | Cube.Cubes cubes_l ->
+      let cubes = Array.of_list cubes_l in
+      let n = Array.length cubes in
+      Obs.instant "cubes.plan"
+        ~attrs:[ ("cubes", string_of_int n); ("jobs", string_of_int jobs) ];
+      if Obs.metrics_on () then Obs.Metrics.set "cubes.generated" n;
+      let work = Cube.Work.create ~jobs n in
+      let proof_mode = proof <> None in
+      let proof_lock = Mutex.create () in
+      let flush_steps buf =
+        match proof with
+        | None -> ()
+        | Some sink ->
+          Mutex.lock proof_lock;
+          List.iter sink (List.rev buf);
+          Mutex.unlock proof_lock
+      in
+      let pool = pool_create () in
+      (* One cube on a fresh proof-logging solver: cube literals as unit
+         clauses, every step tagged with the negated cube, the buffer
+         flushed into the shared trace only when the cube is refuted
+         (a Sat or Unknown cube contributes nothing to an Unsat
+         proof). *)
+      let run_cube_proved w cube ~budget =
+        let buf = ref [] in
+        let nc = Array.of_list (Cube.neg_cube cube) in
+        let tag (step : Solver.proof_step) =
+          buf :=
+            (match step with
+            | Solver.Step_rup lits -> Solver.Step_rup (Array.append lits nc)
+            | Solver.Step_pb lits -> Solver.Step_pb (Array.append lits nc)
+            | Solver.Step_delete lits -> Solver.Step_delete (Array.append lits nc))
+            :: !buf
+        in
+        let payload, s = build ~proof:(Some tag) w in
+        List.iter (fun l -> Solver.add_clause s [ l ]) cube;
+        let r = Solver.solve ?budget s in
+        if r = Solver.Unsat then flush_steps !buf;
+        (r, Solver.n_conflicts s, Solver.n_propagations s, payload)
+      in
+      let worker w config ~budget:wbudget =
+        let sat_payload = ref None and unknown = ref false and stats = ref [] in
+        let confl = ref 0 and props = ref 0 in
+        (* non-proof mode: one persistent solver per worker, cubes as
+           assumptions — learnt clauses mention the assumption negations
+           explicitly, so they are implied by the formula alone and
+           sharing them through the pool is sound *)
+        let persistent =
+          if proof_mode then None
+          else begin
+            let payload, s = build ~proof:None w in
+            if jobs > 1 then begin
+              Solver.set_config s config;
+              if share then begin
+                Solver.set_export_hook s
+                  (Some
+                     (fun lits ~lbd ->
+                       if lbd <= share_lbd || Array.length lits <= 2 then
+                         ignore (pool_export pool ~origin:w lits lbd)));
+                let cursor = ref 0 in
+                Solver.set_import_hook s
+                  (Some
+                     (fun () ->
+                       let n', cs = pool_import pool ~origin:w ~cursor:!cursor in
+                       cursor := n';
+                       cs))
+              end
+            end;
+            Some (payload, s)
+          end
+        in
+        let stop () =
+          match wbudget with Some b -> Budget.exhausted b | None -> false
+        in
+        let continue_ = ref true in
+        while !continue_ && not (stop ()) do
+          match Cube.Work.next work ~worker:w with
+          | None -> continue_ := false
+          | Some (i, stolen) ->
+            let cube = cubes.(i) in
+            let r, conflicts =
+              Obs.span "cubes.cube"
+                ~attrs:
+                  [
+                    ("cube", string_of_int i);
+                    ("worker", string_of_int w);
+                    ("stolen", string_of_bool stolen);
+                  ]
+                (fun () ->
+                  match persistent with
+                  | None ->
+                    let r, c, p, payload = run_cube_proved w cube ~budget:wbudget in
+                    if r = Solver.Sat then sat_payload := Some payload;
+                    confl := !confl + c;
+                    props := !props + p;
+                    (r, c)
+                  | Some (payload, s) ->
+                    let c0 = Solver.n_conflicts s in
+                    let p0 = Solver.n_propagations s in
+                    let r = Solver.solve ~assumptions:cube ?budget:wbudget s in
+                    if r = Solver.Sat then sat_payload := Some payload;
+                    confl := !confl + (Solver.n_conflicts s - c0);
+                    props := !props + (Solver.n_propagations s - p0);
+                    (r, Solver.n_conflicts s - c0))
+            in
+            stats :=
+              {
+                cube_index = i;
+                cube_worker = w;
+                cube_result = r;
+                cube_conflicts = conflicts;
+                cube_stolen = stolen;
+              }
+              :: !stats;
+            (match r with
+            | Solver.Sat -> continue_ := false
+            | Solver.Unknown ->
+              unknown := true;
+              continue_ := false
+            | Solver.Unsat -> ())
+        done;
+        {
+          w_sat = !sat_payload;
+          w_unknown = !unknown;
+          w_stats = !stats;
+          w_conflicts = !confl;
+          w_propagations = !props;
+        }
+      in
+      let race_outcome =
+        race ~jobs ?budget ~worker ~conclusive:(fun r -> r.w_sat <> None) ()
+      in
+      let all =
+        Array.to_list race_outcome.results |> List.filter_map Fun.id
+      in
+      (* As in [solve]: the parent budget is charged with the maximum
+         worker spend — the wall-clock shape of the concurrent run.
+         (With jobs = 1 the inline worker charged it directly.) *)
+      if jobs > 1 then (
+        match budget with
+        | None -> ()
+        | Some b ->
+          let mc = List.fold_left (fun m r -> max m r.w_conflicts) 0 all in
+          let mp = List.fold_left (fun m r -> max m r.w_propagations) 0 all in
+          Budget.charge b ~conflicts:mc ~propagations:mp);
+      let stats = List.concat_map (fun r -> r.w_stats) all in
+      let unsat_cubes =
+        List.length (List.filter (fun (c : cube_stats) -> c.cube_result = Solver.Unsat) stats)
+      in
+      if Obs.metrics_on () then begin
+        Obs.Metrics.set "cubes.unsat" unsat_cubes;
+        Obs.Metrics.set "cubes.solved" (List.length stats)
+      end;
+      let result, payload, winner =
+        match List.find_opt (fun r -> r.w_sat <> None) all with
+        | Some r -> (Solver.Sat, r.w_sat, race_outcome.winner)
+        | None ->
+          if unsat_cubes = n then begin
+            (* All cubes refuted and the cover is exhaustive: Unsat.
+               Stitch the per-cube blocking clauses: prefix-negation
+               clauses, longest first — ¬p is RUP from its two
+               extensions ¬(p·v) and ¬(p·¬v), both already in the trace
+               — ending with the empty prefix, i.e. the empty clause. *)
+            (match proof with
+            | None -> ()
+            | Some sink ->
+              let vars_order =
+                match cubes_l with
+                | c0 :: _ -> List.map (fun l -> l lsr 1) c0
+                | [] -> []
+              in
+              let depth = List.length vars_order in
+              let rec prefixes k vs =
+                if k = 0 then [ [] ]
+                else
+                  match vs with
+                  | [] -> [ [] ]
+                  | v :: rest ->
+                    List.concat_map
+                      (fun t -> [ (2 * v) :: t; ((2 * v) + 1) :: t ])
+                      (prefixes (k - 1) rest)
+              in
+              for len = depth - 1 downto 0 do
+                List.iter
+                  (fun p ->
+                    sink (Solver.Step_rup (Array.of_list (Cube.neg_cube p))))
+                  (prefixes len vars_order)
+              done);
+            (Solver.Unsat, None, -1)
+          end
+          else (Solver.Unknown, None, -1)
+      in
+      {
+        c_result = result;
+        c_payload = payload;
+        c_winner = winner;
+        n_cubes = n;
+        unsat_cubes;
+        cube_details = List.rev stats;
+      }

@@ -98,6 +98,7 @@ val solve :
   ?budget:Budget.t ->
   ?share:bool ->
   ?share_lbd:int ->
+  ?assumptions:Lit.t list ->
   build:(int -> 'a * Solver.t) ->
   unit ->
   'a outcome
@@ -107,7 +108,118 @@ val solve :
     trace thunk, or the solver itself for model extraction).  Workers
     [> 0] are diversified with {!diversify}; with [share] (default on)
     they exchange learnt clauses of LBD at most [share_lbd] (default 4)
-    or binary size.  The caller's [budget] is charged with the maximum
-    worker spend.  [result] is the winner's answer, [Unknown] if every
-    worker was cancelled or exhausted — solver states are intact, so
-    the caller may re-solve with a fresh budget to resume. *)
+    or binary size.  Every worker solves under the same [assumptions]
+    (default none); learnt clauses mention the assumption negations
+    explicitly, so sharing stays sound and the winner's
+    failed-assumption core ({!Solver.unsat_core}) is meaningful.  The
+    caller's [budget] is charged with the maximum worker spend.
+    [result] is the winner's answer, [Unknown] if every worker was
+    cancelled or exhausted — solver states are intact, so the caller
+    may re-solve with a fresh budget to resume. *)
+
+(** {1 Cube-and-conquer}
+
+    Instead of racing duplicated searches, split the instance: a
+    lookahead pass over candidate decision variables (the encoder's
+    hints, or the VSIDS top) picks the [d] variables whose unit
+    propagations simplify both branches most, the [2^d] sign patterns
+    become cubes, and workers drain the cube queue with work stealing.
+    The first Sat cube cancels everyone; if {e every} cube comes back
+    Unsat the instance is Unsat, because the cubes cover the whole
+    assignment space by construction.
+
+    In proof mode each cube runs on a fresh solver whose trace steps
+    are tagged with the negated cube, making them valid derivations
+    from the shared formula; the per-cube refutations become
+    cube-blocking clauses and a final resolution tree stitches them
+    into the empty clause, so the combined trace passes the independent
+    checker. *)
+
+module Cube : sig
+  type plan =
+    | Decided of Solver.result
+        (** the presolve or the lookahead probes settled the instance
+            on the probe solver itself *)
+    | Cubes of int list list  (** cube literals, over the split vars *)
+
+  (** Work-sharing queue over cube indexes, exposed for layers that
+      drive their own per-cube work (the optimizer runs a full
+      minimization per cube).  Worker [w] owns indexes congruent to
+      [w mod jobs] and steals from the back once its own run dry;
+      per-cube claim flags make double execution impossible. *)
+  module Work : sig
+    type t
+
+    val create : jobs:int -> int -> t
+    val next : t -> worker:int -> (int * bool) option
+    (** Next unclaimed cube index for this worker (and whether it was
+        stolen), or [None] when the queue is drained. *)
+  end
+
+  val generate :
+    ?target:int -> ?presolve_conflicts:int -> ?split_vars:int list ->
+    Solver.t -> plan
+  (** Build a splitting plan on a solver at decision level 0.  Runs a
+      presolve of at most [presolve_conflicts] (default 2000) conflicts
+      — which may decide the instance — then scores candidates with
+      failed-literal lookahead ({!Solver.probe_var}; failed literals
+      strengthen the solver as learnt units, a refuted variable decides
+      Unsat).  Splits on the best [ceil(log2 target)] variables (at
+      most 10), so at least [target] (default 16) cubes cover the
+      space.  [split_vars] restricts candidates to the encoder's
+      decision hints; unassigned VSIDS leaders are used otherwise. *)
+end
+
+type cube_stats = {
+  cube_index : int;  (** index into the generated cube list *)
+  cube_worker : int;
+  cube_result : Solver.result;
+  cube_conflicts : int;  (** conflicts this cube cost its worker *)
+  cube_stolen : bool;  (** claimed outside the worker's own share *)
+}
+
+type 'a cube_outcome = {
+  c_result : Solver.result;
+  c_payload : 'a option;
+      (** the deciding build's payload: the Sat cube's solver, or the
+          probe solver when the presolve already decided *)
+  c_winner : int;  (** deciding worker, or -1 *)
+  n_cubes : int;  (** 0 when the plan was [Decided] *)
+  unsat_cubes : int;
+  cube_details : cube_stats list;  (** per-cube accounting, in run order *)
+}
+
+val solve_cubes :
+  ?jobs:int ->
+  ?budget:Budget.t ->
+  ?split_vars:int list ->
+  ?target:int ->
+  ?presolve_conflicts:int ->
+  ?share:bool ->
+  ?share_lbd:int ->
+  ?proof:(Solver.proof_step -> unit) ->
+  build:(proof:(Solver.proof_step -> unit) option -> int -> 'a * Solver.t) ->
+  unit ->
+  'a cube_outcome
+(** Cube-and-conquer over the instance constructed by [build].
+
+    [build ~proof w] must construct the {e same} instance (same
+    variable numbering) on every call: cubes are generated on worker
+    0's solver and interpreted by every other build.  The builder must
+    install the given [proof] sink {e before} adding constraints, and
+    pass [None] through when absent.  [target] defaults to
+    [max 16 (4 * jobs)].
+
+    Without [proof], each worker keeps one persistent solver and solves
+    each claimed cube under it as assumptions, sharing learnt clauses
+    through the pool as {!solve} does.  With [proof], each cube gets a
+    fresh solver (cube literals as unit clauses) whose trace steps are
+    tagged with the negated cube and flushed into [proof] when the cube
+    is refuted; when all cubes are Unsat the stitched trace ends with
+    the empty clause and verifies against the original formula.
+    Clause sharing is disabled in proof mode.
+
+    [c_result] is [Sat] as soon as one cube is satisfiable, [Unsat]
+    only when every cube was refuted, and [Unknown] if the budget
+    tripped first.  The caller's [budget] is charged with the maximum
+    worker spend, as in {!solve}. *)

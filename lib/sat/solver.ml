@@ -21,6 +21,7 @@ type clause = {
   mutable activity : float;
   mutable deleted : bool;
   mutable lbd : int; (* literal block distance; 0 for problem clauses *)
+  mutable vsig : int; (* variable-set signature, filled by inprocessing *)
 }
 
 (* Watch-list entry with a blocking literal (Glucose-style): if
@@ -54,7 +55,7 @@ type proof_step =
   | Step_delete of int array
 
 let dummy_clause =
-  { lits = [||]; learnt = false; activity = 0.; deleted = true; lbd = 0 }
+  { lits = [||]; learnt = false; activity = 0.; deleted = true; lbd = 0; vsig = 0 }
 
 let dummy_watcher = { blocker = 0; wcl = dummy_clause }
 let dummy_pb = { coeffs = [||]; plits = [||]; degree = 0; slack = 0; max_coeff = 0 }
@@ -104,6 +105,30 @@ let empty_solve_stats =
 type t = {
   mutable ok : bool;
   mutable nvars : int;
+  (* inprocessing state: [frozen] vars are exempt from elimination
+     (assumption/selector/interface literals); [eliminated] vars have
+     been resolved away by BVE and live on only in [elim_stack], newest
+     first, as (var, original clauses containing it).  [graveyard]
+     retains problem clauses removed by subsumption/vivification so
+     that [fold_clauses] (used to hand a checker the formula a trace
+     was logged against) stays a superset of every clause the trace
+     ever referenced. *)
+  mutable frozen : bool array;
+  mutable eliminated : bool array;
+  mutable n_elim : int;
+  mutable elim_stack : (int * int array list) list;
+  mutable graveyard : int array list;
+  mutable probe_logging : bool;
+      (* log PB explanations for propagations above level 0 too —
+         set during vivification/lookahead probes so clauses derived
+         from probe conflicts stay RUP-checkable *)
+  mutable inprocess : (t -> unit) option;
+  mutable viv_cursor : int; (* round-robin position of vivification *)
+  (* inprocessing statistics, cumulative *)
+  mutable n_vivified : int;
+  mutable n_strengthened : int;
+  mutable n_subsumed : int;
+  mutable n_elim_resolvents : int;
   (* per-variable state, grown on demand *)
   mutable assigns : int array; (* 0 unassigned, 1 true, -1 false *)
   mutable level : int array;
@@ -167,6 +192,18 @@ let create () =
   {
     ok = true;
     nvars = 0;
+    frozen = Array.make 16 false;
+    eliminated = Array.make 16 false;
+    n_elim = 0;
+    elim_stack = [];
+    graveyard = [];
+    probe_logging = false;
+    inprocess = None;
+    viv_cursor = 0;
+    n_vivified = 0;
+    n_strengthened = 0;
+    n_subsumed = 0;
+    n_elim_resolvents = 0;
     assigns = Array.make 16 0;
     level = Array.make 16 0;
     reason = Array.make 16 No_reason;
@@ -296,6 +333,9 @@ let grow_arrays t cap =
     t.trail_pos <- copy t.trail_pos 0;
     t.polarity <- (let b = Array.make n false in Array.blit t.polarity 0 b 0 old; b);
     t.seen <- (let b = Array.make n false in Array.blit t.seen 0 b 0 old; b);
+    t.frozen <- (let b = Array.make n false in Array.blit t.frozen 0 b 0 old; b);
+    t.eliminated <-
+      (let b = Array.make n false in Array.blit t.eliminated 0 b 0 old; b);
     (let b = Array.make n 0. in Array.blit !(t.activity) 0 b 0 old; t.activity := b);
     (* decision levels range over [0, nvars], hence the +1 *)
     t.lbd_stamp <- Array.make (n + 1) 0;
@@ -433,8 +473,12 @@ let pb_check t pb =
       if pb.coeffs.(i) > pb.slack && value_lit t pb.plits.(i) = 0 then begin
         (* level-0 PB propagations are invisible to conflict analysis
            (it skips level-0 literals), so a checker replaying the trace
-           could never derive them: log their explanation here *)
-        if proof_on t && decision_level t = 0 then
+           could never derive them: log their explanation here.  The
+           same applies to PB propagations during inprocessing probes
+           ([probe_logging]): the clause derived from the probe is RUP
+           only if every PB inference along the way has a clausal
+           counterpart in the trace. *)
+        if proof_on t && (decision_level t = 0 || t.probe_logging) then
           log_pb_clause t pb pb.plits.(i);
         enqueue t pb.plits.(i) (Reason_pb pb)
       end
@@ -529,11 +573,39 @@ let detach_clause t c =
 
 (* Add a problem clause.  Only legal at decision level 0.  Performs
    level-0 simplification: drops false literals, ignores satisfied and
-   tautological clauses, detects immediate conflicts. *)
-let add_clause t lits =
+   tautological clauses, detects immediate conflicts.  [add_clause_core]
+   additionally returns the installed clause (when one was), which the
+   inprocessing passes use to maintain occurrence lists.
+
+   Adding a clause over a BVE-eliminated variable first reintroduces
+   the variable: its stashed original clauses rejoin the database (they
+   were never logged as deleted, so the proof trace needs no event) and
+   the variable becomes frozen — once the outside world has named a
+   variable again it must keep its input meaning. *)
+let rec reintroduce_var t v =
+  if t.eliminated.(v) then begin
+    t.eliminated.(v) <- false;
+    t.n_elim <- t.n_elim - 1;
+    t.frozen.(v) <- true;
+    let stash =
+      match List.assoc_opt v t.elim_stack with Some s -> s | None -> []
+    in
+    t.elim_stack <- List.filter (fun (w, _) -> w <> v) t.elim_stack;
+    if not (Order_heap.in_heap t.order v) then Order_heap.insert t.order v;
+    List.iter
+      (fun lits -> ignore (add_clause_core t (Array.to_list lits)))
+      stash
+  end
+
+and add_clause_core t lits =
   assert (decision_level t = 0);
-  if t.ok then begin
-    List.iter (fun l -> assert (l lsr 1 < t.nvars)) lits;
+  if not t.ok then None
+  else begin
+    List.iter
+      (fun l ->
+        assert (l lsr 1 < t.nvars);
+        reintroduce_var t (l lsr 1))
+      lits;
     let lits = List.sort_uniq Int.compare lits in
     let taut =
       let rec go = function
@@ -543,20 +615,23 @@ let add_clause t lits =
       go lits
     in
     let satisfied = List.exists (fun l -> value_lit t l = 1) lits in
-    if not (taut || satisfied) then begin
+    if taut || satisfied then None
+    else begin
       let lits = List.filter (fun l -> value_lit t l <> -1) lits in
       t.lit_count <- t.lit_count + List.length lits;
       match lits with
       | [] ->
         t.ok <- false;
-        log_step t (Step_rup [||])
-      | [ l ] -> (
+        log_step t (Step_rup [||]);
+        None
+      | [ l ] ->
         enqueue t l No_reason;
-        match propagate t with
+        (match propagate t with
         | None -> ()
         | Some r ->
           t.ok <- false;
-          log_refutation t r)
+          log_refutation t r);
+        None
       | _ ->
         let c =
           {
@@ -565,12 +640,16 @@ let add_clause t lits =
             activity = 0.;
             deleted = false;
             lbd = 0;
+            vsig = 0;
           }
         in
         Vec.push t.clauses c;
-        attach_clause t c
+        attach_clause t c;
+        Some c
     end
   end
+
+let add_clause t lits = ignore (add_clause_core t lits)
 
 (* Add [sum coeffs_i * lits_i >= degree] with all [coeffs_i > 0], over
    distinct variables.  Callers normalize via {!Pb}; here we only handle
@@ -578,6 +657,7 @@ let add_clause t lits =
 let add_pb_geq t pairs degree =
   assert (decision_level t = 0);
   if t.ok then begin
+    List.iter (fun (_, l) -> reintroduce_var t (l lsr 1)) pairs;
     (* drop level-0 falsified literals; account satisfied ones into degree *)
     let degree = ref degree in
     let pairs =
@@ -827,7 +907,7 @@ let record_learnt t lits lbd =
   | Some f -> f lits ~lbd (* the hook must copy if it retains [lits] *));
   if Array.length lits = 1 then enqueue t lits.(0) No_reason
   else begin
-    let c = { lits; learnt = true; activity = 0.; deleted = false; lbd } in
+    let c = { lits; learnt = true; activity = 0.; deleted = false; lbd; vsig = 0 } in
     Vec.push t.learnts c;
     attach_clause t c;
     cla_bump t c;
@@ -885,7 +965,7 @@ let random_branch_var t =
     if k = 0 || t.nvars = 0 then -1
     else
       let v = rng_next t mod t.nvars in
-      if t.assigns.(v) = 0 then v else go (k - 1)
+      if t.assigns.(v) = 0 && not t.eliminated.(v) then v else go (k - 1)
   in
   go 4
 
@@ -901,7 +981,10 @@ let pick_branch_var t =
       if Order_heap.is_empty t.order then -1
       else
         let v = Order_heap.remove_max t.order in
-        if t.assigns.(v) = 0 then v else go ()
+        (* eliminated variables stay out of the search: they are
+           unassigned by construction and get values from the model
+           extension instead *)
+        if t.assigns.(v) = 0 && not t.eliminated.(v) then v else go ()
     in
     go ()
 
@@ -988,7 +1071,14 @@ let search t assumptions nof_conflicts ~check_every ~checkpoint =
    called at decision level 0.  The clause is entailed by the shared
    instance, so simplifying against level-0 values is sound. *)
 let import_clause t (lits, lbd) =
-  if t.ok && not (Array.exists (fun l -> value_lit t l = 1) lits) then begin
+  if
+    t.ok
+    && (not (Array.exists (fun l -> value_lit t l = 1) lits))
+    (* a clause over a locally-eliminated variable would re-constrain a
+       variable BVE already resolved away; dropping it is always sound
+       (imports are optional) *)
+    && not (Array.exists (fun l -> t.eliminated.(l lsr 1)) lits)
+  then begin
     let lits = Array.to_list lits in
     let lits = List.filter (fun l -> value_lit t l <> -1) lits in
     match lits with
@@ -998,7 +1088,14 @@ let import_clause t (lits, lbd) =
       match propagate t with None -> () | Some _ -> t.ok <- false)
     | _ ->
       let c =
-        { lits = Array.of_list lits; learnt = true; activity = 0.; deleted = false; lbd }
+        {
+          lits = Array.of_list lits;
+          learnt = true;
+          activity = 0.;
+          deleted = false;
+          lbd;
+          vsig = 0;
+        }
       in
       Vec.push t.learnts c;
       attach_clause t c;
@@ -1012,6 +1109,466 @@ let do_import t =
   match t.import with
   | Some f when not (proof_on t) -> List.iter (import_clause t) (f ())
   | _ -> ()
+
+(* -- inprocessing ------------------------------------------------------ *)
+
+(* Clause vivification, occurrence-list (self-)subsumption and bounded
+   variable elimination, run at decision level 0 between restart
+   episodes.  All three are formula transformations independent of any
+   assumptions: derived clauses are implied by the problem clauses
+   alone, so incremental callers (Opt probes, Explain sessions) stay
+   sound.  With a proof sink installed every derived clause is logged
+   (Step_rup) before the clause it replaces is dropped (Step_delete);
+   BVE deletions are deliberately NOT logged — a DRUP checker keeping
+   the originals only gains propagation power, and reintroduction of an
+   eliminated variable then needs no trace event. *)
+
+type simp_stats = {
+  vivified : int;
+  strengthened : int;
+  subsumed : int;
+  eliminated_vars : int;
+  resolvents : int;
+}
+
+let simp_stats t =
+  {
+    vivified = t.n_vivified;
+    strengthened = t.n_strengthened;
+    subsumed = t.n_subsumed;
+    eliminated_vars = t.n_elim;
+    resolvents = t.n_elim_resolvents;
+  }
+
+let freeze t v =
+  if v >= 0 && v < t.nvars then begin
+    reintroduce_var t v;
+    t.frozen.(v) <- true
+  end
+
+let is_frozen t v = v >= 0 && v < t.nvars && t.frozen.(v)
+let is_eliminated t v = v >= 0 && v < t.nvars && t.eliminated.(v)
+let n_eliminated t = t.n_elim
+let set_inprocess_hook t hook = t.inprocess <- hook
+
+(* Is the clause satisfied by the current level-0 assignment? *)
+let satisfied0 t c = Array.exists (fun l -> value_lit t l = 1) c.lits
+
+(* Remove a problem clause from the database, keeping its literals
+   reachable for [fold_clauses] when a proof is being logged. *)
+let remove_problem_clause t ~log c =
+  c.deleted <- true;
+  detach_clause t c;
+  t.lit_count <- t.lit_count - Array.length c.lits;
+  if proof_on t then begin
+    if log then log_step t (Step_delete (Array.copy c.lits));
+    t.graveyard <- Array.copy c.lits :: t.graveyard
+  end
+
+(* Log the clausal form of a PB conflict hit during a probe, so the
+   clause about to be derived from the conflict stays RUP. *)
+let log_probe_conflict t r =
+  if proof_on t then
+    match r with Reason_pb pb -> log_pb_clause t pb (-1) | _ -> ()
+
+(* --- clause vivification --- *)
+
+exception Viv_stop of int list * bool
+(* (kept literals so far, shortened?) *)
+
+(* Probe one clause: assume the negation of its literals one by one.
+   A conflict, or a literal propagated true, closes the clause early;
+   a literal already false drops out.  Either way the surviving
+   literal set is implied by the rest of the formula. *)
+let vivify_clause t c =
+  detach_clause t c;
+  t.probe_logging <- proof_on t;
+  new_decision_level t;
+  let kept, shortened =
+    try
+      let kept = ref [] and dropped = ref false in
+      Array.iter
+        (fun l ->
+          match value_lit t l with
+          | 1 ->
+            (* prefix negation propagated [l]: prefix + l suffices *)
+            raise (Viv_stop (l :: !kept, !dropped || l <> c.lits.(Array.length c.lits - 1)))
+          | -1 -> dropped := true (* redundant literal: drop *)
+          | _ ->
+            kept := l :: !kept;
+            enqueue t (l lxor 1) No_reason;
+            (match propagate t with
+            | Some r ->
+              log_probe_conflict t r;
+              raise (Viv_stop (!kept, !dropped || List.length !kept < Array.length c.lits))
+            | None -> ()))
+        c.lits;
+      (!kept, !dropped)
+    with Viv_stop (kept, s) -> (kept, s)
+  in
+  cancel_until t 0;
+  t.probe_logging <- false;
+  if not shortened then begin
+    attach_clause t c;
+    false
+  end
+  else begin
+    let lits = List.rev kept in
+    if proof_on t then log_step t (Step_rup (Array.of_list lits));
+    (* the original is subsumed by its replacement: deletion is safe *)
+    c.deleted <- true;
+    t.lit_count <- t.lit_count - Array.length c.lits;
+    if proof_on t then begin
+      log_step t (Step_delete (Array.copy c.lits));
+      t.graveyard <- Array.copy c.lits :: t.graveyard
+    end;
+    ignore (add_clause_core t lits);
+    true
+  end
+
+(* Vivify up to [max_probes] literal probes' worth of clauses, round-
+   robin across the database so successive passes cover it all.
+   Returns the number of clauses shortened. *)
+let vivify_pass ?(max_probes = 2000) t =
+  if (not t.ok) || decision_level t <> 0 then 0
+  else
+    match propagate t with
+    | Some r ->
+      t.ok <- false;
+      log_refutation t r;
+      0
+    | None ->
+      let n = Vec.size t.clauses in
+      let probes = ref 0 and changed = ref 0 and scanned = ref 0 in
+      while !probes < max_probes && !scanned < n && t.ok do
+        let i = t.viv_cursor mod max 1 (Vec.size t.clauses) in
+        t.viv_cursor <- t.viv_cursor + 1;
+        incr scanned;
+        if Vec.size t.clauses > 0 then begin
+          let c = Vec.get t.clauses i in
+          if
+            (not c.deleted)
+            && Array.length c.lits >= 2
+            && (not (satisfied0 t c))
+            && not (locked t c)
+          then begin
+            probes := !probes + Array.length c.lits;
+            if vivify_clause t c then begin
+              incr changed;
+              t.n_vivified <- t.n_vivified + 1
+            end
+          end
+        end
+      done;
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.clauses;
+      !changed
+
+(* --- subsumption / self-subsumption --- *)
+
+let clause_sig (lits : int array) =
+  Array.fold_left (fun s l -> s lor (1 lsl (l lsr 1 mod 63))) 0 lits
+
+let mem_lit (lits : int array) l = Array.exists (fun x -> x = l) lits
+
+(* Does [c] subsume [d] outright ([`Sub]), or subsume it modulo one
+   flipped literal [l] (self-subsumption: resolving on [l] strengthens
+   [d] to [d \ {neg l}])? *)
+let subsume_test (c : clause) (d : clause) =
+  let flip = ref (-1) and ok = ref true in
+  Array.iter
+    (fun l ->
+      if !ok && not (mem_lit d.lits l) then
+        if !flip < 0 && mem_lit d.lits (l lxor 1) then flip := l else ok := false)
+    c.lits;
+  if not !ok then `No else if !flip < 0 then `Sub else `Self !flip
+
+let subsume_pass ?(max_checks = 200_000) t =
+  if (not t.ok) || decision_level t <> 0 then 0
+  else begin
+    let changed = ref 0 and checks = ref 0 in
+    let occ = Array.make (max 1 t.nvars) [] in
+    let enroll (c : clause) =
+      c.vsig <- clause_sig c.lits;
+      Array.iter (fun l -> let v = l lsr 1 in occ.(v) <- c :: occ.(v)) c.lits
+    in
+    let queue = Queue.create () in
+    Vec.iter
+      (fun (c : clause) ->
+        if (not c.deleted) && not (satisfied0 t c) then begin
+          enroll c;
+          Queue.add c queue
+        end)
+      t.clauses;
+    (* fewest-occurrences literal of [c] keys the candidate scan *)
+    let best_var (c : clause) =
+      let bv = ref (c.lits.(0) lsr 1) in
+      Array.iter
+        (fun l ->
+          let v = l lsr 1 in
+          if List.length occ.(v) < List.length occ.(!bv) then bv := v)
+        c.lits;
+      !bv
+    in
+    while (not (Queue.is_empty queue)) && !checks < max_checks && t.ok do
+      let c = Queue.pop queue in
+      if (not c.deleted) && not (satisfied0 t c) then begin
+        let cands = occ.(best_var c) in
+        List.iter
+          (fun (d : clause) ->
+            if
+              t.ok && d != c && (not d.deleted)
+              && Array.length d.lits >= Array.length c.lits
+              && c.vsig land d.vsig = c.vsig
+              && not (satisfied0 t d)
+            then begin
+              incr checks;
+              match subsume_test c d with
+              | `No -> ()
+              | `Sub ->
+                remove_problem_clause t ~log:true d;
+                incr changed;
+                t.n_subsumed <- t.n_subsumed + 1
+              | `Self l ->
+                (* d' = d \ {neg l} is the resolvent of c and d on l
+                   and is subsumed-checkable by RUP from both *)
+                let lits =
+                  Array.to_list d.lits |> List.filter (fun x -> x <> l lxor 1)
+                in
+                if proof_on t then log_step t (Step_rup (Array.of_list lits));
+                remove_problem_clause t ~log:true d;
+                incr changed;
+                t.n_strengthened <- t.n_strengthened + 1;
+                (match add_clause_core t lits with
+                | Some d' ->
+                  enroll d';
+                  Queue.add d' queue
+                | None -> ())
+            end)
+          cands
+      end
+    done;
+    Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.clauses;
+    !changed
+  end
+
+(* --- bounded variable elimination --- *)
+
+(* Resolvent of [c] (contains var [v] positively) and [d] (negatively),
+   or [None] if tautological. *)
+let resolve_on v (c : clause) (d : clause) =
+  let lits = ref [] in
+  Array.iter (fun l -> if l lsr 1 <> v then lits := l :: !lits) c.lits;
+  Array.iter (fun l -> if l lsr 1 <> v then lits := l :: !lits) d.lits;
+  let lits = List.sort_uniq Int.compare !lits in
+  let rec taut = function
+    | a :: (b :: _ as rest) -> (a lxor 1 = b && a lsr 1 = b lsr 1) || taut rest
+    | _ -> false
+  in
+  if taut lits then None else Some lits
+
+let bve_pass ?(max_elims = 200) ?(occ_limit = 10) ?(len_limit = 16) t =
+  if (not t.ok) || decision_level t <> 0 then 0
+  else begin
+    let occ_pos = Array.make (max 1 t.nvars) []
+    and occ_neg = Array.make (max 1 t.nvars) [] in
+    let enroll (c : clause) =
+      Array.iter
+        (fun l ->
+          let v = l lsr 1 in
+          if l land 1 = 0 then occ_pos.(v) <- c :: occ_pos.(v)
+          else occ_neg.(v) <- c :: occ_neg.(v))
+        c.lits
+    in
+    Vec.iter
+      (fun (c : clause) ->
+        if (not c.deleted) && not (satisfied0 t c) then enroll c)
+      t.clauses;
+    let eliminated_now = ref [] in
+    let elims = ref 0 in
+    let live c = (not c.deleted) && not (satisfied0 t c) in
+    let v = ref 0 in
+    while !v < t.nvars && !elims < max_elims && t.ok do
+      let var = !v in
+      incr v;
+      if
+        (not t.frozen.(var))
+        && (not t.eliminated.(var))
+        && t.assigns.(var) = 0
+        && Vec.is_empty t.pb_watches.(2 * var)
+        && Vec.is_empty t.pb_watches.((2 * var) + 1)
+      then begin
+        let pos = List.filter live occ_pos.(var)
+        and neg = List.filter live occ_neg.(var) in
+        let np = List.length pos and nn = List.length neg in
+        if np <= occ_limit && nn <= occ_limit && np + nn > 0 then begin
+          (* collect resolvents; bail out on growth or length blowup *)
+          let resolvents = ref [] and count = ref 0 and fits = ref true in
+          List.iter
+            (fun c ->
+              List.iter
+                (fun d ->
+                  if !fits then
+                    match resolve_on var c d with
+                    | None -> ()
+                    | Some lits ->
+                      if List.length lits > len_limit then fits := false
+                      else begin
+                        incr count;
+                        if !count > np + nn then fits := false
+                        else resolvents := lits :: !resolvents
+                      end)
+                neg)
+            pos;
+          if !fits then begin
+            (* stash the originals (unlogged deletions, see above) and
+               install the resolvents *)
+            let stash =
+              List.map
+                (fun (c : clause) ->
+                  let lits = Array.copy c.lits in
+                  remove_problem_clause t ~log:false c;
+                  lits)
+                (pos @ neg)
+            in
+            t.elim_stack <- (var, stash) :: t.elim_stack;
+            t.eliminated.(var) <- true;
+            t.n_elim <- t.n_elim + 1;
+            eliminated_now := var :: !eliminated_now;
+            incr elims;
+            List.iter
+              (fun lits ->
+                if t.ok then begin
+                  if proof_on t then
+                    log_step t (Step_rup (Array.of_list lits));
+                  t.n_elim_resolvents <- t.n_elim_resolvents + 1;
+                  match add_clause_core t lits with
+                  | Some c -> enroll c
+                  | None -> ()
+                end)
+              (List.rev !resolvents)
+          end
+        end
+      end
+    done;
+    (* learnt clauses over an eliminated variable could re-assign it:
+       drop them (their additions were logged, so log the deletions) *)
+    if !eliminated_now <> [] then begin
+      Vec.iter
+        (fun (c : clause) ->
+          if
+            (not c.deleted)
+            && Array.exists (fun l -> t.eliminated.(l lsr 1)) c.lits
+          then begin
+            c.deleted <- true;
+            log_step t (Step_delete (Array.copy c.lits));
+            detach_clause t c
+          end)
+        t.learnts;
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.learnts
+    end;
+    Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.clauses;
+    !elims
+  end
+
+(* Extend a model over the eliminated variables, newest elimination
+   first: each variable is set true exactly when one of its stashed
+   positive-occurrence clauses has every other literal false.  The
+   stashed resolvents guarantee this choice satisfies the negative
+   occurrences too, so the extended model satisfies the original
+   formula. *)
+let extend_model t =
+  let mval l =
+    let b = t.model.(l lsr 1) in
+    if l land 1 = 0 then b else not b
+  in
+  List.iter
+    (fun (v, stash) ->
+      let pos = 2 * v in
+      let forced =
+        List.exists
+          (fun lits ->
+            mem_lit lits pos
+            && Array.for_all (fun l -> l = pos || not (mval l)) lits)
+          stash
+      in
+      t.model.(v) <- forced)
+    t.elim_stack
+
+(* --- lookahead probes (cube splitting) --- *)
+
+type probe_result =
+  | Probe of { pos_gain : int; neg_gain : int }
+      (* trail growth of asserting the variable each way *)
+  | Probe_failed_lit  (* one polarity failed: a unit was learnt *)
+  | Probe_refuted  (* both polarities failed: instance is Unsat *)
+
+(* Probe literal [l] at a fresh decision level; [-1] means conflict. *)
+let probe_lit t l =
+  new_decision_level t;
+  let before = Veci.size t.trail in
+  enqueue t l No_reason;
+  let r =
+    match propagate t with
+    | Some r ->
+      log_probe_conflict t r;
+      -1
+    | None -> Veci.size t.trail - before
+  in
+  cancel_until t 0;
+  r
+
+(* Learn the unit [l] discovered by a failed-literal probe. *)
+let assert_probed_unit t l =
+  if proof_on t then log_step t (Step_rup [| l |]);
+  enqueue t l No_reason;
+  match propagate t with
+  | None -> false
+  | Some r ->
+    t.ok <- false;
+    log_refutation t r;
+    true
+
+let probe_var t v =
+  if (not t.ok) || decision_level t <> 0 || t.assigns.(v) <> 0 || t.eliminated.(v)
+  then Probe { pos_gain = 0; neg_gain = 0 }
+  else begin
+    t.probe_logging <- proof_on t;
+    let finish r =
+      t.probe_logging <- false;
+      r
+    in
+    let pos = probe_lit t (2 * v) in
+    if pos < 0 then begin
+      (* v must be false *)
+      if assert_probed_unit t ((2 * v) + 1) then finish Probe_refuted
+      else finish Probe_failed_lit
+    end
+    else begin
+      let neg = probe_lit t ((2 * v) + 1) in
+      if neg < 0 then
+        if assert_probed_unit t (2 * v) then finish Probe_refuted
+        else finish Probe_failed_lit
+      else finish (Probe { pos_gain = pos; neg_gain = neg })
+    end
+  end
+
+(* Is [v] assigned (at any level)?  The cube splitter uses this to
+   drop encoder-hinted variables the presolve already fixed. *)
+let is_assigned t v = v >= 0 && v < t.nvars && t.assigns.(v) <> 0
+
+(* The [n] unassigned, uneliminated variables of highest VSIDS
+   activity — the cube splitter's fallback candidates when the encoder
+   supplied no decision hints. *)
+let top_vars t n =
+  let act = !(t.activity) in
+  let cands = ref [] in
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) = 0 && not t.eliminated.(v) then cands := v :: !cands
+  done;
+  let sorted =
+    List.sort (fun a b -> Float.compare act.(b) act.(a)) !cands
+  in
+  List.filteri (fun i _ -> i < n) sorted
 
 (* Progress telemetry, polled at the budget-checkpoint cadence and once
    at the end of a solve.  The guard is one atomic load when
@@ -1078,6 +1635,10 @@ let solve_main ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
       t.core <- Some [||];
       Unsat
     | None ->
+      (* assumption variables must keep their input meaning across this
+         and future solves: freeze them (reintroducing any that BVE
+         already eliminated) before inprocessing can run *)
+      List.iter (fun l -> freeze t (l lsr 1)) assumptions;
       let assumptions = Array.of_list assumptions in
       t.max_learnts <-
         max 1000. (float_of_int (Vec.size t.clauses + Vec.size t.pbs) /. 3.);
@@ -1125,8 +1686,10 @@ let solve_main ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
         let i = ref 0 in
         while !result = Unknown && !conflicts_left > 0 && not (stopped ()) do
           (* between episodes the trail is at level 0: adopt clauses
-             shared by other portfolio workers, if any *)
+             shared by other portfolio workers, if any, and give the
+             inprocessing hook (scheduled by [Inprocess]) its slot *)
           do_import t;
+          (match t.inprocess with Some f when t.ok -> f t | _ -> ());
           if not t.ok then result := Unsat
           else begin
             let limit = min !conflicts_left (t.restart_first * Luby.get !i) in
@@ -1147,7 +1710,10 @@ let solve_main ?(assumptions = []) ?(max_conflicts = max_int) ?budget t =
           if Array.length t.model < t.nvars then t.model <- Array.make t.nvars false;
           for v = 0 to t.nvars - 1 do
             t.model.(v) <- t.assigns.(v) = 1
-          done
+          done;
+          (* BVE-eliminated variables are unassigned: extend the model
+             over them so [model_value] answers for the full formula *)
+          if t.elim_stack <> [] then extend_model t
         | Unsat ->
           (* Unsat without a recorded failed-assumption core means the
              instance itself is inconsistent (level-0 conflict or a
@@ -1192,12 +1758,25 @@ let unsat_core t =
 
 (* -- constraint database inspection ------------------------------------ *)
 
-(* Fold over the problem clauses (not learnt ones), as literal lists. *)
+(* Fold over the problem clauses (not learnt ones), as literal lists.
+   Includes clauses retired by inprocessing: BVE-stashed originals keep
+   the fold equivalent to the input formula (resolvents alone only
+   preserve satisfiability), and the proof graveyard keeps it a
+   superset of every clause a logged trace may reference. *)
 let fold_clauses f acc t =
-  Vec.fold
-    (fun acc (c : clause) ->
-      if c.deleted then acc else f acc (Array.to_list c.lits))
-    acc t.clauses
+  let acc =
+    Vec.fold
+      (fun acc (c : clause) ->
+        if c.deleted then acc else f acc (Array.to_list c.lits))
+      acc t.clauses
+  in
+  let acc =
+    List.fold_left
+      (fun acc (_, stash) ->
+        List.fold_left (fun acc lits -> f acc (Array.to_list lits)) acc stash)
+      acc t.elim_stack
+  in
+  List.fold_left (fun acc lits -> f acc (Array.to_list lits)) acc t.graveyard
 
 (* Fold over the PB constraints as (pairs, degree) in >=-form. *)
 let fold_pbs f acc t =

@@ -166,10 +166,103 @@ val ok : t -> bool
 val set_export_hook : t -> (Lit.t array -> lbd:int -> unit) option -> unit
 val set_import_hook : t -> (unit -> (Lit.t array * int) list) option -> unit
 
+(** {1 Inprocessing}
+
+    Formula simplification between restart episodes: clause
+    vivification, occurrence-list subsumption/self-subsumption and
+    bounded variable elimination (BVE).  The passes are exposed
+    individually; {!Inprocess} schedules them behind
+    {!set_inprocess_hook}.  All three only derive clauses implied by
+    the problem clauses alone, so they are sound under incremental use
+    with arbitrary assumptions.  With a proof sink installed, derived
+    clauses are logged before the clauses they replace are deleted;
+    BVE stashes (rather than logs deletion of) the original clauses of
+    an eliminated variable, so a DRUP checker keeps them and variable
+    {e reintroduction} needs no trace event.
+
+    Frozen variables are exempt from elimination.  Assumption
+    variables are frozen automatically by {!solve}; adding a clause or
+    PB constraint (or assuming a literal) over an already-eliminated
+    variable transparently reintroduces it: the stashed clauses rejoin
+    the database and the variable is frozen from then on.  After a
+    [Sat] answer the model is extended over eliminated variables, so
+    {!model_value} always answers for the full original formula. *)
+
+val freeze : t -> int -> unit
+(** Exempt a variable from elimination (reintroducing it first if a
+    previous pass eliminated it).  Freezing is permanent. *)
+
+val is_frozen : t -> int -> bool
+val is_eliminated : t -> int -> bool
+
+val n_eliminated : t -> int
+(** Number of currently eliminated variables. *)
+
+val vivify_pass : ?max_probes:int -> t -> int
+(** Probe clauses under the negation of their own literals, shortening
+    those that close early; round-robins across the database.  Returns
+    the number of clauses shortened. *)
+
+val subsume_pass : ?max_checks:int -> t -> int
+(** Occurrence-list backward subsumption and self-subsumption over the
+    problem clauses.  Returns the number of clauses removed or
+    strengthened. *)
+
+val bve_pass : ?max_elims:int -> ?occ_limit:int -> ?len_limit:int -> t -> int
+(** Bounded variable elimination: resolve away unfrozen clause-only
+    variables whose elimination does not grow the formula.  Returns the
+    number of variables eliminated. *)
+
+type simp_stats = {
+  vivified : int;
+  strengthened : int;
+  subsumed : int;
+  eliminated_vars : int;  (** currently eliminated (reintroduction deducts) *)
+  resolvents : int;
+}
+
+val simp_stats : t -> simp_stats
+(** Cumulative inprocessing counters. *)
+
+val set_inprocess_hook : t -> (t -> unit) option -> unit
+(** Install a hook invoked at decision level 0 between restart
+    episodes, the canonical slot for running the passes above (see
+    {!Inprocess}). *)
+
+(** {1 Lookahead probes}
+
+    Support for cube-and-conquer splitting: score candidate decision
+    variables by the unit-propagation consequences of each polarity. *)
+
+type probe_result =
+  | Probe of { pos_gain : int; neg_gain : int }
+      (** trail growth from asserting the variable true / false *)
+  | Probe_failed_lit
+      (** one polarity hit a conflict: the complementary unit was
+          learnt (and logged), strengthening the instance *)
+  | Probe_refuted  (** both polarities conflict: the instance is Unsat *)
+
+val probe_var : t -> int -> probe_result
+(** Probe both polarities of an unassigned variable at decision level
+    0.  May only be called between [solve] calls. *)
+
+val is_assigned : t -> int -> bool
+(** Is the variable currently assigned (at any decision level)?
+    Out-of-range variables count as unassigned. *)
+
+val top_vars : t -> int -> int list
+(** The [n] unassigned, uneliminated variables of highest VSIDS
+    activity, most active first. *)
+
 (** {1 Constraint database inspection} *)
 
 val fold_clauses : ('a -> Lit.t list -> 'a) -> 'a -> t -> 'a
-(** Fold over the problem clauses (learnt clauses excluded). *)
+(** Fold over the problem clauses (learnt clauses excluded).  Clauses
+    retired by inprocessing are included — BVE-stashed originals keep
+    the fold logically equivalent to the input formula, and
+    proof-graveyard clauses keep it a superset of everything a logged
+    trace references — so handing the fold to {!Taskalloc_proof.Proof}
+    as "the formula" stays sound. *)
 
 val fold_pbs : ('a -> (int * Lit.t) list * int -> 'a) -> 'a -> t -> 'a
 (** Fold over the PB constraints in normalized [>=] form. *)

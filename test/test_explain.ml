@@ -319,6 +319,49 @@ let test_whatif_cache_bounded () =
   | _ -> Alcotest.fail "deadline below the WCET must stay infeasible");
   Alcotest.(check int) "queries counted" 152 (Explain.Whatif.queries w)
 
+let inprocess_opts =
+  { Encode.default_options with Encode.inprocess = Some true }
+
+let test_explain_inprocessing () =
+  (* frozen-variable regression: group selectors are assumption
+     variables, so BVE must leave them standing for the MUS machinery
+     to keep its meaning.  The diagnosis must match the default
+     encoding's unique MUS exactly. *)
+  let problem = overconstrained () in
+  let report = Explain.explain ~options:inprocess_opts problem in
+  (match report.Explain.status with
+  | Explain.Explained { minimal; _ } ->
+    Alcotest.(check bool) "minimal" true minimal
+  | _ -> Alcotest.fail "expected Explained");
+  let default = Explain.explain problem in
+  Alcotest.(check (list string))
+    "same MUS as without inprocessing"
+    (List.sort compare (core_ids default.Explain.status))
+    (List.sort compare (core_ids report.Explain.status))
+
+let test_whatif_inprocessing () =
+  (* a long-lived what-if session with passes active: deadline deltas
+     reify against response-time terms whose variables the session
+     names later, so elimination must never invalidate a cached bit *)
+  let problem = feasible_problem () in
+  let w = Explain.Whatif.create ~options:inprocess_opts problem in
+  (match Explain.Whatif.query w [] with
+  | Explain.Whatif.Feasible { relaxed; _ } ->
+    Alcotest.(check bool) "baseline not relaxed" false relaxed
+  | _ -> Alcotest.fail "baseline should be feasible");
+  let tighten task = Explain.Whatif.Set_deadline { task; deadline = 15 } in
+  (match Explain.Whatif.query w [ tighten 0; tighten 1; tighten 2 ] with
+  | Explain.Whatif.Infeasible { deltas; _ } ->
+    Alcotest.(check bool) "tightenings blamed in core" true (deltas <> [])
+  | _ -> Alcotest.fail "three tightened deadlines should be infeasible");
+  (match Explain.Whatif.query w [ tighten 0 ] with
+  | Explain.Whatif.Feasible _ -> ()
+  | _ -> Alcotest.fail "one tightened deadline should stay feasible");
+  (* and the baseline still answers after the detours *)
+  match Explain.Whatif.query w [] with
+  | Explain.Whatif.Feasible _ -> ()
+  | _ -> Alcotest.fail "baseline must stay feasible"
+
 let test_parse_deltas () =
   let problem = overconstrained () in
   let ok s =
@@ -403,6 +446,8 @@ let suite =
     Alcotest.test_case "whatif deadline deltas" `Quick test_whatif_deadline_delta;
     Alcotest.test_case "whatif deadline-bit cache stays bounded" `Quick
       test_whatif_cache_bounded;
+    Alcotest.test_case "explain with inprocessing" `Quick test_explain_inprocessing;
+    Alcotest.test_case "whatif with inprocessing" `Quick test_whatif_inprocessing;
     Alcotest.test_case "parse deltas" `Quick test_parse_deltas;
     QCheck_alcotest.to_alcotest prop_explained_cores_check;
   ]

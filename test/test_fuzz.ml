@@ -88,6 +88,21 @@ let test_disruption_campaign_parallel () =
     && a.Fuzz.d_irreparable = b.Fuzz.d_irreparable
     && a.Fuzz.d_events = b.Fuzz.d_events)
 
+let test_inprocess_campaign () =
+  (* differential: each case solved with and without the inprocessing
+     passes must agree, inprocessed Unsat traces must certify, and the
+     allocation legs must reach identical proven optima (the
+     frozen-variable interface end to end) *)
+  let report = Fuzz.run_inprocess ~iters:20 ~seed:11 () in
+  Alcotest.(check int) "all iterations ran" 20 report.Fuzz.i_iters;
+  Alcotest.(check bool) "both polarities exercised" true
+    (report.Fuzz.i_sat > 0 && report.Fuzz.i_unsat > 0);
+  Alcotest.(check int) "every inprocessed unsat trace certified"
+    report.Fuzz.i_unsat report.Fuzz.i_certified;
+  Alcotest.(check bool) "allocation legs exercised" true
+    (report.Fuzz.i_alloc_solved > 0);
+  Alcotest.(check (list string)) "no discrepancies" [] report.Fuzz.i_failures
+
 let suite =
   [
     Alcotest.test_case "generator determinism" `Quick test_determinism;
@@ -105,4 +120,6 @@ let suite =
       test_disruption_campaign;
     Alcotest.test_case "disruption campaign over 2 domains" `Slow
       test_disruption_campaign_parallel;
+    Alcotest.test_case "inprocessing differential campaign" `Slow
+      test_inprocess_campaign;
   ]

@@ -133,6 +133,27 @@ let test_pb_trace_accepted () =
   Alcotest.(check bool) "pb trace certified" true (Proof.check ~pbs cnf (trace ()));
   Alcotest.(check bool) "pb trace needs the pbs" false (Proof.check cnf (trace ()))
 
+let test_inprocessing_trace_accepted () =
+  (* vivification/subsumption/BVE rewrite the clause database mid-solve;
+     every derived clause and deletion must be DRUP-logged so the
+     accumulated trace is still one valid refutation of the input *)
+  let cnf = php_cnf ~pigeons:5 ~holes:4 in
+  let s, trace = recording_solver cnf in
+  Inprocess.install ~every:16 s;
+  Alcotest.check check_result "php(5,4) unsat with passes active" Solver.Unsat
+    (Solver.solve s);
+  Alcotest.(check bool) "inprocessed trace certified" true
+    (Proof.check cnf (trace ()))
+
+let test_run_passes_trace_accepted () =
+  (* an explicit preprocessing round before search composes the same way *)
+  let cnf = php_cnf ~pigeons:4 ~holes:3 in
+  let s, trace = recording_solver cnf in
+  ignore (Inprocess.run_passes s);
+  Alcotest.check check_result "unsat after explicit passes" Solver.Unsat
+    (Solver.solve s);
+  Alcotest.(check bool) "trace certified" true (Proof.check cnf (trace ()))
+
 let test_serialization_roundtrips () =
   let hand =
     [
@@ -175,6 +196,10 @@ let suite =
     Alcotest.test_case "200 random unsat traces" `Slow test_random_unsat_traces_accepted;
     Alcotest.test_case "budget interrupt + resume" `Quick test_budget_interrupted_resume_certified;
     Alcotest.test_case "pb trace accepted" `Quick test_pb_trace_accepted;
+    Alcotest.test_case "inprocessing trace accepted" `Quick
+      test_inprocessing_trace_accepted;
+    Alcotest.test_case "run_passes trace accepted" `Quick
+      test_run_passes_trace_accepted;
     Alcotest.test_case "serialization roundtrips" `Quick test_serialization_roundtrips;
     Alcotest.test_case "text format" `Quick test_text_format;
   ]

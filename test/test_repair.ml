@@ -128,6 +128,26 @@ let test_ecu_failure_warm_lazy () =
   | Repair.Repaired _ -> Alcotest.fail "second failure must be irreparable"
   | Repair.Unknown -> Alcotest.fail "unbudgeted repair cannot pause"
 
+let test_ecu_failure_warm_inprocessing () =
+  (* frozen-variable regression: the warm path disables ECUs purely by
+     assumption, so with inprocessing active the selector variables
+     must stay frozen — an eliminated selector would silently strip the
+     failure from later solve calls *)
+  let problem = spread_problem () in
+  let options = { Encode.default_options with Encode.inprocess = Some true } in
+  let st = Repair.create ~options problem (placed problem [| 0; 1; 2 |]) in
+  let r = repaired (Repair.repair st (Repair.Ecu_failure { ecu = 2 })) in
+  Alcotest.(check bool) "warm with passes active" true r.warm;
+  Alcotest.(check bool) "optimal" true r.optimal;
+  Alcotest.(check int) "exactly the evicted task migrates" 1
+    (List.length r.migrations);
+  Alcotest.(check int) "analyzer clean" 0 r.check_violations;
+  match Repair.repair st (Repair.Ecu_failure { ecu = 1 }) with
+  | Repair.Irreparable _ -> ()
+  | Repair.Repaired _ ->
+    Alcotest.fail "second failure must stay irreparable: both failure assumptions in force"
+  | Repair.Unknown -> Alcotest.fail "unbudgeted repair cannot pause"
+
 let test_mild_overrun_zero_migrations () =
   let problem = spread_problem () in
   let st = Repair.create problem (placed problem [| 0; 1; 2 |]) in
@@ -510,6 +530,8 @@ let suite =
       test_ecu_failure_warm;
     Alcotest.test_case "ECU failure: warm repair over lazy encoding" `Quick
       test_ecu_failure_warm_lazy;
+    Alcotest.test_case "ECU failure: warm repair with inprocessing" `Quick
+      test_ecu_failure_warm_inprocessing;
     Alcotest.test_case "mild overrun: zero migrations" `Quick
       test_mild_overrun_zero_migrations;
     Alcotest.test_case "fatal overrun: irreparable at uniform criticality"

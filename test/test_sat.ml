@@ -646,6 +646,168 @@ let test_order_heap () =
   Alcotest.(check int) "bumped to top" 0 (Order_heap.remove_max h);
   Alcotest.(check bool) "in_heap" false (Order_heap.in_heap h 0)
 
+(* --- inprocessing: vivification, subsumption, BVE, the scheduler --- *)
+
+let test_vivify_pass () =
+  (* [~a; ~b; c] closes early under its own probes: asserting a
+     propagates b through [~a; b], falsifying the ~b literal, so the
+     clause shortens to [~a; c].  Added first so the probe sees its
+     literals in input order (watch maintenance on the other clause's
+     probe would reorder them past the propagation). *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ nlit a; nlit b; lit c ];
+  Solver.add_clause s [ nlit a; lit b ];
+  let lits_before = Solver.n_literals s in
+  Alcotest.(check bool) "a clause shortened" true (Solver.vivify_pass s >= 1);
+  Alcotest.(check bool) "fewer problem literals" true
+    (Solver.n_literals s < lits_before);
+  Alcotest.check check_result "a forces c" Solver.Sat
+    (Solver.solve ~assumptions:[ lit a ] s);
+  Alcotest.(check bool) "c true under a" true (Solver.model_value s (lit c));
+  Alcotest.check check_result "a & ~c refuted" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit a; nlit c ] s)
+
+let test_vivify_preserves_unsat () =
+  let s = pigeonhole_solver 6 in
+  ignore (Solver.vivify_pass s);
+  Alcotest.check check_result "php(6,5) still unsat" Solver.Unsat (Solver.solve s)
+
+let test_subsume_pass () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ lit a; lit b ];
+  Solver.add_clause s [ lit a; lit b; lit c ] (* subsumed by the above *);
+  Solver.add_clause s [ nlit a; lit c ];
+  let before = Solver.n_clauses s in
+  Alcotest.(check bool) "a clause removed or strengthened" true
+    (Solver.subsume_pass s >= 1);
+  Alcotest.(check bool) "formula shrank" true (Solver.n_clauses s < before);
+  Alcotest.check check_result "still sat" Solver.Sat (Solver.solve s);
+  let v l = Solver.model_value s l in
+  Alcotest.(check bool) "original clauses hold" true
+    ((v (lit a) || v (lit b)) && ((not (v (lit a))) || v (lit c)))
+
+let test_self_subsumption () =
+  (* resolving [a; b] against [a; ~b; c] on b strengthens the latter to
+     [a; c]: afterwards ~a propagates c directly *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ lit a; lit b ];
+  Solver.add_clause s [ lit a; nlit b; lit c ];
+  ignore (Solver.subsume_pass s);
+  Alcotest.check check_result "~a sat" Solver.Sat
+    (Solver.solve ~assumptions:[ nlit a ] s);
+  Alcotest.(check bool) "~a forces b" true (Solver.model_value s (lit b));
+  Alcotest.check check_result "~a & ~c refuted" Solver.Unsat
+    (Solver.solve ~assumptions:[ nlit a; nlit c ] s)
+
+let test_bve_pass () =
+  (* x is a pure connective between a and b; resolving its two clauses
+     gives [a; b], strictly smaller, so elimination fires.  The model
+     must still be answered over the full original formula. *)
+  let s = Solver.create () in
+  let x = Solver.new_var s and a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit x; lit a ];
+  Solver.add_clause s [ nlit x; lit b ];
+  Alcotest.(check bool) "eliminated something" true (Solver.bve_pass s >= 1);
+  Alcotest.(check bool) "eliminations counted" true (Solver.n_eliminated s >= 1);
+  Alcotest.check check_result "sat" Solver.Sat (Solver.solve s);
+  let v l = Solver.model_value s l in
+  Alcotest.(check bool) "model extends over eliminated vars" true
+    ((v (lit x) || v (lit a)) && ((not (v (lit x))) || v (lit b)))
+
+let test_bve_respects_freeze () =
+  let s = Solver.create () in
+  let x = Solver.new_var s and a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit x; lit a ];
+  Solver.add_clause s [ nlit x; lit b ];
+  List.iter (Solver.freeze s) [ x; a; b ];
+  Alcotest.(check int) "nothing eliminated" 0 (Solver.bve_pass s);
+  Alcotest.(check bool) "x frozen" true (Solver.is_frozen s x);
+  Alcotest.(check bool) "x not eliminated" false (Solver.is_eliminated s x)
+
+let test_bve_reintroduce_on_assume () =
+  (* naming an eliminated variable in an assumption must transparently
+     reintroduce its stashed clauses and freeze it from then on *)
+  let s = Solver.create () in
+  let x = Solver.new_var s and a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit x; lit a ];
+  Solver.add_clause s [ nlit x; lit b ];
+  Alcotest.(check bool) "x eliminated" true
+    (Solver.bve_pass s >= 1 && Solver.n_eliminated s >= 1);
+  Alcotest.check check_result "assume x" Solver.Sat
+    (Solver.solve ~assumptions:[ lit x ] s);
+  Alcotest.(check bool) "stashed clause re-enforced: x -> b" true
+    (Solver.model_value s (lit b));
+  Alcotest.check check_result "x & ~b refuted by stashed clause" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit x; nlit b ] s);
+  Alcotest.(check bool) "x frozen after naming" true (Solver.is_frozen s x)
+
+let test_inprocess_install_unsat () =
+  let s = pigeonhole_solver 7 in
+  Inprocess.install ~every:16 s;
+  Alcotest.check check_result "php(7,6) unsat with passes active" Solver.Unsat
+    (Solver.solve s)
+
+let test_inprocess_install_sat () =
+  (* an implication chain with redundant long clauses: the passes may
+     rewrite the formula but the unique model must survive *)
+  let s = Solver.create () in
+  let vs = Array.init 12 (fun _ -> Solver.new_var s) in
+  for i = 0 to 10 do
+    Solver.add_clause s [ nlit vs.(i); lit vs.(i + 1) ]
+  done;
+  Solver.add_clause s [ lit vs.(0) ];
+  Solver.add_clause s [ nlit vs.(0); lit vs.(11); lit vs.(5) ];
+  Solver.add_clause s [ nlit vs.(2); lit vs.(7); lit vs.(9) ];
+  Inprocess.install ~every:16 s;
+  Alcotest.check check_result "chain sat" Solver.Sat (Solver.solve s);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "x%d true" i)
+        true
+        (Solver.model_value s (lit v)))
+    vs
+
+let test_inprocess_run_passes () =
+  (* run_passes fires all three immediately and reports the work *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  let x = Solver.new_var s in
+  Solver.add_clause s [ lit a; lit b ];
+  Solver.add_clause s [ lit a; lit b; lit c ] (* subsumed *);
+  Solver.add_clause s [ lit x; lit c ];
+  Solver.add_clause s [ nlit x; lit a ] (* x eliminable *);
+  Alcotest.(check bool) "changes reported" true (Inprocess.run_passes s > 0);
+  Alcotest.check check_result "still sat" Solver.Sat (Solver.solve s);
+  let v l = Solver.model_value s l in
+  Alcotest.(check bool) "all original clauses hold" true
+    ((v (lit a) || v (lit b))
+    && (v (lit a) || v (lit b) || v (lit c))
+    && (v (lit x) || v (lit c))
+    && ((not (v (lit x))) || v (lit a)))
+
+let test_inprocess_incremental_assumptions () =
+  (* frozen-variable interface under incremental use: variables named
+     in assumptions must keep their meaning across calls even at an
+     aggressive cadence *)
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s and z = Solver.new_var s in
+  Solver.add_clause s [ nlit x; lit y ];
+  Solver.add_clause s [ nlit y; lit z ];
+  Inprocess.install ~every:1 s;
+  Alcotest.check check_result "x sat" Solver.Sat (Solver.solve ~assumptions:[ lit x ] s);
+  Alcotest.(check bool) "x forces z" true (Solver.model_value s (lit z));
+  Alcotest.check check_result "~z sat" Solver.Sat
+    (Solver.solve ~assumptions:[ nlit z ] s);
+  Alcotest.(check bool) "~z forces ~x" false (Solver.model_value s (lit x));
+  Alcotest.check check_result "x & ~z unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ lit x; nlit z ] s);
+  Alcotest.(check bool) "core mentions the assumptions" true
+    (Solver.unsat_core s <> [])
+
 let suite =
   [
     Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
@@ -681,6 +843,19 @@ let suite =
     Alcotest.test_case "vec" `Quick test_vec_operations;
     Alcotest.test_case "veci" `Quick test_veci_operations;
     Alcotest.test_case "order heap" `Quick test_order_heap;
+    Alcotest.test_case "vivify pass" `Quick test_vivify_pass;
+    Alcotest.test_case "vivify preserves unsat" `Quick test_vivify_preserves_unsat;
+    Alcotest.test_case "subsume pass" `Quick test_subsume_pass;
+    Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+    Alcotest.test_case "bve pass" `Quick test_bve_pass;
+    Alcotest.test_case "bve respects freeze" `Quick test_bve_respects_freeze;
+    Alcotest.test_case "bve reintroduce on assume" `Quick
+      test_bve_reintroduce_on_assume;
+    Alcotest.test_case "inprocess install unsat" `Quick test_inprocess_install_unsat;
+    Alcotest.test_case "inprocess install sat" `Quick test_inprocess_install_sat;
+    Alcotest.test_case "inprocess run_passes" `Quick test_inprocess_run_passes;
+    Alcotest.test_case "inprocess incremental assumptions" `Quick
+      test_inprocess_incremental_assumptions;
     QCheck_alcotest.to_alcotest prop_matches_brute_force;
     QCheck_alcotest.to_alcotest prop_pb_matches_brute_force;
     QCheck_alcotest.to_alcotest prop_unsat_core_valid;
