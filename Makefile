@@ -1,4 +1,4 @@
-.PHONY: all build test check bench coverage clean
+.PHONY: all build test check ci bench coverage clean
 
 all: build
 
@@ -8,9 +8,12 @@ build:
 test:
 	dune runtest
 
-# full CI gate: typecheck, build, tests, format (when available), CLI smoke
+# full CI gate: typecheck, build, tests, format (when available), CLI
+# and daemon smokes
 check:
 	sh bin/ci.sh
+
+ci: check
 
 bench:
 	dune exec bench/main.exe -- quick

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table1       -- a single experiment
      (experiments: table1 table2 table3 table4 fig1
                    ablation-incremental ablation-encoding ablation-pb
-                   anytime portfolio explain repair cegar micro)
+                   anytime portfolio explain repair cegar daemon micro)
 
    Paper numbers are printed next to ours.  Absolute values differ —
    the workload is a synthetic stand-in for [5]'s task set (DESIGN.md
@@ -1328,6 +1328,167 @@ let micro () =
 
 (* ---- driver ----------------------------------------------------------------- *)
 
+(* ---- taskallocd: warm sessions vs fresh re-encode over the wire ------- *)
+
+(* The serving-layer claim: a resident session makes the incremental
+   what-if wins of BENCH_explain.json survive the protocol.  Warm = one
+   [open] then Q delta queries against the live session; fresh = every
+   query pays its own [open] (cache disabled, so the encode really
+   reruns) and [close].  Both sides cross the same socket, so protocol
+   overhead cancels.  Plus a sustained-throughput row: 4 concurrent
+   clients on distinct sessions at a fixed deadline, requests/s, with
+   cores_available recorded per the portfolio bench's honest-gate
+   convention. *)
+let daemon_bench ~quick () =
+  let module Server = Taskalloc_server.Server in
+  let module Client = Taskalloc_server.Client in
+  let module Json = Taskalloc_server.Json in
+  section "allocation service: warm sessions vs fresh re-encode";
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taskallocd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    { Server.default_config with Server.listen = `Unix sock; Server.workers = 4 }
+  in
+  let server = Server.create cfg in
+  let serving = Domain.spawn (fun () -> Server.run server) in
+  let listen = `Unix sock in
+  let req c fields =
+    let resp = Client.request c (Json.Obj fields) in
+    (match Json.to_bool (Json.member "ok" resp) with
+    | Some true -> ()
+    | _ -> Fmt.failwith "daemon bench: request failed: %s" (Json.to_string resp));
+    resp
+  in
+  let wname, problem =
+    if quick then ("tasks12", Workloads.task_scaling ~n:12 ())
+    else ("tindell43", Workloads.tindell43 ())
+  in
+  ignore problem;
+  let open_session ?(cache = true) c =
+    let resp =
+      req c
+        [
+          ("kind", Json.Str "open");
+          ("workload", Json.Str wname);
+          ("seed", Json.Int 42);
+          ("cache", Json.Bool cache);
+        ]
+    in
+    match Json.to_str (Json.member "session" resp) with
+    | Some sid -> sid
+    | None -> Fmt.failwith "daemon bench: open returned no session"
+  in
+  (* deadline tightenings, mirroring the explain bench's query mix *)
+  let tasks = problem.Model.tasks in
+  let queries =
+    List.init
+      (min (if quick then 4 else 6) (Array.length tasks))
+      (fun i ->
+        Printf.sprintf "deadline %s %d" tasks.(i).Model.task_name
+          (tasks.(i).Model.deadline - 1))
+  in
+  let whatif c sid q =
+    ignore
+      (req c
+         [
+           ("kind", Json.Str "whatif");
+           ("session", Json.Str sid);
+           ("deltas", Json.Str q);
+         ])
+  in
+  let close c sid =
+    ignore (req c [ ("kind", Json.Str "close"); ("session", Json.Str sid) ])
+  in
+  let c = Client.connect listen in
+  (* warm: the session (and its encode) stays resident across queries *)
+  let (), warm_s =
+    time (fun () ->
+        let sid = open_session c in
+        List.iter (whatif c sid) queries;
+        close c sid)
+  in
+  (* fresh: every query pays open (cache off => full re-encode) + close *)
+  let (), fresh_s =
+    time (fun () ->
+        List.iter
+          (fun q ->
+            let sid = open_session ~cache:false c in
+            whatif c sid q;
+            close c sid)
+          queries)
+  in
+  Client.close c;
+  let speedup = fresh_s /. Float.max warm_s 1e-6 in
+  Fmt.pr "  %s, %d queries over the socket: warm %a   fresh %a   speedup %.2fx@."
+    wname (List.length queries) pp_time warm_s pp_time fresh_s speedup;
+  if quick then Fmt.pr "  shape check: skipped (quick mode)@."
+  else if speedup >= 2. then
+    Fmt.pr "  shape check: warm sessions >= 2x fresh re-encode  OK@."
+  else Fmt.pr "  shape check: VIOLATED: speedup %.2fx < 2x@." speedup;
+  (* sustained throughput: 4 concurrent clients, distinct sessions,
+     every request deadline-bounded *)
+  let n_clients = 4 in
+  let per_client = if quick then 6 else 12 in
+  let deadline_ms = 250 in
+  let (), wall_s =
+    time (fun () ->
+        let client k =
+          let c = Client.connect listen in
+          let sid = open_session ~cache:false c in
+          for i = 0 to per_client - 1 do
+            ignore k;
+            let q = List.nth queries (i mod List.length queries) in
+            ignore
+              (req c
+                 [
+                   ("kind", Json.Str "whatif");
+                   ("session", Json.Str sid);
+                   ("deltas", Json.Str q);
+                   ("deadline_ms", Json.Int deadline_ms);
+                 ])
+          done;
+          close c sid;
+          Client.close c
+        in
+        List.init n_clients (fun k -> Domain.spawn (fun () -> client k))
+        |> List.iter Domain.join)
+  in
+  let n_requests = n_clients * per_client in
+  let rps = float n_requests /. Float.max wall_s 1e-6 in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr
+    "  throughput: %d clients x %d requests at %dms deadline: %.1f req/s (%d \
+     cores available)@."
+    n_clients per_client deadline_ms rps cores;
+  Server.stop server;
+  Domain.join serving;
+  let path =
+    Bench_json.write ~experiment:"daemon"
+      (Bench_json.Obj
+         [
+           ("workload", Bench_json.Str wname);
+           ("queries", Bench_json.Int (List.length queries));
+           ("warm_s", Bench_json.Float warm_s);
+           ("fresh_s", Bench_json.Float fresh_s);
+           ("speedup", Bench_json.Float speedup);
+           ("shape_ok", Bench_json.Bool (quick || speedup >= 2.));
+           ( "throughput",
+             Bench_json.Obj
+               [
+                 ("clients", Bench_json.Int n_clients);
+                 ("requests", Bench_json.Int n_requests);
+                 ("deadline_ms", Bench_json.Int deadline_ms);
+                 ("wall_s", Bench_json.Float wall_s);
+                 ("requests_per_s", Bench_json.Float rps);
+                 ("cores_available", Bench_json.Int cores);
+               ] );
+         ])
+  in
+  Fmt.pr "  wrote %s@." path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   let quick = List.mem "quick" args in
@@ -1348,6 +1509,7 @@ let () =
       ("repair", fun () -> repair_bench ~quick ());
       ("cegar", fun () -> cegar ~quick ());
       ("obs", fun () -> obs_overhead ~quick ());
+      ("daemon", fun () -> daemon_bench ~quick ());
       ("micro", fun () -> micro ());
     ]
   in

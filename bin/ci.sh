@@ -365,6 +365,83 @@ echo "$out" | grep -q "shape check: .*OK" || {
 [ -s BENCH_cegar.json ] || {
     echo "FAIL: BENCH_cegar.json not written"; exit 1; }
 
+# ---- allocation-as-a-service daemon --------------------------------------
+
+# taskallocd end to end over a Unix socket: open -> solve -> whatif ->
+# repair -> stats -> close, all ok:true; then admission control
+# (deadline-bounded and zero-budget requests answered, never hung) and
+# a clean SIGTERM drain that removes the socket file.  The binaries
+# are driven directly from _build (already built above) so the timing
+# assertion is not polluted by dune startup.
+echo "== daemon smoke: taskallocd over a Unix socket =="
+TAD=_build/default/bin/taskallocd.exe
+TAC=_build/default/bin/taskalloc.exe
+dsock=$(mktemp -u /tmp/ci-taskallocd-XXXXXX.sock)
+"$TAD" --socket "$dsock" --workers 2 &
+dpid=$!
+i=0
+while [ ! -S "$dsock" ]; do
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "FAIL: daemon socket never appeared"; exit 1; }
+    sleep 0.1
+done
+out=$("$TAC" client --socket "$dsock" \
+    -r '{"kind":"open","id":1,"problem_file":"examples/fleet.prob"}' \
+    -r '{"kind":"solve","id":2,"session":"s1","objective":"trt"}' \
+    -r '{"kind":"whatif","id":3,"session":"s1","deltas":"pin brake-ctrl 0"}' \
+    -r '{"kind":"repair","id":4,"session":"s1","event":"fail-ecu 2"}' \
+    -r '{"kind":"stats","id":5}' \
+    -r '{"kind":"close","id":6,"session":"s1"}') || {
+    echo "FAIL: daemon session round-trip had an error response"
+    echo "$out"; kill "$dpid" 2>/dev/null; exit 1; }
+echo "$out" | grep -q '"outcome":"solved"' || {
+    echo "FAIL: daemon solve did not solve"; echo "$out"; exit 1; }
+echo "$out" | grep -q '"status":"repaired"' || {
+    echo "FAIL: daemon repair did not repair"; echo "$out"; exit 1; }
+echo "$out" | grep -q '"requests":' || {
+    echo "FAIL: daemon stats missing counters"; echo "$out"; exit 1; }
+
+# a starved, deadline-bounded solve must return within its budget with
+# non-Optimal provenance (anytime ladder), never hang past the deadline
+echo "== daemon smoke: deadline-bounded request =="
+t0=$(date +%s)
+out=$("$TAC" client --socket "$dsock" \
+    -r '{"kind":"open","id":1,"workload":"tasks12","seed":42}' \
+    -r '{"kind":"solve","id":2,"session":"s2","objective":"trt","max_conflicts":1,"deadline_ms":20000}') || {
+    echo "FAIL: deadline-bounded solve errored"; echo "$out"; exit 1; }
+t1=$(date +%s)
+[ $((t1 - t0)) -le 15 ] || {
+    echo "FAIL: deadline-bounded solve took $((t1 - t0))s"; exit 1; }
+echo "$out" | grep -q '"quality":"optimal"' && {
+    echo "FAIL: starved solve claimed Optimal provenance"; echo "$out"; exit 1; }
+echo "$out" | grep -Eq '"quality":"(anytime|heuristic)"' || {
+    echo "FAIL: starved solve reported no provenance"; echo "$out"; exit 1; }
+
+# zero budget, no fallback: a clean unknown, not a hang or an exception
+echo "== daemon smoke: zero-budget request returns unknown =="
+out=$("$TAC" client --socket "$dsock" \
+    -r '{"kind":"solve","id":3,"session":"s2","objective":"trt","max_conflicts":0,"fallback":false}') || {
+    echo "FAIL: zero-budget solve errored"; echo "$out"; exit 1; }
+echo "$out" | grep -q '"outcome":"unknown"' || {
+    echo "FAIL: zero-budget solve not unknown"; echo "$out"; exit 1; }
+
+# SIGTERM: drain, exit 0, remove the socket file
+echo "== daemon smoke: SIGTERM drain-then-exit =="
+kill -TERM "$dpid"
+rc=0
+wait "$dpid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "FAIL: daemon exit code $rc on SIGTERM"; exit 1; }
+[ ! -e "$dsock" ] || { echo "FAIL: socket file not cleaned up"; exit 1; }
+
+# warm-vs-fresh harness end to end on a toy instance (speedups are not
+# meaningful at this scale; the shape gate runs in the full bench)
+echo "== bench smoke: quick daemon =="
+out=$(dune exec bench/main.exe -- quick daemon)
+echo "$out" | grep -q "speedup" || {
+    echo "FAIL: daemon bench did not report a speedup"; echo "$out"; exit 1; }
+[ -s BENCH_daemon.json ] || {
+    echo "FAIL: BENCH_daemon.json not written"; exit 1; }
+
 # the entire tier-1 suite again with the lazy encoder as the default
 # (dune runtest caches ignore the environment, so drive the test
 # executable directly)

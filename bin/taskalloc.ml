@@ -16,27 +16,11 @@
 open Cmdliner
 open Taskalloc_rt
 open Taskalloc_core
-open Taskalloc_workloads
 open Taskalloc_heuristics
 
-let named_workloads =
-  [
-    ("tindell43", fun seed -> Workloads.tindell43 ~seed ());
-    ("tindell43-can", fun seed -> Workloads.tindell43_can ~seed ());
-    ("small", fun seed -> Workloads.small ~seed ());
-    ("small-can", fun seed -> Workloads.small_can ~seed ());
-    ("tasks7", fun seed -> Workloads.task_scaling ~seed ~n:7 ());
-    ("tasks12", fun seed -> Workloads.task_scaling ~seed ~n:12 ());
-    ("tasks20", fun seed -> Workloads.task_scaling ~seed ~n:20 ());
-    ("tasks30", fun seed -> Workloads.task_scaling ~seed ~n:30 ());
-    ("ecus16", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:16 ());
-    ("ecus32", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:32 ());
-    ("ecus64", fun seed -> Workloads.arch_scaling ~seed ~n_ecus:64 ());
-    ("arch-a", fun seed -> Workloads.hierarchical ~seed Workloads.A);
-    ("arch-b", fun seed -> Workloads.hierarchical ~seed Workloads.B);
-    ("arch-c", fun seed -> Workloads.hierarchical ~seed Workloads.C);
-    ("arch-c-can", fun seed -> Workloads.hierarchical_c_can ~seed ());
-  ]
+(* one workload table, shared with the daemon so `taskalloc solve -w X`
+   and `{"kind":"open","workload":"X"}` always agree *)
+let named_workloads = Taskalloc_server.Server.named_workloads
 
 let file_arg =
   Arg.(
@@ -845,6 +829,111 @@ let repair_cmd =
       $ event_arg $ no_shed_arg $ explain_arg $ timeout_arg $ max_conflicts_arg
       $ json_arg $ trace_arg $ metrics_arg $ progress_arg)
 
+let client_cmd =
+  let module Json = Taskalloc_server.Json in
+  let module Client = Taskalloc_server.Client in
+  let run socket tcp requests =
+    let listen =
+      match tcp with
+      | Some (host, port) -> `Tcp (host, port)
+      | None -> `Unix socket
+    in
+    let c =
+      try Client.connect listen
+      with Unix.Unix_error (e, _, _) ->
+        Fmt.epr "cannot connect to %s: %s@."
+          (match listen with
+          | `Unix p -> p
+          | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+          (Unix.error_message e);
+        exit 2
+    in
+    (* requests from --request flags, else one per stdin line; each
+       response is echoed to stdout as the daemon sent it *)
+    let next =
+      match requests with
+      | [] ->
+        fun () -> (try Some (input_line stdin) with End_of_file -> None)
+      | rs ->
+        let rest = ref rs in
+        fun () ->
+          (match !rest with
+          | [] -> None
+          | r :: tl ->
+            rest := tl;
+            Some r)
+    in
+    let failed = ref false in
+    let rec loop () =
+      match next () with
+      | None -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+        (match Client.request_raw c line with
+        | resp ->
+          print_endline resp;
+          (match Json.parse resp with
+          | Json.Obj kvs when List.assoc_opt "ok" kvs = Some (Json.Bool true) ->
+            ()
+          | _ -> failed := true
+          | exception Json.Parse_error _ -> failed := true);
+          loop ()
+        | exception End_of_file ->
+          Fmt.epr "server closed the connection@.";
+          failed := true)
+    in
+    loop ();
+    Client.close c;
+    if !failed then exit 1
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "taskallocd.sock"
+      & info [ "s"; "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the daemon (ignored with $(b,--tcp)).")
+  in
+  let tcp_arg =
+    let hostport_conv =
+      let parse s =
+        match String.rindex_opt s ':' with
+        | Some i -> (
+          let host = String.sub s 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some port when port > 0 && port < 65536 -> Ok (host, port)
+          | _ -> Error "expected HOST:PORT")
+        | None -> (
+          match int_of_string_opt s with
+          | Some port when port > 0 && port < 65536 -> Ok ("127.0.0.1", port)
+          | _ -> Error "expected HOST:PORT or PORT")
+      in
+      Arg.conv' ~docv:"HOST:PORT"
+        (parse, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+    in
+    Arg.(
+      value
+      & opt (some hostport_conv) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  in
+  let request_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "r"; "request" ] ~docv:"JSON"
+          ~doc:
+            "Request line to send (repeatable, sent in order).  Without any, \
+             requests are read from stdin, one per line.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running taskallocd: send newline-delimited JSON requests, \
+          print each response; exits 1 if any response has ok:false")
+    Term.(const run $ socket_arg $ tcp_arg $ request_arg)
+
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd; explain_cmd; whatif_cmd; repair_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "taskalloc" ~doc) [ solve_cmd; check_cmd; compare_cmd; closures_cmd; dump_cmd; simulate_cmd; export_cmd; fuzz_cmd; explain_cmd; whatif_cmd; repair_cmd; client_cmd ]))

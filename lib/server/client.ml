@@ -1,0 +1,50 @@
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let addr_of = function
+  | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | `Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect listen =
+  let domain, addr = addr_of listen in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let wait_ready ?(timeout = 5.0) listen =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    match connect listen with
+    | c ->
+      close c;
+      true
+    | exception Unix.Unix_error _ ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.delay 0.02;
+        poll ()
+      end
+  in
+  poll ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let request_raw t line =
+  write_all t.fd (line ^ "\n");
+  input_line t.ic
+
+let request t req = Json.parse (request_raw t (Json.to_string req))

@@ -1,0 +1,25 @@
+(** Small blocking client for the [taskallocd] line protocol, used by
+    the [taskalloc client] subcommand, the tests and the bench
+    harness. *)
+
+type t
+
+val connect : Server.listen -> t
+(** Connect to a running daemon.  Raises [Unix.Unix_error] if nothing
+    listens there. *)
+
+val wait_ready : ?timeout:float -> Server.listen -> bool
+(** Poll until a connection attempt succeeds (daemon is accepting), up
+    to [timeout] seconds (default 5.0).  [true] on success. *)
+
+val request : t -> Json.t -> Json.t
+(** Send one request object, read one response line, parse it.  Raises
+    [End_of_file] if the server closed the connection and
+    [Json.Parse_error] on a malformed response. *)
+
+val request_raw : t -> string -> string
+(** Send one raw line (appending ["\n"]), return the raw response
+    line.  For driving the protocol's error paths with deliberately
+    malformed input. *)
+
+val close : t -> unit

@@ -1,0 +1,56 @@
+(** Minimal JSON for the wire protocol of [taskallocd].
+
+    The toolchain carries no JSON library, and the serving layer needs
+    both directions: the daemon parses newline-delimited request
+    objects and prints response objects; the client and the tests
+    parse responses back.  This module is deliberately small — exactly
+    the JSON subset the protocol uses — and self-contained.
+
+    The {!Raw} constructor exists for composition with the JSON
+    emitters the explanation and repair engines already export
+    ([Explain.report_to_json], [Whatif.verdict_to_json],
+    [Repair.outcome_to_json] return pre-rendered strings): a response
+    can embed those verbatim without re-modelling their schemas.
+    {!parse} never produces [Raw]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** a pre-rendered JSON document, emitted verbatim by
+          {!to_string}; never produced by {!parse} *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one JSON document.  Trailing whitespace is allowed; trailing
+    garbage is not.  Raises {!Parse_error} with an offset-bearing
+    message.  Numbers without ['.'], ['e'] or ['E'] parse as {!Int}
+    (falling back to {!Float} on overflow); [\uXXXX] escapes decode to
+    UTF-8. *)
+
+val to_string : t -> string
+(** Serialize on one line (no newlines are ever emitted, so a document
+    is always wire-safe for the newline-delimited protocol).
+    Non-finite floats serialize as [null]. *)
+
+val member : string -> t -> t
+(** Field of an object; {!Null} when absent or when the value is not
+    an object. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+(** Accepts integral {!Float}s too (a client may send [5.0]). *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val escape : string -> string
+(** Escape for inclusion inside a JSON string literal (no quotes
+    added). *)

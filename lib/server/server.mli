@@ -1,0 +1,122 @@
+(** Allocation-as-a-service: a long-running daemon core that holds
+    {e warm incremental sessions} per client and serves solve /
+    what-if / explain / repair traffic over a newline-delimited JSON
+    protocol (Unix-domain socket by default, TCP optionally).
+
+    Why a server at all: [BENCH_explain.json] shows incremental
+    what-if re-solves are ~6x faster than fresh solves and
+    [BENCH_repair.json] shows warm repair is >= 2x faster — wins that
+    only compound when the encoded formula and its solver stay
+    resident between requests.  The daemon keeps them resident:
+
+    - {b Session table.}  [open] a problem once (inline problem text,
+      a server-side problem file, or a named workload) and get a
+      session id; subsequent [solve] / [whatif] / [explain] / [repair]
+      requests run against that session's live state.  The table is
+      bounded ([max_sessions]); opening past the bound evicts the
+      least-recently-used {e idle} session (a busy session — one
+      mid-request — is never evicted), and requests against an evicted
+      or closed id fail with a clean [unknown_session] error.
+    - {b Encode cache.}  Sessions are keyed by a canonical problem
+      hash (the round-tripping problem-file rendering plus the
+      encoding options); clients opening identical problems share one
+      encoded formula and one incremental
+      {!Taskalloc_explain.Explain.Whatif} session, so the second
+      client's [open] is a cache hit that pays no encode.  A session
+      whose problem diverges from the shared bundle (a successful
+      [repair] changes the problem) detaches first; shared state never
+      tears.
+    - {b Concurrency.}  A fixed pool of OCaml 5 domains executes
+      requests.  Requests on one session (or on one shared bundle)
+      serialize under that session's mutex — the incremental-solver
+      invariants from the CEGAR and inprocessing work (DESIGN.md
+      §4g-4i) assume single-threaded sessions — while requests on
+      distinct sessions run in parallel; a request may additionally
+      use the in-request [--jobs]/[--parallel] machinery, which
+      spawns its own worker domains below this pool.
+    - {b Admission control.}  Every request may carry a
+      [deadline_ms]; the serving layer converts it to an anytime
+      {!Taskalloc_sat.Budget.t} armed with the time {e remaining} when
+      the request leaves the queue, so queue wait counts against the
+      deadline and every request gets an answer by it — optimal,
+      anytime-bounded (with gap), heuristic, or a clean unknown.  The
+      work queue is bounded; when it is full, new requests are
+      rejected immediately with an [overloaded] error instead of
+      piling up.
+    - {b Lifecycle.}  [SIGPIPE] is ignored (a client disconnecting
+      mid-request costs that client its response, never the daemon);
+      {!stop} (wired to SIGTERM/SIGINT by the executable) stops
+      accepting, drains the queue, answers every in-flight request,
+      closes client connections, joins the worker domains and removes
+      the socket file.  Observability sinks flush through the
+      executable's [at_exit] paths as for every other CLI.
+
+    {2 Protocol}
+
+    One JSON object per line in, one per line out.  Every request has
+    a ["kind"] and may carry an ["id"] (echoed verbatim in the
+    response).  Responses carry ["ok"] — [true] with kind-specific
+    payload, or [false] with ["error"] (a stable code:
+    [parse], [bad_request], [unknown_kind], [unknown_session],
+    [invalid_problem], [invalid_event], [infeasible], [overloaded],
+    [shutting_down], [internal]) and a human ["message"].
+
+    Kinds: [ping], [open] (["workload"]+["seed"] | ["problem"] |
+    ["problem_file"]; optional ["lazy"], ["cache"]), [solve]
+    (["objective"], ["jobs"], ["parallel"], ["fallback"]), [whatif]
+    (["deltas"], the {!Taskalloc_explain.Explain.Whatif.parse_deltas}
+    grammar), [explain] (["max_relaxations"], ["jobs"]), [repair]
+    (["event"], the scenario grammar; ["allow_shed"], ["explain"]),
+    [stats], [close].  [solve], [whatif], [explain] and [repair]
+    accept ["deadline_ms"] and ["max_conflicts"].  See the README's
+    "Running as a service" section for a transcript. *)
+
+open Taskalloc_rt
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  workers : int;  (** worker domains executing requests (>= 1) *)
+  max_sessions : int;  (** session-table bound; LRU idle eviction *)
+  queue_depth : int;  (** bounded work queue; beyond it: [overloaded] *)
+  options : Taskalloc_core.Encode.options option;
+      (** default encoding options for [open] ([None] =
+          {!Taskalloc_core.Encode.default_options}); a request's
+          ["lazy"] field overrides per session *)
+  verbose : bool;  (** log one line per request to stderr *)
+}
+
+val default_config : config
+(** Unix socket ["taskallocd.sock"], 2 workers, 64 sessions, queue 128. *)
+
+val named_workloads : (string * (int -> Model.problem)) list
+(** The named workload table shared with the [taskalloc] CLI:
+    [(name, fun seed -> problem)]. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (unlinking a stale Unix socket file first).  The
+    socket exists when this returns, so a client may connect before
+    {!run} is entered; pending connections sit in the backlog.  Raises
+    [Unix.Unix_error] on bind failures. *)
+
+val run : t -> unit
+(** Serve until {!stop}: spawns the worker domains, accepts
+    connections (one lightweight thread per connection, blocking I/O),
+    and on stop drains the queue, answers everything in flight, closes
+    connections, joins workers, and cleans up the socket. *)
+
+val stop : t -> unit
+(** Request shutdown.  Only sets an atomic flag — safe to call from a
+    signal handler or another domain; {!run} notices within its accept
+    poll interval (<= 0.2s). *)
+
+val stats_json : t -> Json.t
+(** The same snapshot the [stats] request returns: uptime, session /
+    cache / queue occupancy, request and error totals, cache hit and
+    eviction counts, and latency histograms overall and per kind.
+    Counts are authoritative server-side state (kept under the stats
+    mutex), mirrored into {!Taskalloc_obs.Obs.Metrics} when metrics
+    are enabled. *)

@@ -33,4 +33,5 @@ let () =
          ("explain", Test_explain.suite);
          ("repair", Test_repair.suite);
          ("cegar", Test_cegar.suite);
+         ("server", Test_server.suite);
        ])

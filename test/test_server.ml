@@ -1,0 +1,411 @@
+(* The taskallocd serving layer: protocol round-trips, error paths,
+   session lifecycle (LRU eviction, close), encode-cache hits,
+   admission control under starved budgets, and concurrent clients on
+   distinct sessions.
+
+   Every test runs a real server on a temp Unix socket — the same code
+   path the daemon executable serves — with [Server.run] on a spawned
+   domain and [Server.stop] + join as teardown, so the drain path is
+   exercised by every single test. *)
+
+module Server = Taskalloc_server.Server
+module Client = Taskalloc_server.Client
+module Json = Taskalloc_server.Json
+
+let next_sock = Atomic.make 0
+
+let with_server ?(workers = 2) ?(max_sessions = 64) ?(queue_depth = 128) f =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taskallocd-test-%d-%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add next_sock 1))
+  in
+  let cfg =
+    {
+      Server.default_config with
+      Server.listen = `Unix sock;
+      workers;
+      max_sessions;
+      queue_depth;
+    }
+  in
+  let t = Server.create cfg in
+  let d = Domain.spawn (fun () -> Server.run t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join d;
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock))
+    (fun () -> f (`Unix sock))
+
+let req c fields = Client.request c (Json.Obj fields)
+
+let get_ok name resp =
+  match Json.to_bool (Json.member "ok" resp) with
+  | Some b -> b
+  | None -> Alcotest.failf "%s: response without ok: %s" name (Json.to_string resp)
+
+let check_ok name resp =
+  if not (get_ok name resp) then
+    Alcotest.failf "%s: unexpected error: %s" name (Json.to_string resp)
+
+let check_err name code resp =
+  if get_ok name resp then
+    Alcotest.failf "%s: expected %s error, got ok: %s" name code
+      (Json.to_string resp);
+  Alcotest.(check string)
+    (name ^ " error code") code
+    (Option.value ~default:"?" (Json.to_str (Json.member "error" resp)))
+
+let str_field name resp field =
+  match Json.to_str (Json.member field resp) with
+  | Some s -> s
+  | None -> Alcotest.failf "%s: missing %S in %s" name field (Json.to_string resp)
+
+let open_session ?(workload = "small") ?(seed = 42) c =
+  let resp =
+    req c
+      [
+        ("kind", Json.Str "open");
+        ("workload", Json.Str workload);
+        ("seed", Json.Int seed);
+      ]
+  in
+  check_ok "open" resp;
+  (str_field "open" resp "session", str_field "open" resp "cache")
+
+(* a tiny problem in the lib/rt file format, for inline-text opens *)
+let inline_problem =
+  "ecus 2\n\
+   memory 0 4\n\
+   memory 1 4\n\
+   medium bus tdma 1 2 0 1\n\
+   task a 10 10 1\n\
+   \  crit 1\n\
+   \  wcet 0 2\n\
+   \  wcet 1 2\n\
+   task b 10 10 1\n\
+   \  wcet 0 2\n\
+   \  wcet 1 2\n"
+
+(* -- basic protocol ----------------------------------------------------- *)
+
+let test_roundtrip () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let pong = req c [ ("kind", Json.Str "ping"); ("id", Json.Int 7) ] in
+      check_ok "ping" pong;
+      Alcotest.(check (option int)) "id echoed" (Some 7)
+        (Json.to_int (Json.member "id" pong));
+      let sid, cache = open_session c in
+      Alcotest.(check string) "first open misses" "miss" cache;
+      let solved =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "trt");
+          ]
+      in
+      check_ok "solve" solved;
+      Alcotest.(check string) "solved" "solved" (str_field "solve" solved "outcome");
+      Alcotest.(check string) "optimal provenance" "optimal"
+        (str_field "solve" solved "quality");
+      let v =
+        req c
+          [
+            ("kind", Json.Str "whatif");
+            ("session", Json.Str sid);
+            ("deltas", Json.Str "pin t00 0");
+          ]
+      in
+      check_ok "whatif" v;
+      let closed = req c [ ("kind", Json.Str "close"); ("session", Json.Str sid) ] in
+      check_ok "close" closed;
+      Client.close c)
+
+let test_inline_problem_and_cache () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let open_inline () =
+        req c [ ("kind", Json.Str "open"); ("problem", Json.Str inline_problem) ]
+      in
+      let r1 = open_inline () in
+      check_ok "open inline" r1;
+      Alcotest.(check string) "first open misses" "miss"
+        (str_field "open" r1 "cache");
+      Alcotest.(check (option int)) "tasks" (Some 2)
+        (Json.to_int (Json.member "tasks" r1));
+      (* identical problem text from a second client: one encode, shared *)
+      let c2 = Client.connect listen in
+      let r2 =
+        req c2 [ ("kind", Json.Str "open"); ("problem", Json.Str inline_problem) ]
+      in
+      check_ok "open inline again" r2;
+      Alcotest.(check string) "second open hits" "hit"
+        (str_field "open" r2 "cache");
+      let stats = req c [ ("kind", Json.Str "stats") ] in
+      check_ok "stats" stats;
+      Alcotest.(check (option int)) "cache_hits" (Some 1)
+        (Json.to_int (Json.member "cache_hits" stats));
+      Alcotest.(check (option int)) "sessions" (Some 2)
+        (Json.to_int (Json.member "sessions" stats));
+      Client.close c2;
+      Client.close c)
+
+(* -- error paths -------------------------------------------------------- *)
+
+let test_malformed_json () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let resp = Json.parse (Client.request_raw c "{nope") in
+      check_err "malformed" "parse" resp;
+      (* the connection survives a parse error *)
+      check_ok "ping after parse error" (req c [ ("kind", Json.Str "ping") ]);
+      Client.close c)
+
+let test_unknown_kind () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      check_err "unknown kind" "unknown_kind"
+        (req c [ ("kind", Json.Str "frobnicate") ]);
+      check_err "missing kind" "bad_request" (req c [ ("id", Json.Int 1) ]);
+      Client.close c)
+
+let test_bad_open () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      check_err "unknown workload" "bad_request"
+        (req c [ ("kind", Json.Str "open"); ("workload", Json.Str "nope") ]);
+      check_err "no problem" "bad_request" (req c [ ("kind", Json.Str "open") ]);
+      check_err "two problems" "bad_request"
+        (req c
+           [
+             ("kind", Json.Str "open");
+             ("workload", Json.Str "small");
+             ("problem", Json.Str inline_problem);
+           ]);
+      check_err "bad problem text" "invalid_problem"
+        (req c [ ("kind", Json.Str "open"); ("problem", Json.Str "ecus nope\n") ]);
+      Client.close c)
+
+let test_closed_session () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session c in
+      check_ok "close" (req c [ ("kind", Json.Str "close"); ("session", Json.Str sid) ]);
+      (* a delta against the closed session: clean unknown_session *)
+      check_err "whatif on closed" "unknown_session"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str sid);
+             ("deltas", Json.Str "pin t00 0");
+           ]);
+      check_err "double close" "unknown_session"
+        (req c [ ("kind", Json.Str "close"); ("session", Json.Str sid) ]);
+      check_err "never existed" "unknown_session"
+        (req c [ ("kind", Json.Str "solve"); ("session", Json.Str "s999") ]);
+      check_err "missing session" "bad_request" (req c [ ("kind", Json.Str "solve") ]);
+      Client.close c)
+
+let test_bad_deltas_and_event () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session c in
+      check_err "unknown task in delta" "bad_request"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str sid);
+             ("deltas", Json.Str "pin nosuchtask 0");
+           ]);
+      check_err "unparsable event" "invalid_event"
+        (req c
+           [
+             ("kind", Json.Str "repair");
+             ("session", Json.Str sid);
+             ("event", Json.Str "meteor-strike 3");
+           ]);
+      Client.close c)
+
+(* -- admission control --------------------------------------------------- *)
+
+let test_zero_budget_returns_unknown () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session c in
+      (* zero conflict budget and no fallback: must come back immediately
+         with Unknown provenance, not hang and not fabricate an answer *)
+      let r =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "trt");
+            ("max_conflicts", Json.Int 0);
+            ("fallback", Json.Bool false);
+          ]
+      in
+      check_ok "zero-budget solve" r;
+      Alcotest.(check string) "unknown outcome" "unknown"
+        (str_field "solve" r "outcome");
+      Client.close c)
+
+let test_starved_deadline_non_optimal () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session ~workload:"tasks12" c in
+      (* a starved conflict budget forces the anytime path: the answer
+         must still arrive, with non-Optimal provenance (heuristic
+         fallback or anytime incumbent) *)
+      let t0 = Unix.gettimeofday () in
+      let r =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "trt");
+            ("max_conflicts", Json.Int 1);
+            ("deadline_ms", Json.Int 30_000);
+          ]
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_ok "starved solve" r;
+      Alcotest.(check string) "answered" "solved" (str_field "solve" r "outcome");
+      let quality = str_field "solve" r "quality" in
+      if quality = "optimal" then
+        Alcotest.failf "starved solve claimed Optimal provenance";
+      (* generous sanity bound: well inside the 30s deadline *)
+      Alcotest.(check bool) "returned promptly" true (elapsed < 25.);
+      Client.close c)
+
+(* -- session lifecycle --------------------------------------------------- *)
+
+let test_lru_eviction () =
+  with_server ~max_sessions:2 (fun listen ->
+      let c = Client.connect listen in
+      let s1, _ = open_session ~seed:1 c in
+      let s2, _ = open_session ~seed:2 c in
+      (* touch s2 so s1 is the LRU *)
+      check_ok "touch s2"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str s2);
+             ("deltas", Json.Str "");
+           ]);
+      let s3, _ = open_session ~seed:3 c in
+      (* the bound held: s1 was evicted, s2/s3 live *)
+      check_err "evicted session" "unknown_session"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str s1);
+             ("deltas", Json.Str "");
+           ]);
+      check_ok "s2 survives"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str s2);
+             ("deltas", Json.Str "");
+           ]);
+      let stats = req c [ ("kind", Json.Str "stats") ] in
+      Alcotest.(check (option int)) "bounded table" (Some 2)
+        (Json.to_int (Json.member "sessions" stats));
+      Alcotest.(check (option int)) "one eviction" (Some 1)
+        (Json.to_int (Json.member "evictions" stats));
+      ignore s3;
+      Client.close c)
+
+let test_repair_then_whatif () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session ~workload:"tindell43" c in
+      let r =
+        req c
+          [
+            ("kind", Json.Str "repair");
+            ("session", Json.Str sid);
+            ("event", Json.Str "wcet t01 20");
+          ]
+      in
+      check_ok "repair" r;
+      let status =
+        Json.to_str (Json.member "status" (Json.member "outcome" r))
+      in
+      Alcotest.(check (option string)) "repaired" (Some "repaired") status;
+      (* the session diverged from the shared bundle; what-if must now
+         answer against the post-repair problem without error *)
+      check_ok "whatif after repair"
+        (req c
+           [
+             ("kind", Json.Str "whatif");
+             ("session", Json.Str sid);
+             ("deltas", Json.Str "");
+           ]);
+      Client.close c)
+
+(* -- concurrency --------------------------------------------------------- *)
+
+let test_concurrent_distinct_sessions () =
+  with_server ~workers:4 (fun listen ->
+      let n_clients = 4 and per_client = 6 in
+      let hammer k =
+        let c = Client.connect listen in
+        let sid, _ = open_session ~seed:(100 + k) c in
+        for i = 0 to per_client - 1 do
+          let resp =
+            match i mod 3 with
+            | 0 ->
+              req c
+                [
+                  ("kind", Json.Str "whatif");
+                  ("session", Json.Str sid);
+                  ("deltas", Json.Str "");
+                ]
+            | 1 ->
+              req c
+                [
+                  ("kind", Json.Str "whatif");
+                  ("session", Json.Str sid);
+                  ("deltas", Json.Str "pin t00 0");
+                ]
+            | _ ->
+              req c
+                [
+                  ("kind", Json.Str "solve");
+                  ("session", Json.Str sid);
+                  ("objective", Json.Str "feasible");
+                ]
+          in
+          check_ok (Printf.sprintf "client %d request %d" k i) resp
+        done;
+        check_ok "close" (req c [ ("kind", Json.Str "close"); ("session", Json.Str sid) ]);
+        Client.close c
+      in
+      let domains = List.init n_clients (fun k -> Domain.spawn (fun () -> hammer k)) in
+      List.iter Domain.join domains)
+
+let suite =
+  [
+    Alcotest.test_case "protocol round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "inline problem + encode cache" `Quick
+      test_inline_problem_and_cache;
+    Alcotest.test_case "malformed JSON" `Quick test_malformed_json;
+    Alcotest.test_case "unknown kind" `Quick test_unknown_kind;
+    Alcotest.test_case "bad open" `Quick test_bad_open;
+    Alcotest.test_case "closed/evicted session errors" `Quick test_closed_session;
+    Alcotest.test_case "bad deltas and events" `Quick test_bad_deltas_and_event;
+    Alcotest.test_case "zero budget returns unknown" `Quick
+      test_zero_budget_returns_unknown;
+    Alcotest.test_case "starved deadline: non-optimal provenance" `Slow
+      test_starved_deadline_non_optimal;
+    Alcotest.test_case "LRU idle-session eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "repair diverges session from cache" `Slow
+      test_repair_then_whatif;
+    Alcotest.test_case "concurrent clients, distinct sessions" `Slow
+      test_concurrent_distinct_sessions;
+  ]
