@@ -377,7 +377,10 @@ echo "== daemon smoke: taskallocd over a Unix socket =="
 TAD=_build/default/bin/taskallocd.exe
 TAC=_build/default/bin/taskalloc.exe
 dsock=$(mktemp -u /tmp/ci-taskallocd-XXXXXX.sock)
-"$TAD" --socket "$dsock" --workers 2 &
+dlog=$(mktemp /tmp/ci-taskallocd-XXXXXX.log)
+dflight=$(mktemp -u /tmp/ci-taskallocd-XXXXXX-flight.json)
+"$TAD" --socket "$dsock" --workers 2 \
+    --prometheus 127.0.0.1:0 --flight "$dflight" 2> "$dlog" &
 dpid=$!
 i=0
 while [ ! -S "$dsock" ]; do
@@ -425,6 +428,132 @@ out=$("$TAC" client --socket "$dsock" \
 echo "$out" | grep -q '"outcome":"unknown"' || {
     echo "FAIL: zero-budget solve not unknown"; echo "$out"; exit 1; }
 
+# ---- request-scoped observability ---------------------------------------
+
+# Prometheus exposition: the daemon printed its ephemeral /metrics port
+# at startup; a scrape must return the request counter and the latency
+# histogram with a +Inf bucket
+echo "== daemon smoke: /metrics scrape =="
+i=0
+pport=""
+while [ -z "$pport" ]; do
+    pport=$(sed -n 's|.*http://127.0.0.1:\([0-9]*\)/metrics.*|\1|p' "$dlog")
+    [ -n "$pport" ] && break
+    i=$((i+1))
+    [ "$i" -le 50 ] || { echo "FAIL: daemon never printed the /metrics port"; exit 1; }
+    sleep 0.1
+done
+scrape=$(curl -fs "http://127.0.0.1:$pport/metrics") || {
+    echo "FAIL: /metrics scrape failed"; exit 1; }
+echo "$scrape" | grep -q '^taskalloc_requests_total ' || {
+    echo "FAIL: scrape missing taskalloc_requests_total"; exit 1; }
+echo "$scrape" | grep -q 'taskalloc_request_duration_us_bucket{le="+Inf"}' || {
+    echo "FAIL: scrape missing latency histogram"; exit 1; }
+
+# live progress streaming: a deadline-bounded optimizing solve watched
+# from a second connection must stream >= 1 progress event, every line
+# tagged with the request id, and any gap values must never increase
+echo "== daemon smoke: concurrent watch streams progress =="
+watchout=$(mktemp /tmp/ci-watch-XXXXXX.out)
+solveout=$(mktemp /tmp/ci-solve-XXXXXX.out)
+"$TAC" client --socket "$dsock" \
+    -r '{"kind":"open","id":1,"workload":"tasks30","seed":42}' > /dev/null
+"$TAC" client --socket "$dsock" \
+    -r '{"kind":"solve","session":"s3","objective":"trt","deadline_ms":15000,"request_id":"ciwatch"}' \
+    > "$solveout" &
+spid=$!
+i=0
+while :; do
+    "$TAC" client --socket "$dsock" --watch ciwatch > "$watchout"
+    grep -q '"error":"unknown_request"' "$watchout" || break
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "FAIL: watch never attached"; exit 1; }
+done
+wait "$spid" || { echo "FAIL: watched solve errored"; cat "$solveout"; exit 1; }
+grep -q '"event":"progress"' "$watchout" || {
+    echo "FAIL: watch streamed no progress events"; cat "$watchout"; exit 1; }
+grep -c '"request_id":"ciwatch"' "$watchout" > /dev/null || {
+    echo "FAIL: watch lines not tagged with the request id"; exit 1; }
+awk -F'"gap":' '/"event":"progress"/ && NF > 1 {
+        split($2, a, /[,}]/); g = a[1] + 0
+        if (seen && g > prev + 1e-9) exit 1
+        prev = g; seen = 1
+    }' "$watchout" || {
+    echo "FAIL: progress gap increased over the stream"; cat "$watchout"; exit 1; }
+grep -q '"outcome":"solved"' "$solveout" || {
+    echo "FAIL: watched solve did not solve"; cat "$solveout"; exit 1; }
+
+# cancel: an in-flight solve under a long deadline must answer promptly
+# after the cancel trips its budget hook, with anytime/heuristic
+# provenance — never Optimal, never running out the deadline
+echo "== daemon smoke: cancel an in-flight solve =="
+"$TAC" client --socket "$dsock" \
+    -r '{"kind":"open","id":1,"workload":"ecus32","seed":42}' > /dev/null
+t0=$(date +%s)
+"$TAC" client --socket "$dsock" \
+    -r '{"kind":"solve","session":"s4","objective":"trt","deadline_ms":60000,"request_id":"cicancel"}' \
+    > "$solveout" &
+spid=$!
+# watch the stream from the side until the first incumbent appears, so
+# the cancel is guaranteed to interrupt a solve that has an anytime
+# answer to fall back on
+: > "$watchout"
+( i=0
+  while :; do
+      "$TAC" client --socket "$dsock" --watch cicancel >> "$watchout" 2>/dev/null
+      grep -q '"error":"unknown_request"' "$watchout" || break
+      : > "$watchout"
+      i=$((i+1)); [ "$i" -le 100 ] || break
+  done ) &
+wpid=$!
+i=0
+while ! grep -q '"incumbent":' "$watchout" 2>/dev/null; do
+    i=$((i+1))
+    [ "$i" -le 300 ] || { echo "FAIL: solve never found an incumbent"; exit 1; }
+    sleep 0.1
+done
+cancelout=$(mktemp /tmp/ci-cancel-XXXXXX.out)
+i=0
+while :; do
+    "$TAC" client --socket "$dsock" --cancel cicancel > "$cancelout"
+    grep -q '"cancelled":"cicancel"' "$cancelout" && break
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "FAIL: cancel never found the request"; exit 1; }
+done
+wait "$spid" || { echo "FAIL: cancelled solve errored"; cat "$solveout"; exit 1; }
+t1=$(date +%s)
+[ $((t1 - t0)) -le 30 ] || {
+    echo "FAIL: cancelled solve took $((t1 - t0))s"; exit 1; }
+grep -q '"quality":"optimal"' "$solveout" && {
+    echo "FAIL: cancelled solve claimed Optimal provenance"; cat "$solveout"; exit 1; }
+grep -Eq '"quality":"(anytime|heuristic)"' "$solveout" || {
+    echo "FAIL: cancelled solve reported no provenance"; cat "$solveout"; exit 1; }
+wait "$wpid" 2>/dev/null || true
+rm -f "$watchout" "$solveout" "$cancelout"
+
+# flight recorder: SIGUSR1 must dump the ring as parseable Chrome trace
+# JSON without disturbing the serving loop
+echo "== daemon smoke: SIGUSR1 flight dump =="
+kill -USR1 "$dpid"
+i=0
+while [ ! -s "$dflight" ]; do
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "FAIL: flight dump never appeared"; exit 1; }
+    sleep 0.1
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool < "$dflight" > /dev/null || {
+        echo "FAIL: flight dump is not valid JSON"; exit 1; }
+fi
+grep -q '"traceEvents"' "$dflight" || {
+    echo "FAIL: flight dump missing traceEvents"; exit 1; }
+grep -q '"server\.' "$dflight" || {
+    echo "FAIL: flight dump recorded no server events"; exit 1; }
+# the daemon is still serving after the dump
+"$TAC" client --socket "$dsock" -r '{"kind":"ping"}' > /dev/null || {
+    echo "FAIL: daemon unresponsive after SIGUSR1"; exit 1; }
+rm -f "$dflight"
+
 # SIGTERM: drain, exit 0, remove the socket file
 echo "== daemon smoke: SIGTERM drain-then-exit =="
 kill -TERM "$dpid"
@@ -432,6 +561,7 @@ rc=0
 wait "$dpid" || rc=$?
 [ "$rc" -eq 0 ] || { echo "FAIL: daemon exit code $rc on SIGTERM"; exit 1; }
 [ ! -e "$dsock" ] || { echo "FAIL: socket file not cleaned up"; exit 1; }
+rm -f "$dlog"
 
 # warm-vs-fresh harness end to end on a toy instance (speedups are not
 # meaningful at this scale; the shape gate runs in the full bench)

@@ -180,9 +180,11 @@ let print_obs_stats () =
   let hist name label =
     match Obs.Metrics.get_hist name with
     | Some h when Obs.Hist.count h > 0 ->
-      Printf.printf "c %s: mean=%.0f min=%d max=%d (%d samples)\n" label
-        (Obs.Hist.mean h) (Obs.Hist.min_value h) (Obs.Hist.max_value h)
-        (Obs.Hist.count h)
+      Printf.printf
+        "c %s: mean=%.0f min=%d p50=%d p95=%d p99=%d max=%d (%d samples)\n"
+        label (Obs.Hist.mean h) (Obs.Hist.min_value h)
+        (Obs.Hist.quantile h 0.5) (Obs.Hist.quantile h 0.95)
+        (Obs.Hist.quantile h 0.99) (Obs.Hist.max_value h) (Obs.Hist.count h)
     | _ -> ()
   in
   hist "solver.conflicts_per_s" "conflicts/s";

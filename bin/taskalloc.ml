@@ -832,7 +832,7 @@ let repair_cmd =
 let client_cmd =
   let module Json = Taskalloc_server.Json in
   let module Client = Taskalloc_server.Client in
-  let run socket tcp requests =
+  let run socket tcp watch cancel requests =
     let listen =
       match tcp with
       | Some (host, port) -> `Tcp (host, port)
@@ -848,10 +848,47 @@ let client_cmd =
           (Unix.error_message e);
         exit 2
     in
+    (* --watch / --cancel are sugar over the corresponding verbs;
+       --watch additionally streams every progress line (the verb's
+       answer is the watched request's final answer, handled below) *)
+    (match cancel with
+    | None -> ()
+    | Some rid ->
+      Client.send c
+        (Json.Obj [ ("kind", Json.Str "cancel"); ("request", Json.Str rid) ]));
+    (match watch with
+    | None -> ()
+    | Some rid ->
+      Client.send c
+        (Json.Obj [ ("kind", Json.Str "watch"); ("request", Json.Str rid) ]));
+    let streamed = ref false in
+    (if cancel <> None || watch <> None then
+       (* one answer per verb sent; progress lines (no "ok" member)
+          keep streaming until the watched request's final answer *)
+       let pending = (if cancel = None then 0 else 1) + (if watch = None then 0 else 1) in
+       let rec drain left =
+         if left > 0 then
+           match Client.recv c with
+           | Json.Obj kvs as resp ->
+             print_endline (Json.to_string resp);
+             streamed := true;
+             if List.mem_assoc "ok" kvs then drain (left - 1) else drain left
+           | resp ->
+             print_endline (Json.to_string resp);
+             drain left
+           | exception End_of_file ->
+             Fmt.epr "server closed the connection@.";
+             exit 1
+       in
+       drain pending);
     (* requests from --request flags, else one per stdin line; each
        response is echoed to stdout as the daemon sent it *)
     let next =
       match requests with
+      | [] when !streamed ->
+        (* --watch/--cancel with no explicit requests: don't fall
+           through to reading stdin *)
+        fun () -> None
       | [] ->
         fun () -> (try Some (input_line stdin) with End_of_file -> None)
       | rs ->
@@ -927,12 +964,33 @@ let client_cmd =
             "Request line to send (repeatable, sent in order).  Without any, \
              requests are read from stdin, one per line.")
   in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"REQUEST_ID"
+          ~doc:
+            "Subscribe to an in-flight request's live progress stream \
+             (budget-checkpoint samples: conflict rate, incumbent, lower \
+             bound, gap, CEGAR rounds), printing one JSON line per event \
+             and finally the request's answer.")
+  in
+  let cancel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cancel" ] ~docv:"REQUEST_ID"
+          ~doc:
+            "Cancel an in-flight request: trips its budget hook, so it \
+             answers promptly with its anytime/heuristic best-so-far.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Drive a running taskallocd: send newline-delimited JSON requests, \
           print each response; exits 1 if any response has ok:false")
-    Term.(const run $ socket_arg $ tcp_arg $ request_arg)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ watch_arg $ cancel_arg $ request_arg)
 
 let () =
   let doc = "optimal task and message allocation for hierarchical architectures" in

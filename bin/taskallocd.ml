@@ -21,29 +21,52 @@ let socket_arg =
     & info [ "s"; "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket path to listen on (ignored with $(b,--tcp)).")
 
-let tcp_arg =
-  let hostport_conv =
-    let parse s =
-      match String.rindex_opt s ':' with
-      | Some i -> (
-        let host = String.sub s 0 i in
-        let host = if host = "" then "127.0.0.1" else host in
-        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
-        | Some port when port > 0 && port < 65536 -> Ok (host, port)
-        | _ -> Error "expected HOST:PORT")
-      | None -> (
-        match int_of_string_opt s with
-        | Some port when port > 0 && port < 65536 -> Ok ("127.0.0.1", port)
-        | _ -> Error "expected HOST:PORT or PORT")
-    in
-    Arg.conv' ~docv:"HOST:PORT"
-      (parse, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+let hostport_conv ~min_port =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port >= min_port && port < 65536 -> Ok (host, port)
+      | _ -> Error "expected HOST:PORT")
+    | None -> (
+      match int_of_string_opt s with
+      | Some port when port >= min_port && port < 65536 -> Ok ("127.0.0.1", port)
+      | _ -> Error "expected HOST:PORT or PORT")
   in
+  Arg.conv' ~docv:"HOST:PORT"
+    (parse, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+
+let tcp_arg =
   Arg.(
     value
-    & opt (some hostport_conv) None
+    & opt (some (hostport_conv ~min_port:1)) None
     & info [ "tcp" ] ~docv:"HOST:PORT"
         ~doc:"Listen on TCP instead of the Unix socket (e.g. 127.0.0.1:7433).")
+
+let prometheus_arg =
+  Arg.(
+    value
+    & opt (some (hostport_conv ~min_port:0)) None
+    & info [ "prometheus" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve a plaintext Prometheus /metrics endpoint on this TCP \
+           address (e.g. 127.0.0.1:9464; port 0 picks an ephemeral port, \
+           printed at startup): request/error/cache counters, queue and \
+           session gauges, and per-verb latency histograms with exact \
+           cumulative buckets.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt string "taskallocd-flight.json"
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "File the always-on flight-recorder ring (the last ~1024 events: \
+           request outcomes, queue waits, solver progress samples) is \
+           dumped to as Chrome trace JSON on SIGUSR1, on a worker crash, \
+           and on the $(b,dump) protocol verb.")
 
 let workers_arg =
   Arg.(
@@ -99,7 +122,8 @@ let metrics_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log one line per request to stderr.")
 
-let main socket tcp workers max_sessions queue lazy_mode trace metrics verbose =
+let main socket tcp prometheus flight workers max_sessions queue lazy_mode
+    trace metrics verbose =
   (* same at_exit flushing discipline as the batch CLI: sinks are
      written even when the daemon dies on an uncaught signal-free
      path *)
@@ -134,6 +158,8 @@ let main socket tcp workers max_sessions queue lazy_mode trace metrics verbose =
       queue_depth = queue;
       options;
       verbose;
+      prometheus;
+      flight = Some flight;
     }
   in
   let t =
@@ -151,11 +177,19 @@ let main socket tcp workers max_sessions queue lazy_mode trace metrics verbose =
   let request_stop _ = Server.stop t in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (* post-mortem on demand: dump the flight ring without disturbing
+     service (the handler only sets a flag; the accept loop writes) *)
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Server.request_flight_dump t));
   Fmt.epr "taskallocd: listening on %s (%d workers, %d sessions max)@."
     (match listen with
     | `Unix p -> p
     | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
     workers max_sessions;
+  (match (prometheus, Server.prometheus_port t) with
+  | Some (host, _), Some port ->
+    Fmt.epr "taskallocd: serving /metrics on http://%s:%d/metrics@." host port
+  | _ -> ());
   Server.run t;
   Fmt.epr "taskallocd: drained, bye@.";
   0
@@ -165,7 +199,8 @@ let cmd =
   Cmd.v
     (Cmd.info "taskallocd" ~doc)
     Term.(
-      const main $ socket_arg $ tcp_arg $ workers_arg $ max_sessions_arg
-      $ queue_arg $ lazy_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      const main $ socket_arg $ tcp_arg $ prometheus_arg $ flight_arg
+      $ workers_arg $ max_sessions_arg $ queue_arg $ lazy_arg $ trace_arg
+      $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1281,6 +1281,14 @@ let encode_sections ?(options = default_options) ?(groups = false)
               Obs.Metrics.set "cegar.bool_vars" (Bv.n_bool_vars ctx);
               Obs.Metrics.set "cegar.literals" (Bv.n_literals ctx)
             end;
+            (* live watchers see each refinement round as it lands *)
+            if n > 0 && Obs.sample_hook_installed () then
+              Obs.emit_sample "cegar.round"
+                [
+                  ("refined_tasks", float_of_int (List.length bad_tasks));
+                  ("refined_media", float_of_int (List.length bad_media));
+                  ("bool_vars", float_of_int (Bv.n_bool_vars ctx));
+                ];
             n)
       in
       let force_task i =

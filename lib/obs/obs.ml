@@ -96,6 +96,29 @@ module Hist = struct
   let max_value t = if t.count = 0 then 0 else t.max_v
   let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
 
+  (* upper bound of the bucket holding the q-th sample (rank
+     ceil(q*n)), clamped to the observed maximum so the top bucket's
+     slack never inflates the estimate; p100 is exact *)
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let target = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+      let acc = ref 0 in
+      let res = ref (max_value t) in
+      (try
+         for i = 0 to n_buckets - 1 do
+           acc := !acc + t.buckets.(i);
+           if !acc >= target then begin
+             let hi = if i = 0 then 0 else (1 lsl i) - 1 in
+             res := min hi t.max_v;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !res
+    end
+
   let buckets t =
     let acc = ref [] in
     for i = n_buckets - 1 downto 0 do
@@ -162,7 +185,30 @@ let clear () =
 
 let tid () = (Domain.self () :> int)
 
-let record ev = locked (fun () -> events_rev := ev :: !events_rev)
+(* ---- request context ---------------------------------------------------- *)
+
+(* The owning request id travels in domain-local storage: the server's
+   worker domains (and the portfolio/cube domains they spawn, which
+   re-install the context explicitly) are single-threaded, so a DLS
+   slot is race-free where it matters.  Reading it is a few loads — no
+   lock, no clock — so tagging costs nothing on the disabled path
+   (events are only materialized when a sink is on). *)
+let request_key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_request () = Domain.DLS.get request_key
+
+let with_request rid f =
+  let outer = Domain.DLS.get request_key in
+  Domain.DLS.set request_key (Some rid);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set request_key outer) f
+
+let request_attr ev =
+  match Domain.DLS.get request_key with
+  | None -> ev
+  | Some rid -> { ev with ev_attrs = ("request", rid) :: ev.ev_attrs }
+
+let record ev = locked (fun () -> events_rev := request_attr ev :: !events_rev)
 
 (* ---- metrics ------------------------------------------------------------ *)
 
@@ -306,7 +352,30 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let events () = List.rev !events_rev |> List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts)
+let all_events () =
+  List.rev !events_rev |> List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts)
+
+let events ?request () =
+  let evs = all_events () in
+  match request with
+  | None -> evs
+  | Some rid ->
+    List.filter
+      (fun ev -> List.assoc_opt "request" ev.ev_attrs = Some rid)
+      evs
+
+let request_ids () =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun ev ->
+      match List.assoc_opt "request" ev.ev_attrs with
+      | Some rid when not (Hashtbl.mem seen rid) ->
+        Hashtbl.add seen rid ();
+        acc := rid :: !acc
+      | _ -> ())
+    (all_events ());
+  List.rev !acc
 
 let attrs_json attrs =
   String.concat ", "
@@ -326,8 +395,8 @@ let event_json ev =
     Printf.sprintf "{%s, \"ph\": \"i\", \"s\": \"t\", %s}" common args
   else Printf.sprintf "{%s, \"ph\": \"C\", %s}" common args
 
-let trace_json () =
-  let evs = events () in
+let trace_json ?request () =
+  let evs = events ?request () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   List.iteri
@@ -347,6 +416,111 @@ let jsonl () =
       Buffer.add_char buf '\n')
     (events ());
   Buffer.contents buf
+
+(* ---- flight recorder ---------------------------------------------------- *)
+
+(* A fixed-size ring of recent events that is *always* on: post-mortem
+   visibility for a daemon whose crash can't be re-run with tracing
+   enabled.  The discipline that keeps it free is that callers supply
+   timestamps they already read for other purposes (the server reads
+   the wall clock per request for latency accounting regardless of any
+   sink) — {!record} itself never touches a clock, so the null-sink
+   invariant (zero clock reads while observability is off) survives
+   with the recorder compiled in and running.  Appends are O(1): one
+   slot store and a bump under a leaf mutex. *)
+module Flight = struct
+  let fmu = Mutex.create ()
+  let ring : event option array ref = ref (Array.make 1024 None)
+  let head = ref 0 (* next write slot *)
+  let filled = ref 0
+  let total_n = ref 0
+  let last_ts = ref 0.
+
+  let flocked f =
+    Mutex.lock fmu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock fmu) f
+
+  let set_capacity n =
+    let n = max 1 n in
+    flocked (fun () ->
+        ring := Array.make n None;
+        head := 0;
+        filled := 0;
+        total_n := 0;
+        last_ts := 0.)
+
+  let capacity () = Array.length !ring
+
+  let clear () =
+    flocked (fun () ->
+        Array.fill !ring 0 (Array.length !ring) None;
+        head := 0;
+        filled := 0;
+        total_n := 0;
+        last_ts := 0.)
+
+  (* [ts] is absolute seconds from a clock the caller already read; when
+     omitted the event reuses the newest recorded timestamp (ordering is
+     preserved, no extra clock read).  [dur] is in seconds; negative
+     means an instant. *)
+  let record ?ts ?(dur = -1.) ?(attrs = []) name =
+    flocked (fun () ->
+        let ts =
+          match ts with
+          | Some t ->
+            last_ts := t;
+            t
+          | None -> !last_ts
+        in
+        let ev =
+          request_attr
+            { ev_name = name; ev_ts = ts; ev_dur = dur; ev_tid = tid (); ev_attrs = attrs }
+        in
+        let cap = Array.length !ring in
+        !ring.(!head) <- Some ev;
+        head := (!head + 1) mod cap;
+        if !filled < cap then incr filled;
+        incr total_n)
+
+  let size () = flocked (fun () -> !filled)
+  let total () = flocked (fun () -> !total_n)
+
+  (* oldest-first snapshot *)
+  let snapshot () =
+    flocked (fun () ->
+        let cap = Array.length !ring in
+        let out = ref [] in
+        for i = !filled - 1 downto 0 do
+          let slot = ((!head - 1 - i) + (2 * cap)) mod cap in
+          match !ring.(slot) with
+          | Some ev -> out := ev :: !out
+          | None -> ()
+        done;
+        List.rev !out)
+
+  (* Chrome trace JSON of the ring, one line (embeddable in the wire
+     protocol's [Raw]); timestamps are rebased to the oldest retained
+     event and scaled to microseconds *)
+  let dump_json () =
+    let evs = snapshot () in
+    let t0 = match evs with [] -> 0. | ev :: _ -> ev.ev_ts in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_string buf ", ";
+        let ev =
+          {
+            ev with
+            ev_ts = Float.max 0. ((ev.ev_ts -. t0) *. 1e6);
+            ev_dur = (if ev.ev_dur >= 0. then ev.ev_dur *. 1e6 else -1.);
+          }
+        in
+        Buffer.add_string buf (event_json ev))
+      evs;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+end
 
 let hist_json h =
   Printf.sprintf

@@ -95,6 +95,14 @@ module Hist : sig
   (** Non-empty buckets as [(inclusive upper bound, count)]; the
       bucket for values [<= 0] reports upper bound [0]. *)
 
+  val quantile : t -> float -> int
+  (** [quantile t q] (with [q] clamped to [0,1]) estimates the q-th
+      quantile as the inclusive upper bound of the power-of-two bucket
+      holding the sample of rank [ceil (q * count)], clamped to the
+      observed maximum (so [quantile t 1. = max_value t] exactly).
+      The estimate never under-reports: the true quantile lies in the
+      same bucket, at most 2x below.  [0] when empty. *)
+
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 end
@@ -121,6 +129,29 @@ module Metrics : sig
   val gauges : unit -> (string * int) list
   val hists : unit -> (string * Hist.t) list
 end
+
+(** {1 Request context}
+
+    A request-scoped attribution context, carried in domain-local
+    storage.  While a context is installed, {e every} event recorded
+    through this module — spans, instants, samples, flight-recorder
+    entries — is tagged with a [("request", id)] attribute, so a
+    server executing many concurrent requests can split one shared
+    trace by owning request ({!trace_json}'s [?request] filter).
+
+    The context does not cross [Domain.spawn] by itself; code that
+    fans work out to helper domains (the portfolio and cube-and-conquer
+    runners) captures {!current_request} at spawn time and re-installs
+    it inside the worker, so deep solver telemetry stays attributed.
+    Reading the context is a few loads — no lock, no clock — so the
+    disabled-path cost of tagging is zero. *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request id f] runs [f] with [id] as the current request
+    context (restoring the outer context afterwards, also on
+    exceptions — contexts nest). *)
+
+val current_request : unit -> string option
 
 (** {1 Spans and events} *)
 
@@ -168,13 +199,19 @@ type event = {
   ev_attrs : (string * string) list;
 }
 
-val events : unit -> event list
-(** Recorded events in chronological (begin-timestamp) order. *)
+val events : ?request:string -> unit -> event list
+(** Recorded events in chronological (begin-timestamp) order;
+    [?request] keeps only the events tagged with that request id. *)
 
-val trace_json : unit -> string
+val request_ids : unit -> string list
+(** Distinct request ids appearing in the recorded events, in order of
+    first appearance. *)
+
+val trace_json : ?request:string -> unit -> string
 (** Chrome trace-event JSON: [{"traceEvents": [...]}] with ["X"]
     (complete), ["i"] (instant), and ["C"] (counter) phases — loadable
-    in Perfetto / chrome://tracing. *)
+    in Perfetto / chrome://tracing.  [?request] restricts the trace to
+    one request's events ({!with_request} tagging). *)
 
 val jsonl : unit -> string
 (** The same events, one JSON object per line. *)
@@ -195,3 +232,58 @@ val write_metrics : string -> unit
 val json_escape : string -> string
 (** Escape a string for inclusion in a JSON string literal (shared by
     the emitters above and the CLIs). *)
+
+(** {1 Flight recorder}
+
+    A fixed-size ring of recent events that is {e always} on —
+    post-mortem visibility for a long-running server whose failure
+    cannot be re-run with tracing enabled.  Three properties keep it
+    free enough to leave on unconditionally:
+
+    - {e Zero extra clock reads.}  {!Flight.record} never samples a
+      clock; callers pass timestamps they already read for other
+      purposes (per-request latency accounting, budget-checkpoint
+      progress samples).  The null-sink invariant — zero clock samples
+      while observability is disabled — holds with the recorder
+      recording.
+    - {e Amortized O(1).}  An append is one slot store and an index
+      bump under a leaf mutex; the ring never grows and never
+      allocates beyond the recorded event itself.
+    - {e Bounded memory.}  The ring holds the last {!Flight.capacity}
+      events (default 1024) and silently overwrites the oldest.
+
+    Entries are tagged with the current request context like every
+    other event.  The server dumps the ring as a Chrome trace on
+    SIGUSR1, on a worker crash, and on the [dump] protocol verb. *)
+module Flight : sig
+  val record :
+    ?ts:float -> ?dur:float -> ?attrs:(string * string) list -> string -> unit
+  (** [record ?ts ?dur ?attrs name] appends one event.  [ts] is
+      absolute seconds from a clock the caller already read; omitted,
+      the newest recorded timestamp is reused (ordering preserved, no
+      clock touched).  [dur] is in seconds; negative (the default)
+      records an instant. *)
+
+  val set_capacity : int -> unit
+  (** Resize (and clear) the ring; clamped to [>= 1]. *)
+
+  val capacity : unit -> int
+
+  val size : unit -> int
+  (** Events currently retained. *)
+
+  val total : unit -> int
+  (** Events ever recorded (monotone; [total - size] have been
+      overwritten). *)
+
+  val clear : unit -> unit
+
+  val snapshot : unit -> event list
+  (** Oldest-first copy of the retained events ([ev_ts] in absolute
+      seconds, [ev_dur] in seconds — unlike the trace-sink events,
+      which are in microseconds since the epoch). *)
+
+  val dump_json : unit -> string
+  (** The ring as single-line Chrome trace-event JSON, timestamps
+      rebased to the oldest retained event. *)
+end

@@ -201,8 +201,14 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
       !lower >= !best_cost
       || float_of_int (!best_cost - !lower) <= gap_tol *. float_of_int !best_cost
     in
-    (* bound/incumbent/gap timeline: one marker per probe outcome *)
+    (* bound/incumbent/gap timeline: one marker per probe outcome in
+       the trace, plus a numeric sample to the installed hook so a
+       live watcher (the daemon's [watch] verb, [--progress]) sees the
+       incumbent/lower-bound/gap trajectory as it happens *)
     let timeline outcome =
+      let gap =
+        float_of_int (!best_cost - !lower) /. float_of_int (max !best_cost 1)
+      in
       if Obs.tracing_on () then
         Obs.instant "opt.bound"
           ~attrs:
@@ -210,11 +216,15 @@ let minimize_seq ?(mode = Incremental) ?(strategy = Bisect) ?config
               ("outcome", outcome);
               ("lower", string_of_int !lower);
               ("incumbent", string_of_int !best_cost);
-              ( "gap",
-                Printf.sprintf "%g"
-                  (float_of_int (!best_cost - !lower)
-                  /. float_of_int (max !best_cost 1)) );
-            ]
+              ("gap", Printf.sprintf "%g" gap);
+            ];
+      if Obs.sample_hook_installed () then
+        Obs.emit_sample "opt.bound"
+          [
+            ("lower", float_of_int !lower);
+            ("incumbent", float_of_int !best_cost);
+            ("gap", gap);
+          ]
     in
     timeline "first_sat";
     while (not !interrupted) && not (converged ()) do

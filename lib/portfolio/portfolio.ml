@@ -138,6 +138,13 @@ let race ?(jobs = 1) ?budget ~worker ~conclusive () =
     let winner = Atomic.make (-1) in
     let finished = Atomic.make 0 in
     let stop () = Atomic.get cancel in
+    (* request context is domain-local: capture the spawner's and
+       re-install it in each worker so telemetry emitted from inside
+       the race stays attributed to the owning request *)
+    let ctx = Obs.current_request () in
+    let in_ctx f =
+      match ctx with None -> f () | Some rid -> Obs.with_request rid f
+    in
     let run i () =
       let outcome =
         try
@@ -148,9 +155,10 @@ let race ?(jobs = 1) ?budget ~worker ~conclusive () =
           in
           let r =
             (* per-worker span, recorded from the worker's own domain *)
-            Obs.span "portfolio.worker"
-              ~attrs:[ ("worker", string_of_int i) ]
-              (fun () -> worker i (diversify i) ~budget:(Some wbudget))
+            in_ctx (fun () ->
+                Obs.span "portfolio.worker"
+                  ~attrs:[ ("worker", string_of_int i) ]
+                  (fun () -> worker i (diversify i) ~budget:(Some wbudget)))
           in
           if conclusive r then
             if Atomic.compare_and_set winner (-1) i then Atomic.set cancel true;

@@ -1601,8 +1601,12 @@ let obs_sample t ~last_t ~last_confl ~last_prop =
           (int_of_float propagations_per_s)
       end
     end;
+    (* "t" carries the wall-clock read this sample already made, so
+       downstream consumers (the daemon's flight recorder, watchers)
+       can timestamp it without sampling any clock themselves *)
     Obs.emit_sample "solver.progress"
       [
+        ("t", tnow);
         ("conflicts", float_of_int t.conflicts);
         ("conflicts_per_s", conflicts_per_s);
         ("propagations", float_of_int t.propagations);

@@ -48,3 +48,8 @@ let request_raw t line =
   input_line t.ic
 
 let request t req = Json.parse (request_raw t (Json.to_string req))
+
+(* split send/receive, for verbs that answer with more than one line
+   ([watch] streams progress events before the final answer) *)
+let send t req = write_all t.fd (Json.to_string req ^ "\n")
+let recv t = Json.parse (input_line t.ic)

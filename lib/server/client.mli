@@ -22,4 +22,13 @@ val request_raw : t -> string -> string
     line.  For driving the protocol's error paths with deliberately
     malformed input. *)
 
+val send : t -> Json.t -> unit
+(** Send one request without waiting for the answer. *)
+
+val recv : t -> Json.t
+(** Read and parse one response line.  With {!send}, this drives the
+    streaming [watch] verb: one send, then a [recv] per progress event
+    until the line carrying the final answer (it has an ["ok"]
+    member). *)
+
 val close : t -> unit

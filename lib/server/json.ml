@@ -95,16 +95,22 @@ let parse s =
     else fail (Printf.sprintf "expected %s" word)
   in
   let add_utf8 b u =
-    (* minimal UTF-8 encoder for \uXXXX escapes (no surrogate pairing:
-       lone surrogates encode as-is, which is lossless enough for a
-       local control protocol) *)
+    (* minimal UTF-8 encoder for \uXXXX escapes; astral-plane
+       codepoints (paired surrogates, resolved by the caller) take the
+       4-byte form *)
     if u < 0x80 then Buffer.add_char b (Char.chr u)
     else if u < 0x800 then begin
       Buffer.add_char b (Char.chr (0xc0 lor (u lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
     end
-    else begin
+    else if u < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xe0 lor (u lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xf0 lor (u lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
       Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
       Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
     end
@@ -133,9 +139,27 @@ let parse s =
           if !pos + 4 > n then fail "truncated \\u escape";
           let hex = String.sub s !pos 4 in
           (match int_of_string_opt ("0x" ^ hex) with
-          | Some u -> add_utf8 b u
-          | None -> fail "bad \\u escape");
-          pos := !pos + 4
+          | None -> fail "bad \\u escape"
+          | Some u when u >= 0xd800 && u <= 0xdbff ->
+            (* high surrogate: pair it with an immediately following
+               \uDC00-\uDFFF escape into one astral-plane codepoint
+               (RFC 8259 §7); a lone surrogate still encodes as-is *)
+            pos := !pos + 4;
+            let low =
+              if !pos + 6 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then
+                match int_of_string_opt ("0x" ^ String.sub s (!pos + 2) 4) with
+                | Some lo when lo >= 0xdc00 && lo <= 0xdfff -> Some lo
+                | _ -> None
+              else None
+            in
+            (match low with
+            | Some lo ->
+              add_utf8 b (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00));
+              pos := !pos + 6
+            | None -> add_utf8 b u)
+          | Some u ->
+            add_utf8 b u;
+            pos := !pos + 4)
         | c -> fail (Printf.sprintf "bad escape \\%c" c));
         loop ()
       | c ->

@@ -32,7 +32,8 @@ val parse : string -> t
     garbage is not.  Raises {!Parse_error} with an offset-bearing
     message.  Numbers without ['.'], ['e'] or ['E'] parse as {!Int}
     (falling back to {!Float} on overflow); [\uXXXX] escapes decode to
-    UTF-8. *)
+    UTF-8, pairing UTF-16 surrogates ([😀] is U+1F600, one
+    4-byte sequence; a lone surrogate decodes as-is). *)
 
 val to_string : t -> string
 (** Serialize on one line (no newlines are ever emitted, so a document

@@ -37,6 +37,8 @@ type config = {
   queue_depth : int;
   options : Encode.options option;
   verbose : bool;
+  prometheus : (string * int) option;
+  flight : string option;
 }
 
 let default_config =
@@ -47,6 +49,8 @@ let default_config =
     queue_depth = 128;
     options = None;
     verbose = false;
+    prometheus = None;
+    flight = None;
   }
 
 let named_workloads =
@@ -98,10 +102,33 @@ type session = {
 
 type reply = { rm : Mutex.t; rc : Condition.t; mutable rv : Json.t option }
 
+(* A live subscriber to one request's progress stream: the [watch]
+   verb's connection.  Progress lines are written from worker domains
+   under [wmu]; a failed write (client went away) marks the watcher
+   dead and later events skip it. *)
+type watcher = { wfd : Unix.file_descr; wmu : Mutex.t; mutable wdead : bool }
+
+(* One in-flight (or recently finished) pooled request, keyed by its
+   wire-visible [request_id].  The entry outlives the job: [watch]
+   joins through it, [cancel] trips [rcancel] (polled by the request's
+   [Budget] hook at checkpoint cadence), and the final answer is
+   retained so a watch racing the request's completion still gets it. *)
+type rentry = {
+  rid : string;
+  rkind : string;
+  rcancel : bool Atomic.t;
+  rmu : Mutex.t;
+  rcond : Condition.t;
+  mutable rdone : Json.t option;  (* final answer once finished *)
+  mutable rwatchers : watcher list;
+}
+
 type job = {
   jreq : Json.t;
   jkind : string;
   jdeadline : float option;  (* absolute wall-clock deadline *)
+  jenqueued : float;  (* wall clock at enqueue: queue-wait attribution *)
+  jentry : rentry;
   jreply : reply;
 }
 
@@ -129,8 +156,22 @@ type t = {
   mutable cache_misses : int;
   mutable evictions : int;
   mutable rejected : int;
+  mutable watches : int;
+  mutable cancels : int;
   lat : Obs.Hist.t;
   kinds : (string, int ref * Obs.Hist.t) Hashtbl.t;
+  (* request registry, under [rqmu]: in-flight entries plus a bounded
+     FIFO of finished ones (so watch/cancel racing completion still
+     resolve the id) *)
+  rqmu : Mutex.t;
+  rentries : (string, rentry) Hashtbl.t;
+  rfinished : string Queue.t;
+  mutable next_rid : int;
+  (* flight-recorder file dump, requested by SIGUSR1 (via
+     [request_flight_dump]) and served from the accept loop *)
+  dump_requested : bool Atomic.t;
+  (* Prometheus exposition listener, when configured *)
+  pfd : Unix.file_descr option;
   (* open connections, under [cmu] *)
   cmu : Mutex.t;
   conns : (int, Unix.file_descr) Hashtbl.t;
@@ -166,7 +207,7 @@ let is_ok = function
 
 (* -- counters ----------------------------------------------------------- *)
 
-let record t kind dur_s okay =
+let record t kind ~t0 ~rid dur_s okay =
   let us = int_of_float (dur_s *. 1e6) in
   with_lock t.smu (fun () ->
       t.requests <- t.requests + 1;
@@ -182,11 +223,108 @@ let record t kind dur_s okay =
       in
       incr cnt;
       Obs.Hist.add h us);
+  (* the flight recorder sees every request outcome, always; [t0] and
+     [dur_s] are clock reads the latency accounting above already
+     needed, so this adds none *)
+  Obs.Flight.record ~ts:t0 ~dur:dur_s ("server." ^ kind)
+    ~attrs:
+      ((if okay then [] else [ ("error", "true") ])
+      @ match rid with None -> [] | Some r -> [ ("request", r) ]);
   (* mirrored into the obs registry (no-ops while metrics are off) *)
   Obs.Metrics.incr "server.requests";
   if not okay then Obs.Metrics.incr "server.errors";
   Obs.Metrics.observe "server.request.us" us;
   Obs.Metrics.observe ("server.request." ^ kind ^ ".us") us
+
+(* -- request registry ---------------------------------------------------- *)
+
+(* Finished entries are retained (bounded FIFO) so a [watch] or
+   [cancel] racing the request's completion still resolves the id
+   instead of failing with [unknown_request]. *)
+let finished_retain = 256
+
+let fresh_rid t =
+  with_lock t.rqmu (fun () ->
+      let rid = Printf.sprintf "r%d" t.next_rid in
+      t.next_rid <- t.next_rid + 1;
+      rid)
+
+(* Register [rid] as in flight.  A client-supplied id may reuse a
+   finished id (the retained entry is replaced) but never an in-flight
+   one.  Lock order: [rqmu] then [rmu]. *)
+let register_request t ~rid kind =
+  let entry =
+    {
+      rid;
+      rkind = kind;
+      rcancel = Atomic.make false;
+      rmu = Mutex.create ();
+      rcond = Condition.create ();
+      rdone = None;
+      rwatchers = [];
+    }
+  in
+  with_lock t.rqmu (fun () ->
+      match Hashtbl.find_opt t.rentries rid with
+      | None ->
+        Hashtbl.replace t.rentries rid entry;
+        Ok entry
+      | Some e ->
+        let finished = with_lock e.rmu (fun () -> e.rdone <> None) in
+        if not finished then
+          Error
+            (err ~code:"duplicate_request" "request id %S is already in flight"
+               rid)
+        else begin
+          (* drop the finished incarnation from the FIFO so the eviction
+             sweep below cannot remove the new in-flight entry *)
+          let keep = Queue.create () in
+          Queue.iter (fun r -> if r <> rid then Queue.push r keep) t.rfinished;
+          Queue.clear t.rfinished;
+          Queue.transfer keep t.rfinished;
+          Hashtbl.replace t.rentries rid entry;
+          Ok entry
+        end)
+
+let find_request t rid =
+  with_lock t.rqmu (fun () -> Hashtbl.find_opt t.rentries rid)
+
+(* Publish the final answer: wakes every [watch] blocked on the entry
+   and retains the answer for late watchers.  Every rid in [rfinished]
+   maps to a finished entry ([register_request] maintains this), so
+   eviction is a plain table remove. *)
+let finish_request t entry resp =
+  with_lock entry.rmu (fun () ->
+      entry.rdone <- Some resp;
+      Condition.broadcast entry.rcond);
+  with_lock t.rqmu (fun () ->
+      Queue.push entry.rid t.rfinished;
+      while Queue.length t.rfinished > finished_retain do
+        Hashtbl.remove t.rentries (Queue.pop t.rfinished)
+      done)
+
+let add_request_id rid = function
+  | Json.Obj kvs when not (List.mem_assoc "request_id" kvs) ->
+    Json.Obj (kvs @ [ ("request_id", Json.Str rid) ])
+  | v -> v
+
+(* -- flight-recorder dumps ---------------------------------------------- *)
+
+let request_flight_dump t = Atomic.set t.dump_requested true
+
+let dump_flight t reason =
+  match t.cfg.flight with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out path in
+      output_string oc (Obs.Flight.dump_json ());
+      output_char oc '\n';
+      close_out oc;
+      if t.cfg.verbose then
+        Fmt.epr "[taskallocd] flight ring (%d events) dumped to %s (%s)@."
+          (Obs.Flight.size ()) path reason
+    with Sys_error _ -> ())
 
 (* -- encode cache ------------------------------------------------------- *)
 
@@ -324,12 +462,16 @@ let detach t s =
 
 (* -- request parameters ------------------------------------------------- *)
 
+(* Every pooled request gets a budget, even an otherwise unlimited one:
+   the [should_stop] hook is what makes [cancel] bite at checkpoint
+   cadence, and an armed budget is also what makes the solver emit
+   progress samples for [watch].  The timeout is the time *remaining*
+   at dequeue, so queue wait counts against a [deadline_ms]. *)
 let budget_of job req =
   let max_conflicts = Json.to_int (Json.member "max_conflicts" req) in
   let timeout = Option.map (fun d -> Float.max 0. (d -. now ())) job.jdeadline in
-  match (timeout, max_conflicts) with
-  | None, None -> None
-  | _ -> Some (Budget.create ?timeout ?max_conflicts ())
+  let should_stop () = Atomic.get job.jentry.rcancel in
+  Some (Budget.create ?timeout ?max_conflicts ~should_stop ())
 
 let bool_param req name default =
   Option.value ~default (Json.to_bool (Json.member name req))
@@ -693,6 +835,9 @@ let hist_json h =
     [
       ("count", Json.Int (Obs.Hist.count h));
       ("mean_us", Json.Float (Obs.Hist.mean h));
+      ("p50_us", Json.Int (Obs.Hist.quantile h 0.5));
+      ("p95_us", Json.Int (Obs.Hist.quantile h 0.95));
+      ("p99_us", Json.Int (Obs.Hist.quantile h 0.99));
       ("max_us", Json.Int (Obs.Hist.max_value h));
     ]
 
@@ -706,17 +851,7 @@ let stats_json t =
   in
   with_lock t.smu (fun () ->
       let kinds =
-        Hashtbl.fold
-          (fun k (cnt, h) acc ->
-            ( k,
-              Json.Obj
-                [
-                  ("count", Json.Int !cnt);
-                  ("mean_us", Json.Float (Obs.Hist.mean h));
-                  ("max_us", Json.Int (Obs.Hist.max_value h));
-                ] )
-            :: acc)
-          t.kinds []
+        Hashtbl.fold (fun k (_cnt, h) acc -> (k, hist_json h) :: acc) t.kinds []
         |> List.sort compare
       in
       ok
@@ -731,6 +866,10 @@ let stats_json t =
           ("requests", Json.Int t.requests);
           ("errors", Json.Int t.errors);
           ("overloaded", Json.Int t.rejected);
+          ("watches", Json.Int t.watches);
+          ("cancels", Json.Int t.cancels);
+          ("flight_events", Json.Int (Obs.Flight.size ()));
+          ("flight_total", Json.Int (Obs.Flight.total ()));
           ("queue_depth", Json.Int qdepth);
           ("queue_max", Json.Int t.cfg.queue_depth);
           ("inflight", Json.Int inflight);
@@ -773,7 +912,14 @@ let exec t job =
   with
   | Model.Invalid_model m -> err ~code:"invalid_problem" "%s" m
   | Repair.Invalid_event m -> err ~code:"invalid_event" "%s" m
-  | e -> err ~code:"internal" "uncaught: %s" (Printexc.to_string e)
+  | e ->
+    (* a worker surviving an uncaught exception is exactly the moment
+       the flight ring exists for: capture it before answering *)
+    Obs.Flight.record "server.crash"
+      ~attrs:
+        [ ("exn", Printexc.to_string e); ("request", job.jentry.rid) ];
+    dump_flight t ("crash: " ^ Printexc.to_string e);
+    err ~code:"internal" "uncaught: %s" (Printexc.to_string e)
 
 let rec worker_loop t =
   Mutex.lock t.qmu;
@@ -787,8 +933,20 @@ let rec worker_loop t =
     t.inflight <- t.inflight + 1;
     Obs.Metrics.set "server.queue.depth" t.qdepth;
     Mutex.unlock t.qmu;
-    let resp = exec t job in
+    let tdeq = now () in
+    (* the whole execution runs under the request's context, so every
+       span, metric and sample recorded anywhere below — including
+       deep solver telemetry — is tagged with the owning request *)
+    let resp =
+      Obs.with_request job.jentry.rid (fun () ->
+          Obs.complete "server.queue_wait" ~start:job.jenqueued ~stop:tdeq;
+          Obs.Flight.record ~ts:job.jenqueued ~dur:(tdeq -. job.jenqueued)
+            "server.queue_wait";
+          exec t job)
+    in
+    let resp = add_request_id job.jentry.rid resp in
     with_lock t.qmu (fun () -> t.inflight <- t.inflight - 1);
+    finish_request t job.jentry resp;
     with_lock job.jreply.rm (fun () ->
         job.jreply.rv <- Some resp;
         Condition.signal job.jreply.rc);
@@ -809,11 +967,318 @@ let answer fd id resp =
   let kvs = match id with Some i -> ("id", i) :: fields | None -> fields in
   write_all fd (Json.to_string (Json.Obj kvs) ^ "\n")
 
+(* -- progress streaming -------------------------------------------------- *)
+
+(* Write one line to a watcher's connection.  Runs on the emitting
+   worker domain, under the watcher's own mutex; a failed write means
+   the watching client went away — the watcher is marked dead and
+   skipped from then on (never the request's problem). *)
+let watcher_send w line =
+  with_lock w.wmu (fun () ->
+      if not w.wdead then
+        try write_all w.wfd line
+        with Unix.Unix_error _ | Sys_error _ -> w.wdead <- true)
+
+let progress_line entry name kvs =
+  (* the "t" kv is an absolute epoch timestamp for the flight recorder;
+     it is dropped from the wire line (Json.Float prints %.6g, which
+     would mangle it, and watchers get event ordering from the stream
+     itself) *)
+  Json.to_string
+    (Json.Obj
+       ([
+          ("event", Json.Str "progress");
+          ("request_id", Json.Str entry.rid);
+          ("sample", Json.Str name);
+        ]
+       @ List.filter_map
+           (fun (k, v) -> if k = "t" then None else Some (k, Json.Float v))
+           kvs))
+  ^ "\n"
+
+(* The process-wide sample hook, installed for the daemon's whole
+   lifetime: every budget-checkpoint progress sample (solver conflict
+   rate, optimizer bounds, CEGAR rounds) lands here, on the emitting
+   domain.  Two consumers: the always-on flight ring (timestamped with
+   the "t" kv the sample already carries — no clock read here), and
+   the live watchers of whichever request the emitting domain is
+   executing. *)
+let sample_hook t name kvs =
+  Obs.Flight.record
+    ?ts:(List.assoc_opt "t" kvs)
+    name
+    ~attrs:
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "t" then None else Some (k, Printf.sprintf "%g" v))
+         kvs);
+  match Obs.current_request () with
+  | None -> ()
+  | Some rid -> (
+    match find_request t rid with
+    | None -> ()
+    | Some entry -> (
+      match with_lock entry.rmu (fun () -> entry.rwatchers) with
+      | [] -> ()
+      | ws ->
+        let line = progress_line entry name kvs in
+        List.iter (fun w -> watcher_send w line) ws))
+
+(* [watch]: subscribe this connection to [rid]'s progress stream and
+   block until the request finishes; progress lines are written by the
+   emitting worker domains, the final answer (the last line) by us.
+   Blocking is fine — a watch owns its connection thread, and the
+   watched request necessarily arrived on a different connection. *)
+let do_watch t fd req =
+  match Json.to_str (Json.member "request" req) with
+  | None -> err "missing \"request\""
+  | Some rid -> (
+    match find_request t rid with
+    | None ->
+      err ~code:"unknown_request" "no such request %S (never seen, or evicted)"
+        rid
+    | Some entry ->
+      with_lock t.smu (fun () -> t.watches <- t.watches + 1);
+      Obs.Metrics.incr "server.watches";
+      let w = { wfd = fd; wmu = Mutex.create (); wdead = false } in
+      let final =
+        with_lock entry.rmu (fun () ->
+            if entry.rdone = None then begin
+              entry.rwatchers <- w :: entry.rwatchers;
+              while entry.rdone = None do
+                Condition.wait entry.rcond entry.rmu
+              done;
+              entry.rwatchers <- List.filter (fun w' -> w' != w) entry.rwatchers
+            end;
+            Option.get entry.rdone)
+      in
+      (* a worker that copied the watcher list before we unsubscribed
+         may still be mid-send; taking [wmu] to mark the watcher dead
+         waits that send out, so the final answer below can never
+         interleave with a progress line *)
+      with_lock w.wmu (fun () -> w.wdead <- true);
+      final)
+
+let do_cancel t req =
+  match Json.to_str (Json.member "request" req) with
+  | None -> err "missing \"request\""
+  | Some rid -> (
+    match find_request t rid with
+    | None ->
+      err ~code:"unknown_request" "no such request %S (never seen, or evicted)"
+        rid
+    | Some entry ->
+      Atomic.set entry.rcancel true;
+      with_lock t.smu (fun () -> t.cancels <- t.cancels + 1);
+      Obs.Metrics.incr "server.cancels";
+      let finished = with_lock entry.rmu (fun () -> entry.rdone <> None) in
+      ok
+        [
+          ("cancelled", Json.Str rid);
+          ("kind", Json.Str entry.rkind);
+          ("finished", Json.Bool finished);
+        ])
+
+let do_dump t =
+  dump_flight t "dump verb";
+  ok
+    [
+      ("flight", Json.Raw (Obs.Flight.dump_json ()));
+      ("events", Json.Int (Obs.Flight.size ()));
+      ("total", Json.Int (Obs.Flight.total ()));
+    ]
+
+(* -- Prometheus exposition ----------------------------------------------- *)
+
+let prom_name s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    s
+
+let prom_labels = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+    ^ "}"
+
+(* One histogram family member.  The registry's power-of-two buckets
+   are exact cumulative [le] bounds: bucket [i] holds integer values
+   [<= 2^i - 1], so the translation loses nothing. *)
+let prom_hist b name ?(labels = []) h =
+  let cum = ref 0 in
+  List.iter
+    (fun (ub, c) ->
+      cum := !cum + c;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (prom_labels (labels @ [ ("le", string_of_int ub) ]))
+           !cum))
+    (Obs.Hist.buckets h);
+  Buffer.add_string b
+    (Printf.sprintf "%s_bucket%s %d\n" name
+       (prom_labels (labels @ [ ("le", "+Inf") ]))
+       (Obs.Hist.count h));
+  Buffer.add_string b
+    (Printf.sprintf "%s_sum%s %d\n" name (prom_labels labels) (Obs.Hist.sum h));
+  Buffer.add_string b
+    (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels)
+       (Obs.Hist.count h))
+
+let prom_quantiles b name ?(labels = []) h =
+  List.iter
+    (fun (q, tag) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %d\n" name
+           (prom_labels (labels @ [ ("quantile", tag) ]))
+           (Obs.Hist.quantile h q)))
+    [ (0.5, "0.5"); (0.95, "0.95"); (0.99, "0.99") ]
+
+let prometheus_text t =
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let counter name v =
+    line "# TYPE %s counter" name;
+    line "%s %d" name v
+  in
+  let gauge name v =
+    line "# TYPE %s gauge" name;
+    line "%s %g" name v
+  in
+  let sessions, cache_entries =
+    with_lock t.tmu (fun () ->
+        (Hashtbl.length t.sessions, Hashtbl.length t.cache))
+  in
+  let qdepth, inflight = with_lock t.qmu (fun () -> (t.qdepth, t.inflight)) in
+  with_lock t.smu (fun () ->
+      counter "taskalloc_requests_total" t.requests;
+      counter "taskalloc_errors_total" t.errors;
+      counter "taskalloc_cache_hits_total" t.cache_hits;
+      counter "taskalloc_cache_misses_total" t.cache_misses;
+      counter "taskalloc_evictions_total" t.evictions;
+      counter "taskalloc_overloaded_total" t.rejected;
+      counter "taskalloc_watches_total" t.watches;
+      counter "taskalloc_cancels_total" t.cancels;
+      counter "taskalloc_flight_recorded_total" (Obs.Flight.total ());
+      gauge "taskalloc_sessions" (float_of_int sessions);
+      gauge "taskalloc_max_sessions" (float_of_int t.cfg.max_sessions);
+      gauge "taskalloc_cache_entries" (float_of_int cache_entries);
+      gauge "taskalloc_queue_depth" (float_of_int qdepth);
+      gauge "taskalloc_queue_max" (float_of_int t.cfg.queue_depth);
+      gauge "taskalloc_inflight" (float_of_int inflight);
+      gauge "taskalloc_workers" (float_of_int t.cfg.workers);
+      gauge "taskalloc_flight_events" (float_of_int (Obs.Flight.size ()));
+      gauge "taskalloc_uptime_seconds" (now () -. t.started);
+      (* request latency: one histogram family over all requests, one
+         labeled by protocol verb, plus quantile summaries estimated
+         from the same buckets *)
+      line "# TYPE taskalloc_request_duration_us histogram";
+      prom_hist b "taskalloc_request_duration_us" t.lat;
+      let kinds =
+        Hashtbl.fold (fun k (_, h) acc -> (k, h) :: acc) t.kinds []
+        |> List.sort compare
+      in
+      line "# TYPE taskalloc_request_kind_duration_us histogram";
+      List.iter
+        (fun (k, h) ->
+          prom_hist b "taskalloc_request_kind_duration_us"
+            ~labels:[ ("kind", k) ] h)
+        kinds;
+      line "# TYPE taskalloc_request_duration_us_quantile gauge";
+      prom_quantiles b "taskalloc_request_duration_us_quantile" t.lat;
+      line "# TYPE taskalloc_request_kind_duration_us_quantile gauge";
+      List.iter
+        (fun (k, h) ->
+          prom_quantiles b "taskalloc_request_kind_duration_us_quantile"
+            ~labels:[ ("kind", k) ] h)
+        kinds);
+  (* the obs registry mirror, when metrics are enabled (names like
+     server.requests become taskalloc_obs_server_requests_total) *)
+  List.iter
+    (fun (k, v) -> counter ("taskalloc_obs_" ^ prom_name k ^ "_total") v)
+    (Obs.Metrics.counters ());
+  List.iter
+    (fun (k, v) -> gauge ("taskalloc_obs_" ^ prom_name k) (float_of_int v))
+    (Obs.Metrics.gauges ());
+  List.iter
+    (fun (k, h) ->
+      let name = "taskalloc_obs_" ^ prom_name k in
+      line "# TYPE %s histogram" name;
+      prom_hist b name h)
+    (Obs.Metrics.hists ());
+  Buffer.contents b
+
+(* Minimal HTTP/1.1 exposition endpoint: one short-lived connection
+   per scrape, GET /metrics only.  Runs on its own thread beside the
+   accept loop; blocking I/O with the same 0.2s stop poll. *)
+let http_serve t pfd =
+  let handle fd =
+    let buf = Bytes.create 2048 in
+    let n = try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+    let req = Bytes.sub_string buf 0 (max n 0) in
+    let body, status =
+      match String.index_opt req '\r' with
+      | _ when n <= 0 -> ("bad request\n", "400 Bad Request")
+      | None -> ("bad request\n", "400 Bad Request")
+      | Some eol -> (
+        match String.split_on_char ' ' (String.sub req 0 eol) with
+        | [ "GET"; path; _ ] when path = "/metrics" || path = "/" ->
+          (prometheus_text t, "200 OK")
+        | [ "GET"; _; _ ] -> ("not found\n", "404 Not Found")
+        | _ -> ("bad request\n", "400 Bad Request"))
+    in
+    let resp =
+      Printf.sprintf
+        "HTTP/1.1 %s\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: %d\r\n\
+         Connection: close\r\n\
+         \r\n\
+         %s"
+        status (String.length body) body
+    in
+    try write_all fd resp with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ pfd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true pfd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          (try handle fd with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())));
+      loop ()
+    end
+  in
+  loop ()
+
+let prometheus_port t =
+  Option.map
+    (fun fd ->
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> 0)
+    t.pfd
+
+(* -- request dispatch ---------------------------------------------------- *)
+
 let pooled = [ "open"; "solve"; "whatif"; "explain"; "repair" ]
 
 let handle_line t fd line =
   let t0 = now () in
   let kind_ref = ref "invalid" in
+  let rid_ref = ref None in
   let resp, id =
     match Json.parse line with
     | exception Json.Parse_error m ->
@@ -830,36 +1295,66 @@ let handle_line t fd line =
         if kind = "ping" then (ok [ ("pong", Json.Bool true) ], id)
         else if kind = "stats" then (stats_json t, id)
         else if kind = "close" then (do_close t req, id)
+        else if kind = "watch" then (do_watch t fd req, id)
+        else if kind = "cancel" then (do_cancel t req, id)
+        else if kind = "dump" then (do_dump t, id)
+        else if kind = "metrics" then
+          (ok [ ("metrics", Json.Raw (Obs.metrics_json ())) ], id)
         else if not (List.mem kind pooled) then
           (err ~code:"unknown_kind" "unknown request kind %S" kind, id)
         else begin
-          let deadline =
-            Option.map
-              (fun ms -> t0 +. (float_of_int ms /. 1000.))
-              (Json.to_int (Json.member "deadline_ms" req))
+          (* a pooled request gets a wire-visible request id — client
+             supplied, or generated — that [watch] and [cancel] target
+             and that tags every event the request records *)
+          let rid =
+            match Json.to_str (Json.member "request_id" req) with
+            | Some r when r <> "" -> r
+            | _ -> fresh_rid t
           in
-          let job =
-            {
-              jreq = req;
-              jkind = kind;
-              jdeadline = deadline;
-              jreply =
-                { rm = Mutex.create (); rc = Condition.create (); rv = None };
-            }
-          in
-          match enqueue t job with
-          | Error `Overloaded ->
-            with_lock t.smu (fun () -> t.rejected <- t.rejected + 1);
-            Obs.Metrics.incr "server.overloaded";
-            ( err ~code:"overloaded" "work queue full (%d deep); retry later"
-                t.cfg.queue_depth,
-              id )
-          | Error `Stopping -> (err ~code:"shutting_down" "server is draining", id)
-          | Ok () -> (await job.jreply, id)
+          rid_ref := Some rid;
+          match register_request t ~rid kind with
+          | Error e -> (e, id)
+          | Ok entry -> (
+            let deadline =
+              Option.map
+                (fun ms -> t0 +. (float_of_int ms /. 1000.))
+                (Json.to_int (Json.member "deadline_ms" req))
+            in
+            let job =
+              {
+                jreq = req;
+                jkind = kind;
+                jdeadline = deadline;
+                jenqueued = t0;
+                jentry = entry;
+                jreply =
+                  { rm = Mutex.create (); rc = Condition.create (); rv = None };
+              }
+            in
+            match enqueue t job with
+            | Error `Overloaded ->
+              with_lock t.smu (fun () -> t.rejected <- t.rejected + 1);
+              Obs.Metrics.incr "server.overloaded";
+              let e =
+                add_request_id rid
+                  (err ~code:"overloaded"
+                     "work queue full (%d deep); retry later" t.cfg.queue_depth)
+              in
+              (* a watch racing the rejection must not hang on the entry *)
+              finish_request t entry e;
+              (e, id)
+            | Error `Stopping ->
+              let e =
+                add_request_id rid
+                  (err ~code:"shutting_down" "server is draining")
+              in
+              finish_request t entry e;
+              (e, id)
+            | Ok () -> (await job.jreply, id))
         end)
   in
   let dur = now () -. t0 in
-  record t !kind_ref dur (is_ok resp);
+  record t !kind_ref ~t0 ~rid:!rid_ref dur (is_ok resp);
   if t.cfg.verbose then
     Fmt.epr "[taskallocd] %-8s %s %.1fms@." !kind_ref
       (if is_ok resp then "ok " else "err")
@@ -929,6 +1424,25 @@ let create cfg =
          raise e);
       s
   in
+  let pfd =
+    match cfg.prometheus with
+    | None -> None
+    | Some (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let s = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      (try
+         Unix.bind s (Unix.ADDR_INET (addr, port));
+         Unix.listen s 16
+       with e ->
+         (try Unix.close s with Unix.Unix_error _ -> ());
+         (try Unix.close lsock with Unix.Unix_error _ -> ());
+         raise e);
+      Some s
+  in
   {
     cfg;
     lsock;
@@ -950,8 +1464,16 @@ let create cfg =
     cache_misses = 0;
     evictions = 0;
     rejected = 0;
+    watches = 0;
+    cancels = 0;
     lat = Obs.Hist.create ();
     kinds = Hashtbl.create 8;
+    rqmu = Mutex.create ();
+    rentries = Hashtbl.create 64;
+    rfinished = Queue.create ();
+    next_rid = 1;
+    dump_requested = Atomic.make false;
+    pfd;
     cmu = Mutex.create ();
     conns = Hashtbl.create 16;
     next_conn = 1;
@@ -964,11 +1486,23 @@ let run t =
   (* a client disconnecting mid-write must cost that client its
      response, never the daemon its life *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* arm progress sampling for the daemon's whole lifetime: with a
+     hook installed, budget checkpoints in the solver, optimizer and
+     CEGAR loop emit samples even while the obs sinks are off — the
+     feed for [watch] streams and the flight ring *)
+  Obs.set_sample_hook (Some (sample_hook t));
+  let prom =
+    Option.map (fun pfd -> Thread.create (fun () -> http_serve t pfd) ()) t.pfd
+  in
   let workers =
     Array.init t.cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t))
   in
   let rec accept_loop () =
     if not (Atomic.get t.stopping) then begin
+      if Atomic.get t.dump_requested then begin
+        Atomic.set t.dump_requested false;
+        dump_flight t "signal"
+      end;
       (match Unix.select [ t.lsock ] [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | [], _, _ -> ()
@@ -998,6 +1532,11 @@ let run t =
      are rejected with [shutting_down] (checked under the queue lock) *)
   with_lock t.qmu (fun () -> Condition.broadcast t.qcond);
   Array.iter Domain.join workers;
+  Obs.set_sample_hook None;
+  (match prom with Some th -> Thread.join th | None -> ());
+  (match t.pfd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
   (* every reply is delivered; nudge lingering connections shut *)
   with_lock t.cmu (fun () ->
       Hashtbl.iter

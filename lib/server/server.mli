@@ -50,6 +50,23 @@
       closes client connections, joins the worker domains and removes
       the socket file.  Observability sinks flush through the
       executable's [at_exit] paths as for every other CLI.
+    - {b Request-scoped observability.}  Every pooled request carries
+      a wire-visible ["request_id"] (client-supplied or generated,
+      echoed in the answer).  The executing worker installs it as the
+      {!Taskalloc_obs.Obs.with_request} context, so every span, metric
+      and budget-checkpoint sample the request records anywhere down
+      the stack — solver conflict rates, optimizer bounds, CEGAR
+      rounds, queue wait — is tagged with the owning request and
+      [Obs.trace_json ?request] can split a shared trace cleanly.
+      [watch] streams those samples live to another connection;
+      [cancel] trips the request's {!Taskalloc_sat.Budget.t}
+      [should_stop] hook, so the request still answers promptly with
+      its anytime/heuristic best-so-far.  A fixed-size {e flight
+      recorder} ring ({!Taskalloc_obs.Obs.Flight}) retains the most
+      recent events always — dumped on SIGUSR1 (via
+      {!request_flight_dump}), on a worker crash, and by the [dump]
+      verb — and [--prometheus] serves the counters and latency
+      histograms as a plaintext [/metrics] endpoint.
 
     {2 Protocol}
 
@@ -59,7 +76,8 @@
     payload, or [false] with ["error"] (a stable code:
     [parse], [bad_request], [unknown_kind], [unknown_session],
     [invalid_problem], [invalid_event], [infeasible], [overloaded],
-    [shutting_down], [internal]) and a human ["message"].
+    [shutting_down], [internal], [duplicate_request],
+    [unknown_request]) and a human ["message"].
 
     Kinds: [ping], [open] (["workload"]+["seed"] | ["problem"] |
     ["problem_file"]; optional ["lazy"], ["cache"]), [solve]
@@ -67,9 +85,18 @@
     (["deltas"], the {!Taskalloc_explain.Explain.Whatif.parse_deltas}
     grammar), [explain] (["max_relaxations"], ["jobs"]), [repair]
     (["event"], the scenario grammar; ["allow_shed"], ["explain"]),
-    [stats], [close].  [solve], [whatif], [explain] and [repair]
-    accept ["deadline_ms"] and ["max_conflicts"].  See the README's
-    "Running as a service" section for a transcript. *)
+    [stats], [metrics], [close].  [solve], [whatif], [explain] and
+    [repair] accept ["deadline_ms"], ["max_conflicts"] and
+    ["request_id"] (generated when absent; answering with it either
+    way).  [watch] (["request"]) subscribes its connection to that
+    request's progress stream: newline-JSON
+    [{"event":"progress","request_id":...,"sample":...,...}] lines at
+    budget-checkpoint cadence, ending with the request's final answer
+    (retained briefly after completion, so a watch racing the finish
+    still gets it).  [cancel] (["request"]) trips the request's
+    budget hook.  [dump] returns the flight-recorder ring as Chrome
+    trace JSON.  See the README's "Running as a service" and
+    "Observability" sections for transcripts. *)
 
 open Taskalloc_rt
 
@@ -85,10 +112,19 @@ type config = {
           {!Taskalloc_core.Encode.default_options}); a request's
           ["lazy"] field overrides per session *)
   verbose : bool;  (** log one line per request to stderr *)
+  prometheus : (string * int) option;
+      (** serve a plaintext Prometheus [/metrics] endpoint on this
+          TCP [host, port] ([0] picks an ephemeral port — see
+          {!prometheus_port}) *)
+  flight : string option;
+      (** file the flight-recorder ring is dumped to on SIGUSR1, on a
+          worker crash, and on the [dump] verb ([None] = the [dump]
+          verb still answers inline; nothing is written to disk) *)
 }
 
 val default_config : config
-(** Unix socket ["taskallocd.sock"], 2 workers, 64 sessions, queue 128. *)
+(** Unix socket ["taskallocd.sock"], 2 workers, 64 sessions, queue
+    128, no Prometheus endpoint, no flight-dump file. *)
 
 val named_workloads : (string * (int -> Model.problem)) list
 (** The named workload table shared with the [taskalloc] CLI:
@@ -116,7 +152,28 @@ val stop : t -> unit
 val stats_json : t -> Json.t
 (** The same snapshot the [stats] request returns: uptime, session /
     cache / queue occupancy, request and error totals, cache hit and
-    eviction counts, and latency histograms overall and per kind.
-    Counts are authoritative server-side state (kept under the stats
-    mutex), mirrored into {!Taskalloc_obs.Obs.Metrics} when metrics
-    are enabled. *)
+    eviction counts, watch/cancel totals, flight-ring occupancy, and
+    latency histograms (count, mean, p50/p95/p99, max — quantiles via
+    {!Taskalloc_obs.Obs.Hist.quantile}) overall and per kind.  Counts
+    are authoritative server-side state (kept under the stats mutex),
+    mirrored into {!Taskalloc_obs.Obs.Metrics} when metrics are
+    enabled. *)
+
+val prometheus_text : t -> string
+(** The Prometheus text-format (0.0.4) rendering the [/metrics]
+    endpoint serves: [taskalloc_*] counters and gauges, request
+    latency as exact cumulative-[le] histograms (the registry's
+    power-of-two buckets are inclusive integer upper bounds, so the
+    translation is lossless) overall and per protocol verb
+    ([taskalloc_request_kind_duration_us{kind="solve"}]), quantile
+    summary gauges, and — when {!Taskalloc_obs.Obs.metrics_on} — the
+    obs registry mirrored under [taskalloc_obs_*]. *)
+
+val prometheus_port : t -> int option
+(** The bound port of the exposition endpoint, when configured —
+    useful with port [0] (ephemeral) in tests. *)
+
+val request_flight_dump : t -> unit
+(** Ask the accept loop to write the flight-recorder ring to the
+    configured [flight] file.  Only sets an atomic flag — safe from a
+    signal handler (the executable wires SIGUSR1 here). *)

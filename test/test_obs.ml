@@ -260,6 +260,112 @@ let prop_hist_merge =
       List.iter (List.iter (Obs.Hist.add direct)) workers;
       Obs.Hist.equal merged direct)
 
+(* -- quantiles ------------------------------------------------------------ *)
+
+let test_hist_quantile () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty -> 0" 0 (Obs.Hist.quantile h 0.5);
+  Obs.Hist.add h 5;
+  (* every quantile of a singleton is the value itself (top-bucket
+     clamp: bucket ub 7, observed max 5) *)
+  Alcotest.(check int) "singleton p50" 5 (Obs.Hist.quantile h 0.5);
+  Alcotest.(check int) "singleton p0 (rank clamps to 1)" 5 (Obs.Hist.quantile h 0.);
+  Alcotest.(check int) "singleton p100" 5 (Obs.Hist.quantile h 1.);
+  (* [1; 1000]: rank 1 -> the 1-bucket; rank 2 -> the 1000-bucket,
+     whose ub 1023 clamps to the observed max *)
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 1; 1000 ];
+  Alcotest.(check int) "p50 picks the low sample" 1 (Obs.Hist.quantile h 0.5);
+  Alcotest.(check int) "p95 clamps to observed max" 1000 (Obs.Hist.quantile h 0.95);
+  (* uniform 1..100: rank ceil(q*100) is the value itself, so the
+     estimate is that value's bucket ub (exact per the documented
+     estimator), clamped to the max in the top bucket *)
+  let h = Obs.Hist.create () in
+  for v = 1 to 100 do
+    Obs.Hist.add h v
+  done;
+  Alcotest.(check int) "uniform p50: rank 50 -> bucket [32,64) ub 63" 63
+    (Obs.Hist.quantile h 0.5);
+  Alcotest.(check int) "uniform p95: rank 95 -> top bucket, clamped" 100
+    (Obs.Hist.quantile h 0.95);
+  Alcotest.(check int) "uniform p99" 100 (Obs.Hist.quantile h 0.99);
+  Alcotest.(check int) "uniform p25: rank 25 -> bucket [16,32) ub 31" 31
+    (Obs.Hist.quantile h 0.25);
+  (* non-positive samples live in bucket 0 (ub 0) *)
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ -3; 0; 8 ];
+  Alcotest.(check int) "p50 of {-3,0,8} -> bucket 0" 0 (Obs.Hist.quantile h 0.5);
+  Alcotest.(check int) "p100 of {-3,0,8}" 8 (Obs.Hist.quantile h 1.);
+  (* out-of-range q clamps rather than raising *)
+  Alcotest.(check int) "q>1 clamps" 8 (Obs.Hist.quantile h 2.);
+  Alcotest.(check int) "q<0 clamps" 0 (Obs.Hist.quantile h (-1.))
+
+(* monotonicity + the never-under-reports contract, on arbitrary data:
+   the estimate is >= the true quantile and <= 2x above it (power-of-two
+   buckets), and is monotone in q *)
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:200 ~name:"quantile: bounded above truth, monotone"
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (int_range 0 100000)) (float_range 0. 1.))
+    (fun (samples, q) ->
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.add h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let truth = List.nth sorted (rank - 1) in
+      let est = Obs.Hist.quantile h q in
+      est >= truth
+      && est <= max 1 (2 * truth)
+      && Obs.Hist.quantile h (Float.min 1. (q +. 0.1)) >= est)
+
+(* -- request context ------------------------------------------------------ *)
+
+let test_request_context () =
+  Obs.clear ();
+  Obs.enable ~tracing:true ();
+  Alcotest.(check (option string)) "no ambient context" None (Obs.current_request ());
+  Obs.with_request "r1" (fun () -> Obs.instant "a");
+  Obs.with_request "r2" (fun () ->
+      Alcotest.(check (option string)) "context visible" (Some "r2")
+        (Obs.current_request ());
+      Obs.span "b" (fun () -> ());
+      Obs.with_request "r3" (fun () -> Obs.instant "c");
+      Alcotest.(check (option string)) "nested context restored" (Some "r2")
+        (Obs.current_request ()));
+  Obs.instant "untagged";
+  Alcotest.(check (option string)) "context restored" None (Obs.current_request ());
+  Alcotest.(check (list string)) "distinct ids, first-appearance order"
+    [ "r1"; "r2"; "r3" ] (Obs.request_ids ());
+  (match Obs.events ~request:"r1" () with
+  | [ ev ] -> Alcotest.(check string) "r1 owns exactly its event" "a" ev.Obs.ev_name
+  | evs -> Alcotest.failf "expected 1 r1 event, got %d" (List.length evs));
+  (* the filtered trace contains r2's span and nothing else's *)
+  let j = parse_json (Obs.trace_json ~request:"r2" ()) in
+  let names = List.map (fun ev -> as_str (field "name" ev)) (as_arr (field "traceEvents" j)) in
+  Alcotest.(check (list string)) "r2 trace is just its span" [ "b" ] names;
+  Alcotest.(check int) "unfiltered trace has all four events" 4
+    (List.length (Obs.events ()));
+  Obs.clear ()
+
+let test_request_context_crosses_portfolio () =
+  (* the portfolio spawns helper domains; the explicit capture/
+     re-install at the spawn site must keep deep solver telemetry
+     attributed to the owning request *)
+  Obs.clear ();
+  Obs.enable ~tracing:true ();
+  let problem = Workloads.small ~seed:42 () in
+  Obs.with_request "req-pf" (fun () ->
+      ignore
+        (Taskalloc_core.Allocator.solve ~jobs:2 ~parallel:`Portfolio
+           ~fallback:false problem Taskalloc_core.Encode.Feasible));
+  let workers =
+    List.filter (fun ev -> ev.Obs.ev_name = "portfolio.worker")
+      (Obs.events ~request:"req-pf" ())
+  in
+  Alcotest.(check bool) "worker spans tagged with the request" true
+    (List.length workers >= 2);
+  Obs.clear ()
+
 (* -- spans under a deterministic clock ------------------------------------ *)
 
 let test_span_nesting () =
@@ -461,6 +567,144 @@ let test_encode_family_metrics () =
     [ "alloc"; "capacities"; "response_times"; "tdma" ];
   Obs.clear ()
 
+(* -- flight recorder ------------------------------------------------------ *)
+
+let test_flight_ring () =
+  Obs.clear ();
+  Obs.Flight.clear ();
+  Alcotest.(check int) "empty" 0 (Obs.Flight.size ());
+  Obs.Flight.record ~ts:10. "a";
+  Obs.Flight.record ~ts:11. ~dur:0.5 "b" ~attrs:[ ("k", "v") ];
+  Obs.Flight.record "c";
+  (* no ts: reuses the newest recorded timestamp *)
+  (match Obs.Flight.snapshot () with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "oldest first" "a" a.Obs.ev_name;
+    Alcotest.(check (float 0.)) "absolute seconds" 10. a.Obs.ev_ts;
+    Alcotest.(check (float 0.)) "duration kept" 0.5 b.Obs.ev_dur;
+    Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ]
+      b.Obs.ev_attrs;
+    Alcotest.(check (float 0.)) "ts-less entry reuses newest ts" 11. c.Obs.ev_ts;
+    Alcotest.(check bool) "ts-less entry is an instant" true (c.Obs.ev_dur < 0.)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs));
+  (* overwrite: a small ring keeps exactly the newest [capacity] *)
+  Obs.Flight.set_capacity 4;
+  for i = 1 to 10 do
+    Obs.Flight.record ~ts:(float_of_int i) (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "size bounded" 4 (Obs.Flight.size ());
+  Alcotest.(check int) "total counts overwritten too" 10 (Obs.Flight.total ());
+  Alcotest.(check (list string)) "newest 4, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun ev -> ev.Obs.ev_name) (Obs.Flight.snapshot ()));
+  (* the dump parses as a Chrome trace, timestamps rebased to the
+     oldest retained entry *)
+  let j = parse_json (Obs.Flight.dump_json ()) in
+  let evs = as_arr (field "traceEvents" j) in
+  Alcotest.(check int) "dump holds the ring" 4 (List.length evs);
+  Alcotest.(check (float 0.)) "rebased to oldest" 0.
+    (as_num (field "ts" (List.hd evs)));
+  Alcotest.(check (float 0.)) "1s later = 1e6 us" 3e6
+    (as_num (field "ts" (List.nth evs 3)));
+  Obs.Flight.set_capacity 1024;
+  Obs.clear ()
+
+let test_flight_null_sink () =
+  (* the recorder is always on; it must not break the null-sink
+     invariant: with sinks off, recording takes zero clock samples *)
+  Obs.clear ();
+  Obs.Flight.clear ();
+  let reads = ref 0 in
+  Obs.set_clock (fun () ->
+      incr reads;
+      0.);
+  for i = 1 to 100 do
+    Obs.Flight.record ~ts:(float_of_int i) "tick"
+  done;
+  Obs.Flight.record "tail";
+  Alcotest.(check int) "events retained" 101 (Obs.Flight.size ());
+  Alcotest.(check int) "no clock samples counted" 0 (Obs.clock_samples ());
+  Alcotest.(check int) "injected clock never called" 0 !reads;
+  (* entries are request-tagged like every other event *)
+  Obs.with_request "fr" (fun () -> Obs.Flight.record ~ts:200. "tagged");
+  let last = List.hd (List.rev (Obs.Flight.snapshot ())) in
+  Alcotest.(check (option string)) "request attr" (Some "fr")
+    (List.assoc_opt "request" last.Obs.ev_attrs);
+  Obs.Flight.clear ();
+  Obs.clear ()
+
+(* -- concurrent multi-domain emission ------------------------------------- *)
+
+let test_concurrent_emission () =
+  Obs.clear ();
+  Obs.enable ~tracing:true ~metrics:true ();
+  let domains = 4 and per = 500 in
+  let ds =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Obs.with_request (Printf.sprintf "cr%d" d) (fun () ->
+                for i = 0 to per - 1 do
+                  Obs.Metrics.observe "conc.vals" ((d * per) + i);
+                  Obs.Metrics.incr "conc.count";
+                  Obs.instant "conc.mark"
+                done)))
+  in
+  Array.iter Domain.join ds;
+  (* no emission lost: counters, histogram tallies and events all land *)
+  Alcotest.(check int) "counter complete" (domains * per)
+    (Obs.Metrics.get_counter "conc.count");
+  (match Obs.Metrics.get_hist "conc.vals" with
+  | None -> Alcotest.fail "conc.vals histogram missing"
+  | Some h ->
+    Alcotest.(check int) "histogram count complete" (domains * per)
+      (Obs.Hist.count h);
+    (* tearing a concurrent observe would corrupt the tallies: compare
+       against the same samples added single-threaded *)
+    let direct = Obs.Hist.create () in
+    for v = 0 to (domains * per) - 1 do
+      Obs.Hist.add direct v
+    done;
+    Alcotest.(check bool) "histogram equals single-threaded tally" true
+      (Obs.Hist.equal h direct));
+  Alcotest.(check int) "no event lost" (domains * per)
+    (List.length (Obs.events ()));
+  (* per-request attribution has no cross-domain bleed *)
+  for d = 0 to domains - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cr%d owns its events" d)
+      per
+      (List.length (Obs.events ~request:(Printf.sprintf "cr%d" d) ()))
+  done;
+  Obs.clear ()
+
+(* the merge QCheck property, extended: workers observe concurrently
+   into one shared registry histogram instead of merging afterwards *)
+let prop_concurrent_observe =
+  QCheck.Test.make ~count:30
+    ~name:"concurrent observes == hist of concatenated samples"
+    QCheck.(list_of_size Gen.(1 -- 4) (small_list (int_range (-1000) 100000)))
+    (fun workers ->
+      Obs.clear ();
+      Obs.enable ~metrics:true ();
+      let ds =
+        List.map
+          (fun samples ->
+            Domain.spawn (fun () ->
+                List.iter (Obs.Metrics.observe "qc.conc") samples))
+          workers
+      in
+      List.iter Domain.join ds;
+      let direct = Obs.Hist.create () in
+      List.iter (List.iter (Obs.Hist.add direct)) workers;
+      let got =
+        match Obs.Metrics.get_hist "qc.conc" with
+        | Some h -> h
+        | None -> Obs.Hist.create ()
+      in
+      let ok = Obs.Hist.equal got direct in
+      Obs.clear ();
+      ok)
+
 let test_cumulative_stats_and_deltas () =
   (* Solver counters are cumulative across incremental solves
      (documented in solver.mli); last_solve_stats isolates the latest
@@ -490,6 +734,15 @@ let suite =
     ("hist bucket math", `Quick, test_hist_buckets);
     ("hist merge is exact", `Quick, test_hist_merge);
     QCheck_alcotest.to_alcotest prop_hist_merge;
+    ("quantiles against exact distributions", `Quick, test_hist_quantile);
+    QCheck_alcotest.to_alcotest prop_quantile_bounds;
+    ("request context tags and filters", `Quick, test_request_context);
+    ("request context crosses portfolio domains", `Quick,
+     test_request_context_crosses_portfolio);
+    ("flight ring: order, overwrite, dump", `Quick, test_flight_ring);
+    ("flight ring keeps the null sink", `Quick, test_flight_null_sink);
+    ("concurrent multi-domain emission", `Quick, test_concurrent_emission);
+    QCheck_alcotest.to_alcotest prop_concurrent_observe;
     ("span nesting under a deterministic clock", `Quick, test_span_nesting);
     ("phase breakdown sums span histograms", `Quick, test_phase_breakdown);
     ("chaos: budget stop and exception mid-span", `Quick, test_chaos_stop_mid_span);

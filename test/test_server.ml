@@ -12,9 +12,15 @@ module Server = Taskalloc_server.Server
 module Client = Taskalloc_server.Client
 module Json = Taskalloc_server.Json
 
+module Obs = Taskalloc_obs.Obs
+
 let next_sock = Atomic.make 0
 
-let with_server ?(workers = 2) ?(max_sessions = 64) ?(queue_depth = 128) f =
+(* [with_server_t] also hands the callback the [Server.t] itself, for
+   the tests that poke [prometheus_text] / [prometheus_port]
+   directly. *)
+let with_server_t ?(workers = 2) ?(max_sessions = 64) ?(queue_depth = 128)
+    ?(prometheus = None) ?(flight = None) f =
   let sock =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -28,6 +34,8 @@ let with_server ?(workers = 2) ?(max_sessions = 64) ?(queue_depth = 128) f =
       workers;
       max_sessions;
       queue_depth;
+      prometheus;
+      flight;
     }
   in
   let t = Server.create cfg in
@@ -37,7 +45,10 @@ let with_server ?(workers = 2) ?(max_sessions = 64) ?(queue_depth = 128) f =
       Server.stop t;
       Domain.join d;
       Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock))
-    (fun () -> f (`Unix sock))
+    (fun () -> f (`Unix sock) t)
+
+let with_server ?workers ?max_sessions ?queue_depth f =
+  with_server_t ?workers ?max_sessions ?queue_depth (fun listen _t -> f listen)
 
 let req c fields = Client.request c (Json.Obj fields)
 
@@ -389,6 +400,418 @@ let test_concurrent_distinct_sessions () =
       let domains = List.init n_clients (fun k -> Domain.spawn (fun () -> hammer k)) in
       List.iter Domain.join domains)
 
+(* -- request-scoped observability ---------------------------------------- *)
+
+let test_request_id_echo () =
+  with_server (fun listen ->
+      let c = Client.connect listen in
+      let sid, _ = open_session c in
+      let r =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "feasible");
+            ("request_id", Json.Str "myjob");
+          ]
+      in
+      check_ok "solve with rid" r;
+      Alcotest.(check string) "client rid echoed" "myjob"
+        (str_field "solve" r "request_id");
+      let r2 =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "feasible");
+          ]
+      in
+      check_ok "solve without rid" r2;
+      let rid = str_field "solve" r2 "request_id" in
+      Alcotest.(check bool)
+        (Printf.sprintf "generated rid %S has the server shape" rid)
+        true
+        (String.length rid >= 2
+        && rid.[0] = 'r'
+        && String.for_all
+             (fun ch -> ch >= '0' && ch <= '9')
+             (String.sub rid 1 (String.length rid - 1)));
+      (* a finished id can be reused: no stale duplicate_request *)
+      let r3 =
+        req c
+          [
+            ("kind", Json.Str "solve");
+            ("session", Json.Str sid);
+            ("objective", Json.Str "feasible");
+            ("request_id", Json.Str "myjob");
+          ]
+      in
+      check_ok "finished rid reusable" r3;
+      Client.close c)
+
+(* Drive one streaming [watch] exchange: send the verb, then read
+   lines until the final answer (the line with an ["ok"] member).
+   Returns [(progress_lines, final)]. *)
+let drain_watch c rid =
+  Client.send c
+    (Json.Obj [ ("kind", Json.Str "watch"); ("request", Json.Str rid) ]);
+  let rec loop acc =
+    let line = Client.recv c in
+    match Json.member "ok" line with
+    | Json.Null -> loop (line :: acc)
+    | _ -> (List.rev acc, line)
+  in
+  loop []
+
+let test_watch_stream () =
+  with_server ~workers:2 (fun listen ->
+      let c1 = Client.connect listen in
+      let sid, _ = open_session ~workload:"tasks30" c1 in
+      (* launch the solve without waiting for its answer, then watch it
+         from a second connection while it runs (~1s of search) *)
+      Client.send c1
+        (Json.Obj
+           [
+             ("kind", Json.Str "solve");
+             ("session", Json.Str sid);
+             ("objective", Json.Str "trt");
+             ("deadline_ms", Json.Int 8_000);
+             ("request_id", Json.Str "wjob");
+           ]);
+      let c2 = Client.connect listen in
+      (* the entry registers when the server reads c1's line; retry the
+         watch until it attaches *)
+      let rec attach tries =
+        let progress, final = drain_watch c2 "wjob" in
+        if get_ok "watch" final then (progress, final)
+        else if tries > 0 then (
+          Unix.sleepf 0.01;
+          attach (tries - 1))
+        else Alcotest.failf "watch never attached: %s" (Json.to_string final)
+      in
+      let progress, final = attach 500 in
+      Alcotest.(check bool) "at least one progress event" true
+        (List.length progress > 0);
+      List.iter
+        (fun line ->
+          Alcotest.(check (option string)) "progress event tag" (Some "progress")
+            (Json.to_str (Json.member "event" line));
+          Alcotest.(check (option string)) "progress request tag" (Some "wjob")
+            (Json.to_str (Json.member "request_id" line)))
+        progress;
+      (* the watcher's final line is the request's own answer *)
+      Alcotest.(check string) "final answer tagged" "wjob"
+        (str_field "watch final" final "request_id");
+      Alcotest.(check string) "final outcome" "solved"
+        (str_field "watch final" final "outcome");
+      (* the submitting connection still gets its own copy *)
+      let own = Client.recv c1 in
+      check_ok "submitter answer" own;
+      Alcotest.(check string) "same request" "wjob"
+        (str_field "submitter" own "request_id");
+      check_err "watch unknown rid" "unknown_request"
+        (req c2 [ ("kind", Json.Str "watch"); ("request", Json.Str "nope") ]);
+      Client.close c2;
+      Client.close c1)
+
+let test_cancel () =
+  with_server ~workers:2 (fun listen ->
+      let c1 = Client.connect listen in
+      let sid, _ = open_session ~workload:"tasks30" c1 in
+      let t0 = Unix.gettimeofday () in
+      Client.send c1
+        (Json.Obj
+           [
+             ("kind", Json.Str "solve");
+             ("session", Json.Str sid);
+             ("objective", Json.Str "trt");
+             ("deadline_ms", Json.Int 60_000);
+             ("request_id", Json.Str "cjob");
+           ]);
+      let c2 = Client.connect listen in
+      (* retry until the entry is registered server-side *)
+      let rec cancel tries =
+        let r =
+          req c2
+            [ ("kind", Json.Str "cancel"); ("request", Json.Str "cjob") ]
+        in
+        if get_ok "cancel" r then r
+        else if tries > 0 then (
+          Unix.sleepf 0.01;
+          cancel (tries - 1))
+        else Alcotest.failf "cancel never found the request"
+      in
+      let r = cancel 500 in
+      Alcotest.(check string) "cancel acknowledged" "cjob"
+        (str_field "cancel" r "cancelled");
+      (* while a second request on the same in-flight id is rejected *)
+      (match
+         Json.to_bool (Json.member "finished" r)
+       with
+      | Some false ->
+        check_err "duplicate in-flight rid" "duplicate_request"
+          (req c2
+             [
+               ("kind", Json.Str "solve");
+               ("session", Json.Str sid);
+               ("objective", Json.Str "feasible");
+               ("request_id", Json.Str "cjob");
+             ])
+      | _ -> () (* raced to completion before we could probe: fine *));
+      (* the cancelled solve still answers — promptly, and honestly
+         about its provenance *)
+      let own = Client.recv c1 in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_ok "cancelled solve answers" own;
+      Alcotest.(check string) "answered" "solved" (str_field "cancel" own "outcome");
+      let quality = str_field "cancel" own "quality" in
+      if quality = "optimal" then
+        Alcotest.failf "cancelled solve claimed Optimal provenance";
+      Alcotest.(check bool)
+        (Printf.sprintf "returned promptly (%.1fs)" elapsed)
+        true (elapsed < 20.);
+      (* cancelling a finished request reports finished=true *)
+      let again =
+        req c2 [ ("kind", Json.Str "cancel"); ("request", Json.Str "cjob") ]
+      in
+      check_ok "cancel finished" again;
+      Alcotest.(check (option bool)) "finished flag" (Some true)
+        (Json.to_bool (Json.member "finished" again));
+      check_err "cancel unknown rid" "unknown_request"
+        (req c2
+           [ ("kind", Json.Str "cancel"); ("request", Json.Str "ghost") ]);
+      Client.close c2;
+      Client.close c1)
+
+let test_dump_verb () =
+  with_server (fun listen ->
+      Obs.Flight.clear ();
+      let c = Client.connect listen in
+      let sid, _ = open_session c in
+      check_ok "solve"
+        (req c
+           [
+             ("kind", Json.Str "solve");
+             ("session", Json.Str sid);
+             ("objective", Json.Str "feasible");
+           ]);
+      let r = req c [ ("kind", Json.Str "dump") ] in
+      check_ok "dump" r;
+      let events = Json.to_int (Json.member "events" r) in
+      let total = Json.to_int (Json.member "total" r) in
+      Alcotest.(check bool) "ring recorded the requests" true
+        (match events with Some n -> n > 0 | None -> false);
+      Alcotest.(check bool) "total >= events" true
+        (match (total, events) with
+        | Some t, Some e -> t >= e
+        | _ -> false);
+      (* the inline dump is a well-formed Chrome trace *)
+      (match Json.member "flight" r with
+      | Json.Obj _ as trace -> (
+        match Json.member "traceEvents" trace with
+        | Json.List evs ->
+          Alcotest.(check bool) "traceEvents non-empty" true
+            (List.length evs > 0);
+          List.iter
+            (fun ev ->
+              match Json.to_str (Json.member "name" ev) with
+              | Some _ -> ()
+              | None -> Alcotest.fail "trace event without name")
+            evs
+        | _ -> Alcotest.fail "flight dump lacks traceEvents")
+      | other ->
+        Alcotest.failf "flight member not an object: %s" (Json.to_string other));
+      Client.close c)
+
+(* -- Prometheus exposition ----------------------------------------------- *)
+
+let test_prometheus () =
+  with_server_t ~prometheus:(Some ("127.0.0.1", 0)) (fun listen t ->
+      let c = Client.connect listen in
+      check_ok "ping" (req c [ ("kind", Json.Str "ping") ]);
+      let sid, _ = open_session c in
+      check_ok "solve"
+        (req c
+           [
+             ("kind", Json.Str "solve");
+             ("session", Json.Str sid);
+             ("objective", Json.Str "feasible");
+           ]);
+      let text = Server.prometheus_text t in
+      let lines = String.split_on_char '\n' text in
+      let metric_value name =
+        List.find_map
+          (fun l ->
+            if
+              String.length l > String.length name
+              && String.sub l 0 (String.length name) = name
+              && l.[String.length name] = ' '
+            then float_of_string_opt (String.sub l (String.length name + 1)
+                                        (String.length l - String.length name - 1))
+            else None)
+          lines
+      in
+      (match metric_value "taskalloc_requests_total" with
+      | Some v -> Alcotest.(check bool) "requests counted" true (v >= 3.)
+      | None -> Alcotest.fail "taskalloc_requests_total missing");
+      (match metric_value "taskalloc_sessions" with
+      | Some v -> Alcotest.(check bool) "one live session" true (v >= 1.)
+      | None -> Alcotest.fail "taskalloc_sessions missing");
+      Alcotest.(check bool) "uptime gauge present" true
+        (Option.is_some (metric_value "taskalloc_uptime_seconds"));
+      (* the latency histogram's cumulative buckets are monotone and the
+         +Inf bucket equals _count *)
+      let prefix = "taskalloc_request_duration_us_bucket{le=" in
+      let buckets =
+        List.filter_map
+          (fun l ->
+            if
+              String.length l > String.length prefix
+              && String.sub l 0 (String.length prefix) = prefix
+            then
+              match String.rindex_opt l ' ' with
+              | Some i ->
+                float_of_string_opt
+                  (String.sub l (i + 1) (String.length l - i - 1))
+              | None -> None
+            else None)
+          lines
+      in
+      Alcotest.(check bool) "histogram exposed" true (List.length buckets >= 2);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "cumulative buckets monotone" true
+        (monotone buckets);
+      (match
+         (metric_value "taskalloc_request_duration_us_count",
+          List.rev buckets)
+       with
+      | Some count, inf :: _ ->
+        Alcotest.(check (float 0.0)) "+Inf bucket = count" count inf
+      | _ -> Alcotest.fail "histogram count/+Inf missing");
+      (* and the same text is served over HTTP *)
+      (match Server.prometheus_port t with
+      | None -> Alcotest.fail "prometheus endpoint has no port"
+      | Some port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+        let reqs = "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" in
+        let _ = Unix.write_substring fd reqs 0 (String.length reqs) in
+        let b = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes b chunk 0 n;
+            drain ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+        in
+        drain ();
+        Unix.close fd;
+        let body = Buffer.contents b in
+        let contains needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "HTTP 200" true (contains "200 OK" body);
+        Alcotest.(check bool) "scrape carries counters" true
+          (contains "taskalloc_requests_total" body);
+        Alcotest.(check bool) "content type versioned" true
+          (contains "text/plain; version=0.0.4" body));
+      Client.close c)
+
+(* -- per-request trace grouping ------------------------------------------ *)
+
+let test_trace_grouping () =
+  Obs.clear ();
+  Obs.enable ~tracing:true ~metrics:true ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.clear ())
+    (fun () ->
+      with_server ~workers:4 (fun listen ->
+          let solve k =
+            let c = Client.connect listen in
+            let sid, _ = open_session ~seed:(200 + k) c in
+            let r =
+              req c
+                [
+                  ("kind", Json.Str "solve");
+                  ("session", Json.Str sid);
+                  ("objective", Json.Str "feasible");
+                  ("request_id", Json.Str (Printf.sprintf "grp%d" k));
+                ]
+            in
+            check_ok "grouped solve" r;
+            Client.close c
+          in
+          let domains =
+            List.init 4 (fun k -> Domain.spawn (fun () -> solve k))
+          in
+          List.iter Domain.join domains);
+      let ids = Obs.request_ids () in
+      for k = 0 to 3 do
+        let rid = Printf.sprintf "grp%d" k in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s appears in the trace" rid)
+          true (List.mem rid ids);
+        let evs = Obs.events ~request:rid () in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s has events" rid)
+          true
+          (List.length evs > 0);
+        (* queue wait is attributed to the owning request *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s queue wait attributed" rid)
+          true
+          (List.exists (fun e -> e.Obs.ev_name = "server.queue_wait") evs);
+        (* no bleed: every event filtered by rid really carries the tag *)
+        List.iter
+          (fun e ->
+            Alcotest.(check (option string))
+              (Printf.sprintf "%s event tag" rid)
+              (Some rid)
+              (List.assoc_opt "request" e.Obs.ev_attrs))
+          evs
+      done)
+
+(* -- JSON unicode -------------------------------------------------------- *)
+
+let test_json_surrogates () =
+  (* an astral-plane escape decodes as one UTF-8 sequence *)
+  (match Json.parse "\"\\ud83d\\ude00\"" with
+  | Json.Str s ->
+    Alcotest.(check string) "U+1F600 as 4-byte UTF-8" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "astral escape did not parse to a string");
+  (* surrounded by other content, and with uppercase hex *)
+  (match Json.parse "{\"k\":\"a\\uD83D\\uDE80b\"}" with
+  | Json.Obj [ ("k", Json.Str s) ] ->
+    Alcotest.(check string) "rocket in context" "a\xf0\x9f\x9a\x80b" s
+  | _ -> Alcotest.fail "object with astral member did not parse");
+  (* a lone high surrogate is preserved, not mangled into garbage *)
+  (match Json.parse "\"\\ud83d!\"" with
+  | Json.Str s ->
+    Alcotest.(check string) "lone surrogate passes through" "\xed\xa0\xbd!" s
+  | _ -> Alcotest.fail "lone surrogate did not parse");
+  (* raw UTF-8 round-trips bytewise through print + parse *)
+  let samples = [ "\xf0\x9f\x98\x80"; "caf\xc3\xa9"; "a\xe2\x82\xacb" ] in
+  List.iter
+    (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Json.Str s' -> Alcotest.(check string) "round trip" s s'
+      | _ -> Alcotest.fail "round trip lost the string")
+    samples;
+  (* BMP escapes still work *)
+  match Json.parse "\"\\u20ac\"" with
+  | Json.Str s -> Alcotest.(check string) "euro sign" "\xe2\x82\xac" s
+  | _ -> Alcotest.fail "BMP escape did not parse"
+
 let suite =
   [
     Alcotest.test_case "protocol round-trip" `Quick test_roundtrip;
@@ -408,4 +831,12 @@ let suite =
       test_repair_then_whatif;
     Alcotest.test_case "concurrent clients, distinct sessions" `Slow
       test_concurrent_distinct_sessions;
+    Alcotest.test_case "request id echo and reuse" `Quick test_request_id_echo;
+    Alcotest.test_case "watch streams live progress" `Slow test_watch_stream;
+    Alcotest.test_case "cancel interrupts an in-flight solve" `Slow test_cancel;
+    Alcotest.test_case "dump returns the flight ring" `Quick test_dump_verb;
+    Alcotest.test_case "prometheus exposition + scrape" `Quick test_prometheus;
+    Alcotest.test_case "per-request trace grouping" `Slow test_trace_grouping;
+    Alcotest.test_case "JSON surrogate pairs and round-trips" `Quick
+      test_json_surrogates;
   ]
